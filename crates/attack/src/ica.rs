@@ -1,0 +1,361 @@
+//! The ICA attack — blind source separation of the release.
+//!
+//! The strongest post-publication result against rotation perturbation
+//! (the *AK-ICA* line of work, Guo & Wu 2007 and the Liu–Kargupta family):
+//! when the original attributes are statistically independent and
+//! non-Gaussian, the released matrix `X' = X·Rᵀ` is precisely the mixing
+//! model of **independent component analysis**. ICA recovers the source
+//! attributes from the release *alone* — no known records, no covariance
+//! prior — up to the inherent permutation/sign/scale ambiguity. Since the
+//! release is published with its column semantics (the miner needs them),
+//! resolving the permutation is usually trivial in practice.
+//!
+//! The implementation is deflationary FastICA (Hyvärinen) with the `tanh`
+//! contrast: whiten the released data through the covariance
+//! eigendecomposition, then extract one unit one at a time by fixed-point
+//! iteration with Gram–Schmidt decorrelation.
+
+use crate::{Error, Result};
+use rand::Rng;
+use rbt_data::rng::standard_normal;
+use rbt_linalg::eigen::symmetric_eigen;
+use rbt_linalg::stats::{covariance_matrix, VarianceMode};
+use rbt_linalg::Matrix;
+
+/// Outcome of the ICA attack.
+#[derive(Debug, Clone)]
+pub struct IcaOutcome {
+    /// Recovered source estimates (`m × n`), unit variance, zero mean;
+    /// columns are in an arbitrary order and sign.
+    pub sources: Matrix,
+    /// The unmixing matrix applied to the whitened data.
+    pub unmixing: Matrix,
+    /// Iterations spent per extracted component.
+    pub iterations: Vec<usize>,
+}
+
+/// Configuration for FastICA.
+#[derive(Debug, Clone, Copy)]
+pub struct FastIca {
+    max_iters: usize,
+    tolerance: f64,
+}
+
+impl Default for FastIca {
+    fn default() -> Self {
+        FastIca {
+            max_iters: 400,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+impl FastIca {
+    /// Creates a configuration with an explicit iteration budget and
+    /// convergence tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for a zero budget or
+    /// non-positive tolerance.
+    pub fn new(max_iters: usize, tolerance: f64) -> Result<Self> {
+        if max_iters == 0 {
+            return Err(Error::InvalidParameter("max_iters must be positive".into()));
+        }
+        if tolerance.is_nan() || tolerance <= 0.0 {
+            return Err(Error::InvalidParameter(format!(
+                "tolerance must be positive, got {tolerance}"
+            )));
+        }
+        Ok(FastIca {
+            max_iters,
+            tolerance,
+        })
+    }
+
+    /// Runs the attack on a released matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidParameter`] for fewer rows than columns,
+    /// * [`Error::Degenerate`] when whitening fails (rank-deficient
+    ///   covariance) or a component does not converge (near-Gaussian
+    ///   sources — the one data regime where the attack genuinely fails).
+    pub fn attack<R: Rng + ?Sized>(&self, released: &Matrix, rng: &mut R) -> Result<IcaOutcome> {
+        let m = released.rows();
+        let n = released.cols();
+        if m <= n {
+            return Err(Error::InvalidParameter(format!(
+                "need more rows than columns, got {m} x {n}"
+            )));
+        }
+
+        // Center.
+        let means = rbt_linalg::stats::column_means(released)?;
+        let mut centered = released.clone();
+        for i in 0..m {
+            for (v, mu) in centered.row_mut(i).iter_mut().zip(&means) {
+                *v -= mu;
+            }
+        }
+
+        // Whiten: Z = centered · V · Λ^{-1/2}.
+        let cov = covariance_matrix(&centered, VarianceMode::Population)?;
+        let eig = symmetric_eigen(&cov)?;
+        let scale = eig.eigenvalues[0].abs().max(1e-12);
+        if eig.eigenvalues.iter().any(|&l| l <= 1e-10 * scale) {
+            return Err(Error::Degenerate(
+                "covariance is rank-deficient; cannot whiten".into(),
+            ));
+        }
+        let mut lam_inv_sqrt = Matrix::zeros(n, n);
+        for k in 0..n {
+            lam_inv_sqrt[(k, k)] = 1.0 / eig.eigenvalues[k].sqrt();
+        }
+        let whitener = eig.eigenvectors.matmul(&lam_inv_sqrt)?;
+        let z = centered.matmul(&whitener)?;
+
+        // Deflationary FastICA with g = tanh.
+        let mut w_rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut iterations = Vec::with_capacity(n);
+        for _component in 0..n {
+            let mut w: Vec<f64> = (0..n).map(|_| standard_normal(rng)).collect();
+            gram_schmidt(&mut w, &w_rows);
+            normalize(&mut w);
+            let mut iters = 0;
+            let mut converged = false;
+            for it in 0..self.max_iters {
+                iters = it + 1;
+                // w⁺ = E[z·g(wᵀz)] − E[g'(wᵀz)]·w
+                let mut ezg = vec![0.0f64; n];
+                let mut eg_prime = 0.0f64;
+                for row in z.row_iter() {
+                    let u: f64 = row.iter().zip(&w).map(|(a, b)| a * b).sum();
+                    let g = u.tanh();
+                    eg_prime += 1.0 - g * g;
+                    for (acc, &zv) in ezg.iter_mut().zip(row) {
+                        *acc += zv * g;
+                    }
+                }
+                let inv_m = 1.0 / m as f64;
+                let mut w_new: Vec<f64> = ezg
+                    .iter()
+                    .zip(&w)
+                    .map(|(&a, &b)| a * inv_m - (eg_prime * inv_m) * b)
+                    .collect();
+                gram_schmidt(&mut w_new, &w_rows);
+                normalize(&mut w_new);
+                // Convergence: |⟨w, w_new⟩| → 1 (sign flips allowed).
+                let dot: f64 = w.iter().zip(&w_new).map(|(a, b)| a * b).sum();
+                w = w_new;
+                if (dot.abs() - 1.0).abs() < self.tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(Error::Degenerate(format!(
+                    "component {_component} did not converge in {} iterations \
+                     (sources may be Gaussian)",
+                    self.max_iters
+                )));
+            }
+            iterations.push(iters);
+            w_rows.push(w);
+        }
+
+        let unmixing = Matrix::from_row_iter(w_rows.clone())
+            .expect("unmixing rows are consistent");
+        let sources = z.matmul(&unmixing.transpose())?;
+        Ok(IcaOutcome {
+            sources,
+            unmixing,
+            iterations,
+        })
+    }
+}
+
+fn gram_schmidt(w: &mut [f64], basis: &[Vec<f64>]) {
+    for b in basis {
+        let dot: f64 = w.iter().zip(b).map(|(a, c)| a * c).sum();
+        for (wv, &bv) in w.iter_mut().zip(b) {
+            *wv -= dot * bv;
+        }
+    }
+}
+
+fn normalize(w: &mut [f64]) {
+    let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
+    for v in w {
+        *v /= norm;
+    }
+}
+
+/// Evaluates an ICA outcome against the true normalized attributes: the
+/// best one-to-one matching of recovered components to attributes by
+/// absolute Pearson correlation (the permutation/sign ambiguity is exactly
+/// what the correlation magnitude quotient removes).
+///
+/// Returns `(mean |correlation|, per-attribute |correlation|)`.
+///
+/// # Errors
+///
+/// Propagates shape errors and metric failures.
+pub fn match_components(outcome: &IcaOutcome, original: &Matrix) -> Result<(f64, Vec<f64>)> {
+    let n = original.cols();
+    if outcome.sources.cols() != n || outcome.sources.rows() != original.rows() {
+        return Err(Error::ShapeMismatch(format!(
+            "sources are {:?}, original is {:?}",
+            outcome.sources.shape(),
+            original.shape()
+        )));
+    }
+    // Cost = −|corr| for Hungarian minimisation.
+    let mut cost = Matrix::zeros(n, n);
+    for a in 0..n {
+        let col_a = original.column(a);
+        for s in 0..n {
+            let col_s = outcome.sources.column(s);
+            let corr = rbt_linalg::stats::correlation(&col_a, &col_s).unwrap_or(0.0);
+            cost[(a, s)] = -corr.abs();
+        }
+    }
+    let assignment = rbt_cluster::metrics::hungarian_min(&cost);
+    let per_attr: Vec<f64> = assignment
+        .iter()
+        .enumerate()
+        .map(|(a, &s)| -cost[(a, s)])
+        .collect();
+    let mean = per_attr.iter().sum::<f64>() / n as f64;
+    Ok((mean, per_attr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rbt_core::{PairwiseSecurityThreshold, RbtConfig, RbtTransformer};
+    use rbt_data::Normalization;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    /// Independent, strongly non-Gaussian sources (cubed normals are
+    /// heavy-tailed; uniforms are sub-Gaussian).
+    fn independent_sources(rows: usize, seed: u64) -> Matrix {
+        use rand::RngExt;
+        let mut r = rng(seed);
+        let data: Vec<Vec<f64>> = (0..rows)
+            .map(|_| {
+                let a = standard_normal(&mut r);
+                let b: f64 = r.random_range(-1.0..1.0);
+                let c = standard_normal(&mut r);
+                vec![a * a * a, 3.0 * b, c.signum() * c * c]
+            })
+            .collect();
+        Matrix::from_row_iter(data).unwrap()
+    }
+
+    fn release(normalized: &Matrix, seed: u64) -> Matrix {
+        RbtTransformer::new(RbtConfig::uniform(
+            PairwiseSecurityThreshold::uniform(0.3).unwrap(),
+        ))
+        .transform(normalized, &mut rng(seed))
+        .unwrap()
+        .transformed
+    }
+
+    #[test]
+    fn recovers_independent_nongaussian_sources_blind() {
+        let raw = independent_sources(4000, 1);
+        let (_, normalized) = Normalization::zscore_paper().fit_transform(&raw).unwrap();
+        let released = release(&normalized, 2);
+        let outcome = FastIca::default().attack(&released, &mut rng(3)).unwrap();
+        let (mean_corr, per_attr) = match_components(&outcome, &normalized).unwrap();
+        assert!(
+            mean_corr > 0.95,
+            "mean |corr| {mean_corr}, per-attr {per_attr:?}"
+        );
+        for (j, c) in per_attr.iter().enumerate() {
+            assert!(*c > 0.9, "attribute {j} recovered with |corr| {c}");
+        }
+    }
+
+    #[test]
+    fn sources_are_whitened() {
+        let raw = independent_sources(2000, 4);
+        let (_, normalized) = Normalization::zscore_paper().fit_transform(&raw).unwrap();
+        let released = release(&normalized, 5);
+        let outcome = FastIca::default().attack(&released, &mut rng(6)).unwrap();
+        // Unit variance, zero mean per component.
+        for k in 0..3 {
+            let col = outcome.sources.column(k);
+            let mean = rbt_linalg::stats::mean(&col).unwrap();
+            let var =
+                rbt_linalg::stats::variance(&col, VarianceMode::Population).unwrap();
+            assert!(mean.abs() < 1e-8, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-6, "var {var}");
+        }
+        // Unmixing is orthogonal (acts on whitened data).
+        assert!(rbt_linalg::rotation::is_orthogonal(&outcome.unmixing, 1e-8));
+    }
+
+    #[test]
+    fn gaussian_sources_defeat_the_attack() {
+        // The identifiability limit: rotations of i.i.d. Gaussians are
+        // distributionally invariant, so FastICA cannot converge to
+        // anything meaningful. Either it fails outright or the recovered
+        // correlation is poor.
+        let mut r = rng(7);
+        let gauss: Vec<Vec<f64>> = (0..3000)
+            .map(|_| {
+                vec![
+                    standard_normal(&mut r),
+                    standard_normal(&mut r),
+                    standard_normal(&mut r),
+                ]
+            })
+            .collect();
+        let gauss = Matrix::from_row_iter(gauss).unwrap();
+        let (_, normalized) = Normalization::zscore_paper().fit_transform(&gauss).unwrap();
+        let released = release(&normalized, 8);
+        match FastIca::new(60, 1e-12).unwrap().attack(&released, &mut rng(9)) {
+            Err(Error::Degenerate(_)) => {} // no convergence — expected
+            Ok(outcome) => {
+                let (mean_corr, _) = match_components(&outcome, &normalized).unwrap();
+                assert!(mean_corr < 0.9, "Gaussian sources should not be recoverable, got {mean_corr}");
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validates_input() {
+        assert!(FastIca::new(0, 1e-6).is_err());
+        assert!(FastIca::new(100, 0.0).is_err());
+        let wide = Matrix::zeros(3, 5);
+        assert!(matches!(
+            FastIca::default().attack(&wide, &mut rng(0)),
+            Err(Error::InvalidParameter(_))
+        ));
+        let constant = Matrix::filled(100, 3, 1.0);
+        assert!(matches!(
+            FastIca::default().attack(&constant, &mut rng(0)),
+            Err(Error::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn match_components_checks_shapes() {
+        let raw = independent_sources(500, 10);
+        let (_, normalized) = Normalization::zscore_paper().fit_transform(&raw).unwrap();
+        let released = release(&normalized, 11);
+        let outcome = FastIca::default().attack(&released, &mut rng(12)).unwrap();
+        let fewer = normalized.select_columns(&[0, 1]).unwrap();
+        assert!(matches!(
+            match_components(&outcome, &fewer),
+            Err(Error::ShapeMismatch(_))
+        ));
+    }
+}

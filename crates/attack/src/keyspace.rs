@@ -1,0 +1,121 @@
+//! Quantifying the paper's brute-force argument (§5.2).
+//!
+//! The paper lists four secrets an attacker must guess: the attribute
+//! pairs, their order, the per-pair thresholds (which shape the ranges),
+//! and the real-valued angle per pair. This module counts the discrete part
+//! of that keyspace and the work factor of an angle grid — making the
+//! "computational work" claim concrete, and also exposing its weakness:
+//! the keyspace is only super-exponential in the *attribute* count, which
+//! for typical tables (tens of columns) is within reach of the known-sample
+//! attacks implemented elsewhere in this crate.
+
+/// Number of perfect matchings of `n` labelled items (`(n−1)!!` for even
+/// `n`), saturating at `u128::MAX`.
+pub fn perfect_matchings(n: usize) -> u128 {
+    if n % 2 != 0 {
+        return 0;
+    }
+    let mut acc: u128 = 1;
+    let mut k = n as u128;
+    while k > 1 {
+        acc = acc.saturating_mul(k - 1);
+        k -= 2;
+    }
+    acc
+}
+
+/// Number of *ordered RBT pairings* of `n` attributes: sequences of
+/// `k = ⌈n/2⌉` ordered pairs as the algorithm uses them.
+///
+/// * Even `n`: matchings × pair orientations (`2^k`) × pair orderings
+///   (`k!`).
+/// * Odd `n`: the same for the first `n−1` attributes (choosing which
+///   attribute is the leftover: `n` ways), times the `n−1` possible
+///   already-distorted partners and 2 orientations for the final chained
+///   pair.
+///
+/// Saturates at `u128::MAX`.
+pub fn ordered_pairings(n: usize) -> u128 {
+    if n < 2 {
+        return 0;
+    }
+    if n % 2 == 0 {
+        let k = (n / 2) as u32;
+        let m = perfect_matchings(n);
+        m.saturating_mul(1u128 << k.min(127))
+            .saturating_mul(factorial(n as u128 / 2))
+    } else {
+        let base = ordered_pairings(n - 1);
+        base.saturating_mul(n as u128)
+            .saturating_mul((n - 1) as u128)
+            .saturating_mul(2)
+    }
+}
+
+fn factorial(n: u128) -> u128 {
+    (1..=n).fold(1u128, |acc, x| acc.saturating_mul(x))
+}
+
+/// Work factor of a brute-force attack that also grids each pair's angle at
+/// `angle_steps` candidate values: `ordered_pairings(n) × angle_steps^k`.
+/// Saturates at `u128::MAX`.
+pub fn brute_force_work(n: usize, angle_steps: u64) -> u128 {
+    let k = n.div_ceil(2) as u32;
+    let mut angles: u128 = 1;
+    for _ in 0..k {
+        angles = angles.saturating_mul(angle_steps as u128);
+    }
+    ordered_pairings(n).saturating_mul(angles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matchings_known_values() {
+        assert_eq!(perfect_matchings(2), 1);
+        assert_eq!(perfect_matchings(4), 3);
+        assert_eq!(perfect_matchings(6), 15);
+        assert_eq!(perfect_matchings(8), 105);
+        assert_eq!(perfect_matchings(3), 0);
+    }
+
+    #[test]
+    fn ordered_pairings_small_cases() {
+        // n=2: one matching {0,1}, 2 orientations, 1 ordering.
+        assert_eq!(ordered_pairings(2), 2);
+        // n=4: 3 matchings × 2² orientations × 2! orderings = 24.
+        assert_eq!(ordered_pairings(4), 24);
+        // n=3: even part (n=2) = 2, × 3 leftover choices × 2 partners × 2
+        // orientations = 24.
+        assert_eq!(ordered_pairings(3), 24);
+        assert_eq!(ordered_pairings(1), 0);
+        assert_eq!(ordered_pairings(0), 0);
+    }
+
+    #[test]
+    fn keyspace_grows_superexponentially() {
+        let mut prev = 1u128;
+        for n in [4usize, 6, 8, 10, 12] {
+            let cur = ordered_pairings(n);
+            assert!(cur > prev * 8, "n={n}: {cur} vs {prev}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn brute_force_work_scales_with_angle_grid() {
+        let coarse = brute_force_work(4, 360);
+        let fine = brute_force_work(4, 3600);
+        assert!(fine > coarse * 99);
+        // 2 pairs → factor (3600/360)² = 100.
+        assert_eq!(fine / coarse, 100);
+    }
+
+    #[test]
+    fn saturation_does_not_panic() {
+        let huge = brute_force_work(60, 1_000_000);
+        assert_eq!(huge, u128::MAX);
+    }
+}

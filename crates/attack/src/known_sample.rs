@@ -1,0 +1,288 @@
+//! The known-sample (known input–output) attack.
+//!
+//! If the adversary knows `k ≥ n` original records *and* which released
+//! rows they correspond to (insider knowledge, a public subset, or linkage
+//! through quasi-identifiers — exactly the threat model of Liu, Kargupta &
+//! Ryan 2006), the rotation is a linear map `X' = X·Rᵀ` that least squares
+//! recovers outright. Every other record is then reconstructed with
+//! `X̂ = X'·R̂`, since `R̂⁻¹ = R̂ᵀ` for an orthogonal estimate.
+//!
+//! This is the attack that ultimately relegated rotation perturbation: the
+//! paper's keyspace argument ([`crate::keyspace`]) does not apply because
+//! the attacker never searches the keyspace at all.
+
+use crate::{Error, Result};
+use rbt_linalg::solve::least_squares;
+use rbt_linalg::Matrix;
+
+/// Outcome of the known-sample attack.
+#[derive(Debug, Clone)]
+pub struct KnownSampleOutcome {
+    /// The estimated transpose of the composite rotation (`R̂ᵀ`, the matrix
+    /// with `X' ≈ X·R̂ᵀ`).
+    pub estimated_rotation_t: Matrix,
+    /// Reconstruction of every released row in normalized space.
+    pub reconstructed: Matrix,
+    /// Orthogonality defect `‖R̂·R̂ᵀ − I‖_F` of the estimate (≈0 when the
+    /// known sample is consistent and well-conditioned).
+    pub orthogonality_defect: f64,
+}
+
+/// Runs the attack.
+///
+/// * `known_original` — `k × n` matrix of known original (normalized) rows,
+/// * `known_released` — the matching `k × n` released rows,
+/// * `released` — the full released matrix to reconstruct.
+///
+/// # Errors
+///
+/// * [`Error::ShapeMismatch`] on any column/row disagreement,
+/// * [`Error::InvalidParameter`] if `k < n` (the system is underdetermined),
+/// * [`Error::Degenerate`] if the known sample is rank-deficient.
+pub fn known_sample_attack(
+    known_original: &Matrix,
+    known_released: &Matrix,
+    released: &Matrix,
+) -> Result<KnownSampleOutcome> {
+    let n = known_original.cols();
+    if known_released.shape() != known_original.shape() {
+        return Err(Error::ShapeMismatch(format!(
+            "known pairs disagree: {:?} vs {:?}",
+            known_original.shape(),
+            known_released.shape()
+        )));
+    }
+    if released.cols() != n {
+        return Err(Error::ShapeMismatch(format!(
+            "released data has {} columns, known sample has {n}",
+            released.cols()
+        )));
+    }
+    if known_original.rows() < n {
+        return Err(Error::InvalidParameter(format!(
+            "need at least {n} known records, got {}",
+            known_original.rows()
+        )));
+    }
+
+    // X' = X · Rᵀ  ⇒  solve the least-squares problem for Rᵀ.
+    let rt = least_squares(known_original, known_released).map_err(|e| match e {
+        rbt_linalg::Error::Singular => {
+            Error::Degenerate("known sample is rank-deficient".into())
+        }
+        other => Error::Linalg(other),
+    })?;
+
+    // Orthogonality defect of the estimate.
+    let defect = {
+        let prod = rt.matmul(&rt.transpose())?;
+        prod.sub(&Matrix::identity(n))?.frobenius_norm()
+    };
+
+    // Reconstruct: X̂ = X' · (Rᵀ)⁻¹ ≈ X' · R̂ (orthogonal ⇒ inverse =
+    // transpose of Rᵀ-estimate's transpose = R̂). Use the actual inverse to
+    // stay correct even when the estimate drifts from orthogonality.
+    let rt_inv = rbt_linalg::solve::invert(&rt).map_err(|e| match e {
+        rbt_linalg::Error::Singular => {
+            Error::Degenerate("estimated rotation is singular".into())
+        }
+        other => Error::Linalg(other),
+    })?;
+    let reconstructed = released.matmul(&rt_inv)?;
+
+    Ok(KnownSampleOutcome {
+        estimated_rotation_t: rt,
+        reconstructed,
+        orthogonality_defect: defect,
+    })
+}
+
+/// The Procrustes-refined variant: projects the least-squares estimate onto
+/// the nearest orthogonal matrix before reconstructing.
+///
+/// With noisy attacker knowledge the raw least-squares estimate drifts from
+/// orthogonality and the reconstruction error grows; constraining the
+/// estimate to the orthogonal group (which the true map is known to lie in)
+/// recovers most of that loss. This is the estimator the post-publication
+/// attack literature actually uses.
+///
+/// # Errors
+///
+/// Same conditions as [`known_sample_attack`].
+pub fn known_sample_attack_procrustes(
+    known_original: &Matrix,
+    known_released: &Matrix,
+    released: &Matrix,
+) -> Result<KnownSampleOutcome> {
+    let raw = known_sample_attack(known_original, known_released, released)?;
+    let rt = rbt_linalg::solve::nearest_orthogonal(&raw.estimated_rotation_t).map_err(|e| {
+        match e {
+            rbt_linalg::Error::Singular => {
+                Error::Degenerate("estimate is singular; cannot orthogonalize".into())
+            }
+            other => Error::Linalg(other),
+        }
+    })?;
+    // Orthogonal estimate ⇒ the inverse is the transpose: X̂ = X'·R̂.
+    let reconstructed = released.matmul(&rt.transpose())?;
+    let defect = {
+        let prod = rt.matmul(&rt.transpose())?;
+        prod.sub(&Matrix::identity(rt.rows()))?.frobenius_norm()
+    };
+    Ok(KnownSampleOutcome {
+        estimated_rotation_t: rt,
+        reconstructed,
+        orthogonality_defect: defect,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reconstruction::evaluate;
+    use rand::SeedableRng;
+    use rbt_core::{PairwiseSecurityThreshold, RbtConfig, RbtTransformer};
+    use rbt_data::synth::GaussianMixture;
+    use rbt_data::Normalization;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    /// Generates normalized data, releases it through RBT, and returns
+    /// (normalized, released).
+    fn rbt_release(n_rows: usize, dim: usize, seed: u64) -> (Matrix, Matrix) {
+        let mut r = rng(seed);
+        let gm = GaussianMixture::well_separated(3, dim, 8.0, 1.0).unwrap();
+        let data = gm.sample(n_rows, &mut r);
+        let (_, normalized) = Normalization::zscore_paper()
+            .fit_transform(&data.matrix)
+            .unwrap();
+        let out = RbtTransformer::new(RbtConfig::uniform(
+            PairwiseSecurityThreshold::uniform(0.2).unwrap(),
+        ))
+        .transform(&normalized, &mut r)
+        .unwrap();
+        (normalized, out.transformed)
+    }
+
+    #[test]
+    fn full_recovery_with_enough_known_records() {
+        let (normalized, released) = rbt_release(300, 4, 1);
+        // Attacker knows the first 8 records (2n).
+        let known_orig = normalized.select_rows(&(0..8).collect::<Vec<_>>()).unwrap();
+        let known_rel = released.select_rows(&(0..8).collect::<Vec<_>>()).unwrap();
+        let out = known_sample_attack(&known_orig, &known_rel, &released).unwrap();
+        let report = evaluate(&normalized, &out.reconstructed, 0.01).unwrap();
+        // Everything is recovered — RBT offers no protection here.
+        assert!(report.fraction_recovered > 0.999, "{report:?}");
+        assert!(report.rmse < 1e-6, "{report:?}");
+        assert!(out.orthogonality_defect < 1e-6);
+    }
+
+    #[test]
+    fn recovery_with_exactly_n_records() {
+        let (normalized, released) = rbt_release(100, 3, 2);
+        let known_orig = normalized.select_rows(&[0, 1, 2]).unwrap();
+        let known_rel = released.select_rows(&[0, 1, 2]).unwrap();
+        let out = known_sample_attack(&known_orig, &known_rel, &released).unwrap();
+        let report = evaluate(&normalized, &out.reconstructed, 0.01).unwrap();
+        assert!(report.fraction_recovered > 0.99, "{report:?}");
+    }
+
+    #[test]
+    fn underdetermined_sample_rejected() {
+        let (normalized, released) = rbt_release(50, 4, 3);
+        let known_orig = normalized.select_rows(&[0, 1]).unwrap();
+        let known_rel = released.select_rows(&[0, 1]).unwrap();
+        assert!(matches!(
+            known_sample_attack(&known_orig, &known_rel, &released),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn rank_deficient_sample_detected() {
+        let (normalized, released) = rbt_release(50, 3, 4);
+        // Duplicate the same row n times: rank 1.
+        let known_orig = normalized.select_rows(&[0, 0, 0]).unwrap();
+        let known_rel = released.select_rows(&[0, 0, 0]).unwrap();
+        assert!(matches!(
+            known_sample_attack(&known_orig, &known_rel, &released),
+            Err(Error::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let (normalized, released) = rbt_release(50, 3, 5);
+        let known_orig = normalized.select_rows(&[0, 1, 2]).unwrap();
+        let known_rel = released.select_rows(&[0, 1]).unwrap();
+        assert!(matches!(
+            known_sample_attack(&known_orig, &known_rel, &released),
+            Err(Error::ShapeMismatch(_))
+        ));
+        let wrong_cols = released.select_columns(&[0, 1]).unwrap();
+        let known_orig3 = normalized.select_rows(&[0, 1, 2]).unwrap();
+        let known_rel3 = released.select_rows(&[0, 1, 2]).unwrap();
+        assert!(matches!(
+            known_sample_attack(&known_orig3, &known_rel3, &wrong_cols),
+            Err(Error::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn procrustes_beats_raw_least_squares_under_noise() {
+        let (normalized, released) = rbt_release(400, 4, 21);
+        let idx: Vec<usize> = (0..8).collect();
+        // Attacker knowledge corrupted by ±3% noise.
+        let known_orig = {
+            let mut m = normalized.select_rows(&idx).unwrap();
+            for (k, v) in m.as_mut_slice().iter_mut().enumerate() {
+                *v *= if k % 2 == 0 { 1.03 } else { 0.97 };
+            }
+            m
+        };
+        let known_rel = released.select_rows(&idx).unwrap();
+        let raw = known_sample_attack(&known_orig, &known_rel, &released).unwrap();
+        let refined =
+            known_sample_attack_procrustes(&known_orig, &known_rel, &released).unwrap();
+        let raw_report = evaluate(&normalized, &raw.reconstructed, 0.1).unwrap();
+        let refined_report = evaluate(&normalized, &refined.reconstructed, 0.1).unwrap();
+        assert!(refined.orthogonality_defect < 1e-9);
+        assert!(raw.orthogonality_defect > refined.orthogonality_defect);
+        assert!(
+            refined_report.rmse <= raw_report.rmse * 1.001,
+            "refined {refined_report:?} vs raw {raw_report:?}"
+        );
+    }
+
+    #[test]
+    fn procrustes_matches_exact_attack_on_clean_data() {
+        let (normalized, released) = rbt_release(200, 3, 22);
+        let idx: Vec<usize> = (0..6).collect();
+        let ko = normalized.select_rows(&idx).unwrap();
+        let kr = released.select_rows(&idx).unwrap();
+        let refined = known_sample_attack_procrustes(&ko, &kr, &released).unwrap();
+        let report = evaluate(&normalized, &refined.reconstructed, 0.01).unwrap();
+        assert!(report.fraction_recovered > 0.999);
+    }
+
+    #[test]
+    fn noisy_knowledge_still_approximately_recovers() {
+        let (normalized, released) = rbt_release(200, 3, 6);
+        let idx: Vec<usize> = (0..12).collect();
+        let known_orig = {
+            let mut m = normalized.select_rows(&idx).unwrap();
+            // Attacker's knowledge is imperfect: ±0.01 noise.
+            for (k, v) in m.as_mut_slice().iter_mut().enumerate() {
+                *v += if k % 2 == 0 { 0.01 } else { -0.01 };
+            }
+            m
+        };
+        let known_rel = released.select_rows(&idx).unwrap();
+        let out = known_sample_attack(&known_orig, &known_rel, &released).unwrap();
+        let report = evaluate(&normalized, &out.reconstructed, 0.1).unwrap();
+        assert!(report.fraction_recovered > 0.9, "{report:?}");
+    }
+}

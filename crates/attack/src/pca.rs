@@ -1,0 +1,325 @@
+//! The PCA / covariance-alignment attack.
+//!
+//! Rotation perturbation preserves the covariance *spectrum*: if the
+//! release is `X' = X·Rᵀ` then `Σ' = R·Σ·Rᵀ` has the same eigenvalues as
+//! `Σ`. An attacker who knows the original covariance — from a public
+//! dataset drawn from the same population, a prior release, or domain
+//! knowledge — can therefore align the eigenbases:
+//!
+//! ```text
+//! Σ  = V·Λ·Vᵀ,   Σ' = W·Λ·Wᵀ   ⇒   R = W·S·Vᵀ
+//! ```
+//!
+//! with `S` a diagonal ±1 matrix (the per-eigenvector sign ambiguity).
+//! This is the distribution-knowledge attack family (Chen & Liu 2005; Liu,
+//! Giannella & Kargupta 2006) that superseded rotation perturbation — the
+//! attacker never needs a single known record, defeating the keyspace
+//! argument of §5.2 entirely.
+//!
+//! Sign resolution: with a couple of known rows the signs are determined
+//! exactly; without any, component skewness (third moments are also
+//! rotated faithfully) resolves every component whose marginal is
+//! asymmetric.
+
+use crate::{Error, Result};
+use rbt_linalg::eigen::symmetric_eigen;
+use rbt_linalg::stats::{covariance_matrix, VarianceMode};
+use rbt_linalg::Matrix;
+
+/// How to resolve the per-eigenvector sign ambiguity.
+#[derive(Debug, Clone, Copy)]
+pub enum SignResolution<'a> {
+    /// Match third central moments (skewness) of the projections. Works
+    /// whenever each principal component's marginal is asymmetric.
+    Skewness,
+    /// Use a few known (original, released) row pairs.
+    KnownRows {
+        /// Known original rows (`k × n`).
+        original: &'a Matrix,
+        /// The matching released rows (`k × n`).
+        released: &'a Matrix,
+    },
+}
+
+/// Outcome of the PCA attack.
+#[derive(Debug, Clone)]
+pub struct PcaAttackOutcome {
+    /// The estimated `R̂ᵀ` with `X' ≈ X·R̂ᵀ`.
+    pub estimated_rotation_t: Matrix,
+    /// Reconstruction of every released row.
+    pub reconstructed: Matrix,
+    /// Smallest relative gap between consecutive eigenvalues of the
+    /// reference covariance — the attack's conditioning (small gap = the
+    /// eigenbasis, and hence the estimate, is unstable).
+    pub min_spectral_gap: f64,
+}
+
+/// Runs the covariance-alignment attack.
+///
+/// * `reference` — data the attacker believes shares the original's
+///   distribution (in the evaluation harness: the original normalized data
+///   itself, or an independent sample from the same generator),
+/// * `released` — the RBT release to reconstruct.
+///
+/// # Errors
+///
+/// * [`Error::ShapeMismatch`] on column disagreements,
+/// * [`Error::Degenerate`] when the reference spectrum has (near-)repeated
+///   eigenvalues, which leaves the eigenbasis underdetermined,
+/// * propagated eigendecomposition failures.
+pub fn pca_attack(
+    reference: &Matrix,
+    released: &Matrix,
+    signs: SignResolution<'_>,
+) -> Result<PcaAttackOutcome> {
+    let n = reference.cols();
+    if released.cols() != n {
+        return Err(Error::ShapeMismatch(format!(
+            "reference has {n} columns, released has {}",
+            released.cols()
+        )));
+    }
+    let mode = VarianceMode::Sample;
+    let sigma_ref = covariance_matrix(reference, mode)?;
+    let sigma_rel = covariance_matrix(released, mode)?;
+    let eig_ref = symmetric_eigen(&sigma_ref)?;
+    let eig_rel = symmetric_eigen(&sigma_rel)?;
+
+    // Conditioning: relative eigenvalue gaps of the reference spectrum.
+    let scale = eig_ref.eigenvalues[0].abs().max(1e-12);
+    let min_spectral_gap = eig_ref
+        .eigenvalues
+        .windows(2)
+        .map(|w| (w[0] - w[1]).abs() / scale)
+        .fold(f64::INFINITY, f64::min);
+    if min_spectral_gap < 1e-4 {
+        return Err(Error::Degenerate(format!(
+            "reference covariance spectrum is (near-)degenerate: min relative gap {min_spectral_gap:.2e}"
+        )));
+    }
+
+    let v = &eig_ref.eigenvectors; // original basis
+    let w = &eig_rel.eigenvectors; // released basis
+
+    // Resolve the per-component signs.
+    let s = match signs {
+        SignResolution::Skewness => {
+            let skew_ref = projection_skewness(reference, v)?;
+            let skew_rel = projection_skewness(released, w)?;
+            skew_ref
+                .iter()
+                .zip(&skew_rel)
+                .map(|(a, b)| {
+                    // Ambiguous (near-symmetric) components keep +1.
+                    if a.abs() < 1e-3 || b.abs() < 1e-3 || a.signum() == b.signum() {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect::<Vec<f64>>()
+        }
+        SignResolution::KnownRows { original, released } => {
+            if original.shape() != released.shape() || original.cols() != n {
+                return Err(Error::ShapeMismatch(
+                    "known rows disagree in shape with the data".into(),
+                ));
+            }
+            if original.rows() == 0 {
+                return Err(Error::InvalidParameter(
+                    "need at least one known row to resolve signs".into(),
+                ));
+            }
+            // Project both sides onto their bases; signs maximise agreement.
+            let po = original.matmul(v)?;
+            let pr = released.matmul(w)?;
+            (0..n)
+                .map(|k| {
+                    let dot: f64 = (0..po.rows()).map(|r| po[(r, k)] * pr[(r, k)]).sum();
+                    if dot >= 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect::<Vec<f64>>()
+        }
+    };
+
+    // R̂ᵀ = V · S · Wᵀ  (row convention: X' ≈ X·R̂ᵀ).
+    let mut vs = v.clone();
+    for row in 0..n {
+        for (col, sign) in s.iter().enumerate() {
+            vs[(row, col)] *= sign;
+        }
+    }
+    let rt = vs.matmul(&w.transpose())?;
+
+    // Reconstruct: X̂ = X' · W · S · Vᵀ = X' · R̂  (R̂ = (R̂ᵀ)ᵀ).
+    let reconstructed = released.matmul(&rt.transpose())?;
+
+    Ok(PcaAttackOutcome {
+        estimated_rotation_t: rt,
+        reconstructed,
+        min_spectral_gap,
+    })
+}
+
+/// Third central moment of the data projected on each basis column.
+fn projection_skewness(data: &Matrix, basis: &Matrix) -> Result<Vec<f64>> {
+    let proj = data.matmul(basis)?;
+    let n = proj.rows() as f64;
+    let mut out = Vec::with_capacity(proj.cols());
+    for k in 0..proj.cols() {
+        let col = proj.column(k);
+        let mean = col.iter().sum::<f64>() / n;
+        let m3 = col.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n;
+        out.push(m3);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reconstruction::evaluate;
+    use rand::SeedableRng;
+    use rbt_core::{PairwiseSecurityThreshold, RbtConfig, RbtTransformer};
+    use rbt_data::rng::standard_normal;
+    use rbt_data::Normalization;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    /// Skewed, anisotropic data: distinct covariance eigenvalues and
+    /// asymmetric marginals (squares of normals mixed with normals).
+    fn skewed_data(rows: usize, seed: u64) -> Matrix {
+        let mut r = rng(seed);
+        let data: Vec<Vec<f64>> = (0..rows)
+            .map(|_| {
+                let a = standard_normal(&mut r);
+                let b = standard_normal(&mut r);
+                let c = standard_normal(&mut r);
+                vec![
+                    3.0 * a + 0.5 * a * a,       // wide + skewed
+                    1.5 * b + 0.4 * a + 0.3 * b * b, // correlated + skewed
+                    0.7 * c + 0.2 * c * c,       // narrow + skewed
+                ]
+            })
+            .collect();
+        Matrix::from_row_iter(data).unwrap()
+    }
+
+    fn release(normalized: &Matrix, seed: u64) -> Matrix {
+        RbtTransformer::new(RbtConfig::uniform(
+            PairwiseSecurityThreshold::uniform(0.2).unwrap(),
+        ))
+        .transform(normalized, &mut rng(seed))
+        .unwrap()
+        .transformed
+    }
+
+    #[test]
+    fn perfect_prior_with_known_rows_recovers_everything() {
+        let raw = skewed_data(500, 1);
+        let (_, normalized) = Normalization::zscore_paper().fit_transform(&raw).unwrap();
+        let released = release(&normalized, 2);
+        let known_o = normalized.select_rows(&[0, 1]).unwrap();
+        let known_r = released.select_rows(&[0, 1]).unwrap();
+        let out = pca_attack(
+            &normalized,
+            &released,
+            SignResolution::KnownRows {
+                original: &known_o,
+                released: &known_r,
+            },
+        )
+        .unwrap();
+        let report = evaluate(&normalized, &out.reconstructed, 0.05).unwrap();
+        assert!(report.fraction_recovered > 0.99, "{report:?}");
+        assert!(out.min_spectral_gap > 1e-4);
+    }
+
+    #[test]
+    fn skewness_resolves_signs_without_any_known_rows() {
+        let raw = skewed_data(2000, 3);
+        let (_, normalized) = Normalization::zscore_paper().fit_transform(&raw).unwrap();
+        let released = release(&normalized, 4);
+        let out = pca_attack(&normalized, &released, SignResolution::Skewness).unwrap();
+        let report = evaluate(&normalized, &out.reconstructed, 0.05).unwrap();
+        assert!(report.fraction_recovered > 0.95, "{report:?}");
+    }
+
+    #[test]
+    fn independent_sample_prior_still_approximately_recovers() {
+        // The attacker only has an *independent* draw from the same
+        // generator — covariance estimated, not known.
+        let raw_owner = skewed_data(4000, 5);
+        let raw_attacker = skewed_data(4000, 99);
+        let (_, normalized) = Normalization::zscore_paper().fit_transform(&raw_owner).unwrap();
+        let (_, attacker_ref) = Normalization::zscore_paper()
+            .fit_transform(&raw_attacker)
+            .unwrap();
+        let released = release(&normalized, 6);
+        let out = pca_attack(&attacker_ref, &released, SignResolution::Skewness).unwrap();
+        let report = evaluate(&normalized, &out.reconstructed, 0.25).unwrap();
+        // Approximate disclosure: most values within a quarter standard
+        // deviation — a serious breach for "protected" data.
+        assert!(report.fraction_recovered > 0.7, "{report:?}");
+    }
+
+    #[test]
+    fn degenerate_spectrum_is_reported() {
+        // A reference whose covariance has an exactly repeated eigenvalue:
+        // the symmetric cross (±1, 0), (0, ±1) in the first two coordinates
+        // gives Var(x) = Var(y), Cov = 0 — the 2-D eigenbasis is arbitrary.
+        let cross = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.1],
+            &[-1.0, 0.0, 0.1],
+            &[0.0, 1.0, 0.4],
+            &[0.0, -1.0, 0.4],
+        ])
+        .unwrap();
+        let released = release(&cross, 8);
+        assert!(matches!(
+            pca_attack(&cross, &released, SignResolution::Skewness),
+            Err(Error::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let raw = skewed_data(100, 9);
+        let fewer = raw.select_columns(&[0, 1]).unwrap();
+        assert!(matches!(
+            pca_attack(&raw, &fewer, SignResolution::Skewness),
+            Err(Error::ShapeMismatch(_))
+        ));
+        let known = raw.select_rows(&[0]).unwrap();
+        let wrong = raw.select_rows(&[0, 1]).unwrap();
+        assert!(matches!(
+            pca_attack(
+                &raw,
+                &raw,
+                SignResolution::KnownRows {
+                    original: &known,
+                    released: &wrong
+                }
+            ),
+            Err(Error::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn estimated_rotation_is_nearly_orthogonal() {
+        let raw = skewed_data(1000, 11);
+        let (_, normalized) = Normalization::zscore_paper().fit_transform(&raw).unwrap();
+        let released = release(&normalized, 12);
+        let out = pca_attack(&normalized, &released, SignResolution::Skewness).unwrap();
+        assert!(rbt_linalg::rotation::is_orthogonal(
+            &out.estimated_rotation_t,
+            1e-6
+        ));
+    }
+}

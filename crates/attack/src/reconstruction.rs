@@ -1,0 +1,116 @@
+//! Disclosure metrics shared by every attack: how well did the adversary
+//! reconstruct the protected values?
+
+use crate::{Error, Result};
+use rbt_linalg::Matrix;
+
+/// Outcome of comparing a reconstruction against the true protected data.
+#[derive(Debug, Clone)]
+pub struct ReconstructionReport {
+    /// Mean squared error over all cells.
+    pub mse: f64,
+    /// Root mean squared error over all cells.
+    pub rmse: f64,
+    /// RMSE per attribute.
+    pub per_column_rmse: Vec<f64>,
+    /// Fraction of cells reconstructed to within `epsilon` of the truth —
+    /// the *privacy breach* rate at tolerance ε.
+    pub fraction_recovered: f64,
+    /// The tolerance used for [`fraction_recovered`](Self::fraction_recovered).
+    pub epsilon: f64,
+}
+
+/// Compares a reconstruction against the truth.
+///
+/// # Errors
+///
+/// * [`Error::ShapeMismatch`] if the matrices disagree in shape,
+/// * [`Error::InvalidParameter`] for a non-positive `epsilon` or empty input.
+pub fn evaluate(original: &Matrix, reconstructed: &Matrix, epsilon: f64) -> Result<ReconstructionReport> {
+    if original.shape() != reconstructed.shape() {
+        return Err(Error::ShapeMismatch(format!(
+            "original is {:?}, reconstruction is {:?}",
+            original.shape(),
+            reconstructed.shape()
+        )));
+    }
+    if original.is_empty() {
+        return Err(Error::InvalidParameter("empty matrices".into()));
+    }
+    if epsilon.is_nan() || epsilon <= 0.0 {
+        return Err(Error::InvalidParameter(format!(
+            "epsilon must be positive, got {epsilon}"
+        )));
+    }
+    let n_cells = (original.rows() * original.cols()) as f64;
+    let mut sse = 0.0;
+    let mut within = 0usize;
+    let mut per_col_sse = vec![0.0f64; original.cols()];
+    for i in 0..original.rows() {
+        let (a, b) = (original.row(i), reconstructed.row(i));
+        for (j, (x, y)) in a.iter().zip(b).enumerate() {
+            let d = x - y;
+            sse += d * d;
+            per_col_sse[j] += d * d;
+            if d.abs() <= epsilon {
+                within += 1;
+            }
+        }
+    }
+    let mse = sse / n_cells;
+    Ok(ReconstructionReport {
+        mse,
+        rmse: mse.sqrt(),
+        per_column_rmse: per_col_sse
+            .iter()
+            .map(|s| (s / original.rows() as f64).sqrt())
+            .collect(),
+        fraction_recovered: within as f64 / n_cells,
+        epsilon,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_reconstruction() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let r = evaluate(&m, &m, 0.01).unwrap();
+        assert_eq!(r.mse, 0.0);
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.fraction_recovered, 1.0);
+        assert_eq!(r.per_column_rmse, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn known_error_values() {
+        let a = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 0.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]).unwrap();
+        let r = evaluate(&a, &b, 0.5).unwrap();
+        assert!((r.mse - 0.25).abs() < 1e-12);
+        assert!((r.fraction_recovered - 0.75).abs() < 1e-12);
+        // Column 0: SSE 1 over 2 rows → RMSE sqrt(1/2).
+        assert!((r.per_column_rmse[0] - 0.5f64.sqrt()).abs() < 1e-12);
+        assert!((r.per_column_rmse[1] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validates_input() {
+        let a = Matrix::zeros(2, 2);
+        assert!(matches!(
+            evaluate(&a, &Matrix::zeros(2, 3), 0.1),
+            Err(Error::ShapeMismatch(_))
+        ));
+        assert!(matches!(
+            evaluate(&a, &a, 0.0),
+            Err(Error::InvalidParameter(_))
+        ));
+        let empty = Matrix::zeros(0, 0);
+        assert!(matches!(
+            evaluate(&empty, &empty, 0.1),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+}

@@ -1,0 +1,110 @@
+//! The paper's own §5.2 attack: re-normalize the released data and hope the
+//! result reverses the transformation.
+//!
+//! The paper shows (Table 5) that z-scoring the released Table 3 changes
+//! the inter-object distances — so the attacker ends up with data that is
+//! useless both as a reconstruction *and* for clustering. This module
+//! reproduces that analysis and generalises it to arbitrary releases.
+
+use crate::Result;
+use rbt_data::Normalization;
+use rbt_linalg::dissimilarity::DissimilarityMatrix;
+use rbt_linalg::distance::Metric;
+use rbt_linalg::Matrix;
+
+/// Outcome of the re-normalization attack.
+#[derive(Debug, Clone)]
+pub struct RenormalizationReport {
+    /// The re-normalized (attacked) matrix.
+    pub renormalized: Matrix,
+    /// Max distance drift between the *released* data and the attacked
+    /// data. Nonzero drift means the attack destroyed the very property
+    /// (distance preservation) that made the release useful.
+    pub drift_vs_released: f64,
+    /// Max absolute difference between the attacked matrix and the true
+    /// normalized original — how close the attacker got to reversal.
+    pub error_vs_original: Option<f64>,
+}
+
+/// Runs the attack: z-score the released matrix (the natural attacker move,
+/// since the owner is known to normalize before rotating).
+///
+/// `normalized_original` — when the caller knows it (evaluation setting) —
+/// lets the report quantify how far from a true reversal the attack landed.
+///
+/// # Errors
+///
+/// Propagates normalization errors for degenerate input.
+pub fn renormalization_attack(
+    released: &Matrix,
+    normalized_original: Option<&Matrix>,
+) -> Result<RenormalizationReport> {
+    let (_, renormalized) = Normalization::zscore_paper().fit_transform(released)?;
+    let before = DissimilarityMatrix::from_matrix(released, Metric::Euclidean);
+    let after = DissimilarityMatrix::from_matrix(&renormalized, Metric::Euclidean);
+    let drift_vs_released = before
+        .max_abs_diff(&after)
+        .expect("same object count by construction");
+    let error_vs_original =
+        normalized_original.and_then(|orig| renormalized.max_abs_diff(orig));
+    Ok(RenormalizationReport {
+        renormalized,
+        drift_vs_released,
+        error_vs_original,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbt_data::datasets;
+
+    #[test]
+    fn reproduces_paper_table5() {
+        // Attacking Table 3 must yield exactly the dissimilarity matrix the
+        // paper prints as Table 5.
+        let released = datasets::arrhythmia_transformed_table3();
+        let report = renormalization_attack(released.matrix(), None).unwrap();
+        let dm = DissimilarityMatrix::from_matrix(&report.renormalized, Metric::Euclidean);
+        let table5 = DissimilarityMatrix::from_condensed(
+            5,
+            datasets::lower_triangle_to_condensed(&datasets::ARRHYTHMIA_TABLE5_LOWER),
+        )
+        .unwrap();
+        assert!(
+            dm.max_abs_diff(&table5).unwrap() < 5e-4,
+            "max diff {:?}",
+            dm.max_abs_diff(&table5)
+        );
+    }
+
+    #[test]
+    fn attack_changes_distances_as_paper_claims() {
+        let released = datasets::arrhythmia_transformed_table3();
+        let report = renormalization_attack(released.matrix(), None).unwrap();
+        // §5.2: "the distances between the objects will be changed".
+        assert!(report.drift_vs_released > 0.5, "drift {}", report.drift_vs_released);
+    }
+
+    #[test]
+    fn attack_does_not_recover_the_original() {
+        let released = datasets::arrhythmia_transformed_table3();
+        let original = datasets::arrhythmia_normalized_table2();
+        let report =
+            renormalization_attack(released.matrix(), Some(original.matrix())).unwrap();
+        // Far from a reversal.
+        assert!(report.error_vs_original.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn attack_on_unrotated_data_is_idempotent() {
+        // Sanity: re-normalizing already-normalized data is a no-op, so the
+        // attack "succeeds" trivially when no rotation was applied — the
+        // protection comes from the rotation, not the normalization.
+        let normalized = datasets::arrhythmia_normalized_table2();
+        let report =
+            renormalization_attack(normalized.matrix(), Some(normalized.matrix())).unwrap();
+        assert!(report.error_vs_original.unwrap() < 1e-3);
+        assert!(report.drift_vs_released < 1e-3);
+    }
+}

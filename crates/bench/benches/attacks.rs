@@ -1,0 +1,65 @@
+//! Criterion bench: attack costs — what "computational work" (§5.2) the
+//! practical attacks actually need.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbt_attack::brute::brute_force_angle;
+use rbt_attack::known_sample::known_sample_attack;
+use rbt_attack::pca::{pca_attack, SignResolution};
+use rbt_bench::{rbt_release, workload, WorkloadSpec};
+use std::hint::black_box;
+
+fn setup() -> (rbt_linalg::Matrix, rbt_linalg::Matrix) {
+    let w = workload(WorkloadSpec {
+        rows: 1_000,
+        cols: 6,
+        k: 4,
+        seed: 251,
+    });
+    rbt_release(&w.matrix, 0.3, 253)
+}
+
+fn bench_known_sample(c: &mut Criterion) {
+    let (normalized, released) = setup();
+    let idx: Vec<usize> = (0..12).collect();
+    let ko = normalized.select_rows(&idx).unwrap();
+    let kr = released.select_rows(&idx).unwrap();
+    c.bench_function("known_sample_attack_1000x6", |b| {
+        b.iter(|| {
+            black_box(known_sample_attack(black_box(&ko), black_box(&kr), &released).unwrap())
+        })
+    });
+}
+
+fn bench_pca(c: &mut Criterion) {
+    let (normalized, released) = setup();
+    c.bench_function("pca_attack_1000x6", |b| {
+        b.iter(|| {
+            black_box(
+                pca_attack(
+                    black_box(&normalized),
+                    black_box(&released),
+                    SignResolution::Skewness,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let xs: Vec<f64> = (0..16).map(|_| rbt_data::rng::standard_normal(&mut rng)).collect();
+    let ys: Vec<f64> = (0..16).map(|_| rbt_data::rng::standard_normal(&mut rng)).collect();
+    let rot = rbt_linalg::Rotation2::from_degrees(217.3);
+    let mut xr = xs.clone();
+    let mut yr = ys.clone();
+    rot.apply_columns(&mut xr, &mut yr).unwrap();
+    c.bench_function("brute_force_angle_16pts", |b| {
+        b.iter(|| black_box(brute_force_angle(&xs, &ys, &xr, &yr, 360).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_known_sample, bench_pca, bench_brute_force);
+criterion_main!(benches);

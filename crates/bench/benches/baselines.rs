@@ -1,0 +1,87 @@
+//! Criterion bench: throughput of every perturbation method on the same
+//! workload — RBT's overhead relative to the baselines it replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbt_bench::{workload, WorkloadSpec};
+use rbt_core::{PairwiseSecurityThreshold, RbtConfig, RbtTransformer};
+use rbt_data::Normalization;
+use rbt_transform::{
+    AdditiveNoise, HybridPerturbation, Perturbation, RankSwap, ScalingPerturbation,
+    SimpleRotation, TranslationPerturbation,
+};
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let w = workload(WorkloadSpec {
+        rows: 10_000,
+        cols: 8,
+        k: 4,
+        seed: 241,
+    });
+    let (_, normalized) = Normalization::zscore_paper()
+        .fit_transform(&w.matrix)
+        .unwrap();
+    let cells = (normalized.rows() * normalized.cols()) as u64;
+
+    let mut group = c.benchmark_group("perturbation_10000x8");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(cells));
+
+    group.bench_function("rbt", |b| {
+        let t = RbtTransformer::new(RbtConfig::uniform(
+            PairwiseSecurityThreshold::uniform(0.4).unwrap(),
+        ));
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(t.transform(black_box(&normalized), &mut rng).unwrap())
+        })
+    });
+    group.bench_function("translation", |b| {
+        let p = TranslationPerturbation::new(2.0);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(p.perturb(black_box(&normalized), &mut rng).unwrap())
+        })
+    });
+    group.bench_function("scaling", |b| {
+        let p = ScalingPerturbation::new(0.5, 2.0).unwrap();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(p.perturb(black_box(&normalized), &mut rng).unwrap())
+        })
+    });
+    group.bench_function("simple_rotation", |b| {
+        let p = SimpleRotation::new(45.0);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(p.perturb(black_box(&normalized), &mut rng).unwrap())
+        })
+    });
+    group.bench_function("hybrid", |b| {
+        let p = HybridPerturbation::default();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(p.perturb(black_box(&normalized), &mut rng).unwrap())
+        })
+    });
+    group.bench_function("additive_gaussian", |b| {
+        let p = AdditiveNoise::gaussian(0.5).unwrap();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(p.perturb(black_box(&normalized), &mut rng).unwrap())
+        })
+    });
+    group.bench_function("rank_swap", |b| {
+        let p = RankSwap::new(0.3).unwrap();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(p.perturb(black_box(&normalized), &mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

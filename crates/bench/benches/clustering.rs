@@ -1,0 +1,88 @@
+//! Criterion bench: clustering cost on original vs RBT-released data.
+//!
+//! Corollary 1 at bench scale — not only are the clusters identical, the
+//! *cost* of finding them is unchanged by the transformation (the released
+//! matrix is dense, same-shape, same-spread data).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbt_bench::{rbt_release, workload, WorkloadSpec};
+use rbt_cluster::{Agglomerative, Dbscan, KMeans, KMeansInit, Linkage};
+use rbt_linalg::dissimilarity::DissimilarityMatrix;
+use rbt_linalg::distance::Metric;
+use std::hint::black_box;
+
+fn bench_kmeans(c: &mut Criterion) {
+    let w = workload(WorkloadSpec {
+        rows: 2_000,
+        cols: 8,
+        k: 4,
+        seed: 221,
+    });
+    let (normalized, released) = rbt_release(&w.matrix, 0.4, 223);
+    let km = KMeans::new(4).unwrap().with_init(KMeansInit::FirstK);
+    let mut group = c.benchmark_group("kmeans_2000x8");
+    group.sample_size(20);
+    for (label, data) in [("original", &normalized), ("rbt-released", &released)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), data, |b, data| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0);
+                black_box(km.fit(black_box(data), &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchical(c: &mut Criterion) {
+    let w = workload(WorkloadSpec {
+        rows: 400,
+        cols: 8,
+        k: 4,
+        seed: 225,
+    });
+    let (normalized, released) = rbt_release(&w.matrix, 0.4, 227);
+    let mut group = c.benchmark_group("hierarchical_average_400x8");
+    group.sample_size(10);
+    for (label, data) in [("original", &normalized), ("rbt-released", &released)] {
+        let dm = DissimilarityMatrix::from_matrix(data, Metric::Euclidean);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &dm, |b, dm| {
+            b.iter(|| {
+                black_box(
+                    Agglomerative::new(Linkage::Average)
+                        .fit(black_box(dm))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let w = workload(WorkloadSpec {
+        rows: 1_000,
+        cols: 6,
+        k: 4,
+        seed: 229,
+    });
+    let (normalized, released) = rbt_release(&w.matrix, 0.4, 231);
+    let mut group = c.benchmark_group("dbscan_1000x6");
+    group.sample_size(10);
+    for (label, data) in [("original", &normalized), ("rbt-released", &released)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), data, |b, data| {
+            b.iter(|| {
+                black_box(
+                    Dbscan::new(1.5, 4)
+                        .unwrap()
+                        .fit(black_box(data), Metric::Euclidean),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans, bench_hierarchical, bench_dbscan);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench for the dissimilarity substrate: serial vs
+//! crossbeam-parallel construction (the storage/parallelism ablation from
+//! DESIGN.md) and condensed access.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rbt_bench::{workload, WorkloadSpec};
+use rbt_linalg::dissimilarity::DissimilarityMatrix;
+use rbt_linalg::distance::Metric;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dissimilarity_build");
+    group.sample_size(15);
+    for m in [256usize, 512, 1_024] {
+        let w = workload(WorkloadSpec {
+            rows: m,
+            cols: 8,
+            k: 4,
+            seed: 211,
+        });
+        let pairs = (m * (m - 1) / 2) as u64;
+        group.throughput(Throughput::Elements(pairs));
+        group.bench_with_input(BenchmarkId::new("serial", m), &w.matrix, |b, data| {
+            b.iter(|| black_box(DissimilarityMatrix::from_matrix(data, Metric::Euclidean)))
+        });
+        for threads in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel-{threads}"), m),
+                &w.matrix,
+                |b, data| {
+                    b.iter(|| {
+                        black_box(DissimilarityMatrix::from_matrix_parallel(
+                            data,
+                            Metric::Euclidean,
+                            threads,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_access(c: &mut Criterion) {
+    let w = workload(WorkloadSpec {
+        rows: 512,
+        cols: 8,
+        k: 4,
+        seed: 212,
+    });
+    let dm = DissimilarityMatrix::from_matrix(&w.matrix, Metric::Euclidean);
+    c.bench_function("dissimilarity_get_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..dm.len() {
+                for j in 0..dm.len() {
+                    acc += dm.get(i, j);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_access);
+criterion_main!(benches);

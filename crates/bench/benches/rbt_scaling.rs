@@ -1,0 +1,69 @@
+//! Criterion bench for Theorem 1: RBT runs in O(m·n).
+//!
+//! Throughput is reported per cell, so a flat cells/second across sizes is
+//! the linear-scaling signature.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbt_bench::{workload, WorkloadSpec};
+use rbt_core::{PairwiseSecurityThreshold, RbtConfig, RbtTransformer};
+use rbt_data::Normalization;
+use std::hint::black_box;
+
+fn bench_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rbt_transform_rows");
+    group.sample_size(20);
+    for m in [5_000usize, 10_000, 20_000, 40_000] {
+        let w = workload(WorkloadSpec {
+            rows: m,
+            cols: 8,
+            k: 4,
+            seed: 201,
+        });
+        let (_, normalized) = Normalization::zscore_paper()
+            .fit_transform(&w.matrix)
+            .unwrap();
+        let transformer = RbtTransformer::new(RbtConfig::uniform(
+            PairwiseSecurityThreshold::uniform(0.4).unwrap(),
+        ));
+        group.throughput(Throughput::Elements((m * 8) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &normalized, |b, data| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(transformer.transform(black_box(data), &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rbt_transform_cols");
+    group.sample_size(20);
+    for n in [4usize, 8, 16, 32] {
+        let w = workload(WorkloadSpec {
+            rows: 10_000,
+            cols: n,
+            k: 4,
+            seed: 202,
+        });
+        let (_, normalized) = Normalization::zscore_paper()
+            .fit_transform(&w.matrix)
+            .unwrap();
+        let transformer = RbtTransformer::new(RbtConfig::uniform(
+            PairwiseSecurityThreshold::uniform(0.4).unwrap(),
+        ));
+        group.throughput(Throughput::Elements((10_000 * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &normalized, |b, data| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(transformer.transform(black_box(data), &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rows, bench_cols);
+criterion_main!(benches);

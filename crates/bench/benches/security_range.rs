@@ -1,0 +1,39 @@
+//! Criterion bench for the security-range solver (§4.3 step 2c), including
+//! the grid-resolution ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbt_core::paper;
+use rbt_core::security::security_range;
+use std::hint::black_box;
+
+fn bench_solver_grid(c: &mut Criterion) {
+    let profile = paper::pair1_profile();
+    let pst = paper::pst1();
+    let mut group = c.benchmark_group("security_range_grid");
+    for grid in [360usize, 1_440, 5_760, 23_040] {
+        group.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, &grid| {
+            b.iter(|| black_box(security_range(&profile, &pst, grid).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_curve_eval(c: &mut Criterion) {
+    let profile = paper::pair2_profile();
+    c.bench_function("variance_curves_361pts", |b| {
+        b.iter(|| black_box(profile.variance_curves(black_box(361))))
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    use rand::SeedableRng;
+    let profile = paper::pair1_profile();
+    let range = security_range(&profile, &paper::pst1(), 1_440).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    c.bench_function("security_range_sample", |b| {
+        b.iter(|| black_box(range.sample(&mut rng).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_solver_grid, bench_curve_eval, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,237 @@
+//! Experiment E-X2: the attacks that superseded rotation perturbation.
+//!
+//! * keyspace: the paper's brute-force work factor (§5.2), made concrete;
+//! * brute-force single-pair angle recovery from one known record;
+//! * known-sample least-squares attack vs the number of leaked records;
+//! * PCA covariance-alignment attack with distribution knowledge only.
+//!
+//! Run: `cargo run -p rbt-bench --release --bin attacks`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbt_attack::brute::brute_force_angle;
+use rbt_attack::keyspace::{brute_force_work, ordered_pairings};
+use rbt_attack::known_sample::known_sample_attack;
+use rbt_attack::pca::{pca_attack, SignResolution};
+use rbt_attack::reconstruction::evaluate;
+use rbt_bench::format_table;
+use rbt_core::{PairwiseSecurityThreshold, RbtConfig, RbtTransformer};
+use rbt_data::rng::standard_normal;
+use rbt_data::Normalization;
+use rbt_linalg::Matrix;
+
+/// Anisotropic, skewed, cross-correlated population: a shared latent factor
+/// plus per-column idiosyncratic terms gives a covariance matrix with a
+/// well-separated spectrum (the conditions the PCA attack needs).
+fn population(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|_| {
+            let common = standard_normal(&mut rng);
+            (0..cols)
+                .map(|j| {
+                    let g = standard_normal(&mut rng);
+                    let loading = 0.3 + 0.25 * j as f64;
+                    g + loading * common + 0.3 * g * g
+                })
+                .collect()
+        })
+        .collect();
+    Matrix::from_row_iter(data).unwrap()
+}
+
+fn release(normalized: &Matrix, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    RbtTransformer::new(RbtConfig::uniform(
+        PairwiseSecurityThreshold::uniform(0.3).unwrap(),
+    ))
+    .transform(normalized, &mut rng)
+    .unwrap()
+    .transformed
+}
+
+fn main() {
+    println!("== the paper's keyspace argument (§5.2) ==\n");
+    let rows: Vec<Vec<String>> = [2usize, 3, 4, 6, 8, 12, 16]
+        .iter()
+        .map(|&n| {
+            vec![
+                format!("{n}"),
+                format!("{:.3e}", ordered_pairings(n) as f64),
+                format!("{:.3e}", brute_force_work(n, 36_000) as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["attributes", "ordered pairings", "work @ 0.01° angle grid"],
+            &rows
+        )
+    );
+    println!(
+        "The enumeration grows super-exponentially — but the attacks below \
+         never search this space.\n"
+    );
+
+    println!("== brute-force angle recovery, one pair, one known record ==\n");
+    let x = [1.4809];
+    let y = [-0.3476];
+    let rot = rbt_linalg::Rotation2::from_degrees(312.47);
+    let (xr0, yr0) = rot.apply_point(x[0], y[0]);
+    let out = brute_force_angle(&x, &y, &[xr0], &[yr0], 720).unwrap();
+    println!(
+        "true θ = 312.47°, recovered θ = {:.6}° with {} objective evaluations\n",
+        out.theta_degrees, out.evaluations
+    );
+
+    println!("== known-sample attack vs leaked record count (1000 × 6) ==\n");
+    let raw = population(1_000, 6, 131);
+    let (_, normalized) = Normalization::zscore_paper().fit_transform(&raw).unwrap();
+    let released = release(&normalized, 137);
+    let mut rows = Vec::new();
+    for leaked in [6usize, 8, 12, 24, 60] {
+        let idx: Vec<usize> = (0..leaked).collect();
+        let ko = normalized.select_rows(&idx).unwrap();
+        let kr = released.select_rows(&idx).unwrap();
+        let out = known_sample_attack(&ko, &kr, &released).unwrap();
+        let report = evaluate(&normalized, &out.reconstructed, 0.05).unwrap();
+        rows.push(vec![
+            format!("{leaked}"),
+            format!("{:.1}%", 100.0 * leaked as f64 / 1000.0),
+            format!("{:.2e}", report.rmse),
+            format!("{:.1}%", 100.0 * report.fraction_recovered),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "known records",
+                "fraction of data",
+                "reconstruction RMSE",
+                "cells recovered (ε=0.05)"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "With just n = 6 known records (0.6% of the data) the entire release \
+         is reconstructed — the keyspace is irrelevant.\n"
+    );
+
+    println!("== PCA attack: distribution knowledge only, no known records ==\n");
+    let mut rows = Vec::new();
+    for (label, reference) in [
+        ("exact covariance (original data)", normalized.clone()),
+        ("independent sample, same population", {
+            let other = population(1_000, 6, 991);
+            Normalization::zscore_paper().fit_transform(&other).unwrap().1
+        }),
+    ] {
+        match pca_attack(&reference, &released, SignResolution::Skewness) {
+            Ok(out) => {
+                let report = evaluate(&normalized, &out.reconstructed, 0.25).unwrap();
+                rows.push(vec![
+                    label.to_string(),
+                    format!("{:.3}", report.rmse),
+                    format!("{:.1}%", 100.0 * report.fraction_recovered),
+                    format!("{:.2e}", out.min_spectral_gap),
+                ]);
+            }
+            Err(e) => rows.push(vec![label.to_string(), format!("failed: {e}"), "-".into(), "-".into()]),
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "attacker prior",
+                "reconstruction RMSE",
+                "cells recovered (ε=0.25)",
+                "min spectral gap"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Even a purely distributional prior recovers most protected values \
+         to within a quarter standard deviation — the vulnerability that led \
+         the field beyond rotation perturbation (soundness band 2/5).\n"
+    );
+
+    println!("== ICA attack: blind source separation, no prior at all ==\n");
+    // When attributes are independent and non-Gaussian, the release is a
+    // textbook ICA mixing model. Build such a population, release it, and
+    // separate it blind.
+    let ica_raw = {
+        let mut r = StdRng::seed_from_u64(555);
+        use rand::RngExt;
+        let rows: Vec<Vec<f64>> = (0..4000)
+            .map(|_| {
+                let a = standard_normal(&mut r);
+                let b: f64 = r.random_range(-1.0f64..1.0);
+                let c = standard_normal(&mut r);
+                let d: f64 = r.random_range(-1.0f64..1.0);
+                vec![a * a * a, 3.0 * b, c.signum() * c * c, d * d * d.signum()]
+            })
+            .collect();
+        Matrix::from_row_iter(rows).unwrap()
+    };
+    let (_, ica_normalized) = Normalization::zscore_paper().fit_transform(&ica_raw).unwrap();
+    let ica_released = release(&ica_normalized, 556);
+    let mut r = StdRng::seed_from_u64(557);
+    match rbt_attack::ica::FastIca::default().attack(&ica_released, &mut r) {
+        Ok(outcome) => {
+            let (mean_corr, per_attr) =
+                rbt_attack::ica::match_components(&outcome, &ica_normalized).unwrap();
+            println!(
+                "independent non-Gaussian attributes recovered blind: \
+                 mean |corr| = {mean_corr:.4}, per attribute = {:?}",
+                per_attr
+                    .iter()
+                    .map(|c| (c * 1000.0).round() / 1000.0)
+                    .collect::<Vec<_>>()
+            );
+            println!(
+                "(rotations of i.i.d. Gaussians are the one unidentifiable case — \
+                 see the ica::gaussian_sources_defeat_the_attack test)\n"
+            );
+        }
+        Err(e) => println!("ICA attack failed on this draw: {e}\n"),
+    }
+
+    println!("== linkage attack: re-identification through preserved distances ==\n");
+    // §5.3 suppresses IDs; but the isometry preserves every mutual distance,
+    // so a few known individuals are a unique fingerprint.
+    let mut rows = Vec::new();
+    for k in [2usize, 3, 4, 6] {
+        let truth: Vec<usize> = (0..k).map(|t| 37 + t * 131).collect();
+        let known = normalized.select_rows(&truth).unwrap();
+        match rbt_attack::linkage::distance_profile_linkage(&known, &released, 1e-6) {
+            Ok(out) => rows.push(vec![
+                format!("{k}"),
+                format!("{}", out.assignment == truth),
+                format!("{}", out.states_explored),
+                format!("{:.1e}", out.max_mismatch),
+            ]),
+            Err(e) => rows.push(vec![format!("{k}"), format!("failed: {e}"), "-".into(), "-".into()]),
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "known individuals",
+                "re-identified correctly",
+                "search states",
+                "distance mismatch"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "ID suppression (§5.3 step 2) does not prevent re-identification: the \
+         distance preservation that makes RBT useful is itself the linkage key."
+    );
+}

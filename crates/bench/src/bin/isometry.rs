@@ -1,0 +1,52 @@
+//! Experiment E-TH2: Theorem 2 at scale — the RBT release preserves every
+//! pairwise Euclidean distance regardless of database size, while the
+//! non-rotation-invariant Manhattan metric drifts (quantifying why the
+//! guarantee is Euclidean-specific).
+//!
+//! Run: `cargo run -p rbt-bench --release --bin isometry`
+
+use rbt_bench::{format_table, rbt_release, workload, WorkloadSpec};
+use rbt_core::isometry::{dissimilarity_drift_with, relative_drift};
+use rbt_linalg::distance::Metric;
+
+fn main() {
+    println!("== Theorem 2: distance preservation vs database size ==\n");
+    let mut rows = Vec::new();
+    for (m, n) in [(100usize, 3usize), (500, 5), (1_000, 8), (2_000, 12), (4_000, 16)] {
+        let w = workload(WorkloadSpec {
+            rows: m,
+            cols: n,
+            k: 4,
+            seed: 31,
+        });
+        let (normalized, released) = rbt_release(&w.matrix, 0.4, 41);
+        let euclid = dissimilarity_drift_with(&normalized, &released, Metric::Euclidean);
+        let manhattan = dissimilarity_drift_with(&normalized, &released, Metric::Manhattan);
+        let rel = relative_drift(&normalized, &released, 1e-9);
+        rows.push(vec![
+            format!("{m}"),
+            format!("{n}"),
+            format!("{euclid:.2e}"),
+            format!("{rel:.2e}"),
+            format!("{manhattan:.3}"),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "rows",
+                "attrs",
+                "euclid drift (abs)",
+                "euclid drift (rel)",
+                "manhattan drift"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Euclidean drift stays at float-rounding level at every size \
+         (isometry is size-independent); Manhattan distances are not \
+         preserved by rotations, as §3.1 implies."
+    );
+}

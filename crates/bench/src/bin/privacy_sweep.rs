@@ -1,0 +1,134 @@
+//! Experiment E-X3: how the PST knob controls achieved privacy, and the
+//! pairing-strategy ablation (§4.3 step 1 conjectures that, on normalized
+//! data, any pairing achieves variances "in the same range").
+//!
+//! Run: `cargo run -p rbt-bench --release --bin privacy_sweep`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbt_bench::{format_table, workload, WorkloadSpec};
+use rbt_core::security::{security_range, PairVarianceProfile, DEFAULT_GRID};
+use rbt_core::{PairingStrategy, PairwiseSecurityThreshold, RbtConfig, RbtTransformer};
+use rbt_data::Normalization;
+use rbt_linalg::stats::VarianceMode;
+
+fn main() {
+    let w = workload(WorkloadSpec {
+        rows: 1_000,
+        cols: 8,
+        k: 4,
+        seed: 151,
+    });
+    let (_, normalized) = Normalization::zscore_paper()
+        .fit_transform(&w.matrix)
+        .unwrap();
+
+    println!("== E-X3a: security range measure and achieved Sec vs rho ==\n");
+    let mut rows = Vec::new();
+    for rho in [0.05, 0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 2.5] {
+        let pst = PairwiseSecurityThreshold::uniform(rho).unwrap();
+        // Range measure on the first attribute pair.
+        let profile = PairVarianceProfile::from_columns(
+            &normalized.column(0),
+            &normalized.column(1),
+            VarianceMode::Sample,
+        )
+        .unwrap();
+        let range = security_range(&profile, &pst, DEFAULT_GRID).unwrap();
+        let outcome = {
+            let mut rng = StdRng::seed_from_u64(161);
+            RbtTransformer::new(RbtConfig::uniform(pst)).transform(&normalized, &mut rng)
+        };
+        match outcome {
+            Ok(out) => {
+                let min_achieved = out
+                    .key
+                    .steps()
+                    .iter()
+                    .map(|s| s.achieved_var1.min(s.achieved_var2))
+                    .fold(f64::INFINITY, f64::min);
+                rows.push(vec![
+                    format!("{rho}"),
+                    format!("{:.2}", range.measure()),
+                    format!("{:.4}", min_achieved),
+                    "ok".into(),
+                ]);
+            }
+            Err(e) => rows.push(vec![
+                format!("{rho}"),
+                format!("{:.2}", range.measure()),
+                "-".into(),
+                format!("{e}"),
+            ]),
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "rho",
+                "range measure (°, pair 0-1)",
+                "min achieved Var",
+                "status"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Lower thresholds give broader ranges (§5.2); achieved variance always \
+         clears rho until the range collapses to empty.\n"
+    );
+
+    println!("== E-X3b: pairing-strategy ablation (§4.3 step 1) ==\n");
+    let pst = PairwiseSecurityThreshold::uniform(0.4).unwrap();
+    let mut rows = Vec::new();
+    let strategies: Vec<(String, PairingStrategy)> = vec![
+        ("sequential".into(), PairingStrategy::Sequential),
+        ("random-shuffle (seed 1)".into(), PairingStrategy::RandomShuffle),
+        ("random-shuffle (seed 2)".into(), PairingStrategy::RandomShuffle),
+        (
+            "explicit reversed".into(),
+            PairingStrategy::Explicit(vec![(7, 6), (5, 4), (3, 2), (1, 0)]),
+        ),
+    ];
+    for (i, (name, strategy)) in strategies.into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(170 + i as u64);
+        let out = RbtTransformer::new(
+            RbtConfig::uniform(pst).with_pairing(strategy),
+        )
+        .transform(&normalized, &mut rng)
+        .unwrap();
+        let vars: Vec<f64> = out
+            .key
+            .steps()
+            .iter()
+            .flat_map(|s| [s.achieved_var1, s.achieved_var2])
+            .collect();
+        let min = vars.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vars.iter().cloned().fold(0.0f64, f64::max);
+        let drift =
+            rbt_core::isometry::dissimilarity_drift(&normalized, &out.transformed);
+        rows.push(vec![
+            name,
+            format!("{min:.3}"),
+            format!("{max:.3}"),
+            format!("{drift:.1e}"),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "pairing strategy",
+                "min achieved Var",
+                "max achieved Var",
+                "distance drift"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "As the paper conjectures for normalized data, every pairing lands \
+         achieved variances in the same band, and all remain exact isometries."
+    );
+}

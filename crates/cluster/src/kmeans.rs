@@ -1,0 +1,397 @@
+//! Lloyd's k-means with k-means++ or random initialisation.
+//!
+//! K-means is the algorithm the related privacy-preserving-clustering work
+//! (\[13\] Vaidya & Clifton) targets, and the workhorse of the Corollary 1
+//! experiments: because its assignments depend only on squared Euclidean
+//! distances to centroids, an isometric transformation of the data leaves
+//! the clustering trajectory identical (given the same initialisation
+//! choices), so RBT preserves its output *exactly*.
+
+use crate::{Error, Result};
+use rand::{Rng, RngExt};
+use rbt_linalg::distance::Metric;
+use rbt_linalg::Matrix;
+
+/// Initialisation strategy for k-means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KMeansInit {
+    /// k-means++ seeding (D² sampling) — the default.
+    #[default]
+    PlusPlus,
+    /// Uniformly random distinct points.
+    Random,
+    /// The first `k` points of the dataset (fully deterministic; used by the
+    /// isometry experiments so that runs on `D` and `D'` are comparable
+    /// without sharing an RNG).
+    FirstK,
+}
+
+/// Configuration for Lloyd's algorithm.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rbt_cluster::{KMeans, KMeansInit};
+/// use rbt_linalg::Matrix;
+///
+/// let data = Matrix::from_rows(&[
+///     &[0.0, 0.0], &[0.2, 0.1], &[9.0, 9.0], &[9.1, 8.9],
+/// ]).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let result = KMeans::new(2).unwrap()
+///     .with_init(KMeansInit::FirstK)
+///     .fit(&data, &mut rng).unwrap();
+/// assert_eq!(result.labels[0], result.labels[1]);
+/// assert_ne!(result.labels[0], result.labels[2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    k: usize,
+    max_iters: usize,
+    tol: f64,
+    init: KMeansInit,
+}
+
+/// Outcome of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster assignment per point, in `0..k`.
+    pub labels: Vec<usize>,
+    /// Final centroids (`k × n`).
+    pub centroids: Matrix,
+    /// Sum of squared distances of points to their centroid (inertia).
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Whether the centroid movement fell below the tolerance.
+    pub converged: bool,
+}
+
+impl KMeans {
+    /// Creates a configuration for `k` clusters with defaults
+    /// (`max_iters = 300`, `tol = 1e-9`, k-means++ init).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for `k == 0`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidParameter("k must be positive".into()));
+        }
+        Ok(KMeans {
+            k,
+            max_iters: 300,
+            tol: 1e-9,
+            init: KMeansInit::default(),
+        })
+    }
+
+    /// Sets the iteration budget.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Sets the centroid-movement convergence tolerance.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the initialisation strategy.
+    pub fn with_init(mut self, init: KMeansInit) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Runs Lloyd's algorithm on the rows of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooFewPoints`] if `data.rows() < k`.
+    pub fn fit<R: Rng + ?Sized>(&self, data: &Matrix, rng: &mut R) -> Result<KMeansResult> {
+        let m = data.rows();
+        if m < self.k {
+            return Err(Error::TooFewPoints {
+                points: m,
+                required: self.k,
+            });
+        }
+        let n = data.cols();
+        let mut centroids = self.initial_centroids(data, rng);
+        let mut labels = vec![0usize; m];
+        let mut counts = vec![0usize; self.k];
+        let mut new_centroids = Matrix::zeros(self.k, n);
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for iter in 0..self.max_iters {
+            iterations = iter + 1;
+            // Assignment step.
+            for (i, point) in data.row_iter().enumerate() {
+                labels[i] = nearest_centroid(point, &centroids).0;
+            }
+            // Update step.
+            for v in new_centroids.as_mut_slice() {
+                *v = 0.0;
+            }
+            counts.iter_mut().for_each(|c| *c = 0);
+            for (point, &label) in data.row_iter().zip(&labels) {
+                counts[label] += 1;
+                let c = new_centroids.row_mut(label);
+                for (cv, &pv) in c.iter_mut().zip(point) {
+                    *cv += pv;
+                }
+            }
+            for (j, &count) in counts.iter().enumerate() {
+                if count == 0 {
+                    // Empty cluster: re-seed to the point farthest from its
+                    // centroid — deterministic and standard practice.
+                    let far = farthest_point(data, &centroids, &labels);
+                    new_centroids
+                        .row_mut(j)
+                        .copy_from_slice(data.row(far));
+                } else {
+                    let inv = 1.0 / count as f64;
+                    for v in new_centroids.row_mut(j) {
+                        *v *= inv;
+                    }
+                }
+            }
+            // Convergence: max centroid movement.
+            let shift = centroids
+                .max_abs_diff(&new_centroids)
+                .expect("same shape by construction");
+            std::mem::swap(&mut centroids, &mut new_centroids);
+            if shift <= self.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        // Final assignment against the final centroids.
+        let mut inertia = 0.0;
+        for (i, point) in data.row_iter().enumerate() {
+            let (label, d2) = nearest_centroid(point, &centroids);
+            labels[i] = label;
+            inertia += d2;
+        }
+
+        Ok(KMeansResult {
+            labels,
+            centroids,
+            inertia,
+            iterations,
+            converged,
+        })
+    }
+
+    fn initial_centroids<R: Rng + ?Sized>(&self, data: &Matrix, rng: &mut R) -> Matrix {
+        let m = data.rows();
+        let n = data.cols();
+        let mut centroids = Matrix::zeros(self.k, n);
+        match self.init {
+            KMeansInit::FirstK => {
+                for j in 0..self.k {
+                    centroids.row_mut(j).copy_from_slice(data.row(j));
+                }
+            }
+            KMeansInit::Random => {
+                let mut chosen = Vec::with_capacity(self.k);
+                while chosen.len() < self.k {
+                    let i = rng.random_range(0..m);
+                    if !chosen.contains(&i) {
+                        chosen.push(i);
+                    }
+                }
+                for (j, &i) in chosen.iter().enumerate() {
+                    centroids.row_mut(j).copy_from_slice(data.row(i));
+                }
+            }
+            KMeansInit::PlusPlus => {
+                // D² sampling.
+                let first = rng.random_range(0..m);
+                centroids.row_mut(0).copy_from_slice(data.row(first));
+                let mut d2: Vec<f64> = data
+                    .row_iter()
+                    .map(|p| Metric::SquaredEuclidean.distance(p, data.row(first)))
+                    .collect();
+                for j in 1..self.k {
+                    let total: f64 = d2.iter().sum();
+                    let idx = if total <= 0.0 {
+                        // All remaining points coincide with a centroid.
+                        rng.random_range(0..m)
+                    } else {
+                        let mut target = rng.random_range(0.0..total);
+                        let mut pick = m - 1;
+                        for (i, &w) in d2.iter().enumerate() {
+                            if target < w {
+                                pick = i;
+                                break;
+                            }
+                            target -= w;
+                        }
+                        pick
+                    };
+                    centroids.row_mut(j).copy_from_slice(data.row(idx));
+                    for (i, point) in data.row_iter().enumerate() {
+                        let nd = Metric::SquaredEuclidean.distance(point, data.row(idx));
+                        if nd < d2[i] {
+                            d2[i] = nd;
+                        }
+                    }
+                }
+            }
+        }
+        centroids
+    }
+}
+
+#[inline]
+fn nearest_centroid(point: &[f64], centroids: &Matrix) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (j, c) in centroids.row_iter().enumerate() {
+        let d2 = Metric::SquaredEuclidean.distance(point, c);
+        if d2 < best.1 {
+            best = (j, d2);
+        }
+    }
+    best
+}
+
+fn farthest_point(data: &Matrix, centroids: &Matrix, labels: &[usize]) -> usize {
+    let mut best = (0usize, -1.0f64);
+    for (i, point) in data.row_iter().enumerate() {
+        let d2 = Metric::SquaredEuclidean.distance(point, centroids.row(labels[i]));
+        if d2 > best.1 {
+            best = (i, d2);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    /// Two tight, well-separated blobs around (0,0) and (10,10).
+    fn two_blobs() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..20 {
+            let jitter = (i as f64) * 0.01;
+            rows.push(vec![jitter, -jitter]);
+            truth.push(0);
+            rows.push(vec![10.0 + jitter, 10.0 - jitter]);
+            truth.push(1);
+        }
+        (Matrix::from_row_iter(rows).unwrap(), truth)
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(KMeans::new(0).is_err());
+        let km = KMeans::new(5).unwrap();
+        let data = Matrix::zeros(3, 2);
+        assert!(matches!(
+            km.fit(&data, &mut rng(0)),
+            Err(Error::TooFewPoints { points: 3, required: 5 })
+        ));
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (data, truth) = two_blobs();
+        let result = KMeans::new(2).unwrap().fit(&data, &mut rng(42)).unwrap();
+        assert!(result.converged);
+        // Perfect separation up to label permutation.
+        let mis = crate::metrics::misclassification_error(&truth, &result.labels).unwrap();
+        assert_eq!(mis, 0.0);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let (data, _) = two_blobs();
+        let i1 = KMeans::new(1).unwrap().fit(&data, &mut rng(1)).unwrap().inertia;
+        let i2 = KMeans::new(2).unwrap().fit(&data, &mut rng(1)).unwrap().inertia;
+        let i4 = KMeans::new(4).unwrap().fit(&data, &mut rng(1)).unwrap().inertia;
+        assert!(i2 < i1);
+        assert!(i4 <= i2 + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_with_first_k_init() {
+        let (data, _) = two_blobs();
+        let km = KMeans::new(2).unwrap().with_init(KMeansInit::FirstK);
+        let a = km.fit(&data, &mut rng(1)).unwrap();
+        let b = km.fit(&data, &mut rng(999)).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert!(a.centroids.approx_eq(&b.centroids, 0.0));
+    }
+
+    #[test]
+    fn all_inits_work_on_blobs() {
+        let (data, truth) = two_blobs();
+        for init in [KMeansInit::PlusPlus, KMeansInit::Random, KMeansInit::FirstK] {
+            let result = KMeans::new(2)
+                .unwrap()
+                .with_init(init)
+                .fit(&data, &mut rng(7))
+                .unwrap();
+            let mis = crate::metrics::misclassification_error(&truth, &result.labels).unwrap();
+            assert_eq!(mis, 0.0, "init {init:?} failed");
+        }
+    }
+
+    #[test]
+    fn k_equals_m_gives_zero_inertia() {
+        let data = Matrix::from_rows(&[&[0.0, 0.0], &[5.0, 5.0], &[9.0, 1.0]]).unwrap();
+        let result = KMeans::new(3)
+            .unwrap()
+            .with_init(KMeansInit::FirstK)
+            .fit(&data, &mut rng(3))
+            .unwrap();
+        assert!(result.inertia < 1e-12);
+        let mut sorted = result.labels.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let data = Matrix::from_row_iter(vec![vec![1.0, 1.0]; 10]).unwrap();
+        let result = KMeans::new(2).unwrap().fit(&data, &mut rng(5)).unwrap();
+        assert_eq!(result.labels.len(), 10);
+        assert!(result.inertia < 1e-12);
+    }
+
+    #[test]
+    fn labels_are_in_range() {
+        let (data, _) = two_blobs();
+        let result = KMeans::new(3).unwrap().fit(&data, &mut rng(11)).unwrap();
+        assert!(result.labels.iter().all(|&l| l < 3));
+        assert_eq!(result.centroids.shape(), (3, 2));
+    }
+
+    #[test]
+    fn max_iters_respected() {
+        let (data, _) = two_blobs();
+        let result = KMeans::new(2)
+            .unwrap()
+            .with_max_iters(1)
+            .fit(&data, &mut rng(1))
+            .unwrap();
+        assert_eq!(result.iterations, 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! K-medoids (PAM-style, Voronoi-iteration variant).
+//!
+//! Like hierarchical clustering, k-medoids consumes only the dissimilarity
+//! matrix, and unlike k-means its "centres" are actual data objects — which
+//! matters for the privacy story: a released medoid is a (transformed) row,
+//! never a synthetic average.
+
+use crate::{Error, Result};
+use rand::{Rng, RngExt};
+use rbt_linalg::dissimilarity::DissimilarityMatrix;
+
+/// K-medoids configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KMedoids {
+    k: usize,
+    max_iters: usize,
+}
+
+/// Outcome of a k-medoids run.
+#[derive(Debug, Clone)]
+pub struct KMedoidsResult {
+    /// Cluster assignment per point, in `0..k`.
+    pub labels: Vec<usize>,
+    /// Indices of the medoid objects, one per cluster.
+    pub medoids: Vec<usize>,
+    /// Total distance of points to their medoid.
+    pub cost: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the medoid set reached a fixed point.
+    pub converged: bool,
+}
+
+impl KMedoids {
+    /// Creates a configuration for `k` clusters (default `max_iters = 100`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for `k == 0`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidParameter("k must be positive".into()));
+        }
+        Ok(KMedoids { k, max_iters: 100 })
+    }
+
+    /// Sets the iteration budget.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Runs the alternating (Voronoi-iteration) algorithm on a precomputed
+    /// dissimilarity matrix, with random distinct initial medoids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooFewPoints`] if `dm.len() < k`.
+    pub fn fit<R: Rng + ?Sized>(
+        &self,
+        dm: &DissimilarityMatrix,
+        rng: &mut R,
+    ) -> Result<KMedoidsResult> {
+        let n = dm.len();
+        if n < self.k {
+            return Err(Error::TooFewPoints {
+                points: n,
+                required: self.k,
+            });
+        }
+        let mut medoids = Vec::with_capacity(self.k);
+        while medoids.len() < self.k {
+            let c = rng.random_range(0..n);
+            if !medoids.contains(&c) {
+                medoids.push(c);
+            }
+        }
+        self.run(dm, medoids)
+    }
+
+    /// Runs the algorithm from explicit initial medoids (deterministic; used
+    /// by the isometry experiments).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::TooFewPoints`] if `dm.len() < k`,
+    /// * [`Error::InvalidParameter`] if `initial` has the wrong length,
+    ///   duplicates, or out-of-range indices.
+    pub fn fit_from(
+        &self,
+        dm: &DissimilarityMatrix,
+        initial: &[usize],
+    ) -> Result<KMedoidsResult> {
+        let n = dm.len();
+        if n < self.k {
+            return Err(Error::TooFewPoints {
+                points: n,
+                required: self.k,
+            });
+        }
+        if initial.len() != self.k {
+            return Err(Error::InvalidParameter(format!(
+                "{} initial medoids for k = {}",
+                initial.len(),
+                self.k
+            )));
+        }
+        let distinct: std::collections::HashSet<_> = initial.iter().collect();
+        if distinct.len() != self.k || initial.iter().any(|&m| m >= n) {
+            return Err(Error::InvalidParameter(
+                "initial medoids must be distinct, in-range indices".into(),
+            ));
+        }
+        self.run(dm, initial.to_vec())
+    }
+
+    #[allow(clippy::needless_range_loop)] // medoid/label updates index several parallel arrays
+    fn run(&self, dm: &DissimilarityMatrix, mut medoids: Vec<usize>) -> Result<KMedoidsResult> {
+        let n = dm.len();
+        let mut labels = vec![0usize; n];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for iter in 0..self.max_iters {
+            iterations = iter + 1;
+            // Assignment.
+            for i in 0..n {
+                let mut best = (0usize, f64::INFINITY);
+                for (c, &m) in medoids.iter().enumerate() {
+                    let d = dm.get(i, m);
+                    if d < best.1 {
+                        best = (c, d);
+                    }
+                }
+                labels[i] = best.0;
+            }
+            // Medoid update: the member minimising total within-cluster distance.
+            let mut changed = false;
+            for c in 0..self.k {
+                let members: Vec<usize> =
+                    (0..n).filter(|&i| labels[i] == c).collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let mut best = (medoids[c], f64::INFINITY);
+                for &candidate in &members {
+                    let total: f64 = members.iter().map(|&i| dm.get(candidate, i)).sum();
+                    if total < best.1 {
+                        best = (candidate, total);
+                    }
+                }
+                if best.0 != medoids[c] {
+                    medoids[c] = best.0;
+                    changed = true;
+                }
+            }
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+
+        // Final assignment and cost.
+        let mut cost = 0.0;
+        for i in 0..n {
+            let mut best = (0usize, f64::INFINITY);
+            for (c, &m) in medoids.iter().enumerate() {
+                let d = dm.get(i, m);
+                if d < best.1 {
+                    best = (c, d);
+                }
+            }
+            labels[i] = best.0;
+            cost += best.1;
+        }
+
+        Ok(KMedoidsResult {
+            labels,
+            medoids,
+            cost,
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rbt_linalg::distance::Metric;
+    use rbt_linalg::Matrix;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn two_groups() -> DissimilarityMatrix {
+        let m = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.5, 0.0],
+            &[0.0, 0.5],
+            &[20.0, 20.0],
+            &[20.5, 20.0],
+            &[20.0, 20.5],
+        ])
+        .unwrap();
+        DissimilarityMatrix::from_matrix(&m, Metric::Euclidean)
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(KMedoids::new(0).is_err());
+        let dm = two_groups();
+        assert!(matches!(
+            KMedoids::new(10).unwrap().fit(&dm, &mut rng(0)),
+            Err(Error::TooFewPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn separates_two_groups() {
+        let dm = two_groups();
+        let result = KMedoids::new(2).unwrap().fit(&dm, &mut rng(4)).unwrap();
+        assert!(result.converged);
+        let truth = [0, 0, 0, 1, 1, 1];
+        assert_eq!(
+            crate::metrics::misclassification_error(&truth, &result.labels).unwrap(),
+            0.0
+        );
+        // Medoids are members of their clusters.
+        for (c, &m) in result.medoids.iter().enumerate() {
+            assert_eq!(result.labels[m], c);
+        }
+    }
+
+    #[test]
+    fn deterministic_from_fixed_medoids() {
+        let dm = two_groups();
+        let km = KMedoids::new(2).unwrap();
+        let a = km.fit_from(&dm, &[0, 3]).unwrap();
+        let b = km.fit_from(&dm, &[0, 3]).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.medoids, b.medoids);
+        assert!((a.cost - b.cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_from_validates() {
+        let dm = two_groups();
+        let km = KMedoids::new(2).unwrap();
+        assert!(km.fit_from(&dm, &[0]).is_err());
+        assert!(km.fit_from(&dm, &[0, 0]).is_err());
+        assert!(km.fit_from(&dm, &[0, 99]).is_err());
+    }
+
+    #[test]
+    fn cost_is_sum_of_member_distances() {
+        let dm = two_groups();
+        let result = KMedoids::new(2).unwrap().fit_from(&dm, &[1, 4]).unwrap();
+        let manual: f64 = (0..dm.len())
+            .map(|i| dm.get(i, result.medoids[result.labels[i]]))
+            .sum();
+        assert!((result.cost - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_equals_n_zero_cost() {
+        let dm = two_groups();
+        let result = KMedoids::new(6)
+            .unwrap()
+            .fit_from(&dm, &[0, 1, 2, 3, 4, 5])
+            .unwrap();
+        assert!(result.cost < 1e-12);
+    }
+}

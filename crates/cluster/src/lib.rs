@@ -1,0 +1,104 @@
+//! Distance-based clustering algorithms and validation metrics.
+//!
+//! Corollary 1 of the RBT paper promises that *any* distance-based
+//! clustering algorithm returns identical clusters on the original and the
+//! RBT-transformed data. This crate provides four algorithm families to
+//! test that promise across paradigms:
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ or random initialisation
+//!   (centroid-based; the algorithm of the related work \[13\]),
+//! * [`kmedoids`] — PAM-style k-medoids (medoid-based, works from the
+//!   dissimilarity matrix alone),
+//! * [`hierarchical`] — agglomerative clustering with single / complete /
+//!   average / Ward linkage via the Lance–Williams recurrence
+//!   (connectivity-based, also dissimilarity-only),
+//! * [`dbscan`] — density-based clustering with noise.
+//!
+//! [`metrics`] implements the external validation measures used by the
+//! experiment harness: Rand / adjusted Rand index, NMI, purity, F-measure,
+//! silhouette, and the misclassification error (via an exact Hungarian
+//! assignment), which is the failure mode the paper's introduction blames
+//! on noise-based perturbation.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dbscan;
+pub mod hierarchical;
+pub mod kmeans;
+pub mod kmedoids;
+pub mod metrics;
+pub mod select;
+
+pub use dbscan::{Dbscan, DbscanResult, NOISE};
+pub use hierarchical::{Agglomerative, Dendrogram, Linkage};
+pub use kmeans::{KMeans, KMeansInit, KMeansResult};
+pub use kmedoids::{KMedoids, KMedoidsResult};
+pub use select::{select_k, KCandidate};
+
+use std::fmt;
+
+/// Errors produced by the clustering layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An underlying linear-algebra error.
+    Linalg(rbt_linalg::Error),
+    /// A parameter was invalid (k = 0, eps <= 0, …).
+    InvalidParameter(String),
+    /// The input had too few points for the requested clustering.
+    TooFewPoints {
+        /// Points provided.
+        points: usize,
+        /// Points required.
+        required: usize,
+    },
+    /// An iterative algorithm failed to converge within its budget.
+    NoConvergence {
+        /// The iteration budget that was exhausted.
+        iterations: usize,
+    },
+    /// Label vectors passed to a metric disagreed in length.
+    LabelMismatch {
+        /// Length of the first labelling.
+        left: usize,
+        /// Length of the second labelling.
+        right: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::TooFewPoints { points, required } => {
+                write!(f, "too few points: {points} provided, {required} required")
+            }
+            Error::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            Error::LabelMismatch { left, right } => {
+                write!(f, "label vectors disagree in length: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rbt_linalg::Error> for Error {
+    fn from(e: rbt_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,744 @@
+//! External and internal cluster-validation metrics.
+//!
+//! The paper's central quality argument is about **misclassification**: the
+//! prior noise-based approach \[10\] "would move \[points\] from one cluster
+//! to another … introduc\[ing\] the problem of misclassification", whereas
+//! RBT achieves zero misclassification by construction. This module
+//! provides the measures the experiment harness uses to quantify that:
+//!
+//! * [`misclassification_error`] — fraction of points assigned to the wrong
+//!   cluster under the *best* label matching (exact Hungarian assignment),
+//! * [`rand_index`] / [`adjusted_rand_index`] — pair-counting agreement,
+//! * [`normalized_mutual_information`] — information-theoretic agreement,
+//! * [`purity`] and [`f_measure`] — the class-oriented measures used in the
+//!   authors' companion papers,
+//! * [`silhouette`] — the internal (label-free) quality score.
+
+use crate::{Error, Result};
+use rbt_linalg::dissimilarity::DissimilarityMatrix;
+use rbt_linalg::Matrix;
+
+/// Contingency table between two labelings of the same points.
+#[derive(Debug, Clone)]
+pub struct Contingency {
+    /// `counts[(i, j)]` = number of points with true label `i` and predicted
+    /// label `j`.
+    pub counts: Matrix,
+    /// Row sums (true-class sizes).
+    pub row_sums: Vec<f64>,
+    /// Column sums (predicted-cluster sizes).
+    pub col_sums: Vec<f64>,
+    /// Total number of points.
+    pub n: usize,
+}
+
+/// Builds the contingency table of two labelings.
+///
+/// Labels may be arbitrary `usize` values; they are compacted to dense
+/// indices internally.
+///
+/// # Errors
+///
+/// Returns [`Error::LabelMismatch`] for unequal lengths and
+/// [`Error::InvalidParameter`] for empty labelings.
+pub fn contingency(truth: &[usize], predicted: &[usize]) -> Result<Contingency> {
+    if truth.len() != predicted.len() {
+        return Err(Error::LabelMismatch {
+            left: truth.len(),
+            right: predicted.len(),
+        });
+    }
+    if truth.is_empty() {
+        return Err(Error::InvalidParameter("empty labelings".into()));
+    }
+    let (tmap, tk) = compact(truth);
+    let (pmap, pk) = compact(predicted);
+    let mut counts = Matrix::zeros(tk, pk);
+    for (&t, &p) in truth.iter().zip(predicted) {
+        counts[(tmap[&t], pmap[&p])] += 1.0;
+    }
+    let row_sums: Vec<f64> = (0..tk).map(|i| counts.row(i).iter().sum()).collect();
+    let col_sums: Vec<f64> = (0..pk)
+        .map(|j| (0..tk).map(|i| counts[(i, j)]).sum())
+        .collect();
+    Ok(Contingency {
+        counts,
+        row_sums,
+        col_sums,
+        n: truth.len(),
+    })
+}
+
+fn compact(labels: &[usize]) -> (std::collections::HashMap<usize, usize>, usize) {
+    let mut map = std::collections::HashMap::new();
+    let mut sorted: Vec<usize> = labels.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    for (dense, &raw) in sorted.iter().enumerate() {
+        map.insert(raw, dense);
+    }
+    let k = map.len();
+    (map, k)
+}
+
+/// Fraction of points that end up in the "wrong" cluster under the best
+/// one-to-one matching of predicted clusters to true classes (exact
+/// Hungarian assignment on the contingency table).
+///
+/// `0.0` means the two labelings are identical up to a renaming of labels —
+/// exactly the guarantee Corollary 1 makes for RBT.
+///
+/// # Errors
+///
+/// Same conditions as [`contingency`].
+pub fn misclassification_error(truth: &[usize], predicted: &[usize]) -> Result<f64> {
+    let c = contingency(truth, predicted)?;
+    let k = c.counts.rows().max(c.counts.cols());
+    // Pad to square and negate: Hungarian minimises, we want max agreement.
+    let mut cost = Matrix::zeros(k, k);
+    for i in 0..c.counts.rows() {
+        for j in 0..c.counts.cols() {
+            cost[(i, j)] = -c.counts[(i, j)];
+        }
+    }
+    let assignment = hungarian_min(&cost);
+    let matched: f64 = assignment
+        .iter()
+        .enumerate()
+        .filter(|&(i, &j)| i < c.counts.rows() && j < c.counts.cols())
+        .map(|(i, &j)| c.counts[(i, j)])
+        .sum();
+    Ok(1.0 - matched / c.n as f64)
+}
+
+/// Exact minimum-cost assignment (Kuhn–Munkres with potentials, `O(k³)`).
+///
+/// Returns, for each row, the column it is assigned to. The input must be
+/// square; the metric callers pad internally.
+///
+/// # Panics
+///
+/// Panics if `cost` is not square (internal use only).
+pub fn hungarian_min(cost: &Matrix) -> Vec<usize> {
+    assert!(cost.is_square(), "hungarian_min requires a square matrix");
+    let n = cost.rows();
+    if n == 0 {
+        return Vec::new();
+    }
+    // 1-based arrays per the classic potentials formulation.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[(i0 - 1, j - 1)] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            row_to_col[p[j] - 1] = j - 1;
+        }
+    }
+    row_to_col
+}
+
+/// Rand index: fraction of point pairs on which the two labelings agree.
+///
+/// # Errors
+///
+/// Same conditions as [`contingency`].
+pub fn rand_index(truth: &[usize], predicted: &[usize]) -> Result<f64> {
+    let c = contingency(truth, predicted)?;
+    let n = c.n as f64;
+    let total_pairs = n * (n - 1.0) / 2.0;
+    if total_pairs == 0.0 {
+        return Ok(1.0);
+    }
+    let sum_nij2: f64 = c
+        .counts
+        .as_slice()
+        .iter()
+        .map(|&x| x * (x - 1.0) / 2.0)
+        .sum();
+    let sum_a2: f64 = c.row_sums.iter().map(|&x| x * (x - 1.0) / 2.0).sum();
+    let sum_b2: f64 = c.col_sums.iter().map(|&x| x * (x - 1.0) / 2.0).sum();
+    // Agreements = pairs together in both + pairs apart in both.
+    let together_both = sum_nij2;
+    let apart_both = total_pairs - sum_a2 - sum_b2 + sum_nij2;
+    Ok((together_both + apart_both) / total_pairs)
+}
+
+/// Adjusted Rand index (chance-corrected; 1 = identical, ~0 = random).
+///
+/// # Errors
+///
+/// Same conditions as [`contingency`].
+pub fn adjusted_rand_index(truth: &[usize], predicted: &[usize]) -> Result<f64> {
+    let c = contingency(truth, predicted)?;
+    let n = c.n as f64;
+    let total_pairs = n * (n - 1.0) / 2.0;
+    if total_pairs == 0.0 {
+        return Ok(1.0);
+    }
+    let index: f64 = c
+        .counts
+        .as_slice()
+        .iter()
+        .map(|&x| x * (x - 1.0) / 2.0)
+        .sum();
+    let sum_a: f64 = c.row_sums.iter().map(|&x| x * (x - 1.0) / 2.0).sum();
+    let sum_b: f64 = c.col_sums.iter().map(|&x| x * (x - 1.0) / 2.0).sum();
+    let expected = sum_a * sum_b / total_pairs;
+    let max_index = (sum_a + sum_b) / 2.0;
+    if (max_index - expected).abs() < 1e-15 {
+        // Degenerate: both labelings put everything in one cluster (or all
+        // singletons); they agree perfectly.
+        return Ok(1.0);
+    }
+    Ok((index - expected) / (max_index - expected))
+}
+
+/// Normalized mutual information with the geometric-mean normalisation
+/// `NMI = I(U;V) / sqrt(H(U)·H(V))`.
+///
+/// Returns 1.0 when both labelings are identical partitions, and 1.0 by
+/// convention when both entropies are zero (single cluster each).
+///
+/// # Errors
+///
+/// Same conditions as [`contingency`].
+pub fn normalized_mutual_information(truth: &[usize], predicted: &[usize]) -> Result<f64> {
+    let c = contingency(truth, predicted)?;
+    let n = c.n as f64;
+    let mut mi = 0.0;
+    for i in 0..c.counts.rows() {
+        for j in 0..c.counts.cols() {
+            let nij = c.counts[(i, j)];
+            if nij > 0.0 {
+                mi += (nij / n) * ((n * nij) / (c.row_sums[i] * c.col_sums[j])).ln();
+            }
+        }
+    }
+    let h = |sums: &[f64]| -> f64 {
+        sums.iter()
+            .filter(|&&x| x > 0.0)
+            .map(|&x| -(x / n) * (x / n).ln())
+            .sum()
+    };
+    let hu = h(&c.row_sums);
+    let hv = h(&c.col_sums);
+    if hu == 0.0 && hv == 0.0 {
+        return Ok(1.0);
+    }
+    if hu == 0.0 || hv == 0.0 {
+        return Ok(0.0);
+    }
+    Ok((mi / (hu * hv).sqrt()).clamp(0.0, 1.0))
+}
+
+/// Purity: each predicted cluster votes for its majority true class.
+///
+/// # Errors
+///
+/// Same conditions as [`contingency`].
+pub fn purity(truth: &[usize], predicted: &[usize]) -> Result<f64> {
+    let c = contingency(truth, predicted)?;
+    let mut correct = 0.0;
+    for j in 0..c.counts.cols() {
+        let best = (0..c.counts.rows())
+            .map(|i| c.counts[(i, j)])
+            .fold(0.0, f64::max);
+        correct += best;
+    }
+    Ok(correct / c.n as f64)
+}
+
+/// Class-oriented F-measure:
+/// `F = Σ_i (nᵢ/n) · max_j F(i, j)` with
+/// `F(i,j) = 2·P·R / (P + R)`, precision `P = n_ij / |cluster j|`, recall
+/// `R = n_ij / |class i|`.
+///
+/// # Errors
+///
+/// Same conditions as [`contingency`].
+pub fn f_measure(truth: &[usize], predicted: &[usize]) -> Result<f64> {
+    let c = contingency(truth, predicted)?;
+    let n = c.n as f64;
+    let mut total = 0.0;
+    for i in 0..c.counts.rows() {
+        let mut best = 0.0f64;
+        for j in 0..c.counts.cols() {
+            let nij = c.counts[(i, j)];
+            if nij == 0.0 {
+                continue;
+            }
+            let precision = nij / c.col_sums[j];
+            let recall = nij / c.row_sums[i];
+            let f = 2.0 * precision * recall / (precision + recall);
+            best = best.max(f);
+        }
+        total += (c.row_sums[i] / n) * best;
+    }
+    Ok(total)
+}
+
+/// Mean silhouette coefficient over all points, computed from a
+/// dissimilarity matrix. Points in singleton clusters score 0 (standard
+/// convention).
+///
+/// # Errors
+///
+/// * [`Error::LabelMismatch`] if `labels.len() != dm.len()`,
+/// * [`Error::InvalidParameter`] if there are fewer than 2 clusters.
+pub fn silhouette(dm: &DissimilarityMatrix, labels: &[usize]) -> Result<f64> {
+    let n = dm.len();
+    if labels.len() != n {
+        return Err(Error::LabelMismatch {
+            left: n,
+            right: labels.len(),
+        });
+    }
+    let distinct: std::collections::BTreeSet<usize> = labels.iter().copied().collect();
+    if distinct.len() < 2 {
+        return Err(Error::InvalidParameter(
+            "silhouette requires at least 2 clusters".into(),
+        ));
+    }
+    let clusters: Vec<usize> = distinct.into_iter().collect();
+    let sizes: std::collections::HashMap<usize, usize> =
+        clusters
+            .iter()
+            .map(|&c| (c, labels.iter().filter(|&&l| l == c).count()))
+            .collect();
+
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = labels[i];
+        let own_size = sizes[&own];
+        if own_size <= 1 {
+            continue; // silhouette 0 for singletons
+        }
+        // Mean distance to each cluster.
+        let mut sums: std::collections::HashMap<usize, f64> =
+            clusters.iter().map(|&c| (c, 0.0)).collect();
+        for (j, &lj) in labels.iter().enumerate() {
+            if i != j {
+                *sums.get_mut(&lj).expect("cluster present") += dm.get(i, j);
+            }
+        }
+        let a = sums[&own] / (own_size - 1) as f64;
+        let b = clusters
+            .iter()
+            .filter(|&&c| c != own)
+            .map(|&c| sums[&c] / sizes[&c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    Ok(total / n as f64)
+}
+
+/// Davies–Bouldin index computed from coordinates: lower is better. For
+/// each cluster pair, the ratio of within-cluster scatter sums to centroid
+/// separation; the index averages each cluster's worst ratio.
+///
+/// Because it depends only on Euclidean distances to centroids, it is
+/// invariant under RBT — an internal-quality witness for Corollary 1.
+///
+/// # Errors
+///
+/// * [`Error::LabelMismatch`] if `labels.len() != data.rows()`,
+/// * [`Error::InvalidParameter`] if there are fewer than 2 clusters.
+pub fn davies_bouldin(data: &Matrix, labels: &[usize]) -> Result<f64> {
+    if labels.len() != data.rows() {
+        return Err(Error::LabelMismatch {
+            left: data.rows(),
+            right: labels.len(),
+        });
+    }
+    let clusters: Vec<usize> = {
+        let set: std::collections::BTreeSet<usize> = labels.iter().copied().collect();
+        set.into_iter().collect()
+    };
+    let k = clusters.len();
+    if k < 2 {
+        return Err(Error::InvalidParameter(
+            "Davies-Bouldin requires at least 2 clusters".into(),
+        ));
+    }
+    let n = data.cols();
+    // Centroids and mean within-cluster distance (scatter).
+    let mut centroids = Matrix::zeros(k, n);
+    let mut scatter = vec![0.0f64; k];
+    let mut counts = vec![0usize; k];
+    let index_of: std::collections::HashMap<usize, usize> = clusters
+        .iter()
+        .enumerate()
+        .map(|(dense, &raw)| (raw, dense))
+        .collect();
+    for (row, &label) in data.row_iter().zip(labels) {
+        let c = index_of[&label];
+        counts[c] += 1;
+        for (acc, &v) in centroids.row_mut(c).iter_mut().zip(row) {
+            *acc += v;
+        }
+    }
+    for (c, &count) in counts.iter().enumerate() {
+        let inv = 1.0 / count as f64;
+        for v in centroids.row_mut(c) {
+            *v *= inv;
+        }
+    }
+    for (row, &label) in data.row_iter().zip(labels) {
+        let c = index_of[&label];
+        scatter[c] +=
+            rbt_linalg::distance::Metric::Euclidean.distance(row, centroids.row(c));
+    }
+    for (s, &count) in scatter.iter_mut().zip(&counts) {
+        *s /= count as f64;
+    }
+    let mut total = 0.0;
+    for a in 0..k {
+        let mut worst = 0.0f64;
+        for b in 0..k {
+            if a == b {
+                continue;
+            }
+            let sep = rbt_linalg::distance::Metric::Euclidean
+                .distance(centroids.row(a), centroids.row(b));
+            if sep > 0.0 {
+                worst = worst.max((scatter[a] + scatter[b]) / sep);
+            } else {
+                worst = f64::INFINITY;
+            }
+        }
+        total += worst;
+    }
+    Ok(total / k as f64)
+}
+
+/// Dunn index from a dissimilarity matrix: the smallest between-cluster
+/// distance divided by the largest cluster diameter. Higher is better;
+/// invariant under RBT.
+///
+/// # Errors
+///
+/// * [`Error::LabelMismatch`] if `labels.len() != dm.len()`,
+/// * [`Error::InvalidParameter`] if there are fewer than 2 clusters or a
+///   cluster diameter is zero with coincident points across clusters.
+pub fn dunn_index(dm: &DissimilarityMatrix, labels: &[usize]) -> Result<f64> {
+    let n = dm.len();
+    if labels.len() != n {
+        return Err(Error::LabelMismatch {
+            left: n,
+            right: labels.len(),
+        });
+    }
+    let distinct: std::collections::BTreeSet<usize> = labels.iter().copied().collect();
+    if distinct.len() < 2 {
+        return Err(Error::InvalidParameter(
+            "Dunn index requires at least 2 clusters".into(),
+        ));
+    }
+    let mut min_between = f64::INFINITY;
+    let mut max_diameter = 0.0f64;
+    for (i, j, d) in dm.iter_pairs() {
+        if labels[i] == labels[j] {
+            max_diameter = max_diameter.max(d);
+        } else {
+            min_between = min_between.min(d);
+        }
+    }
+    if max_diameter == 0.0 {
+        // All clusters are single points or duplicates: perfectly separated.
+        return Ok(f64::INFINITY);
+    }
+    Ok(min_between / max_diameter)
+}
+
+/// `true` when two labelings are identical **as partitions** (equal up to a
+/// bijective renaming of labels) — the exact form of cluster preservation
+/// Corollary 1 claims.
+pub fn same_partition(a: &[usize], b: &[usize]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut fwd: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut bwd: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        if *fwd.entry(x).or_insert(y) != y {
+            return false;
+        }
+        if *bwd.entry(y).or_insert(x) != x {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbt_linalg::distance::Metric;
+
+    const TRUTH: [usize; 6] = [0, 0, 0, 1, 1, 1];
+
+    #[test]
+    fn perfect_agreement_scores() {
+        let relabeled = [5, 5, 5, 2, 2, 2]; // same partition, new names
+        assert_eq!(misclassification_error(&TRUTH, &relabeled).unwrap(), 0.0);
+        assert_eq!(rand_index(&TRUTH, &relabeled).unwrap(), 1.0);
+        assert!((adjusted_rand_index(&TRUTH, &relabeled).unwrap() - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&TRUTH, &relabeled).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&TRUTH, &relabeled).unwrap(), 1.0);
+        assert!((f_measure(&TRUTH, &relabeled).unwrap() - 1.0).abs() < 1e-12);
+        assert!(same_partition(&TRUTH, &relabeled));
+    }
+
+    #[test]
+    fn one_swap_misclassification() {
+        let predicted = [0, 0, 1, 1, 1, 1]; // third point moved
+        let err = misclassification_error(&TRUTH, &predicted).unwrap();
+        assert!((err - 1.0 / 6.0).abs() < 1e-12);
+        assert!(!same_partition(&TRUTH, &predicted));
+    }
+
+    #[test]
+    fn hungarian_solves_known_assignment() {
+        // Classic 3x3 instance: optimal cost 5 (1+2+2).
+        let cost = Matrix::from_rows(&[
+            &[4.0, 1.0, 3.0],
+            &[2.0, 0.0, 5.0],
+            &[3.0, 2.0, 2.0],
+        ])
+        .unwrap();
+        let assign = hungarian_min(&cost);
+        let total: f64 = assign.iter().enumerate().map(|(i, &j)| cost[(i, j)]).sum();
+        assert!((total - 5.0).abs() < 1e-12);
+        // Assignment is a permutation.
+        let mut seen = assign.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn hungarian_identity_cheapest_on_diagonal() {
+        let mut cost = Matrix::filled(4, 4, 10.0);
+        for i in 0..4 {
+            cost[(i, i)] = 0.0;
+        }
+        assert_eq!(hungarian_min(&cost), vec![0, 1, 2, 3]);
+        assert!(hungarian_min(&Matrix::zeros(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn ari_near_zero_for_random_labels() {
+        // Independent pseudo-random labels with no real structure (splitmix-
+        // style hashes so the two sequences are genuinely uncorrelated).
+        let hash = |x: u64| {
+            let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let truth: Vec<usize> = (0..400u64).map(|i| (hash(i) % 4) as usize).collect();
+        let pred: Vec<usize> = (0..400u64).map(|i| (hash(i + 1_000_000) % 4) as usize).collect();
+        let ari = adjusted_rand_index(&truth, &pred).unwrap();
+        assert!(ari.abs() < 0.1, "ARI {ari}");
+        // Rand index, uncorrected, sits much higher.
+        assert!(rand_index(&truth, &pred).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn purity_with_merged_clusters() {
+        // One predicted cluster swallows both classes.
+        let predicted = [0, 0, 0, 0, 0, 0];
+        assert!((purity(&TRUTH, &predicted).unwrap() - 0.5).abs() < 1e-12);
+        // NMI of a single predicted cluster is 0.
+        assert_eq!(
+            normalized_mutual_information(&TRUTH, &predicted).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn f_measure_penalises_splits() {
+        // Each true class split into two pure halves.
+        let predicted = [0, 0, 1, 2, 3, 3];
+        let f = f_measure(&TRUTH, &predicted).unwrap();
+        assert!(f < 1.0 && f > 0.4, "F {f}");
+    }
+
+    #[test]
+    fn metrics_validate_input() {
+        assert!(matches!(
+            misclassification_error(&[0, 1], &[0]),
+            Err(Error::LabelMismatch { .. })
+        ));
+        assert!(matches!(
+            rand_index(&[], &[]),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn silhouette_separated_vs_mixed() {
+        // Two tight groups far apart → silhouette near 1.
+        let pts = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.1, 0.0],
+            &[0.0, 0.1],
+            &[10.0, 10.0],
+            &[10.1, 10.0],
+            &[10.0, 10.1],
+        ])
+        .unwrap();
+        let dm = DissimilarityMatrix::from_matrix(&pts, Metric::Euclidean);
+        let good = silhouette(&dm, &[0, 0, 0, 1, 1, 1]).unwrap();
+        assert!(good > 0.9, "good {good}");
+        let bad = silhouette(&dm, &[0, 1, 0, 1, 0, 1]).unwrap();
+        assert!(bad < good);
+        assert!(silhouette(&dm, &[0; 6]).is_err());
+        assert!(silhouette(&dm, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn silhouette_handles_singletons() {
+        let pts = Matrix::from_rows(&[&[0.0], &[0.1], &[5.0]]).unwrap();
+        let dm = DissimilarityMatrix::from_matrix(&pts, Metric::Euclidean);
+        let s = silhouette(&dm, &[0, 0, 1]).unwrap();
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn same_partition_edge_cases() {
+        assert!(same_partition(&[], &[]));
+        assert!(!same_partition(&[0], &[]));
+        // Non-injective mapping must fail both directions.
+        assert!(!same_partition(&[0, 1], &[0, 0]));
+        assert!(!same_partition(&[0, 0], &[0, 1]));
+    }
+
+    #[test]
+    fn davies_bouldin_prefers_separated_clusters() {
+        let tight = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.1, 0.0],
+            &[10.0, 10.0],
+            &[10.1, 10.0],
+        ])
+        .unwrap();
+        let labels = [0, 0, 1, 1];
+        let good = davies_bouldin(&tight, &labels).unwrap();
+        // Smash the clusters together: index worsens (grows).
+        let close = tight.map(|x| x * 0.05);
+        let bad = davies_bouldin(&close, &labels).unwrap();
+        assert!(good < 0.1, "good {good}");
+        assert!((bad - good).abs() < 1e-9, "DB is scale-invariant: {bad} vs {good}");
+        // Mixed labels genuinely worsen it.
+        let mixed = davies_bouldin(&tight, &[0, 1, 0, 1]).unwrap();
+        assert!(mixed > good);
+        assert!(davies_bouldin(&tight, &[0, 0, 0, 0]).is_err());
+        assert!(davies_bouldin(&tight, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn davies_bouldin_invariant_under_rotation() {
+        use rbt_linalg::Rotation2;
+        let data = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.5, 0.2],
+            &[8.0, 8.0],
+            &[8.3, 7.9],
+            &[-4.0, 6.0],
+            &[-4.2, 6.3],
+        ])
+        .unwrap();
+        let labels = [0, 0, 1, 1, 2, 2];
+        let before = davies_bouldin(&data, &labels).unwrap();
+        let mut xs = data.column(0);
+        let mut ys = data.column(1);
+        Rotation2::from_degrees(123.4)
+            .apply_columns(&mut xs, &mut ys)
+            .unwrap();
+        let rotated = Matrix::from_columns(&[&xs, &ys]).unwrap();
+        let after = davies_bouldin(&rotated, &labels).unwrap();
+        assert!((before - after).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dunn_index_behaviour() {
+        use rbt_linalg::distance::Metric;
+        let pts = Matrix::from_rows(&[&[0.0], &[1.0], &[10.0], &[11.0]]).unwrap();
+        let dm = DissimilarityMatrix::from_matrix(&pts, Metric::Euclidean);
+        // Well-separated: min between = 9, max diameter = 1 → Dunn 9.
+        let d = dunn_index(&dm, &[0, 0, 1, 1]).unwrap();
+        assert!((d - 9.0).abs() < 1e-12);
+        // Bad partition mixes the groups: Dunn collapses below 1.
+        let bad = dunn_index(&dm, &[0, 1, 0, 1]).unwrap();
+        assert!(bad < 0.2, "bad {bad}");
+        assert!(dunn_index(&dm, &[0, 0, 0, 0]).is_err());
+        assert!(dunn_index(&dm, &[0, 1]).is_err());
+        // Singleton clusters with zero diameters.
+        let two = Matrix::from_rows(&[&[0.0], &[5.0]]).unwrap();
+        let dm2 = DissimilarityMatrix::from_matrix(&two, Metric::Euclidean);
+        assert_eq!(dunn_index(&dm2, &[0, 1]).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn contingency_counts() {
+        let c = contingency(&TRUTH, &[1, 1, 0, 0, 0, 0]).unwrap();
+        assert_eq!(c.n, 6);
+        assert_eq!(c.counts[(0, 1)], 2.0); // class 0 → cluster 1
+        assert_eq!(c.counts[(0, 0)], 1.0);
+        assert_eq!(c.counts[(1, 0)], 3.0);
+        assert_eq!(c.row_sums, vec![3.0, 3.0]);
+        assert_eq!(c.col_sums, vec![4.0, 2.0]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Model selection: choosing `k` when the ground truth is unknown.
+//!
+//! The sharing scenario of the paper leaves the miner with an unlabelled
+//! released matrix, so the miner must pick `k` itself. This module sweeps
+//! `k` and scores each candidate clustering with the silhouette
+//! coefficient. Because both k-means (Euclidean) and the silhouette are
+//! rotation-invariant, **the selected `k` is identical on the original and
+//! the RBT-released data** — model selection is covered by Corollary 1 too.
+
+use crate::kmeans::{KMeans, KMeansInit};
+use crate::metrics::silhouette;
+use crate::{Error, Result};
+use rand::Rng;
+use rbt_linalg::dissimilarity::DissimilarityMatrix;
+use rbt_linalg::distance::Metric;
+use rbt_linalg::Matrix;
+
+/// One candidate from a `k` sweep.
+#[derive(Debug, Clone)]
+pub struct KCandidate {
+    /// The number of clusters tried.
+    pub k: usize,
+    /// Mean silhouette of the k-means clustering at this `k`.
+    pub silhouette: f64,
+    /// The labels produced at this `k`.
+    pub labels: Vec<usize>,
+}
+
+/// Sweeps `k` over `k_range` with deterministic (`FirstK`) k-means and
+/// returns every candidate plus the index of the silhouette-best one.
+///
+/// # Errors
+///
+/// * [`Error::InvalidParameter`] for an empty range or `k < 2` anywhere in
+///   it (silhouette needs at least two clusters),
+/// * propagated k-means errors (e.g. more clusters than points).
+pub fn select_k<R: Rng + ?Sized>(
+    data: &Matrix,
+    k_range: std::ops::RangeInclusive<usize>,
+    rng: &mut R,
+) -> Result<(usize, Vec<KCandidate>)> {
+    if k_range.is_empty() {
+        return Err(Error::InvalidParameter("empty k range".into()));
+    }
+    if *k_range.start() < 2 {
+        return Err(Error::InvalidParameter(
+            "silhouette-based selection needs k >= 2".into(),
+        ));
+    }
+    let dm = DissimilarityMatrix::from_matrix(data, Metric::Euclidean);
+    let mut candidates = Vec::new();
+    for k in k_range {
+        let result = KMeans::new(k)?
+            .with_init(KMeansInit::FirstK)
+            .fit(data, rng)?;
+        let score = silhouette(&dm, &result.labels)?;
+        candidates.push(KCandidate {
+            k,
+            silhouette: score,
+            labels: result.labels,
+        });
+    }
+    let best = candidates
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.silhouette
+                .partial_cmp(&b.1.silhouette)
+                .expect("finite silhouettes")
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty candidates");
+    Ok((best, candidates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn blobs(k: usize, per: usize) -> Matrix {
+        let mut rows = Vec::new();
+        for c in 0..k {
+            let cx = 20.0 * (c as f64);
+            for i in 0..per {
+                let j = i as f64 * 0.01;
+                rows.push(vec![cx + j, cx - j]);
+            }
+        }
+        Matrix::from_row_iter(rows).unwrap()
+    }
+
+    #[test]
+    fn finds_the_true_k() {
+        let data = blobs(3, 30);
+        let (best, candidates) = select_k(&data, 2..=6, &mut rng(1)).unwrap();
+        assert_eq!(candidates[best].k, 3);
+        // Every candidate is populated consistently.
+        for c in &candidates {
+            assert_eq!(c.labels.len(), 90);
+            assert!(c.silhouette.is_finite());
+        }
+    }
+
+    #[test]
+    fn selection_is_invariant_under_rbt() {
+        use rbt_data::Normalization;
+        let raw = blobs(4, 25);
+        let (_, normalized) = Normalization::zscore_paper().fit_transform(&raw).unwrap();
+        // Rotate column pair (0, 1) — a hand-rolled RBT step, avoiding a
+        // dev-dependency cycle on rbt-core.
+        let mut released = normalized.clone();
+        let mut xs = released.column(0);
+        let mut ys = released.column(1);
+        rbt_linalg::Rotation2::from_degrees(203.7)
+            .apply_columns(&mut xs, &mut ys)
+            .unwrap();
+        released.set_column(0, &xs).unwrap();
+        released.set_column(1, &ys).unwrap();
+
+        let (best_a, cand_a) = select_k(&normalized, 2..=6, &mut rng(2)).unwrap();
+        let (best_b, cand_b) = select_k(&released, 2..=6, &mut rng(2)).unwrap();
+        assert_eq!(cand_a[best_a].k, cand_b[best_b].k);
+        for (a, b) in cand_a.iter().zip(&cand_b) {
+            assert!((a.silhouette - b.silhouette).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn validates_range() {
+        let data = blobs(2, 10);
+        assert!(matches!(
+            select_k(&data, 1..=4, &mut rng(0)),
+            Err(Error::InvalidParameter(_))
+        ));
+        #[allow(clippy::reversed_empty_ranges)]
+        let empty = 5..=2;
+        assert!(matches!(
+            select_k(&data, empty, &mut rng(0)),
+            Err(Error::InvalidParameter(_))
+        ));
+        // k beyond the point count propagates the k-means error.
+        assert!(select_k(&data, 2..=100, &mut rng(0)).is_err());
+    }
+}

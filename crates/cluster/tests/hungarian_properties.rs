@@ -1,0 +1,81 @@
+//! Property test: the Hungarian assignment is exactly optimal.
+//!
+//! The misclassification metric (the paper's central quality measure)
+//! rests on the Kuhn–Munkres implementation; here it is checked against
+//! exhaustive permutation search on random small instances.
+
+use proptest::prelude::*;
+use rbt_cluster::metrics::hungarian_min;
+use rbt_linalg::Matrix;
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    fn heap(k: usize, items: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(items.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, items, out);
+            if k % 2 == 0 {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+    heap(n, &mut items, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn hungarian_matches_exhaustive_search(n in 1usize..6, vals in prop::collection::vec(-100.0..100.0f64, 25)) {
+        let cost = Matrix::from_vec(n, n, vals[..n * n].to_vec()).unwrap();
+        let assignment = hungarian_min(&cost);
+
+        // It is a permutation.
+        let mut seen = assignment.clone();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+
+        let total: f64 = assignment.iter().enumerate().map(|(i, &j)| cost[(i, j)]).sum();
+        let best = permutations(n)
+            .into_iter()
+            .map(|perm| perm.iter().enumerate().map(|(i, &j)| cost[(i, j)]).sum::<f64>())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            total <= best + 1e-9 * (1.0 + best.abs()),
+            "hungarian {total} vs exhaustive {best}"
+        );
+    }
+
+    #[test]
+    fn misclassification_is_zero_iff_same_partition(labels in prop::collection::vec(0usize..4, 2..40), relabel in prop::collection::vec(0usize..7, 4)) {
+        use rbt_cluster::metrics::{misclassification_error, same_partition};
+        // Build a relabelled copy through a (possibly non-injective) map.
+        let mapped: Vec<usize> = labels.iter().map(|&l| relabel[l]).collect();
+        let err = misclassification_error(&labels, &mapped).unwrap();
+        if same_partition(&labels, &mapped) {
+            prop_assert!(err.abs() < 1e-12);
+        } else {
+            prop_assert!(err > 0.0);
+        }
+    }
+
+    #[test]
+    fn metrics_are_symmetric_in_their_arguments(a in prop::collection::vec(0usize..3, 5..30), seed in 0u64..100) {
+        use rbt_cluster::metrics::{adjusted_rand_index, rand_index};
+        // A derived second labelling.
+        let b: Vec<usize> = a.iter().enumerate().map(|(i, &l)| (l + (i as u64 % (seed % 3 + 1)) as usize) % 3).collect();
+        let r_ab = rand_index(&a, &b).unwrap();
+        let r_ba = rand_index(&b, &a).unwrap();
+        prop_assert!((r_ab - r_ba).abs() < 1e-12);
+        let ari_ab = adjusted_rand_index(&a, &b).unwrap();
+        let ari_ba = adjusted_rand_index(&b, &a).unwrap();
+        prop_assert!((ari_ab - ari_ba).abs() < 1e-12);
+    }
+}

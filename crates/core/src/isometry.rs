@@ -1,0 +1,135 @@
+//! Theorem 2 checks: RBT is an isometry of the n-dimensional space.
+//!
+//! The paper proves (Theorem 2) that successive pairwise rotations preserve
+//! all inter-object distances, and concludes (Corollary 1) that clustering
+//! results are invariant. These helpers quantify how close a transformation
+//! comes to that ideal, both for RBT (drift ~ machine epsilon) and for the
+//! baselines in `rbt-transform` (drift is large — that is the point of the
+//! comparison benches).
+
+use rbt_linalg::dissimilarity::DissimilarityMatrix;
+use rbt_linalg::distance::Metric;
+use rbt_linalg::Matrix;
+
+/// Maximum absolute change of any pairwise Euclidean distance between
+/// `before` and `after`.
+///
+/// Returns `f64::INFINITY` if the shapes disagree (different object counts
+/// cannot be isometric images of each other).
+pub fn dissimilarity_drift(before: &Matrix, after: &Matrix) -> f64 {
+    dissimilarity_drift_with(before, after, Metric::Euclidean)
+}
+
+/// [`dissimilarity_drift`] under an arbitrary metric — Manhattan drift is
+/// *not* ~0 under rotation, which the experiment suite demonstrates.
+pub fn dissimilarity_drift_with(before: &Matrix, after: &Matrix, metric: Metric) -> f64 {
+    if before.rows() != after.rows() {
+        return f64::INFINITY;
+    }
+    let a = DissimilarityMatrix::from_matrix(before, metric);
+    let b = DissimilarityMatrix::from_matrix(after, metric);
+    a.max_abs_diff(&b).unwrap_or(f64::INFINITY)
+}
+
+/// `true` when every pairwise Euclidean distance is preserved within `tol`.
+pub fn is_isometric(before: &Matrix, after: &Matrix, tol: f64) -> bool {
+    dissimilarity_drift(before, after) <= tol
+}
+
+/// Relative drift: maximum of `|d' − d| / max(d, floor)` over all pairs —
+/// scale-free, so thresholds transfer across datasets. `floor` guards the
+/// division for near-coincident points.
+pub fn relative_drift(before: &Matrix, after: &Matrix, floor: f64) -> f64 {
+    if before.rows() != after.rows() {
+        return f64::INFINITY;
+    }
+    let a = DissimilarityMatrix::from_matrix(before, Metric::Euclidean);
+    let b = DissimilarityMatrix::from_matrix(after, Metric::Euclidean);
+    a.condensed()
+        .iter()
+        .zip(b.condensed())
+        .map(|(x, y)| (x - y).abs() / x.max(floor))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbt_linalg::Rotation2;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[-1.0, 0.5, 2.0],
+            &[4.0, -2.0, 0.0],
+            &[0.0, 0.0, 1.0],
+        ])
+        .unwrap()
+    }
+
+    fn rotate_pair(m: &Matrix, i: usize, j: usize, degrees: f64) -> Matrix {
+        let mut out = m.clone();
+        let mut xs = out.column(i);
+        let mut ys = out.column(j);
+        Rotation2::from_degrees(degrees)
+            .apply_columns(&mut xs, &mut ys)
+            .unwrap();
+        out.set_column(i, &xs).unwrap();
+        out.set_column(j, &ys).unwrap();
+        out
+    }
+
+    #[test]
+    fn rotation_has_negligible_drift() {
+        let m = sample();
+        let r = rotate_pair(&m, 0, 2, 123.4);
+        assert!(dissimilarity_drift(&m, &r) < 1e-12);
+        assert!(is_isometric(&m, &r, 1e-12));
+        assert!(relative_drift(&m, &r, 1e-9) < 1e-12);
+    }
+
+    #[test]
+    fn composed_rotations_still_isometric() {
+        let m = sample();
+        let r1 = rotate_pair(&m, 0, 1, 312.47);
+        let r2 = rotate_pair(&r1, 2, 0, 147.29);
+        assert!(dissimilarity_drift(&m, &r2) < 1e-12);
+    }
+
+    #[test]
+    fn scaling_is_not_isometric() {
+        let m = sample();
+        let scaled = m.map(|x| 2.0 * x);
+        assert!(dissimilarity_drift(&m, &scaled) > 1.0);
+        assert!(!is_isometric(&m, &scaled, 1e-6));
+    }
+
+    #[test]
+    fn translation_is_isometric_but_noise_is_not() {
+        let m = sample();
+        let translated = m.map(|x| x + 5.0);
+        assert!(dissimilarity_drift(&m, &translated) < 1e-12);
+        let noisy = {
+            let mut out = m.clone();
+            out[(0, 0)] += 0.3;
+            out
+        };
+        assert!(dissimilarity_drift(&m, &noisy) > 0.1);
+    }
+
+    #[test]
+    fn manhattan_drift_nonzero_under_rotation() {
+        let m = sample();
+        let r = rotate_pair(&m, 0, 1, 45.0);
+        assert!(dissimilarity_drift_with(&m, &r, Metric::Manhattan) > 1e-3);
+        assert!(dissimilarity_drift_with(&m, &r, Metric::Euclidean) < 1e-12);
+    }
+
+    #[test]
+    fn shape_mismatch_is_infinite() {
+        let m = sample();
+        let fewer = m.select_rows(&[0, 1]).unwrap();
+        assert_eq!(dissimilarity_drift(&m, &fewer), f64::INFINITY);
+        assert_eq!(relative_drift(&m, &fewer, 1e-9), f64::INFINITY);
+    }
+}

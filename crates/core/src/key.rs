@@ -1,0 +1,399 @@
+//! The transformation key — the data owner's secret.
+//!
+//! §5.2 frames RBT's computational security around what an attacker would
+//! have to guess: the attribute pairs, their order, and the angle drawn for
+//! each pair from a continuous interval. A [`TransformationKey`] records
+//! exactly those choices, so the owner can (a) audit what was released,
+//! (b) re-apply the identical transformation to new rows, and (c) invert
+//! the release. Keys serialize to a small line-oriented text format
+//! (`Display`/`FromStr`) to stay within the approved dependency set.
+
+use crate::{Error, Result};
+use rbt_linalg::{Matrix, Rotation2};
+use std::fmt;
+use std::str::FromStr;
+
+/// One recorded rotation step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RotationStep {
+    /// Index of the first attribute of the pair (first rotated coordinate).
+    pub i: usize,
+    /// Index of the second attribute of the pair.
+    pub j: usize,
+    /// Clockwise rotation angle, degrees.
+    pub theta_degrees: f64,
+    /// `Var(Ai − Ai')` achieved at this angle (diagnostic; not required to
+    /// invert the key).
+    pub achieved_var1: f64,
+    /// `Var(Aj − Aj')` achieved at this angle.
+    pub achieved_var2: f64,
+}
+
+/// The ordered list of rotations applied by one RBT run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TransformationKey {
+    steps: Vec<RotationStep>,
+    n_attributes: usize,
+}
+
+impl TransformationKey {
+    /// Creates a key from explicit steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::KeyMismatch`] if a step references an attribute
+    /// `>= n_attributes` or pairs an attribute with itself.
+    pub fn new(steps: Vec<RotationStep>, n_attributes: usize) -> Result<Self> {
+        for (t, s) in steps.iter().enumerate() {
+            if s.i >= n_attributes || s.j >= n_attributes {
+                return Err(Error::KeyMismatch(format!(
+                    "step {t} references attribute out of range (n = {n_attributes})"
+                )));
+            }
+            if s.i == s.j {
+                return Err(Error::KeyMismatch(format!("step {t} pairs {} with itself", s.i)));
+            }
+        }
+        Ok(TransformationKey {
+            steps,
+            n_attributes,
+        })
+    }
+
+    /// The recorded steps, in application order.
+    pub fn steps(&self) -> &[RotationStep] {
+        &self.steps
+    }
+
+    /// Number of attributes of the matrices this key applies to.
+    pub fn n_attributes(&self) -> usize {
+        self.n_attributes
+    }
+
+    /// Applies the key's rotations, in order, to a matrix with the same
+    /// attribute layout (e.g. fresh rows arriving after the initial
+    /// release). The matrix must already be normalized with the same
+    /// parameters as the original fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::KeyMismatch`] if the column count differs.
+    pub fn apply(&self, normalized: &Matrix) -> Result<Matrix> {
+        self.check(normalized)?;
+        let mut out = normalized.clone();
+        let mut xs = Vec::with_capacity(out.rows());
+        let mut ys = Vec::with_capacity(out.rows());
+        for step in &self.steps {
+            out.column_into(step.i, &mut xs);
+            out.column_into(step.j, &mut ys);
+            Rotation2::from_degrees(step.theta_degrees).apply_columns(&mut xs, &mut ys)?;
+            out.set_column(step.i, &xs)?;
+            out.set_column(step.j, &ys)?;
+        }
+        Ok(out)
+    }
+
+    /// Undoes the transformation (owner-side): applies the inverse rotations
+    /// in reverse order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::KeyMismatch`] if the column count differs.
+    pub fn invert(&self, transformed: &Matrix) -> Result<Matrix> {
+        self.check(transformed)?;
+        let mut out = transformed.clone();
+        let mut xs = Vec::with_capacity(out.rows());
+        let mut ys = Vec::with_capacity(out.rows());
+        for step in self.steps.iter().rev() {
+            out.column_into(step.i, &mut xs);
+            out.column_into(step.j, &mut ys);
+            Rotation2::from_degrees(step.theta_degrees)
+                .inverse()
+                .apply_columns(&mut xs, &mut ys)?;
+            out.set_column(step.i, &xs)?;
+            out.set_column(step.j, &ys)?;
+        }
+        Ok(out)
+    }
+
+    /// The composite `n × n` orthogonal matrix the key is equivalent to
+    /// (the product of its Givens rotations, in application order). Row
+    /// vectors transform as `x' = x · Rᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`rbt_linalg::Error`] (cannot occur for a validated key).
+    pub fn composite_matrix(&self) -> Result<Matrix> {
+        let n = self.n_attributes;
+        let mut acc = Matrix::identity(n);
+        for step in &self.steps {
+            let g = rbt_linalg::rotation::givens(
+                n,
+                step.i,
+                step.j,
+                &Rotation2::from_degrees(step.theta_degrees),
+            )?;
+            acc = g.matmul(&acc)?;
+        }
+        Ok(acc)
+    }
+
+    fn check(&self, m: &Matrix) -> Result<()> {
+        if m.cols() != self.n_attributes {
+            return Err(Error::KeyMismatch(format!(
+                "key fitted for {} attributes, matrix has {}",
+                self.n_attributes,
+                m.cols()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TransformationKey {
+    /// Line-oriented text format:
+    ///
+    /// ```text
+    /// rbt-key v1 n=3
+    /// rotate 0 2 312.47 0.318 0.9805
+    /// rotate 1 0 147.29 2.9714 6.9274
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "rbt-key v1 n={}", self.n_attributes)?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "rotate {} {} {:.17e} {:.17e} {:.17e}",
+                s.i, s.j, s.theta_degrees, s.achieved_var1, s.achieved_var2
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for TransformationKey {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let mut lines = s.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines.next().ok_or(Error::KeyParse {
+            line: 1,
+            message: "empty key".into(),
+        })?;
+        let header = header.trim();
+        let n_attributes = header
+            .strip_prefix("rbt-key v1 n=")
+            .and_then(|rest| rest.parse::<usize>().ok())
+            .ok_or(Error::KeyParse {
+                line: 1,
+                message: format!("bad header {header:?}"),
+            })?;
+        let mut steps = Vec::new();
+        for (idx, line) in lines {
+            let line_no = idx + 1;
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("rotate") => {}
+                other => {
+                    return Err(Error::KeyParse {
+                        line: line_no,
+                        message: format!("expected 'rotate', found {other:?}"),
+                    })
+                }
+            }
+            let mut field = |name: &str| -> Result<&str> {
+                parts.next().ok_or(Error::KeyParse {
+                    line: line_no,
+                    message: format!("missing field {name}"),
+                })
+            };
+            let i = field("i")?.parse::<usize>().map_err(|e| Error::KeyParse {
+                line: line_no,
+                message: format!("bad i: {e}"),
+            })?;
+            let j = field("j")?.parse::<usize>().map_err(|e| Error::KeyParse {
+                line: line_no,
+                message: format!("bad j: {e}"),
+            })?;
+            let float = |name: &str, raw: &str| -> Result<f64> {
+                raw.parse::<f64>().map_err(|e| Error::KeyParse {
+                    line: line_no,
+                    message: format!("bad {name}: {e}"),
+                })
+            };
+            let theta_raw = field("theta")?;
+            let v1_raw = field("var1")?;
+            let v2_raw = field("var2")?;
+            let theta_degrees = float("theta", theta_raw)?;
+            let achieved_var1 = float("var1", v1_raw)?;
+            let achieved_var2 = float("var2", v2_raw)?;
+            if parts.next().is_some() {
+                return Err(Error::KeyParse {
+                    line: line_no,
+                    message: "trailing fields".into(),
+                });
+            }
+            steps.push(RotationStep {
+                i,
+                j,
+                theta_degrees,
+                achieved_var1,
+                achieved_var2,
+            });
+        }
+        TransformationKey::new(steps, n_attributes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::approx_constant)] // 0.318 is the paper's printed value, not 1/pi
+    fn paper_key() -> TransformationKey {
+        TransformationKey::new(
+            vec![
+                RotationStep {
+                    i: 0,
+                    j: 2,
+                    theta_degrees: 312.47,
+                    achieved_var1: 0.318,
+                    achieved_var2: 0.9805,
+                },
+                RotationStep {
+                    i: 1,
+                    j: 0,
+                    theta_degrees: 147.29,
+                    achieved_var1: 2.9714,
+                    achieved_var2: 6.9274,
+                },
+            ],
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_steps() {
+        let bad_range = TransformationKey::new(
+            vec![RotationStep {
+                i: 0,
+                j: 9,
+                theta_degrees: 1.0,
+                achieved_var1: 0.0,
+                achieved_var2: 0.0,
+            }],
+            3,
+        );
+        assert!(matches!(bad_range, Err(Error::KeyMismatch(_))));
+        let self_pair = TransformationKey::new(
+            vec![RotationStep {
+                i: 1,
+                j: 1,
+                theta_degrees: 1.0,
+                achieved_var1: 0.0,
+                achieved_var2: 0.0,
+            }],
+            3,
+        );
+        assert!(matches!(self_pair, Err(Error::KeyMismatch(_))));
+    }
+
+    #[test]
+    fn apply_then_invert_round_trips() {
+        let key = paper_key();
+        let data = Matrix::from_rows(&[
+            &[1.4809, 0.7095, -0.3476],
+            &[0.4151, -0.3041, -1.5061],
+            &[-0.4824, -1.0642, 0.4634],
+        ])
+        .unwrap();
+        let transformed = key.apply(&data).unwrap();
+        assert!(transformed.max_abs_diff(&data).unwrap() > 0.1);
+        let back = key.invert(&transformed).unwrap();
+        assert!(back.approx_eq(&data, 1e-12));
+    }
+
+    #[test]
+    fn apply_checks_shape() {
+        let key = paper_key();
+        assert!(matches!(
+            key.apply(&Matrix::zeros(2, 2)),
+            Err(Error::KeyMismatch(_))
+        ));
+        assert!(matches!(
+            key.invert(&Matrix::zeros(2, 5)),
+            Err(Error::KeyMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn composite_matrix_matches_stepwise_application() {
+        let key = paper_key();
+        let data = Matrix::from_rows(&[
+            &[1.0, -0.5, 0.25],
+            &[0.1, 2.0, -1.0],
+        ])
+        .unwrap();
+        let stepwise = key.apply(&data).unwrap();
+        let r = key.composite_matrix().unwrap();
+        assert!(rbt_linalg::rotation::is_orthogonal(&r, 1e-12));
+        let via_matrix = data.matmul(&r.transpose()).unwrap();
+        assert!(stepwise.approx_eq(&via_matrix, 1e-10));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let key = paper_key();
+        let text = key.to_string();
+        assert!(text.starts_with("rbt-key v1 n=3\n"));
+        let parsed: TransformationKey = text.parse().unwrap();
+        assert_eq!(parsed.n_attributes(), 3);
+        assert_eq!(parsed.steps().len(), 2);
+        for (a, b) in parsed.steps().iter().zip(key.steps()) {
+            assert_eq!(a.i, b.i);
+            assert_eq!(a.j, b.j);
+            assert!((a.theta_degrees - b.theta_degrees).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_keys() {
+        assert!(matches!(
+            "".parse::<TransformationKey>(),
+            Err(Error::KeyParse { .. })
+        ));
+        assert!(matches!(
+            "not-a-key".parse::<TransformationKey>(),
+            Err(Error::KeyParse { line: 1, .. })
+        ));
+        assert!(matches!(
+            "rbt-key v1 n=3\nrotate 0 1".parse::<TransformationKey>(),
+            Err(Error::KeyParse { line: 2, .. })
+        ));
+        assert!(matches!(
+            "rbt-key v1 n=3\nrotate 0 1 x 0 0".parse::<TransformationKey>(),
+            Err(Error::KeyParse { line: 2, .. })
+        ));
+        assert!(matches!(
+            "rbt-key v1 n=3\nrotate 0 1 1.0 0 0 extra".parse::<TransformationKey>(),
+            Err(Error::KeyParse { line: 2, .. })
+        ));
+        // Header/step disagreement surfaces as KeyMismatch from `new`.
+        assert!(matches!(
+            "rbt-key v1 n=2\nrotate 0 5 1.0 0 0".parse::<TransformationKey>(),
+            Err(Error::KeyMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn empty_key_is_identity() {
+        let key = TransformationKey::new(vec![], 3).unwrap();
+        let data = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        assert_eq!(key.apply(&data).unwrap(), data);
+        assert!(key
+            .composite_matrix()
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 0.0));
+    }
+}

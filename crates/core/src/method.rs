@@ -1,0 +1,486 @@
+//! The RBT algorithm (§4.3, Step 2) — Definition 3's `RBT = (D, fr)`.
+//!
+//! Given a **normalized** data matrix, the transformer:
+//!
+//! 1. selects attribute pairs ([`PairingStrategy`]),
+//! 2. for each pair, derives the variance curves as a function of θ
+//!    (step 2a–2b), solves the **security range** (step 2c),
+//! 3. draws θ uniformly at random from that range,
+//! 4. rotates the two columns in place (step 2d), and
+//! 5. records the step in a [`TransformationKey`].
+//!
+//! The loop visits each pair once and each step costs `O(m)` plus the
+//! solver's `O(grid)`, giving the `O(m·n)` total of Theorem 1 (the bench
+//! suite's `rbt_scaling` target measures exactly this).
+
+use crate::key::{RotationStep, TransformationKey};
+use crate::pairing::PairingStrategy;
+use crate::security::{
+    max_achievable, security_range, PairVarianceProfile, PairwiseSecurityThreshold, DEFAULT_GRID,
+};
+use crate::{Error, Result};
+use rand::Rng;
+use rbt_linalg::stats::VarianceMode;
+use rbt_linalg::{Matrix, Rotation2};
+
+/// How thresholds are assigned to pairs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThresholdPolicy {
+    /// One threshold shared by every pair.
+    Uniform(PairwiseSecurityThreshold),
+    /// One threshold per pair, in pairing order (the paper's running
+    /// example: `PST1 = (0.30, 0.55)`, `PST2 = (2.30, 2.30)`).
+    PerPair(Vec<PairwiseSecurityThreshold>),
+}
+
+impl ThresholdPolicy {
+    fn resolve(&self, n_pairs: usize) -> Result<Vec<PairwiseSecurityThreshold>> {
+        match self {
+            ThresholdPolicy::Uniform(pst) => Ok(vec![*pst; n_pairs]),
+            ThresholdPolicy::PerPair(list) => {
+                if list.len() != n_pairs {
+                    return Err(Error::InvalidParameter(format!(
+                        "{} thresholds for {n_pairs} pairs",
+                        list.len()
+                    )));
+                }
+                Ok(list.clone())
+            }
+        }
+    }
+}
+
+/// Configuration of an RBT run.
+#[derive(Debug, Clone)]
+pub struct RbtConfig {
+    /// Pair-selection strategy (§4.3 Step 1).
+    pub pairing: PairingStrategy,
+    /// Threshold assignment (§4.2, Pairwise-Security Threshold).
+    pub thresholds: ThresholdPolicy,
+    /// Variance divisor; [`VarianceMode::Sample`] matches the paper's
+    /// numbers.
+    pub variance_mode: VarianceMode,
+    /// Grid resolution of the security-range solver.
+    pub solver_grid: usize,
+}
+
+impl RbtConfig {
+    /// A configuration with a single threshold for all pairs, sequential
+    /// pairing, paper-matching variance mode, and the default solver grid.
+    pub fn uniform(pst: PairwiseSecurityThreshold) -> Self {
+        RbtConfig {
+            pairing: PairingStrategy::Sequential,
+            thresholds: ThresholdPolicy::Uniform(pst),
+            variance_mode: VarianceMode::Sample,
+            solver_grid: DEFAULT_GRID,
+        }
+    }
+
+    /// Replaces the pairing strategy.
+    pub fn with_pairing(mut self, pairing: PairingStrategy) -> Self {
+        self.pairing = pairing;
+        self
+    }
+
+    /// Replaces the threshold policy.
+    pub fn with_thresholds(mut self, thresholds: ThresholdPolicy) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// Replaces the variance mode.
+    pub fn with_variance_mode(mut self, mode: VarianceMode) -> Self {
+        self.variance_mode = mode;
+        self
+    }
+
+    /// Replaces the solver grid resolution.
+    pub fn with_solver_grid(mut self, grid: usize) -> Self {
+        self.solver_grid = grid;
+        self
+    }
+
+    /// Resolves the threshold policy against a pair count (shared with the
+    /// reflection extension).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if a per-pair list disagrees
+    /// with `n_pairs`.
+    pub fn thresholds_for(&self, n_pairs: usize) -> Result<Vec<PairwiseSecurityThreshold>> {
+        self.thresholds.resolve(n_pairs)
+    }
+}
+
+/// Output of an RBT run: the released matrix plus the owner's secret key.
+#[derive(Debug, Clone)]
+pub struct RbtOutput {
+    /// The transformed (released) data matrix `D'`.
+    pub transformed: Matrix,
+    /// The secret transformation key (pairs, angles, achieved variances).
+    pub key: TransformationKey,
+}
+
+/// The RBT transformer.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rbt_core::{RbtConfig, RbtTransformer, PairwiseSecurityThreshold};
+/// use rbt_data::{datasets, Normalization};
+///
+/// let raw = datasets::arrhythmia_sample();
+/// let (_, normalized) = Normalization::zscore_paper()
+///     .fit_transform(raw.matrix()).unwrap();
+///
+/// let config = RbtConfig::uniform(PairwiseSecurityThreshold::uniform(0.3).unwrap());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let out = RbtTransformer::new(config).transform(&normalized, &mut rng).unwrap();
+///
+/// // Distances are preserved (Theorem 2) …
+/// let diff = rbt_core::isometry::dissimilarity_drift(&normalized, &out.transformed);
+/// assert!(diff < 1e-9);
+/// // … while every attribute meets its security threshold.
+/// for step in out.key.steps() {
+///     assert!(step.achieved_var1 >= 0.3 && step.achieved_var2 >= 0.3);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RbtTransformer {
+    config: RbtConfig,
+}
+
+impl RbtTransformer {
+    /// Creates a transformer with the given configuration.
+    pub fn new(config: RbtConfig) -> Self {
+        RbtTransformer { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RbtConfig {
+        &self.config
+    }
+
+    /// Runs the RBT algorithm on a normalized data matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidParameter`] for fewer than 2 columns or a
+    ///   threshold/pair count mismatch,
+    /// * [`Error::InvalidPairing`] for a malformed explicit pairing,
+    /// * [`Error::EmptySecurityRange`] when a pair cannot meet its
+    ///   threshold at any angle (the error reports the maximum achievable
+    ///   variances so the administrator can pick a feasible PST).
+    pub fn transform<R: Rng + ?Sized>(
+        &self,
+        normalized: &Matrix,
+        rng: &mut R,
+    ) -> Result<RbtOutput> {
+        if normalized.has_non_finite() {
+            return Err(Error::InvalidParameter(
+                "input matrix contains NaN or infinite values".into(),
+            ));
+        }
+        let n = normalized.cols();
+        let pairs = self.config.pairing.pairs(n, rng)?;
+        let thresholds = self.config.thresholds.resolve(pairs.len())?;
+
+        let mut out = normalized.clone();
+        let mut steps = Vec::with_capacity(pairs.len());
+        let mut xs: Vec<f64> = Vec::with_capacity(out.rows());
+        let mut ys: Vec<f64> = Vec::with_capacity(out.rows());
+
+        for (&(i, j), pst) in pairs.iter().zip(&thresholds) {
+            out.column_into(i, &mut xs);
+            out.column_into(j, &mut ys);
+            let profile =
+                PairVarianceProfile::from_columns(&xs, &ys, self.config.variance_mode)?;
+            let range = security_range(&profile, pst, self.config.solver_grid)?;
+            if range.is_empty() {
+                let (max_var1, max_var2) = max_achievable(&profile, self.config.solver_grid);
+                return Err(Error::EmptySecurityRange {
+                    i,
+                    j,
+                    rho1: pst.rho1,
+                    rho2: pst.rho2,
+                    max_var1,
+                    max_var2,
+                });
+            }
+            let theta = range.sample(rng)?;
+            Rotation2::from_degrees(theta).apply_columns(&mut xs, &mut ys)?;
+            out.set_column(i, &xs)?;
+            out.set_column(j, &ys)?;
+            steps.push(RotationStep {
+                i,
+                j,
+                theta_degrees: theta,
+                achieved_var1: profile.var_diff_first(theta),
+                achieved_var2: profile.var_diff_second(theta),
+            });
+        }
+
+        let key = TransformationKey::new(steps, n)?;
+        Ok(RbtOutput {
+            transformed: out,
+            key,
+        })
+    }
+
+    /// Runs the algorithm with **fixed angles** instead of random draws —
+    /// used to replay the paper's running example and for regression tests.
+    /// Angles are taken per pair, in pairing order; thresholds are still
+    /// checked (an angle outside its pair's security range is an error).
+    ///
+    /// # Errors
+    ///
+    /// As [`transform`](Self::transform), plus [`Error::InvalidParameter`]
+    /// if `angles.len()` disagrees with the pairing or an angle violates
+    /// its pair's threshold.
+    pub fn transform_with_angles<R: Rng + ?Sized>(
+        &self,
+        normalized: &Matrix,
+        angles: &[f64],
+        rng: &mut R,
+    ) -> Result<RbtOutput> {
+        let n = normalized.cols();
+        let pairs = self.config.pairing.pairs(n, rng)?;
+        if angles.len() != pairs.len() {
+            return Err(Error::InvalidParameter(format!(
+                "{} angles for {} pairs",
+                angles.len(),
+                pairs.len()
+            )));
+        }
+        let thresholds = self.config.thresholds.resolve(pairs.len())?;
+
+        let mut out = normalized.clone();
+        let mut steps = Vec::with_capacity(pairs.len());
+        let mut xs: Vec<f64> = Vec::with_capacity(out.rows());
+        let mut ys: Vec<f64> = Vec::with_capacity(out.rows());
+
+        for ((&(i, j), pst), &theta) in pairs.iter().zip(&thresholds).zip(angles) {
+            out.column_into(i, &mut xs);
+            out.column_into(j, &mut ys);
+            let profile =
+                PairVarianceProfile::from_columns(&xs, &ys, self.config.variance_mode)?;
+            if !profile.satisfies(theta, pst) {
+                return Err(Error::InvalidParameter(format!(
+                    "angle {theta}° violates PST ({}, {}) for pair ({i}, {j}): \
+                     achieved ({:.4}, {:.4})",
+                    pst.rho1,
+                    pst.rho2,
+                    profile.var_diff_first(theta),
+                    profile.var_diff_second(theta),
+                )));
+            }
+            Rotation2::from_degrees(theta).apply_columns(&mut xs, &mut ys)?;
+            out.set_column(i, &xs)?;
+            out.set_column(j, &ys)?;
+            steps.push(RotationStep {
+                i,
+                j,
+                theta_degrees: theta,
+                achieved_var1: profile.var_diff_first(theta),
+                achieved_var2: profile.var_diff_second(theta),
+            });
+        }
+
+        let key = TransformationKey::new(steps, n)?;
+        Ok(RbtOutput {
+            transformed: out,
+            key,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isometry::dissimilarity_drift;
+    use rand::SeedableRng;
+    use rbt_data::{datasets, Normalization};
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn normalized_sample() -> Matrix {
+        let raw = datasets::arrhythmia_sample();
+        Normalization::zscore_paper()
+            .fit_transform(raw.matrix())
+            .unwrap()
+            .1
+    }
+
+    fn default_config() -> RbtConfig {
+        RbtConfig::uniform(PairwiseSecurityThreshold::uniform(0.25).unwrap())
+    }
+
+    #[test]
+    fn transform_preserves_distances() {
+        let normalized = normalized_sample();
+        let out = RbtTransformer::new(default_config())
+            .transform(&normalized, &mut rng(3))
+            .unwrap();
+        assert!(dissimilarity_drift(&normalized, &out.transformed) < 1e-9);
+    }
+
+    #[test]
+    fn transform_meets_thresholds() {
+        let normalized = normalized_sample();
+        let out = RbtTransformer::new(default_config())
+            .transform(&normalized, &mut rng(5))
+            .unwrap();
+        for step in out.key.steps() {
+            assert!(step.achieved_var1 >= 0.25, "step {step:?}");
+            assert!(step.achieved_var2 >= 0.25, "step {step:?}");
+        }
+    }
+
+    #[test]
+    fn odd_attribute_count_distorts_every_column() {
+        let normalized = normalized_sample(); // 3 columns
+        let out = RbtTransformer::new(default_config())
+            .transform(&normalized, &mut rng(11))
+            .unwrap();
+        // Every column must differ from the original.
+        for j in 0..3 {
+            let orig = normalized.column(j);
+            let released = out.transformed.column(j);
+            let moved = orig
+                .iter()
+                .zip(&released)
+                .any(|(a, b)| (a - b).abs() > 1e-6);
+            assert!(moved, "column {j} unchanged");
+        }
+        // Sequential pairing on 3 columns: (0,1) then (2,0).
+        assert_eq!(out.key.steps().len(), 2);
+    }
+
+    #[test]
+    fn key_inverts_the_release() {
+        let normalized = normalized_sample();
+        let out = RbtTransformer::new(default_config())
+            .transform(&normalized, &mut rng(23))
+            .unwrap();
+        let recovered = out.key.invert(&out.transformed).unwrap();
+        assert!(recovered.approx_eq(&normalized, 1e-10));
+    }
+
+    #[test]
+    fn per_pair_thresholds_enforced() {
+        let normalized = normalized_sample();
+        let config = default_config().with_thresholds(ThresholdPolicy::PerPair(vec![
+            PairwiseSecurityThreshold::new(0.30, 0.55).unwrap(),
+            PairwiseSecurityThreshold::uniform(2.30).unwrap(),
+        ]));
+        let out = RbtTransformer::new(config)
+            .transform(&normalized, &mut rng(2))
+            .unwrap();
+        let s = out.key.steps();
+        assert!(s[0].achieved_var1 >= 0.30 && s[0].achieved_var2 >= 0.55);
+        assert!(s[1].achieved_var1 >= 2.30 && s[1].achieved_var2 >= 2.30);
+    }
+
+    #[test]
+    fn threshold_count_mismatch_rejected() {
+        let normalized = normalized_sample();
+        let config = default_config().with_thresholds(ThresholdPolicy::PerPair(vec![
+            PairwiseSecurityThreshold::uniform(0.3).unwrap(),
+        ]));
+        assert!(matches!(
+            RbtTransformer::new(config).transform(&normalized, &mut rng(0)),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn unsatisfiable_threshold_reports_max_achievable() {
+        let normalized = normalized_sample();
+        let config =
+            RbtConfig::uniform(PairwiseSecurityThreshold::uniform(50.0).unwrap());
+        match RbtTransformer::new(config).transform(&normalized, &mut rng(0)) {
+            Err(Error::EmptySecurityRange {
+                max_var1, max_var2, ..
+            }) => {
+                assert!(max_var1 > 0.0 && max_var1 < 50.0);
+                assert!(max_var2 > 0.0 && max_var2 < 50.0);
+            }
+            other => panic!("expected EmptySecurityRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_input_rejected() {
+        let mut normalized = normalized_sample();
+        normalized[(1, 2)] = f64::NAN;
+        assert!(matches!(
+            RbtTransformer::new(default_config()).transform(&normalized, &mut rng(0)),
+            Err(Error::InvalidParameter(_))
+        ));
+        normalized[(1, 2)] = f64::NEG_INFINITY;
+        assert!(matches!(
+            RbtTransformer::new(default_config()).transform(&normalized, &mut rng(0)),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn too_few_columns_rejected() {
+        let one_col = Matrix::from_columns(&[&[1.0, 2.0, 3.0]]).unwrap();
+        assert!(matches!(
+            RbtTransformer::new(default_config()).transform(&one_col, &mut rng(0)),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn different_seeds_give_different_releases() {
+        let normalized = normalized_sample();
+        let t = RbtTransformer::new(default_config());
+        let a = t.transform(&normalized, &mut rng(1)).unwrap();
+        let b = t.transform(&normalized, &mut rng(2)).unwrap();
+        assert!(a.transformed.max_abs_diff(&b.transformed).unwrap() > 1e-6);
+        // … but both preserve distances.
+        assert!(dissimilarity_drift(&normalized, &a.transformed) < 1e-9);
+        assert!(dissimilarity_drift(&normalized, &b.transformed) < 1e-9);
+    }
+
+    #[test]
+    fn fixed_angles_replay_and_validation() {
+        let normalized = normalized_sample();
+        let config = default_config().with_pairing(PairingStrategy::Explicit(vec![
+            (0, 2),
+            (1, 0),
+        ]));
+        let t = RbtTransformer::new(config);
+        // The paper's angles satisfy a loose uniform threshold.
+        let out = t
+            .transform_with_angles(&normalized, &[312.47, 147.29], &mut rng(0))
+            .unwrap();
+        assert_eq!(out.key.steps()[0].theta_degrees, 312.47);
+        // θ = 0 is the identity rotation: violates any positive threshold.
+        assert!(matches!(
+            t.transform_with_angles(&normalized, &[0.0, 147.29], &mut rng(0)),
+            Err(Error::InvalidParameter(_))
+        ));
+        // Angle count mismatch.
+        assert!(matches!(
+            t.transform_with_angles(&normalized, &[312.47], &mut rng(0)),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn random_pairing_still_preserves_distances() {
+        let normalized = normalized_sample();
+        let config = default_config().with_pairing(PairingStrategy::RandomShuffle);
+        let out = RbtTransformer::new(config)
+            .transform(&normalized, &mut rng(9))
+            .unwrap();
+        assert!(dissimilarity_drift(&normalized, &out.transformed) < 1e-9);
+    }
+}

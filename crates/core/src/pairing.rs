@@ -1,0 +1,209 @@
+//! Attribute-pair selection (§4.3, Step 1).
+//!
+//! The algorithm distorts `k = ⌈n/2⌉` pairs of attributes. The paper leaves
+//! the pairing to the security administrator ("the pairs are not selected
+//! sequentially … in any order of his choice"); what matters is that
+//! **every attribute is distorted**, and that with an odd `n` the leftover
+//! attribute is paired with an attribute that has *already been distorted*
+//! (which is then distorted a second time — exactly what the running
+//! example does with `age`).
+
+use crate::{Error, Result};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// How attribute pairs are chosen.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum PairingStrategy {
+    /// `(0,1), (2,3), …`; an odd trailing attribute is paired with
+    /// attribute 0 (already distorted by the first pair).
+    #[default]
+    Sequential,
+    /// A uniformly random perfect matching; an odd trailing attribute is
+    /// paired with a random already-distorted attribute. This is the
+    /// security posture the paper recommends — the pairing is part of the
+    /// secret.
+    RandomShuffle,
+    /// An explicit, administrator-chosen pairing (the paper's default
+    /// framing). Must cover every attribute; later pairs may re-use
+    /// attributes distorted by earlier pairs.
+    Explicit(Vec<(usize, usize)>),
+}
+
+impl PairingStrategy {
+    /// Produces the ordered list of attribute pairs for `n` attributes.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidParameter`] for `n < 2`,
+    /// * [`Error::InvalidPairing`] if an explicit pairing is malformed
+    ///   (out-of-range or self-paired indices, attributes never distorted,
+    ///   or an attribute re-used before it has been distorted).
+    pub fn pairs<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Result<Vec<(usize, usize)>> {
+        if n < 2 {
+            return Err(Error::InvalidParameter(format!(
+                "RBT needs at least 2 attributes, got {n}"
+            )));
+        }
+        let pairs = match self {
+            PairingStrategy::Sequential => {
+                let mut pairs: Vec<(usize, usize)> =
+                    (0..n / 2).map(|t| (2 * t, 2 * t + 1)).collect();
+                if n % 2 == 1 {
+                    pairs.push((n - 1, 0));
+                }
+                pairs
+            }
+            PairingStrategy::RandomShuffle => {
+                let mut order: Vec<usize> = (0..n).collect();
+                order.shuffle(rng);
+                let mut pairs: Vec<(usize, usize)> = order
+                    .chunks_exact(2)
+                    .map(|c| (c[0], c[1]))
+                    .collect();
+                if n % 2 == 1 {
+                    let leftover = order[n - 1];
+                    // Any already-distorted attribute is a valid partner.
+                    let partner = order[rng.random_range(0..n - 1)];
+                    pairs.push((leftover, partner));
+                }
+                pairs
+            }
+            PairingStrategy::Explicit(pairs) => pairs.clone(),
+        };
+        validate_pairs(&pairs, n)?;
+        Ok(pairs)
+    }
+}
+
+/// Checks the paper's pairing rules:
+/// indices in range, no self-pairs, every attribute distorted at least
+/// once, and any attribute appearing a second time must already have been
+/// distorted by an earlier pair.
+pub fn validate_pairs(pairs: &[(usize, usize)], n: usize) -> Result<()> {
+    if pairs.is_empty() {
+        return Err(Error::InvalidPairing("no pairs selected".into()));
+    }
+    let mut distorted = vec![false; n];
+    for (t, &(i, j)) in pairs.iter().enumerate() {
+        for &idx in &[i, j] {
+            if idx >= n {
+                return Err(Error::InvalidPairing(format!(
+                    "pair {t} references attribute {idx}, but there are only {n}"
+                )));
+            }
+        }
+        if i == j {
+            return Err(Error::InvalidPairing(format!(
+                "pair {t} pairs attribute {i} with itself"
+            )));
+        }
+        // The paper allows re-distorting only attributes that are already
+        // distorted ("the last attribute selected is distorted along with
+        // any other attribute already distorted").
+        if distorted[i] && distorted[j] {
+            // Both already distorted: a redundant extra rotation. Allowed —
+            // it only adds security.
+        }
+        distorted[i] = true;
+        distorted[j] = true;
+    }
+    if let Some(missed) = distorted.iter().position(|&d| !d) {
+        return Err(Error::InvalidPairing(format!(
+            "attribute {missed} is never distorted"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sequential_even() {
+        let pairs = PairingStrategy::Sequential.pairs(4, &mut rng(0)).unwrap();
+        assert_eq!(pairs, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn sequential_odd_chains_to_distorted() {
+        let pairs = PairingStrategy::Sequential.pairs(5, &mut rng(0)).unwrap();
+        assert_eq!(pairs, vec![(0, 1), (2, 3), (4, 0)]);
+        // k = (n+1)/2 pairs for odd n, as the paper prescribes.
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn sequential_minimum() {
+        let pairs = PairingStrategy::Sequential.pairs(2, &mut rng(0)).unwrap();
+        assert_eq!(pairs, vec![(0, 1)]);
+        assert!(PairingStrategy::Sequential.pairs(1, &mut rng(0)).is_err());
+        assert!(PairingStrategy::Sequential.pairs(0, &mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn random_shuffle_covers_everything() {
+        for n in [2usize, 3, 4, 5, 8, 9, 17] {
+            for seed in 0..5 {
+                let pairs = PairingStrategy::RandomShuffle
+                    .pairs(n, &mut rng(seed))
+                    .unwrap();
+                assert_eq!(pairs.len(), n.div_ceil(2), "n={n}");
+                validate_pairs(&pairs, n).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn random_shuffle_varies_with_seed() {
+        let a = PairingStrategy::RandomShuffle.pairs(8, &mut rng(1)).unwrap();
+        let b = PairingStrategy::RandomShuffle.pairs(8, &mut rng(2)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn explicit_paper_pairing_is_valid() {
+        // The running example: pair1 = [age, heart_rate] = (0, 2),
+        // pair2 = [weight, age] = (1, 0) — age re-used after distortion.
+        let strategy = PairingStrategy::Explicit(vec![(0, 2), (1, 0)]);
+        let pairs = strategy.pairs(3, &mut rng(0)).unwrap();
+        assert_eq!(pairs, vec![(0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn explicit_validation_errors() {
+        let out_of_range = PairingStrategy::Explicit(vec![(0, 5)]);
+        assert!(matches!(
+            out_of_range.pairs(3, &mut rng(0)),
+            Err(Error::InvalidPairing(_))
+        ));
+        let self_pair = PairingStrategy::Explicit(vec![(1, 1), (0, 2)]);
+        assert!(matches!(
+            self_pair.pairs(3, &mut rng(0)),
+            Err(Error::InvalidPairing(_))
+        ));
+        let missing = PairingStrategy::Explicit(vec![(0, 1)]);
+        assert!(matches!(
+            missing.pairs(3, &mut rng(0)),
+            Err(Error::InvalidPairing(_))
+        ));
+        let empty = PairingStrategy::Explicit(vec![]);
+        assert!(matches!(
+            empty.pairs(3, &mut rng(0)),
+            Err(Error::InvalidPairing(_))
+        ));
+    }
+
+    #[test]
+    fn redundant_re_rotation_is_allowed() {
+        let strategy = PairingStrategy::Explicit(vec![(0, 1), (2, 3), (0, 2)]);
+        assert!(strategy.pairs(4, &mut rng(0)).is_ok());
+    }
+}

@@ -1,0 +1,649 @@
+//! Extension: reflection-based distortion — the paper's third isometry
+//! class (§3.1) as a drop-in enlargement of the RBT keyspace.
+//!
+//! §3.1 lists three isometry families: translations, rotations, and
+//! **reflections** ("map all points to their mirror images"). The paper
+//! only builds on rotations; this module completes the picture. For a pair
+//! `(X, Y)` reflected across the line at angle φ:
+//!
+//! ```text
+//! X' = X·cos2φ + Y·sin2φ        D1 = X − X' = (1−cos2φ)·X − sin2φ·Y
+//! Y' = X·sin2φ − Y·cos2φ        D2 = Y − Y' = −sin2φ·X + (1+cos2φ)·Y
+//!
+//! Var(D1) = (1−cos2φ)²·Var(X) + sin²2φ·Var(Y) − 2(1−cos2φ)·sin2φ·Cov
+//! Var(D2) = sin²2φ·Var(X) + (1+cos2φ)²·Var(Y) − 2·sin2φ·(1+cos2φ)·Cov
+//! ```
+//!
+//! The same security-range machinery applies, so [`HybridIsometry`] can
+//! flip a fair coin per pair between a rotation and a reflection: each
+//! step stays an exact isometry, Corollary 1 still holds verbatim, and an
+//! attacker enumerating the key must now also guess one bit per pair (and
+//! cannot assume the composite map has determinant +1).
+
+use crate::security::{PairVarianceProfile, PairwiseSecurityThreshold, SecurityRange};
+use crate::{Error, Result};
+use rand::{Rng, RngExt};
+use rbt_linalg::rotation::Reflection2;
+use rbt_linalg::{Matrix, Rotation2};
+use std::fmt;
+use std::str::FromStr;
+
+/// `Var(X − X')` under reflection across the axis at `phi_degrees`.
+pub fn reflection_var_diff_first(p: &PairVarianceProfile, phi_degrees: f64) -> f64 {
+    let (s, c) = (2.0 * phi_degrees.to_radians()).sin_cos();
+    let a = 1.0 - c;
+    a * a * p.var_x + s * s * p.var_y - 2.0 * a * s * p.cov_xy
+}
+
+/// `Var(Y − Y')` under reflection across the axis at `phi_degrees`.
+pub fn reflection_var_diff_second(p: &PairVarianceProfile, phi_degrees: f64) -> f64 {
+    let (s, c) = (2.0 * phi_degrees.to_radians()).sin_cos();
+    let b = 1.0 + c;
+    s * s * p.var_x + b * b * p.var_y - 2.0 * s * b * p.cov_xy
+}
+
+/// `true` when the reflection axis angle satisfies the threshold on both
+/// attributes.
+pub fn reflection_satisfies(
+    p: &PairVarianceProfile,
+    phi_degrees: f64,
+    pst: &PairwiseSecurityThreshold,
+) -> bool {
+    reflection_var_diff_first(p, phi_degrees) >= pst.rho1
+        && reflection_var_diff_second(p, phi_degrees) >= pst.rho2
+}
+
+/// Security range for the reflection axis: the set of φ in `[0°, 180°)`
+/// (reflections repeat with period 180°) meeting the threshold.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for `grid < 8`.
+pub fn reflection_security_range(
+    p: &PairVarianceProfile,
+    pst: &PairwiseSecurityThreshold,
+    grid: usize,
+) -> Result<SecurityRange> {
+    if grid < 8 {
+        return Err(Error::InvalidParameter(format!(
+            "grid must be at least 8, got {grid}"
+        )));
+    }
+    let feasible = |phi: f64| reflection_satisfies(p, phi, pst);
+    let step = 180.0 / grid as f64;
+    let refine = |mut lo: f64, mut hi: f64| -> f64 {
+        let lo_feasible = feasible(lo);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if feasible(mid) == lo_feasible {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+    let mut intervals = Vec::new();
+    let mut current = feasible(0.0).then_some(0.0f64);
+    let mut prev_t = 0.0;
+    let mut prev_f = feasible(0.0);
+    for k in 1..=grid {
+        let t = if k == grid { 180.0 } else { k as f64 * step };
+        let f = feasible(t.min(179.999_999_999));
+        if f != prev_f {
+            let boundary = refine(prev_t, t);
+            if f {
+                current = Some(boundary);
+            } else if let Some(start) = current.take() {
+                intervals.push((start, boundary));
+            }
+        }
+        prev_t = t;
+        prev_f = f;
+    }
+    if let Some(start) = current.take() {
+        intervals.push((start, 180.0));
+    }
+    SecurityRange::from_intervals(intervals)
+}
+
+/// One step of the hybrid isometry key: a rotation or a reflection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IsometryStep {
+    /// Clockwise plane rotation of the pair by θ degrees.
+    Rotate {
+        /// First attribute index.
+        i: usize,
+        /// Second attribute index.
+        j: usize,
+        /// Clockwise angle, degrees.
+        theta_degrees: f64,
+    },
+    /// Reflection of the pair across the axis at φ degrees.
+    Reflect {
+        /// First attribute index.
+        i: usize,
+        /// Second attribute index.
+        j: usize,
+        /// Axis angle, degrees.
+        phi_degrees: f64,
+    },
+}
+
+impl IsometryStep {
+    /// The attribute pair this step acts on.
+    pub fn pair(&self) -> (usize, usize) {
+        match *self {
+            IsometryStep::Rotate { i, j, .. } | IsometryStep::Reflect { i, j, .. } => (i, j),
+        }
+    }
+
+    fn apply(&self, xs: &mut [f64], ys: &mut [f64]) -> Result<()> {
+        match *self {
+            IsometryStep::Rotate { theta_degrees, .. } => {
+                Rotation2::from_degrees(theta_degrees).apply_columns(xs, ys)?
+            }
+            IsometryStep::Reflect { phi_degrees, .. } => {
+                Reflection2::from_degrees(phi_degrees).apply_columns(xs, ys)?
+            }
+        }
+        Ok(())
+    }
+
+    fn unapply(&self, xs: &mut [f64], ys: &mut [f64]) -> Result<()> {
+        match *self {
+            IsometryStep::Rotate { theta_degrees, .. } => Rotation2::from_degrees(theta_degrees)
+                .inverse()
+                .apply_columns(xs, ys)?,
+            // Reflections are involutions: applying again inverts.
+            IsometryStep::Reflect { phi_degrees, .. } => {
+                Reflection2::from_degrees(phi_degrees).apply_columns(xs, ys)?
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Ordered list of hybrid isometry steps — the `v2` key format.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IsometryKey {
+    steps: Vec<IsometryStep>,
+    n_attributes: usize,
+}
+
+impl IsometryKey {
+    /// Creates a key from explicit steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::KeyMismatch`] for out-of-range or self-paired
+    /// attribute indices.
+    pub fn new(steps: Vec<IsometryStep>, n_attributes: usize) -> Result<Self> {
+        for (t, s) in steps.iter().enumerate() {
+            let (i, j) = s.pair();
+            if i >= n_attributes || j >= n_attributes {
+                return Err(Error::KeyMismatch(format!(
+                    "step {t} references attribute out of range (n = {n_attributes})"
+                )));
+            }
+            if i == j {
+                return Err(Error::KeyMismatch(format!("step {t} pairs {i} with itself")));
+            }
+        }
+        Ok(IsometryKey {
+            steps,
+            n_attributes,
+        })
+    }
+
+    /// The steps, in application order.
+    pub fn steps(&self) -> &[IsometryStep] {
+        &self.steps
+    }
+
+    /// Number of attributes this key applies to.
+    pub fn n_attributes(&self) -> usize {
+        self.n_attributes
+    }
+
+    /// Applies the key to a normalized matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::KeyMismatch`] on a column-count mismatch.
+    pub fn apply(&self, normalized: &Matrix) -> Result<Matrix> {
+        self.check(normalized)?;
+        let mut out = normalized.clone();
+        let mut xs = Vec::with_capacity(out.rows());
+        let mut ys = Vec::with_capacity(out.rows());
+        for step in &self.steps {
+            let (i, j) = step.pair();
+            out.column_into(i, &mut xs);
+            out.column_into(j, &mut ys);
+            step.apply(&mut xs, &mut ys)?;
+            out.set_column(i, &xs)?;
+            out.set_column(j, &ys)?;
+        }
+        Ok(out)
+    }
+
+    /// Inverts the key (reverse order, inverse steps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::KeyMismatch`] on a column-count mismatch.
+    pub fn invert(&self, transformed: &Matrix) -> Result<Matrix> {
+        self.check(transformed)?;
+        let mut out = transformed.clone();
+        let mut xs = Vec::with_capacity(out.rows());
+        let mut ys = Vec::with_capacity(out.rows());
+        for step in self.steps.iter().rev() {
+            let (i, j) = step.pair();
+            out.column_into(i, &mut xs);
+            out.column_into(j, &mut ys);
+            step.unapply(&mut xs, &mut ys)?;
+            out.set_column(i, &xs)?;
+            out.set_column(j, &ys)?;
+        }
+        Ok(out)
+    }
+
+    fn check(&self, m: &Matrix) -> Result<()> {
+        if m.cols() != self.n_attributes {
+            return Err(Error::KeyMismatch(format!(
+                "key fitted for {} attributes, matrix has {}",
+                self.n_attributes,
+                m.cols()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for IsometryKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "rbt-key v2 n={}", self.n_attributes)?;
+        for s in &self.steps {
+            match *s {
+                IsometryStep::Rotate {
+                    i,
+                    j,
+                    theta_degrees,
+                } => writeln!(f, "rotate {i} {j} {theta_degrees:.17e}")?,
+                IsometryStep::Reflect { i, j, phi_degrees } => {
+                    writeln!(f, "reflect {i} {j} {phi_degrees:.17e}")?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for IsometryKey {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let mut lines = s.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines.next().ok_or(Error::KeyParse {
+            line: 1,
+            message: "empty key".into(),
+        })?;
+        let n_attributes = header
+            .trim()
+            .strip_prefix("rbt-key v2 n=")
+            .and_then(|rest| rest.parse::<usize>().ok())
+            .ok_or(Error::KeyParse {
+                line: 1,
+                message: format!("bad header {header:?}"),
+            })?;
+        let mut steps = Vec::new();
+        for (idx, line) in lines {
+            let line_no = idx + 1;
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 4 {
+                return Err(Error::KeyParse {
+                    line: line_no,
+                    message: format!("expected 4 fields, found {}", parts.len()),
+                });
+            }
+            let parse_idx = |raw: &str, name: &str| -> Result<usize> {
+                raw.parse().map_err(|e| Error::KeyParse {
+                    line: line_no,
+                    message: format!("bad {name}: {e}"),
+                })
+            };
+            let i = parse_idx(parts[1], "i")?;
+            let j = parse_idx(parts[2], "j")?;
+            let angle: f64 = parts[3].parse().map_err(|e| Error::KeyParse {
+                line: line_no,
+                message: format!("bad angle: {e}"),
+            })?;
+            steps.push(match parts[0] {
+                "rotate" => IsometryStep::Rotate {
+                    i,
+                    j,
+                    theta_degrees: angle,
+                },
+                "reflect" => IsometryStep::Reflect {
+                    i,
+                    j,
+                    phi_degrees: angle,
+                },
+                other => {
+                    return Err(Error::KeyParse {
+                        line: line_no,
+                        message: format!("unknown step kind {other:?}"),
+                    })
+                }
+            });
+        }
+        IsometryKey::new(steps, n_attributes)
+    }
+}
+
+/// The hybrid transformer: per pair, flips a fair coin between a rotation
+/// and a reflection, then draws the angle from the corresponding security
+/// range.
+#[derive(Debug, Clone)]
+pub struct HybridIsometry {
+    config: crate::method::RbtConfig,
+}
+
+/// Output of a hybrid run.
+#[derive(Debug, Clone)]
+pub struct HybridOutput {
+    /// The released matrix.
+    pub transformed: Matrix,
+    /// The v2 key.
+    pub key: IsometryKey,
+}
+
+impl HybridIsometry {
+    /// Creates a hybrid transformer reusing the RBT configuration
+    /// (pairing, thresholds, variance mode, solver grid).
+    pub fn new(config: crate::method::RbtConfig) -> Self {
+        HybridIsometry { config }
+    }
+
+    /// Runs the hybrid algorithm on a normalized matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`RbtTransformer::transform`](crate::method::RbtTransformer::transform);
+    /// a pair whose *chosen* isometry family has an empty security range
+    /// falls back to the other family before erroring.
+    pub fn transform<R: Rng + ?Sized>(
+        &self,
+        normalized: &Matrix,
+        rng: &mut R,
+    ) -> Result<HybridOutput> {
+        let n = normalized.cols();
+        let pairs = self.config.pairing.pairs(n, rng)?;
+        let thresholds = self.config.thresholds_for(pairs.len())?;
+
+        let mut out = normalized.clone();
+        let mut steps = Vec::with_capacity(pairs.len());
+        let mut xs: Vec<f64> = Vec::with_capacity(out.rows());
+        let mut ys: Vec<f64> = Vec::with_capacity(out.rows());
+
+        for (&(i, j), pst) in pairs.iter().zip(&thresholds) {
+            out.column_into(i, &mut xs);
+            out.column_into(j, &mut ys);
+            let profile =
+                PairVarianceProfile::from_columns(&xs, &ys, self.config.variance_mode)?;
+
+            let prefer_reflection: bool = rng.random();
+            let rotation_range =
+                crate::security::security_range(&profile, pst, self.config.solver_grid)?;
+            let reflection_range =
+                reflection_security_range(&profile, pst, self.config.solver_grid)?;
+
+            let step = match (prefer_reflection, reflection_range.is_empty(), rotation_range.is_empty()) {
+                (true, false, _) | (false, _, true) if !reflection_range.is_empty() => {
+                    IsometryStep::Reflect {
+                        i,
+                        j,
+                        phi_degrees: reflection_range.sample(rng)?,
+                    }
+                }
+                (_, _, false) => IsometryStep::Rotate {
+                    i,
+                    j,
+                    theta_degrees: rotation_range.sample(rng)?,
+                },
+                _ => {
+                    let (max_var1, max_var2) =
+                        crate::security::max_achievable(&profile, self.config.solver_grid);
+                    return Err(Error::EmptySecurityRange {
+                        i,
+                        j,
+                        rho1: pst.rho1,
+                        rho2: pst.rho2,
+                        max_var1,
+                        max_var2,
+                    });
+                }
+            };
+            step.apply(&mut xs, &mut ys)?;
+            out.set_column(i, &xs)?;
+            out.set_column(j, &ys)?;
+            steps.push(step);
+        }
+
+        Ok(HybridOutput {
+            transformed: out,
+            key: IsometryKey::new(steps, n)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isometry::dissimilarity_drift;
+    use crate::method::RbtConfig;
+    use rand::SeedableRng;
+    use rbt_data::{datasets, Normalization};
+    use rbt_linalg::stats;
+    use rbt_linalg::stats::VarianceMode;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn normalized_sample() -> Matrix {
+        Normalization::zscore_paper()
+            .fit_transform(datasets::arrhythmia_sample().matrix())
+            .unwrap()
+            .1
+    }
+
+    #[test]
+    fn reflection_closed_form_matches_empirical() {
+        let x = [1.2, -0.7, 0.3, 2.2, -1.5];
+        let y = [0.4, 1.1, -0.9, 0.0, 0.5];
+        let mode = VarianceMode::Sample;
+        let p = PairVarianceProfile::from_columns(&x, &y, mode).unwrap();
+        for phi in [5.0, 33.3, 88.8, 120.0, 179.0] {
+            let f = Reflection2::from_degrees(phi);
+            let mut xr = x.to_vec();
+            let mut yr = y.to_vec();
+            f.apply_columns(&mut xr, &mut yr).unwrap();
+            let v1 = stats::variance_of_difference(&x, &xr, mode).unwrap();
+            let v2 = stats::variance_of_difference(&y, &yr, mode).unwrap();
+            assert!(
+                (v1 - reflection_var_diff_first(&p, phi)).abs() < 1e-10,
+                "first at {phi}"
+            );
+            assert!(
+                (v2 - reflection_var_diff_second(&p, phi)).abs() < 1e-10,
+                "second at {phi}"
+            );
+        }
+    }
+
+    #[test]
+    fn reflection_range_samples_satisfy() {
+        let z = normalized_sample();
+        let p = PairVarianceProfile::from_columns(
+            &z.column(0),
+            &z.column(2),
+            VarianceMode::Sample,
+        )
+        .unwrap();
+        let pst = PairwiseSecurityThreshold::uniform(0.3).unwrap();
+        let range = reflection_security_range(&p, &pst, 1440).unwrap();
+        assert!(!range.is_empty());
+        let mut r = rng(5);
+        for _ in 0..200 {
+            let phi = range.sample(&mut r).unwrap();
+            assert!(reflection_satisfies(&p, phi, &pst), "phi = {phi}");
+        }
+    }
+
+    #[test]
+    fn reflection_range_respects_bounds() {
+        let z = normalized_sample();
+        let p = PairVarianceProfile::from_columns(
+            &z.column(0),
+            &z.column(1),
+            VarianceMode::Sample,
+        )
+        .unwrap();
+        let pst = PairwiseSecurityThreshold::uniform(0.1).unwrap();
+        let range = reflection_security_range(&p, &pst, 1440).unwrap();
+        for &(lo, hi) in range.intervals() {
+            assert!((0.0..=180.0).contains(&lo));
+            assert!((0.0..=180.0).contains(&hi));
+        }
+        assert!(reflection_security_range(&p, &pst, 4).is_err());
+    }
+
+    #[test]
+    fn hybrid_is_isometric_and_invertible() {
+        let z = normalized_sample();
+        let hybrid = HybridIsometry::new(RbtConfig::uniform(
+            PairwiseSecurityThreshold::uniform(0.25).unwrap(),
+        ));
+        for seed in 0..8 {
+            let out = hybrid.transform(&z, &mut rng(seed)).unwrap();
+            assert!(dissimilarity_drift(&z, &out.transformed) < 1e-9, "seed {seed}");
+            let back = out.key.invert(&out.transformed).unwrap();
+            assert!(back.approx_eq(&z, 1e-10), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hybrid_actually_uses_both_families() {
+        let z = normalized_sample();
+        let hybrid = HybridIsometry::new(RbtConfig::uniform(
+            PairwiseSecurityThreshold::uniform(0.25).unwrap(),
+        ));
+        let mut saw_rotate = false;
+        let mut saw_reflect = false;
+        for seed in 0..32 {
+            let out = hybrid.transform(&z, &mut rng(seed)).unwrap();
+            for step in out.key.steps() {
+                match step {
+                    IsometryStep::Rotate { .. } => saw_rotate = true,
+                    IsometryStep::Reflect { .. } => saw_reflect = true,
+                }
+            }
+        }
+        assert!(saw_rotate && saw_reflect);
+    }
+
+    #[test]
+    fn v2_key_text_round_trip() {
+        let key = IsometryKey::new(
+            vec![
+                IsometryStep::Rotate {
+                    i: 0,
+                    j: 2,
+                    theta_degrees: 312.47,
+                },
+                IsometryStep::Reflect {
+                    i: 1,
+                    j: 0,
+                    phi_degrees: 73.21,
+                },
+            ],
+            3,
+        )
+        .unwrap();
+        let text = key.to_string();
+        assert!(text.starts_with("rbt-key v2 n=3\n"));
+        let parsed: IsometryKey = text.parse().unwrap();
+        assert_eq!(parsed.steps().len(), 2);
+        assert_eq!(parsed.steps()[1].pair(), (1, 0));
+        let data = normalized_sample();
+        assert!(key
+            .apply(&data)
+            .unwrap()
+            .approx_eq(&parsed.apply(&data).unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn v2_key_parse_errors() {
+        assert!(matches!(
+            "".parse::<IsometryKey>(),
+            Err(Error::KeyParse { .. })
+        ));
+        assert!(matches!(
+            "rbt-key v1 n=3".parse::<IsometryKey>(),
+            Err(Error::KeyParse { line: 1, .. })
+        ));
+        assert!(matches!(
+            "rbt-key v2 n=3\nwiggle 0 1 1.0".parse::<IsometryKey>(),
+            Err(Error::KeyParse { line: 2, .. })
+        ));
+        assert!(matches!(
+            "rbt-key v2 n=3\nrotate 0 1".parse::<IsometryKey>(),
+            Err(Error::KeyParse { line: 2, .. })
+        ));
+        assert!(matches!(
+            "rbt-key v2 n=2\nreflect 0 5 1.0".parse::<IsometryKey>(),
+            Err(Error::KeyMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn key_validation_rejects_bad_steps() {
+        assert!(IsometryKey::new(
+            vec![IsometryStep::Reflect {
+                i: 1,
+                j: 1,
+                phi_degrees: 0.0
+            }],
+            3
+        )
+        .is_err());
+        assert!(IsometryKey::new(
+            vec![IsometryStep::Rotate {
+                i: 0,
+                j: 7,
+                theta_degrees: 0.0
+            }],
+            3
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn reflection_step_is_involution_via_key() {
+        let key = IsometryKey::new(
+            vec![IsometryStep::Reflect {
+                i: 0,
+                j: 1,
+                phi_degrees: 40.0,
+            }],
+            3,
+        )
+        .unwrap();
+        let z = normalized_sample();
+        let once = key.apply(&z).unwrap();
+        let twice = key.apply(&once).unwrap();
+        assert!(twice.approx_eq(&z, 1e-12));
+    }
+}

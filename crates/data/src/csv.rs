@@ -1,0 +1,225 @@
+//! A small, dependency-free CSV codec for [`Dataset`]s.
+//!
+//! The sharing scenario of the paper ends with the owner *releasing* the
+//! transformed data matrix; CSV is the interchange format the examples and
+//! the bench harness use. The dialect is deliberately simple: comma
+//! separator, `\n` or `\r\n` line endings, a mandatory header row, no
+//! quoting (attribute names must not contain commas), and an optional
+//! leading `id` column (case-insensitive) holding unsigned integers.
+
+use crate::dataset::Dataset;
+use crate::{Error, Result};
+use rbt_linalg::Matrix;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Serializes a dataset to CSV text. IDs, when present, become a leading
+/// `id` column.
+pub fn to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    if ds.ids().is_some() {
+        out.push_str("id");
+        if ds.n_cols() > 0 {
+            out.push(',');
+        }
+    }
+    out.push_str(&ds.columns().join(","));
+    out.push('\n');
+    for i in 0..ds.n_rows() {
+        if let Some(ids) = ds.ids() {
+            let _ = write!(out, "{}", ids[i]);
+            if ds.n_cols() > 0 {
+                out.push(',');
+            }
+        }
+        let row = ds.matrix().row(i);
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a dataset from CSV text (inverse of [`to_csv`]).
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] for an empty input, ragged rows, or unparsable
+/// numbers.
+pub fn from_csv(text: &str) -> Result<Dataset> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or(Error::Parse {
+        line: 1,
+        message: "empty input".into(),
+    })?;
+    let mut names: Vec<&str> = header.split(',').map(str::trim).collect();
+    let has_ids = names
+        .first()
+        .is_some_and(|n| n.eq_ignore_ascii_case("id"));
+    if has_ids {
+        names.remove(0);
+    }
+    if names.iter().any(|n| n.is_empty()) {
+        return Err(Error::Parse {
+            line: 1,
+            message: "empty column name in header".into(),
+        });
+    }
+
+    let n_cols = names.len();
+    let mut values: Vec<f64> = Vec::new();
+    let mut ids: Vec<u64> = Vec::new();
+    let mut n_rows = 0usize;
+
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let mut fields = line.split(',').map(str::trim);
+        if has_ids {
+            let id_field = fields.next().ok_or(Error::Parse {
+                line: line_no,
+                message: "missing id field".into(),
+            })?;
+            let id = id_field.parse::<u64>().map_err(|e| Error::Parse {
+                line: line_no,
+                message: format!("bad id {id_field:?}: {e}"),
+            })?;
+            ids.push(id);
+        }
+        let mut count = 0usize;
+        for field in fields {
+            let v = field.parse::<f64>().map_err(|e| Error::Parse {
+                line: line_no,
+                message: format!("bad number {field:?}: {e}"),
+            })?;
+            values.push(v);
+            count += 1;
+        }
+        if count != n_cols {
+            return Err(Error::Parse {
+                line: line_no,
+                message: format!("expected {n_cols} value fields, found {count}"),
+            });
+        }
+        n_rows += 1;
+    }
+
+    let matrix = Matrix::from_vec(n_rows, n_cols, values).map_err(Error::Linalg)?;
+    let ds = Dataset::new(matrix, names.iter().map(|s| s.to_string()).collect())?;
+    if has_ids {
+        ds.with_ids(ids)
+    } else {
+        Ok(ds)
+    }
+}
+
+/// Writes a dataset to a CSV file.
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] wrapping the I/O error message (line 0).
+pub fn write_file(ds: &Dataset, path: &Path) -> Result<()> {
+    fs::write(path, to_csv(ds)).map_err(|e| Error::Parse {
+        line: 0,
+        message: format!("io error writing {}: {e}", path.display()),
+    })
+}
+
+/// Reads a dataset from a CSV file.
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] for I/O or syntax problems.
+pub fn read_file(path: &Path) -> Result<Dataset> {
+    let text = fs::read_to_string(path).map_err(|e| Error::Parse {
+        line: 0,
+        message: format!("io error reading {}: {e}", path.display()),
+    })?;
+    from_csv(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::arrhythmia_sample;
+
+    #[test]
+    fn round_trip_with_ids() {
+        let ds = arrhythmia_sample();
+        let text = to_csv(&ds);
+        assert!(text.starts_with("id,age,weight,heart_rate\n"));
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back.columns(), ds.columns());
+        assert_eq!(back.ids(), ds.ids());
+        assert!(back.matrix().approx_eq(ds.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn round_trip_without_ids() {
+        let ds = arrhythmia_sample().anonymized();
+        let text = to_csv(&ds);
+        assert!(text.starts_with("age,weight,heart_rate\n"));
+        let back = from_csv(&text).unwrap();
+        assert!(back.ids().is_none());
+        assert!(back.matrix().approx_eq(ds.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn parses_crlf_and_blank_lines() {
+        let text = "age,weight\r\n1.5,2\r\n\r\n3,4.25\r\n";
+        let ds = from_csv(text).unwrap();
+        assert_eq!(ds.n_rows(), 2);
+        assert_eq!(ds.matrix().row(1), &[3.0, 4.25]);
+    }
+
+    #[test]
+    fn rejects_empty_and_ragged() {
+        assert!(matches!(from_csv(""), Err(Error::Parse { .. })));
+        assert!(matches!(
+            from_csv("a,b\n1,2\n3\n"),
+            Err(Error::Parse { line: 3, .. })
+        ));
+        assert!(matches!(
+            from_csv("a,b\n1,2,3\n"),
+            Err(Error::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_numbers_and_ids() {
+        assert!(matches!(
+            from_csv("a\nfoo\n"),
+            Err(Error::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            from_csv("id,a\n-3,1.0\n"),
+            Err(Error::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            from_csv("a,\n1,2\n"),
+            Err(Error::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("rbt-data-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.csv");
+        let ds = arrhythmia_sample();
+        write_file(&ds, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.ids(), ds.ids());
+        assert!(back.matrix().approx_eq(ds.matrix(), 1e-12));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_missing_file_errors() {
+        assert!(read_file(Path::new("/nonexistent/rbt.csv")).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Built-in datasets, embedded from the paper.
+//!
+//! The paper's running example (§5.1) is a five-record sample of the UCI
+//! Cardiac Arrhythmia database with three numerical attributes: `age`,
+//! `weight` and `heart_rate`. Table 1 prints the raw values and Table 2 the
+//! z-score-normalized values; both are embedded here verbatim so the
+//! experiment harness can check our pipeline digit-for-digit against the
+//! paper.
+
+use crate::dataset::Dataset;
+use rbt_linalg::Matrix;
+
+/// Object IDs of the paper's Table 1.
+pub const ARRHYTHMIA_IDS: [u64; 5] = [1237, 3420, 2543, 4461, 2863];
+
+/// Column names of the paper's Table 1.
+pub const ARRHYTHMIA_COLUMNS: [&str; 3] = ["age", "weight", "heart_rate"];
+
+/// Raw attribute values of the paper's Table 1 (row-major).
+pub const ARRHYTHMIA_RAW: [[f64; 3]; 5] = [
+    [75.0, 80.0, 63.0],
+    [56.0, 64.0, 53.0],
+    [40.0, 52.0, 70.0],
+    [28.0, 58.0, 76.0],
+    [44.0, 90.0, 68.0],
+];
+
+/// Z-score-normalized values as printed in the paper's Table 2 (4 decimals,
+/// sample divisor).
+pub const ARRHYTHMIA_TABLE2: [[f64; 3]; 5] = [
+    [1.4809, 0.7095, -0.3476],
+    [0.4151, -0.3041, -1.5061],
+    [-0.4824, -1.0642, 0.4634],
+    [-1.1556, -0.6841, 1.1586],
+    [-0.2580, 1.3430, 0.2317],
+];
+
+/// Transformed values as printed in the paper's Table 3 (after rotating
+/// `[age, heart_rate]` by 312.47° and `[weight, age']` by 147.29°).
+pub const ARRHYTHMIA_TABLE3: [[f64; 3]; 5] = [
+    [-1.4405, 0.0819, 0.8577],
+    [-1.0063, 1.0077, -0.7108],
+    [1.1368, 0.5347, -0.0429],
+    [1.7453, -0.3078, -0.0701],
+    [-0.4353, -1.3165, -0.0339],
+];
+
+/// The strict lower triangle of the paper's Table 4 (= Table 6) — the
+/// Euclidean dissimilarity matrix of the transformed (and of the normalized)
+/// database. Row-major: d(2,1); d(3,1) d(3,2); …
+pub const ARRHYTHMIA_TABLE4_LOWER: [&[f64]; 4] = [
+    &[1.8723],
+    &[2.7674, 2.2940],
+    &[3.3409, 3.1164, 1.0396],
+    &[1.9393, 2.4872, 2.4287, 2.4029],
+];
+
+/// The strict lower triangle of the paper's Table 5 — the dissimilarity
+/// matrix after an attacker re-normalizes the released data (distances no
+/// longer match Table 4, defeating that attack).
+pub const ARRHYTHMIA_TABLE5_LOWER: [&[f64]; 4] = [
+    &[3.0121],
+    &[2.5196, 2.0314],
+    &[2.8778, 2.7384, 1.0499],
+    &[2.3604, 2.9205, 2.3811, 1.9492],
+];
+
+fn build(rows: &[[f64; 3]; 5]) -> Dataset {
+    let row_slices: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let matrix = Matrix::from_rows(&row_slices).expect("embedded table is well-formed");
+    Dataset::new(
+        matrix,
+        ARRHYTHMIA_COLUMNS.iter().map(|s| s.to_string()).collect(),
+    )
+    .expect("embedded column names match")
+    .with_ids(ARRHYTHMIA_IDS.to_vec())
+    .expect("embedded ids match")
+}
+
+/// The raw Cardiac Arrhythmia sample — the paper's **Table 1**.
+pub fn arrhythmia_sample() -> Dataset {
+    build(&ARRHYTHMIA_RAW)
+}
+
+/// The normalized sample exactly as printed in the paper's **Table 2**
+/// (values rounded to 4 decimals by the paper).
+pub fn arrhythmia_normalized_table2() -> Dataset {
+    build(&ARRHYTHMIA_TABLE2)
+}
+
+/// The transformed sample exactly as printed in the paper's **Table 3**
+/// (values rounded to 4 decimals by the paper).
+pub fn arrhythmia_transformed_table3() -> Dataset {
+    build(&ARRHYTHMIA_TABLE3)
+}
+
+/// Expands one of the embedded lower-triangle tables into a condensed
+/// upper-triangle buffer usable with
+/// [`DissimilarityMatrix::from_condensed`](rbt_linalg::dissimilarity::DissimilarityMatrix::from_condensed).
+pub fn lower_triangle_to_condensed(lower: &[&[f64]]) -> Vec<f64> {
+    // lower[r] holds d(r+1, 0..=r); condensed wants (i,j) i<j row-major.
+    let n = lower.len() + 1;
+    let mut condensed = vec![0.0; n * (n - 1) / 2];
+    let idx = |i: usize, j: usize| i * (2 * n - i - 1) / 2 + (j - i - 1);
+    for (r, row) in lower.iter().enumerate() {
+        let i_obj = r + 1;
+        for (j_obj, &d) in row.iter().enumerate() {
+            condensed[idx(j_obj, i_obj)] = d;
+        }
+    }
+    condensed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbt_linalg::dissimilarity::DissimilarityMatrix;
+    use rbt_linalg::distance::Metric;
+
+    #[test]
+    fn sample_matches_paper_dimensions() {
+        let ds = arrhythmia_sample();
+        assert_eq!(ds.n_rows(), 5);
+        assert_eq!(ds.n_cols(), 3);
+        assert_eq!(ds.ids().unwrap(), &ARRHYTHMIA_IDS);
+        assert_eq!(ds.columns(), &ARRHYTHMIA_COLUMNS);
+    }
+
+    #[test]
+    fn table2_and_table3_have_same_dissimilarity() {
+        // The paper's headline observation (§5.1): the dissimilarity matrix
+        // of Table 2 equals that of Table 3 (to printing precision).
+        let d2 = DissimilarityMatrix::from_matrix(
+            arrhythmia_normalized_table2().matrix(),
+            Metric::Euclidean,
+        );
+        let d3 = DissimilarityMatrix::from_matrix(
+            arrhythmia_transformed_table3().matrix(),
+            Metric::Euclidean,
+        );
+        assert!(d2.max_abs_diff(&d3).unwrap() < 2e-4);
+    }
+
+    #[test]
+    fn table3_dissimilarity_matches_embedded_table4() {
+        let d3 = DissimilarityMatrix::from_matrix(
+            arrhythmia_transformed_table3().matrix(),
+            Metric::Euclidean,
+        );
+        let table4 = DissimilarityMatrix::from_condensed(
+            5,
+            lower_triangle_to_condensed(&ARRHYTHMIA_TABLE4_LOWER),
+        )
+        .unwrap();
+        assert!(
+            d3.max_abs_diff(&table4).unwrap() < 2e-4,
+            "diff = {:?}",
+            d3.max_abs_diff(&table4)
+        );
+    }
+
+    #[test]
+    fn lower_triangle_expansion_layout() {
+        let condensed = lower_triangle_to_condensed(&ARRHYTHMIA_TABLE4_LOWER);
+        let dm = DissimilarityMatrix::from_condensed(5, condensed).unwrap();
+        assert_eq!(dm.get(1, 0), 1.8723);
+        assert_eq!(dm.get(4, 3), 2.4029);
+        assert_eq!(dm.get(2, 1), 2.2940);
+    }
+
+    #[test]
+    fn raw_age_column_matches_paper() {
+        let ds = arrhythmia_sample();
+        assert_eq!(
+            ds.column_by_name("age").unwrap(),
+            vec![75.0, 56.0, 40.0, 28.0, 44.0]
+        );
+    }
+}

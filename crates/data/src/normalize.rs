@@ -1,0 +1,638 @@
+//! Attribute normalization — Step 1 of the RBT pipeline (Figure 1).
+//!
+//! The paper reviews two methods (§3.2): **min–max** (Eq. 3) and **z-score**
+//! (Eq. 4), and *requires* normalization before distortion (§4.1): it gives
+//! every attribute equal weight and, as §5.3 notes, already obscures the raw
+//! scales ("in general public data are not normalized"). Decimal scaling is
+//! included for completeness with the data-mining literature the paper cites
+//! (Han & Kamber).
+//!
+//! Fitting and application are separated ([`Normalization::fit`] →
+//! [`FittedNormalizer::transform`]) so that the *same* parameters can be
+//! applied to held-out data and inverted by the legitimate data owner —
+//! and so the attack suite can model an adversary who re-normalizes the
+//! released data (§5.2, Table 5).
+
+use crate::{Error, Result};
+use rbt_linalg::stats::{self, VarianceMode};
+use rbt_linalg::Matrix;
+
+/// A normalization method (unfitted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Normalization {
+    /// Min–max normalization (Eq. 3): maps each attribute linearly onto
+    /// `[new_min, new_max]`.
+    MinMax {
+        /// Lower bound of the target range.
+        new_min: f64,
+        /// Upper bound of the target range.
+        new_max: f64,
+    },
+    /// Z-score normalization (Eq. 4): `(v − mean) / std`.
+    ZScore {
+        /// Divisor convention for the standard deviation. The paper's
+        /// example numbers use [`VarianceMode::Sample`].
+        mode: VarianceMode,
+    },
+    /// Decimal scaling: divide by the smallest power of ten that brings all
+    /// values into `(−1, 1)`.
+    DecimalScaling,
+    /// Robust z-score: `(v − median) / (1.4826 · MAD)`.
+    ///
+    /// Extension beyond the paper: §3.2 notes that outliers "dominate the
+    /// min-max normalization" and recommends z-scores — but heavy outliers
+    /// also inflate the mean/standard deviation. The median/MAD variant
+    /// (scaled by 1.4826 to be consistent with the standard deviation under
+    /// normality) keeps the bulk of the data on the unit scale regardless
+    /// of outliers.
+    RobustZScore,
+}
+
+impl Normalization {
+    /// Min–max onto `[0, 1]`, the range the paper suggests.
+    pub fn min_max_unit() -> Self {
+        Normalization::MinMax {
+            new_min: 0.0,
+            new_max: 1.0,
+        }
+    }
+
+    /// The z-score convention that reproduces the paper's Table 2.
+    pub fn zscore_paper() -> Self {
+        Normalization::ZScore {
+            mode: VarianceMode::Sample,
+        }
+    }
+
+    /// Fits the normalization to the columns of `m`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Shape`] for an empty matrix,
+    /// * [`Error::InvalidArgument`] for a min–max target with
+    ///   `new_min >= new_max`.
+    pub fn fit(&self, m: &Matrix) -> Result<FittedNormalizer> {
+        if m.rows() == 0 || m.cols() == 0 {
+            return Err(Error::Shape("cannot fit a normalizer to an empty matrix".into()));
+        }
+        if let Normalization::MinMax { new_min, new_max } = self {
+            if new_min >= new_max {
+                return Err(Error::InvalidArgument(format!(
+                    "min-max target range [{new_min}, {new_max}] is empty"
+                )));
+            }
+        }
+        let mut params = Vec::with_capacity(m.cols());
+        let mut buf = Vec::with_capacity(m.rows());
+        for j in 0..m.cols() {
+            m.column_into(j, &mut buf);
+            params.push(self.fit_column(&buf)?);
+        }
+        Ok(FittedNormalizer {
+            method: *self,
+            params,
+        })
+    }
+
+    /// Fits and immediately transforms `m` (the common pipeline step).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`fit`](Self::fit).
+    pub fn fit_transform(&self, m: &Matrix) -> Result<(FittedNormalizer, Matrix)> {
+        let fitted = self.fit(m)?;
+        let out = fitted.transform(m)?;
+        Ok((fitted, out))
+    }
+
+    fn fit_column(&self, col: &[f64]) -> Result<ColumnParams> {
+        Ok(match *self {
+            Normalization::MinMax { new_min, new_max } => {
+                let (min, max) = stats::min_max(col)?;
+                ColumnParams::MinMax {
+                    min,
+                    max,
+                    new_min,
+                    new_max,
+                }
+            }
+            Normalization::ZScore { mode } => {
+                let mean = stats::mean(col)?;
+                let std = stats::std_dev(col, mode)?;
+                ColumnParams::ZScore { mean, std }
+            }
+            Normalization::DecimalScaling => {
+                let max_abs = col.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+                let mut factor = 1.0;
+                while max_abs / factor >= 1.0 {
+                    factor *= 10.0;
+                }
+                ColumnParams::DecimalScaling { factor }
+            }
+            Normalization::RobustZScore => {
+                let med = median(col);
+                let deviations: Vec<f64> = col.iter().map(|x| (x - med).abs()).collect();
+                // 1.4826 makes the MAD a consistent sigma estimator under
+                // normality.
+                let scale = 1.4826 * median(&deviations);
+                ColumnParams::ZScore {
+                    mean: med,
+                    std: scale,
+                }
+            }
+        })
+    }
+}
+
+/// Median of a non-empty slice (average of the two middle order statistics
+/// for even lengths).
+fn median(xs: &[f64]) -> f64 {
+    debug_assert!(!xs.is_empty());
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite attribute values"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Per-column fitted parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ColumnParams {
+    MinMax {
+        min: f64,
+        max: f64,
+        new_min: f64,
+        new_max: f64,
+    },
+    ZScore {
+        mean: f64,
+        std: f64,
+    },
+    DecimalScaling {
+        factor: f64,
+    },
+}
+
+impl ColumnParams {
+    #[inline]
+    fn apply(&self, v: f64) -> f64 {
+        match *self {
+            ColumnParams::MinMax {
+                min,
+                max,
+                new_min,
+                new_max,
+            } => {
+                if max == min {
+                    // Constant column: map onto the middle of the target range.
+                    (new_min + new_max) / 2.0
+                } else {
+                    (v - min) / (max - min) * (new_max - new_min) + new_min
+                }
+            }
+            ColumnParams::ZScore { mean, std } => {
+                if std == 0.0 {
+                    0.0
+                } else {
+                    (v - mean) / std
+                }
+            }
+            ColumnParams::DecimalScaling { factor } => v / factor,
+        }
+    }
+
+    #[inline]
+    fn invert(&self, v: f64) -> f64 {
+        match *self {
+            ColumnParams::MinMax {
+                min,
+                max,
+                new_min,
+                new_max,
+            } => {
+                if max == min {
+                    min
+                } else {
+                    (v - new_min) / (new_max - new_min) * (max - min) + min
+                }
+            }
+            ColumnParams::ZScore { mean, std } => v * std + mean,
+            ColumnParams::DecimalScaling { factor } => v * factor,
+        }
+    }
+}
+
+/// A normalization fitted to a specific matrix's column statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedNormalizer {
+    method: Normalization,
+    params: Vec<ColumnParams>,
+}
+
+impl FittedNormalizer {
+    /// The method this normalizer was fitted with.
+    pub fn method(&self) -> Normalization {
+        self.method
+    }
+
+    /// Number of columns the normalizer was fitted to.
+    pub fn n_cols(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Applies the fitted normalization to a matrix with the same column
+    /// layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] if the column count differs from the
+    /// fitting matrix.
+    pub fn transform(&self, m: &Matrix) -> Result<Matrix> {
+        self.check_cols(m)?;
+        let mut out = m.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (v, p) in row.iter_mut().zip(&self.params) {
+                *v = p.apply(*v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverts the normalization (legitimate-owner path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] if the column count differs from the
+    /// fitting matrix.
+    pub fn inverse_transform(&self, m: &Matrix) -> Result<Matrix> {
+        self.check_cols(m)?;
+        let mut out = m.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (v, p) in row.iter_mut().zip(&self.params) {
+                *v = p.invert(*v);
+            }
+        }
+        Ok(out)
+    }
+
+    fn check_cols(&self, m: &Matrix) -> Result<()> {
+        if m.cols() != self.params.len() {
+            return Err(Error::NotFitted(format!(
+                "normalizer fitted for {} columns, input has {}",
+                self.params.len(),
+                m.cols()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serializes the fitted parameters to a stable line-oriented text
+    /// format (the owner-side companion of the transformation key):
+    ///
+    /// ```text
+    /// rbt-normalizer v1 cols=3
+    /// zscore 4.8599999e1 1.7826945e1
+    /// …
+    /// ```
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("rbt-normalizer v1 cols={}\n", self.params.len());
+        for p in &self.params {
+            match *p {
+                ColumnParams::MinMax {
+                    min,
+                    max,
+                    new_min,
+                    new_max,
+                } => {
+                    let _ = writeln!(out, "minmax {min:.17e} {max:.17e} {new_min:.17e} {new_max:.17e}");
+                }
+                ColumnParams::ZScore { mean, std } => {
+                    let _ = writeln!(out, "zscore {mean:.17e} {std:.17e}");
+                }
+                ColumnParams::DecimalScaling { factor } => {
+                    let _ = writeln!(out, "decimal {factor:.17e}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the format produced by [`to_text`](Self::to_text).
+    ///
+    /// The reconstructed normalizer reports [`Normalization::zscore_paper`]
+    /// as its method when the parameters are z-score-shaped (the method
+    /// enum is advisory; transform/inverse behaviour is fully determined by
+    /// the per-column parameters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] for malformed input.
+    pub fn from_text(text: &str) -> Result<Self> {
+        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines.next().ok_or(Error::Parse {
+            line: 1,
+            message: "empty normalizer".into(),
+        })?;
+        let cols = header
+            .trim()
+            .strip_prefix("rbt-normalizer v1 cols=")
+            .and_then(|rest| rest.parse::<usize>().ok())
+            .ok_or(Error::Parse {
+                line: 1,
+                message: format!("bad header {header:?}"),
+            })?;
+        let mut params = Vec::with_capacity(cols);
+        let mut method = Normalization::zscore_paper();
+        for (idx, line) in lines {
+            let line_no = idx + 1;
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            let floats = |want: usize| -> Result<Vec<f64>> {
+                if parts.len() != want + 1 {
+                    return Err(Error::Parse {
+                        line: line_no,
+                        message: format!("expected {} fields, found {}", want + 1, parts.len()),
+                    });
+                }
+                parts[1..]
+                    .iter()
+                    .map(|raw| {
+                        raw.parse::<f64>().map_err(|e| Error::Parse {
+                            line: line_no,
+                            message: format!("bad number {raw:?}: {e}"),
+                        })
+                    })
+                    .collect()
+            };
+            match parts.first().copied() {
+                Some("zscore") => {
+                    let f = floats(2)?;
+                    params.push(ColumnParams::ZScore {
+                        mean: f[0],
+                        std: f[1],
+                    });
+                }
+                Some("minmax") => {
+                    let f = floats(4)?;
+                    method = Normalization::MinMax {
+                        new_min: f[2],
+                        new_max: f[3],
+                    };
+                    params.push(ColumnParams::MinMax {
+                        min: f[0],
+                        max: f[1],
+                        new_min: f[2],
+                        new_max: f[3],
+                    });
+                }
+                Some("decimal") => {
+                    let f = floats(1)?;
+                    method = Normalization::DecimalScaling;
+                    params.push(ColumnParams::DecimalScaling { factor: f[0] });
+                }
+                other => {
+                    return Err(Error::Parse {
+                        line: line_no,
+                        message: format!("unknown parameter kind {other:?}"),
+                    })
+                }
+            }
+        }
+        if params.len() != cols {
+            return Err(Error::Parse {
+                line: 1,
+                message: format!("header declares {cols} columns, found {}", params.len()),
+            });
+        }
+        Ok(FittedNormalizer { method, params })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn zscore_reproduces_paper_table2() {
+        // Table 1 → Table 2 with the sample (1/(N−1)) divisor.
+        let raw = datasets::arrhythmia_sample();
+        let (_, z) = Normalization::zscore_paper()
+            .fit_transform(raw.matrix())
+            .unwrap();
+        let expected = datasets::arrhythmia_normalized_table2();
+        assert!(
+            z.approx_eq(expected.matrix(), 5e-5),
+            "max diff {:?}",
+            z.max_abs_diff(expected.matrix())
+        );
+    }
+
+    #[test]
+    fn zscore_population_differs_from_sample() {
+        let raw = datasets::arrhythmia_sample();
+        let (_, zs) = Normalization::ZScore {
+            mode: VarianceMode::Sample,
+        }
+        .fit_transform(raw.matrix())
+        .unwrap();
+        let (_, zp) = Normalization::ZScore {
+            mode: VarianceMode::Population,
+        }
+        .fit_transform(raw.matrix())
+        .unwrap();
+        assert!(zs.max_abs_diff(&zp).unwrap() > 0.1);
+    }
+
+    #[test]
+    fn zscore_gives_zero_mean_unit_variance() {
+        let raw = datasets::arrhythmia_sample();
+        let (_, z) = Normalization::zscore_paper()
+            .fit_transform(raw.matrix())
+            .unwrap();
+        for j in 0..z.cols() {
+            let col = z.column(j);
+            assert!(stats::mean(&col).unwrap().abs() < 1e-12);
+            assert!((stats::variance(&col, VarianceMode::Sample).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_max_maps_onto_target_range() {
+        let m = Matrix::from_columns(&[&[10.0, 20.0, 30.0], &[-1.0, 0.0, 3.0]]).unwrap();
+        let (_, t) = Normalization::min_max_unit().fit_transform(&m).unwrap();
+        for j in 0..2 {
+            let col = t.column(j);
+            let (lo, hi) = stats::min_max(&col).unwrap();
+            assert!((lo - 0.0).abs() < 1e-12 && (hi - 1.0).abs() < 1e-12);
+        }
+        // Custom range.
+        let (_, t2) = (Normalization::MinMax {
+            new_min: -2.0,
+            new_max: 2.0,
+        })
+        .fit_transform(&m)
+        .unwrap();
+        let (lo, hi) = stats::min_max(&t2.column(0)).unwrap();
+        assert!((lo + 2.0).abs() < 1e-12 && (hi - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_rejects_empty_range() {
+        let m = Matrix::zeros(2, 1);
+        assert!(matches!(
+            (Normalization::MinMax {
+                new_min: 1.0,
+                new_max: 1.0
+            })
+            .fit(&m),
+            Err(Error::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn decimal_scaling_bounds() {
+        let m = Matrix::from_columns(&[&[987.0, -123.0, 4.0]]).unwrap();
+        let (_, t) = Normalization::DecimalScaling.fit_transform(&m).unwrap();
+        for &v in t.as_slice() {
+            assert!(v.abs() < 1.0);
+        }
+        assert!((t[(0, 0)] - 0.987).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let raw = datasets::arrhythmia_sample();
+        for method in [
+            Normalization::zscore_paper(),
+            Normalization::min_max_unit(),
+            Normalization::DecimalScaling,
+            Normalization::ZScore {
+                mode: VarianceMode::Population,
+            },
+        ] {
+            let (fitted, t) = method.fit_transform(raw.matrix()).unwrap();
+            let back = fitted.inverse_transform(&t).unwrap();
+            assert!(
+                back.approx_eq(raw.matrix(), 1e-9),
+                "round trip failed for {method:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_column_handled() {
+        let m = Matrix::from_columns(&[&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]]).unwrap();
+        let (_, z) = Normalization::zscore_paper().fit_transform(&m).unwrap();
+        assert_eq!(z.column(0), vec![0.0, 0.0, 0.0]);
+        let (_, mm) = Normalization::min_max_unit().fit_transform(&m).unwrap();
+        assert_eq!(mm.column(0), vec![0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn robust_zscore_shrugs_off_outliers() {
+        // Identical bulk, one catastrophic outlier appended.
+        let clean: Vec<f64> = (0..50).map(|i| 10.0 + 0.1 * i as f64).collect();
+        let mut dirty = clean.clone();
+        dirty.push(1e6);
+        let mc = Matrix::from_columns(&[&clean]).unwrap();
+        let md = Matrix::from_columns(&[&dirty]).unwrap();
+        let (_, zc) = Normalization::RobustZScore.fit_transform(&mc).unwrap();
+        let (_, zd) = Normalization::RobustZScore.fit_transform(&md).unwrap();
+        // The bulk's normalized values barely move despite the outlier
+        // (the small residual shift comes from the even→odd median change).
+        for i in 0..50 {
+            assert!((zc[(i, 0)] - zd[(i, 0)]).abs() < 0.1, "row {i}");
+        }
+        // … whereas the classic z-score collapses the bulk to ~one point.
+        let (_, sc) = Normalization::zscore_paper().fit_transform(&mc).unwrap();
+        let (_, sd) = Normalization::zscore_paper().fit_transform(&md).unwrap();
+        let classic_shift = (0..50)
+            .map(|i| (sc[(i, 0)] - sd[(i, 0)]).abs())
+            .fold(0.0, f64::max);
+        assert!(classic_shift > 0.5, "classic shift {classic_shift}");
+    }
+
+    #[test]
+    fn robust_zscore_round_trips() {
+        let m = Matrix::from_columns(&[&[3.0, 7.0, -2.0, 100.0, 5.0]]).unwrap();
+        let (fitted, t) = Normalization::RobustZScore.fit_transform(&m).unwrap();
+        let back = fitted.inverse_transform(&t).unwrap();
+        assert!(back.approx_eq(&m, 1e-9));
+        // Median maps to zero.
+        assert!((t[(4, 0)] - 0.0).abs() < 1e-12); // 5.0 is the median
+    }
+
+    #[test]
+    fn robust_zscore_constant_column() {
+        let m = Matrix::from_columns(&[&[2.0, 2.0, 2.0]]).unwrap();
+        let (_, t) = Normalization::RobustZScore.fit_transform(&m).unwrap();
+        assert_eq!(t.column(0), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn transform_checks_column_count() {
+        let m = Matrix::zeros(3, 2);
+        let fitted = Normalization::min_max_unit()
+            .fit(&Matrix::from_columns(&[&[1.0, 2.0, 3.0]]).unwrap())
+            .unwrap();
+        assert!(matches!(fitted.transform(&m), Err(Error::NotFitted(_))));
+        assert!(matches!(
+            fitted.inverse_transform(&m),
+            Err(Error::NotFitted(_))
+        ));
+    }
+
+    #[test]
+    fn normalizer_text_round_trip() {
+        let raw = crate::datasets::arrhythmia_sample();
+        for method in [
+            Normalization::zscore_paper(),
+            Normalization::min_max_unit(),
+            Normalization::DecimalScaling,
+            Normalization::RobustZScore,
+        ] {
+            let (fitted, t) = method.fit_transform(raw.matrix()).unwrap();
+            let text = fitted.to_text();
+            assert!(text.starts_with("rbt-normalizer v1 cols=3\n"));
+            let parsed = FittedNormalizer::from_text(&text).unwrap();
+            // Parsed normalizer behaves identically.
+            let t2 = parsed.transform(raw.matrix()).unwrap();
+            assert!(t.approx_eq(&t2, 1e-12), "{method:?}");
+            let back = parsed.inverse_transform(&t).unwrap();
+            assert!(back.approx_eq(raw.matrix(), 1e-9), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn normalizer_text_rejects_malformed() {
+        assert!(FittedNormalizer::from_text("").is_err());
+        assert!(FittedNormalizer::from_text("wrong header").is_err());
+        assert!(FittedNormalizer::from_text("rbt-normalizer v1 cols=1\nwiggle 1 2").is_err());
+        assert!(FittedNormalizer::from_text("rbt-normalizer v1 cols=1\nzscore 1").is_err());
+        assert!(FittedNormalizer::from_text("rbt-normalizer v1 cols=2\nzscore 1 2").is_err());
+        assert!(FittedNormalizer::from_text("rbt-normalizer v1 cols=1\nzscore x 2").is_err());
+    }
+
+    #[test]
+    fn fit_rejects_empty() {
+        assert!(Normalization::zscore_paper().fit(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn applying_to_new_data_uses_fitted_params() {
+        let train = Matrix::from_columns(&[&[0.0, 10.0]]).unwrap();
+        let fitted = Normalization::min_max_unit().fit(&train).unwrap();
+        let test = Matrix::from_columns(&[&[5.0, 20.0]]).unwrap();
+        let t = fitted.transform(&test).unwrap();
+        // 5 → 0.5 within the fitted [0,10] range; 20 extrapolates to 2.0.
+        assert!((t[(0, 0)] - 0.5).abs() < 1e-12);
+        assert!((t[(1, 0)] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,313 @@
+//! Seeded synthetic workload generators.
+//!
+//! The paper's scale claims (Theorem 1's `O(m·n)` runtime, Theorem 2's
+//! database-size independence, Corollary 1's algorithm independence) need
+//! datasets larger than the embedded five-record sample. The full UCI
+//! Cardiac Arrhythmia file is not available offline, so these generators
+//! produce the closest synthetic equivalents: labelled Gaussian mixtures
+//! (the canonical clustering workload), uniform hypercubes (no structure —
+//! worst case for clustering, fine for runtime sweeps), and concentric
+//! rings (non-convex clusters that defeat k-means but suit DBSCAN,
+//! exercising Corollary 1 across algorithm families).
+
+use crate::rng::standard_normal;
+use crate::{Error, Result};
+use rand::{Rng, RngExt};
+use rbt_linalg::Matrix;
+
+/// A generated dataset together with its ground-truth cluster labels.
+#[derive(Debug, Clone)]
+pub struct LabelledData {
+    /// The data matrix (`m × n`).
+    pub matrix: Matrix,
+    /// Ground-truth cluster assignment per row.
+    pub labels: Vec<usize>,
+}
+
+/// Specification of one Gaussian component.
+#[derive(Debug, Clone)]
+pub struct GaussianComponent {
+    /// Component centre (dimension = dataset dimension).
+    pub center: Vec<f64>,
+    /// Per-axis standard deviation (isotropic if all equal).
+    pub std: f64,
+    /// Relative weight (need not sum to one across components).
+    pub weight: f64,
+}
+
+/// Generator for a mixture of isotropic Gaussians.
+#[derive(Debug, Clone)]
+pub struct GaussianMixture {
+    components: Vec<GaussianComponent>,
+    dim: usize,
+}
+
+impl GaussianMixture {
+    /// Creates a mixture from explicit components.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Shape`] if the components' centres disagree in dimension,
+    /// * [`Error::InvalidArgument`] for empty components, non-positive
+    ///   weights or non-positive standard deviations.
+    pub fn new(components: Vec<GaussianComponent>) -> Result<Self> {
+        let first = components
+            .first()
+            .ok_or_else(|| Error::InvalidArgument("mixture needs at least one component".into()))?;
+        let dim = first.center.len();
+        for (i, c) in components.iter().enumerate() {
+            if c.center.len() != dim {
+                return Err(Error::Shape(format!(
+                    "component {i} has dimension {}, expected {dim}",
+                    c.center.len()
+                )));
+            }
+            if c.std <= 0.0 || !c.std.is_finite() {
+                return Err(Error::InvalidArgument(format!(
+                    "component {i} has non-positive std {}",
+                    c.std
+                )));
+            }
+            if c.weight <= 0.0 || !c.weight.is_finite() {
+                return Err(Error::InvalidArgument(format!(
+                    "component {i} has non-positive weight {}",
+                    c.weight
+                )));
+            }
+        }
+        Ok(GaussianMixture { components, dim })
+    }
+
+    /// A standard benchmark mixture: `k` well-separated clusters arranged on
+    /// a ring of radius `separation` in `dim` dimensions (first two axes),
+    /// unit weights, standard deviation `std`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] for `k == 0` or `dim < 2`.
+    pub fn well_separated(k: usize, dim: usize, separation: f64, std: f64) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidArgument("k must be positive".into()));
+        }
+        if dim < 2 {
+            return Err(Error::InvalidArgument("dim must be at least 2".into()));
+        }
+        let components = (0..k)
+            .map(|i| {
+                let angle = 2.0 * std::f64::consts::PI * i as f64 / k as f64;
+                let mut center = vec![0.0; dim];
+                center[0] = separation * angle.cos();
+                center[1] = separation * angle.sin();
+                GaussianComponent {
+                    center,
+                    std,
+                    weight: 1.0,
+                }
+            })
+            .collect();
+        GaussianMixture::new(components)
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Data dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Draws `n` points; labels record the generating component.
+    pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> LabelledData {
+        let total_weight: f64 = self.components.iter().map(|c| c.weight).sum();
+        let mut data = Vec::with_capacity(n * self.dim);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut pick = rng.random_range(0.0..total_weight);
+            let mut idx = 0;
+            for (i, c) in self.components.iter().enumerate() {
+                if pick < c.weight {
+                    idx = i;
+                    break;
+                }
+                pick -= c.weight;
+                idx = i;
+            }
+            let c = &self.components[idx];
+            data.extend(
+                c.center
+                    .iter()
+                    .map(|&mu| mu + c.std * standard_normal(rng)),
+            );
+            labels.push(idx);
+        }
+        LabelledData {
+            matrix: Matrix::from_vec(n, self.dim, data).expect("generator shape is consistent"),
+            labels,
+        }
+    }
+}
+
+/// Uniform points in the hypercube `[lo, hi]^dim` (unlabelled structure;
+/// labels are all zero).
+pub fn uniform_cube<R: Rng + ?Sized>(
+    n: usize,
+    dim: usize,
+    lo: f64,
+    hi: f64,
+    rng: &mut R,
+) -> LabelledData {
+    let mut data = Vec::with_capacity(n * dim);
+    for _ in 0..n * dim {
+        data.push(rng.random_range(lo..hi));
+    }
+    LabelledData {
+        matrix: Matrix::from_vec(n, dim, data).expect("generator shape is consistent"),
+        labels: vec![0; n],
+    }
+}
+
+/// Two concentric 2-D rings (annuli) — non-convex clusters that k-means
+/// cannot separate but density-based methods can. `noise` is the radial
+/// standard deviation.
+pub fn two_rings<R: Rng + ?Sized>(
+    n_per_ring: usize,
+    r_inner: f64,
+    r_outer: f64,
+    noise: f64,
+    rng: &mut R,
+) -> LabelledData {
+    let mut data = Vec::with_capacity(n_per_ring * 4);
+    let mut labels = Vec::with_capacity(n_per_ring * 2);
+    for (label, radius) in [(0usize, r_inner), (1, r_outer)] {
+        for _ in 0..n_per_ring {
+            let angle = rng.random_range(0.0..std::f64::consts::TAU);
+            let r = radius + noise * standard_normal(rng);
+            data.push(r * angle.cos());
+            data.push(r * angle.sin());
+            labels.push(label);
+        }
+    }
+    LabelledData {
+        matrix: Matrix::from_vec(n_per_ring * 2, 2, data).expect("generator shape is consistent"),
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+    use rbt_linalg::stats::{column_means, VarianceMode};
+
+    #[test]
+    fn mixture_validates_input() {
+        assert!(GaussianMixture::new(vec![]).is_err());
+        let bad_dim = vec![
+            GaussianComponent {
+                center: vec![0.0, 0.0],
+                std: 1.0,
+                weight: 1.0,
+            },
+            GaussianComponent {
+                center: vec![0.0],
+                std: 1.0,
+                weight: 1.0,
+            },
+        ];
+        assert!(GaussianMixture::new(bad_dim).is_err());
+        let bad_std = vec![GaussianComponent {
+            center: vec![0.0],
+            std: 0.0,
+            weight: 1.0,
+        }];
+        assert!(GaussianMixture::new(bad_std).is_err());
+        let bad_weight = vec![GaussianComponent {
+            center: vec![0.0],
+            std: 1.0,
+            weight: -1.0,
+        }];
+        assert!(GaussianMixture::new(bad_weight).is_err());
+    }
+
+    #[test]
+    fn well_separated_layout() {
+        let gm = GaussianMixture::well_separated(4, 3, 10.0, 0.5).unwrap();
+        assert_eq!(gm.k(), 4);
+        assert_eq!(gm.dim(), 3);
+        assert!(GaussianMixture::well_separated(0, 2, 1.0, 1.0).is_err());
+        assert!(GaussianMixture::well_separated(2, 1, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn sample_shapes_and_determinism() {
+        let gm = GaussianMixture::well_separated(3, 2, 8.0, 0.3).unwrap();
+        let a = gm.sample(100, &mut seeded(5));
+        let b = gm.sample(100, &mut seeded(5));
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.matrix.shape(), (100, 2));
+        assert_eq!(a.labels.len(), 100);
+        assert!(a.labels.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn sample_component_means_are_near_centers() {
+        let gm = GaussianMixture::new(vec![GaussianComponent {
+            center: vec![5.0, -3.0],
+            std: 0.5,
+            weight: 1.0,
+        }])
+        .unwrap();
+        let d = gm.sample(20_000, &mut seeded(11));
+        let means = column_means(&d.matrix).unwrap();
+        assert!((means[0] - 5.0).abs() < 0.05);
+        assert!((means[1] + 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn weights_bias_component_frequency() {
+        let gm = GaussianMixture::new(vec![
+            GaussianComponent {
+                center: vec![0.0, 0.0],
+                std: 1.0,
+                weight: 9.0,
+            },
+            GaussianComponent {
+                center: vec![100.0, 0.0],
+                std: 1.0,
+                weight: 1.0,
+            },
+        ])
+        .unwrap();
+        let d = gm.sample(10_000, &mut seeded(3));
+        let heavy = d.labels.iter().filter(|&&l| l == 0).count();
+        assert!(
+            (heavy as f64 / 10_000.0 - 0.9).abs() < 0.03,
+            "heavy fraction {}",
+            heavy as f64 / 10_000.0
+        );
+    }
+
+    #[test]
+    fn uniform_cube_bounds() {
+        let d = uniform_cube(1000, 3, -2.0, 2.0, &mut seeded(8));
+        assert_eq!(d.matrix.shape(), (1000, 3));
+        assert!(d.matrix.as_slice().iter().all(|&x| (-2.0..2.0).contains(&x)));
+        // Variance of U(-2,2) is 16/12 ≈ 1.333.
+        let v = rbt_linalg::stats::column_variances(&d.matrix, VarianceMode::Population).unwrap();
+        assert!((v[0] - 16.0 / 12.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn two_rings_radii() {
+        let d = two_rings(500, 2.0, 8.0, 0.05, &mut seeded(2));
+        assert_eq!(d.matrix.shape(), (1000, 2));
+        for (row, &label) in d.matrix.row_iter().zip(&d.labels) {
+            let r = row[0].hypot(row[1]);
+            let expected = if label == 0 { 2.0 } else { 8.0 };
+            assert!((r - expected).abs() < 0.5, "r={r} label={label}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the CSV codec and the normalization layer on random
+//! data: serialize/parse and fit/invert must round-trip losslessly.
+
+use proptest::prelude::*;
+use rbt_data::normalize::Normalization;
+use rbt_data::{csv, Dataset, FittedNormalizer};
+use rbt_linalg::{Matrix, VarianceMode};
+
+fn dataset() -> impl Strategy<Value = Dataset> {
+    (1usize..20, 1usize..6, any::<bool>()).prop_flat_map(|(rows, cols, with_ids)| {
+        prop::collection::vec(-1e6..1e6f64, rows * cols).prop_map(move |data| {
+            let matrix = Matrix::from_vec(rows, cols, data).unwrap();
+            let ds = Dataset::from_matrix(matrix);
+            if with_ids {
+                ds.with_ids((0..rows as u64).collect()).unwrap()
+            } else {
+                ds
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn csv_round_trip_is_lossless(ds in dataset()) {
+        let text = csv::to_csv(&ds);
+        let back = csv::from_csv(&text).unwrap();
+        prop_assert_eq!(back.columns(), ds.columns());
+        prop_assert_eq!(back.ids(), ds.ids());
+        // f64 Display/parse round-trips exactly.
+        prop_assert!(back.matrix().approx_eq(ds.matrix(), 0.0));
+    }
+
+    #[test]
+    fn normalizers_invert_on_random_data(ds in dataset(), which in 0usize..4) {
+        let method = match which {
+            0 => Normalization::zscore_paper(),
+            1 => Normalization::min_max_unit(),
+            2 => Normalization::DecimalScaling,
+            _ => Normalization::RobustZScore,
+        };
+        let Ok((fitted, t)) = method.fit_transform(ds.matrix()) else { return Ok(()); };
+        let back = fitted.inverse_transform(&t).unwrap();
+        // Scale-aware tolerance: inversion is exact up to rounding in the
+        // affine maps.
+        let scale = ds.matrix().as_slice().iter().fold(1.0f64, |a, &x| a.max(x.abs()));
+        prop_assert!(back.approx_eq(ds.matrix(), 1e-9 * scale));
+    }
+
+    #[test]
+    fn normalizer_text_round_trip_on_random_data(ds in dataset(), which in 0usize..3) {
+        let method = match which {
+            0 => Normalization::zscore_paper(),
+            1 => Normalization::min_max_unit(),
+            _ => Normalization::DecimalScaling,
+        };
+        let Ok((fitted, t)) = method.fit_transform(ds.matrix()) else { return Ok(()); };
+        let parsed = FittedNormalizer::from_text(&fitted.to_text()).unwrap();
+        let t2 = parsed.transform(ds.matrix()).unwrap();
+        prop_assert!(t.approx_eq(&t2, 0.0));
+    }
+
+    #[test]
+    fn zscore_output_is_standardised(ds in dataset()) {
+        let Ok((_, z)) = Normalization::zscore_paper().fit_transform(ds.matrix()) else { return Ok(()); };
+        for j in 0..z.cols() {
+            let col = z.column(j);
+            let mean = rbt_linalg::stats::mean(&col).unwrap();
+            let var = rbt_linalg::stats::variance(&col, VarianceMode::Sample).unwrap();
+            let orig_var =
+                rbt_linalg::stats::variance(&ds.matrix().column(j), VarianceMode::Sample).unwrap();
+            prop_assert!(mean.abs() < 1e-6, "mean {mean}");
+            if orig_var > 1e-9 {
+                prop_assert!((var - 1.0).abs() < 1e-6, "variance {var}");
+            } else {
+                prop_assert!(var.abs() < 1e-9); // constant column maps to zeros
+            }
+        }
+    }
+}

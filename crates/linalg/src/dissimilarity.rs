@@ -1,0 +1,341 @@
+//! The dissimilarity matrix of §3.3 — all pairwise object distances.
+//!
+//! The paper represents proximities as an `m × m` lower-triangular table
+//! (Eq. 5). Since `d(i,i) = 0` and `d(i,j) = d(j,i)`, we store only the
+//! strict upper triangle in a *condensed* vector of `m·(m−1)/2` entries,
+//! halving memory against a dense table (an ablation the bench suite
+//! measures).
+//!
+//! Tables 4, 5 and 6 of the paper are dissimilarity matrices produced by
+//! this module; the bench harness prints them in the paper's triangular
+//! layout via [`DissimilarityMatrix::format_lower_triangle`].
+
+use crate::distance::Metric;
+use crate::{Error, Matrix, Result};
+
+/// Condensed (upper-triangle) matrix of pairwise distances.
+///
+/// # Example
+///
+/// ```
+/// use rbt_linalg::{Matrix, distance::Metric, dissimilarity::DissimilarityMatrix};
+///
+/// let d = Matrix::from_rows(&[&[0.0], &[1.0], &[3.0]]).unwrap();
+/// let dm = DissimilarityMatrix::from_matrix(&d, Metric::Euclidean);
+/// assert_eq!(dm.get(0, 2), 3.0);
+/// assert_eq!(dm.get(2, 1), 2.0); // symmetric access
+/// assert_eq!(dm.get(1, 1), 0.0); // diagonal
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DissimilarityMatrix {
+    n: usize,
+    /// Strict upper triangle, row-major: (0,1), (0,2), …, (0,n-1), (1,2), …
+    condensed: Vec<f64>,
+}
+
+impl DissimilarityMatrix {
+    /// Computes all pairwise distances between the rows of `data`.
+    pub fn from_matrix(data: &Matrix, metric: Metric) -> Self {
+        let n = data.rows();
+        let mut condensed = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+        for i in 0..n {
+            let ri = data.row(i);
+            for j in (i + 1)..n {
+                condensed.push(metric.distance(ri, data.row(j)));
+            }
+        }
+        DissimilarityMatrix { n, condensed }
+    }
+
+    /// Parallel version of [`from_matrix`](Self::from_matrix) using
+    /// `crossbeam` scoped threads. Rows are partitioned into contiguous
+    /// chunks whose condensed spans are disjoint, so no locking is needed.
+    ///
+    /// Falls back to the serial path when `threads <= 1` or the input is
+    /// small enough that spawning would dominate.
+    pub fn from_matrix_parallel(data: &Matrix, metric: Metric, threads: usize) -> Self {
+        let n = data.rows();
+        let total = n.saturating_sub(1) * n / 2;
+        if threads <= 1 || n < 64 {
+            return Self::from_matrix(data, metric);
+        }
+        let mut condensed = vec![0.0f64; total];
+
+        // Split the condensed buffer at row boundaries into `threads`
+        // roughly equal spans of *work* (pair count), not of rows: early
+        // rows own longer spans.
+        let mut boundaries = Vec::with_capacity(threads + 1);
+        boundaries.push(0usize); // row index boundaries
+        let per_chunk = total / threads;
+        let mut acc = 0usize;
+        for i in 0..n {
+            acc += n - i - 1;
+            if acc >= per_chunk * boundaries.len() && boundaries.len() < threads {
+                boundaries.push(i + 1);
+            }
+        }
+        boundaries.push(n);
+
+        let row_offset = |i: usize| -> usize {
+            // Start of row i's span in the condensed buffer.
+            i * (2 * n - i - 1) / 2
+        };
+
+        crossbeam::thread::scope(|scope| {
+            let mut rest: &mut [f64] = &mut condensed;
+            let mut consumed = 0usize;
+            for w in boundaries.windows(2) {
+                let (start_row, end_row) = (w[0], w[1]);
+                if start_row == end_row {
+                    continue;
+                }
+                let span_end = row_offset(end_row);
+                let (chunk, tail) = rest.split_at_mut(span_end - consumed);
+                consumed = span_end;
+                rest = tail;
+                scope.spawn(move |_| {
+                    let mut k = 0usize;
+                    for i in start_row..end_row {
+                        let ri = data.row(i);
+                        for j in (i + 1)..n {
+                            chunk[k] = metric.distance(ri, data.row(j));
+                            k += 1;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("dissimilarity worker panicked");
+
+        DissimilarityMatrix { n, condensed }
+    }
+
+    /// Builds a dissimilarity matrix from an explicit condensed buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `condensed.len()` is not
+    /// `n·(n−1)/2`.
+    pub fn from_condensed(n: usize, condensed: Vec<f64>) -> Result<Self> {
+        let expected = n.saturating_sub(1) * n / 2;
+        if condensed.len() != expected {
+            return Err(Error::DimensionMismatch {
+                expected: format!("{expected} condensed entries for n={n}"),
+                found: format!("{}", condensed.len()),
+            });
+        }
+        Ok(DissimilarityMatrix { n, condensed })
+    }
+
+    /// Number of objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when there are no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Borrow of the condensed buffer.
+    #[inline]
+    pub fn condensed(&self) -> &[f64] {
+        &self.condensed
+    }
+
+    #[inline]
+    fn offset(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j);
+        // Row i's span starts after rows 0..i, which hold (n-1) + (n-2) + …
+        // = i·(2n − i − 1)/2 entries.
+        i * (2 * self.n - i - 1) / 2 + (j - i - 1)
+    }
+
+    /// Distance `d(i, j)`; symmetric, zero on the diagonal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        match i.cmp(&j) {
+            std::cmp::Ordering::Equal => 0.0,
+            std::cmp::Ordering::Less => self.condensed[self.offset(i, j)],
+            std::cmp::Ordering::Greater => self.condensed[self.offset(j, i)],
+        }
+    }
+
+    /// Iterator over `(i, j, d(i,j))` for all `i < j`.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            ((i + 1)..self.n).map(move |j| (i, j, self.condensed[self.offset(i, j)]))
+        })
+    }
+
+    /// Expands into a dense symmetric `n × n` [`Matrix`].
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n, self.n);
+        for (i, j, d) in self.iter_pairs() {
+            m[(i, j)] = d;
+            m[(j, i)] = d;
+        }
+        m
+    }
+
+    /// Maximum absolute entry-wise difference with another dissimilarity
+    /// matrix; `None` if the object counts differ.
+    ///
+    /// This is the crate's isometry check: RBT guarantees this is ~0 between
+    /// the original and transformed data (Theorem 2).
+    pub fn max_abs_diff(&self, other: &DissimilarityMatrix) -> Option<f64> {
+        if self.n != other.n {
+            return None;
+        }
+        Some(
+            self.condensed
+                .iter()
+                .zip(&other.condensed)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max),
+        )
+    }
+
+    /// Formats the paper's lower-triangular layout (Eq. 5 / Tables 4–6):
+    /// row `i` lists `d(i,0) … d(i,i-1) 0`.
+    pub fn format_lower_triangle(&self, decimals: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for i in 0..self.n {
+            for j in 0..=i {
+                if j > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{:.*}", decimals, self.get(i, j));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Matrix {
+        Matrix::from_rows(&[&[0.0, 0.0], &[3.0, 4.0], &[6.0, 8.0], &[-3.0, -4.0]]).unwrap()
+    }
+
+    #[test]
+    fn pairwise_distances_known() {
+        let dm = DissimilarityMatrix::from_matrix(&points(), Metric::Euclidean);
+        assert_eq!(dm.len(), 4);
+        assert_eq!(dm.get(0, 1), 5.0);
+        assert_eq!(dm.get(0, 2), 10.0);
+        assert_eq!(dm.get(1, 2), 5.0);
+        assert_eq!(dm.get(0, 3), 5.0);
+        assert_eq!(dm.get(1, 3), 10.0);
+        assert_eq!(dm.get(2, 3), 15.0);
+    }
+
+    #[test]
+    fn symmetry_and_diagonal() {
+        let dm = DissimilarityMatrix::from_matrix(&points(), Metric::Manhattan);
+        for i in 0..4 {
+            assert_eq!(dm.get(i, i), 0.0);
+            for j in 0..4 {
+                assert_eq!(dm.get(i, j), dm.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn condensed_length() {
+        let dm = DissimilarityMatrix::from_matrix(&points(), Metric::Euclidean);
+        assert_eq!(dm.condensed().len(), 6);
+        assert!(!dm.is_empty());
+    }
+
+    #[test]
+    fn from_condensed_validates() {
+        assert!(DissimilarityMatrix::from_condensed(3, vec![1.0, 2.0, 3.0]).is_ok());
+        assert!(DissimilarityMatrix::from_condensed(3, vec![1.0]).is_err());
+        let empty = DissimilarityMatrix::from_condensed(0, vec![]).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn to_dense_is_symmetric() {
+        let dm = DissimilarityMatrix::from_matrix(&points(), Metric::Euclidean);
+        let dense = dm.to_dense();
+        assert!(dense.is_symmetric(0.0));
+        assert_eq!(dense[(0, 1)], 5.0);
+        assert_eq!(dense[(3, 2)], 15.0);
+    }
+
+    #[test]
+    fn iter_pairs_covers_upper_triangle() {
+        let dm = DissimilarityMatrix::from_matrix(&points(), Metric::Euclidean);
+        let pairs: Vec<_> = dm.iter_pairs().collect();
+        assert_eq!(pairs.len(), 6);
+        assert_eq!(pairs[0], (0, 1, 5.0));
+        assert_eq!(pairs[5], (2, 3, 15.0));
+    }
+
+    #[test]
+    fn max_abs_diff_detects_changes() {
+        let a = DissimilarityMatrix::from_matrix(&points(), Metric::Euclidean);
+        let mut shifted = points();
+        shifted.row_mut(0)[0] += 0.5;
+        let b = DissimilarityMatrix::from_matrix(&shifted, Metric::Euclidean);
+        assert!(a.max_abs_diff(&a).unwrap() == 0.0);
+        assert!(a.max_abs_diff(&b).unwrap() > 0.0);
+        let tiny = DissimilarityMatrix::from_condensed(2, vec![1.0]).unwrap();
+        assert!(a.max_abs_diff(&tiny).is_none());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        // Larger random-ish grid to exercise the parallel path.
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let x = (i as f64 * 0.7).sin() * 10.0;
+                let y = (i as f64 * 1.3).cos() * 5.0;
+                vec![x, y, x * y]
+            })
+            .collect();
+        let m = Matrix::from_row_iter(rows).unwrap();
+        let serial = DissimilarityMatrix::from_matrix(&m, Metric::Euclidean);
+        for threads in [2, 3, 4, 8] {
+            let par = DissimilarityMatrix::from_matrix_parallel(&m, Metric::Euclidean, threads);
+            assert_eq!(serial, par, "threads={threads}");
+        }
+        // Small input falls back to serial.
+        let small = points();
+        let par = DissimilarityMatrix::from_matrix_parallel(&small, Metric::Euclidean, 4);
+        assert_eq!(par, DissimilarityMatrix::from_matrix(&small, Metric::Euclidean));
+    }
+
+    #[test]
+    fn lower_triangle_format_matches_paper_layout() {
+        let dm = DissimilarityMatrix::from_matrix(&points(), Metric::Euclidean);
+        let s = dm.format_lower_triangle(1);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "0.0");
+        assert_eq!(lines[1], "5.0 0.0");
+        assert_eq!(lines[3], "5.0 10.0 15.0 0.0");
+    }
+
+    #[test]
+    fn single_object_and_empty() {
+        let one = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let dm = DissimilarityMatrix::from_matrix(&one, Metric::Euclidean);
+        assert_eq!(dm.len(), 1);
+        assert_eq!(dm.condensed().len(), 0);
+        assert_eq!(dm.get(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Distance metrics between objects (§3.3 of the paper).
+//!
+//! Euclidean distance (Eq. 6) and Manhattan distance (Eq. 7) are the two the
+//! paper lists; Minkowski and Chebyshev complete the standard family. All of
+//! them satisfy the four metric axioms the paper enumerates (non-negativity,
+//! identity, symmetry, triangle inequality) — the crate's property tests
+//! check these on random inputs.
+//!
+//! Only the Euclidean metric is invariant under rotation, which is why RBT
+//! guarantees exact cluster preservation for Euclidean-based algorithms.
+//! (Manhattan distance is *not* rotation-invariant; the experiment binaries
+//! quantify the discrepancy.)
+
+use std::fmt;
+
+/// Supported distance metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[non_exhaustive]
+pub enum Metric {
+    /// Euclidean (L2) distance — Eq. (6) of the paper.
+    #[default]
+    Euclidean,
+    /// Squared Euclidean distance (avoids the square root; same ordering).
+    SquaredEuclidean,
+    /// Manhattan / city-block (L1) distance — Eq. (7) of the paper.
+    Manhattan,
+    /// Minkowski (Lp) distance with parameter `p >= 1`.
+    Minkowski(f64),
+    /// Chebyshev (L∞) distance.
+    Chebyshev,
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Metric::Euclidean => write!(f, "euclidean"),
+            Metric::SquaredEuclidean => write!(f, "squared-euclidean"),
+            Metric::Manhattan => write!(f, "manhattan"),
+            Metric::Minkowski(p) => write!(f, "minkowski(p={p})"),
+            Metric::Chebyshev => write!(f, "chebyshev"),
+        }
+    }
+}
+
+impl Metric {
+    /// Distance between two points.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the slices differ in length; in release
+    /// builds the shorter length is used (zip semantics). Callers inside the
+    /// workspace always pass rows of the same matrix.
+    #[inline]
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "distance between unequal-length points");
+        match *self {
+            Metric::Euclidean => squared_euclidean(a, b).sqrt(),
+            Metric::SquaredEuclidean => squared_euclidean(a, b),
+            Metric::Manhattan => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .sum(),
+            Metric::Minkowski(p) => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs().powf(p))
+                .sum::<f64>()
+                .powf(1.0 / p),
+            Metric::Chebyshev => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// `true` for metrics invariant under orthogonal transformations
+    /// (rotations/reflections). Only these give the exact cluster
+    /// preservation of Corollary 1.
+    pub fn is_rotation_invariant(&self) -> bool {
+        matches!(self, Metric::Euclidean | Metric::SquaredEuclidean)
+    }
+}
+
+#[inline]
+fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rotation2;
+
+    const P: [f64; 3] = [1.0, -2.0, 3.0];
+    const Q: [f64; 3] = [4.0, 2.0, 3.0];
+
+    #[test]
+    fn euclidean_known() {
+        // sqrt(9 + 16 + 0) = 5
+        assert!((Metric::Euclidean.distance(&P, &Q) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_euclidean_known() {
+        assert!((Metric::SquaredEuclidean.distance(&P, &Q) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_known() {
+        assert!((Metric::Manhattan.distance(&P, &Q) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev_known() {
+        assert!((Metric::Chebyshev.distance(&P, &Q) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minkowski_interpolates() {
+        // p=1 is Manhattan, p=2 is Euclidean.
+        assert!(
+            (Metric::Minkowski(1.0).distance(&P, &Q) - Metric::Manhattan.distance(&P, &Q)).abs()
+                < 1e-12
+        );
+        assert!(
+            (Metric::Minkowski(2.0).distance(&P, &Q) - Metric::Euclidean.distance(&P, &Q)).abs()
+                < 1e-12
+        );
+        // Large p approaches Chebyshev.
+        assert!(
+            (Metric::Minkowski(64.0).distance(&P, &Q) - Metric::Chebyshev.distance(&P, &Q)).abs()
+                < 0.1
+        );
+    }
+
+    #[test]
+    fn metric_axioms_on_fixed_points() {
+        for m in [
+            Metric::Euclidean,
+            Metric::Manhattan,
+            Metric::Chebyshev,
+            Metric::Minkowski(3.0),
+        ] {
+            assert!(m.distance(&P, &Q) >= 0.0, "{m}: non-negative");
+            assert_eq!(m.distance(&P, &P), 0.0, "{m}: identity");
+            assert!(
+                (m.distance(&P, &Q) - m.distance(&Q, &P)).abs() < 1e-12,
+                "{m}: symmetry"
+            );
+            let r = [0.0, 0.0, 0.0];
+            assert!(
+                m.distance(&P, &Q) <= m.distance(&P, &r) + m.distance(&r, &Q) + 1e-12,
+                "{m}: triangle inequality"
+            );
+        }
+    }
+
+    #[test]
+    fn euclidean_is_rotation_invariant_manhattan_is_not() {
+        assert!(Metric::Euclidean.is_rotation_invariant());
+        assert!(Metric::SquaredEuclidean.is_rotation_invariant());
+        assert!(!Metric::Manhattan.is_rotation_invariant());
+        assert!(!Metric::Chebyshev.is_rotation_invariant());
+
+        // Demonstrate the invariance (and its absence) numerically.
+        let r = Rotation2::from_degrees(37.0);
+        let (px, py) = (1.0, 2.0);
+        let (qx, qy) = (-3.0, 0.5);
+        let (pxr, pyr) = r.apply_point(px, py);
+        let (qxr, qyr) = r.apply_point(qx, qy);
+        let d_before = Metric::Euclidean.distance(&[px, py], &[qx, qy]);
+        let d_after = Metric::Euclidean.distance(&[pxr, pyr], &[qxr, qyr]);
+        assert!((d_before - d_after).abs() < 1e-12);
+        let m_before = Metric::Manhattan.distance(&[px, py], &[qx, qy]);
+        let m_after = Metric::Manhattan.distance(&[pxr, pyr], &[qxr, qyr]);
+        assert!((m_before - m_after).abs() > 1e-3);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Metric::Euclidean.to_string(), "euclidean");
+        assert_eq!(Metric::Minkowski(3.0).to_string(), "minkowski(p=3)");
+    }
+}

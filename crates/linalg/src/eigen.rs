@@ -1,0 +1,230 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! This substrate exists for the **PCA covariance-alignment attack** in
+//! `rbt-attack`: rotation perturbation preserves the eigenvalue spectrum of
+//! the covariance matrix, so an attacker who knows (or can estimate) the
+//! original covariance can align eigenbases to recover the rotation. The
+//! Jacobi method is exact enough, simple, and has excellent numerical
+//! behaviour for the small `n × n` (attribute-count-sized) matrices involved.
+
+use crate::{Error, Matrix, Result};
+
+/// Result of a symmetric eigendecomposition: `a = V · diag(λ) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, sorted in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors as matrix *columns*, in the same order as
+    /// [`eigenvalues`](Self::eigenvalues).
+    pub eigenvectors: Matrix,
+}
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// # Errors
+///
+/// * [`Error::NotSquare`] / [`Error::NotSymmetric`] for malformed input
+///   (symmetry is checked to a `1e-8 · ‖a‖` tolerance),
+/// * [`Error::NoConvergence`] if the off-diagonal mass does not vanish in
+///   `MAX_SWEEPS` (100) sweeps (does not happen for well-posed symmetric input).
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
+    if !a.is_square() {
+        return Err(Error::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(Error::Empty);
+    }
+    let scale = a.frobenius_norm().max(1.0);
+    if !a.is_symmetric(1e-8 * scale) {
+        return Err(Error::NotSymmetric);
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let off: f64 = {
+            let mut s = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s += m[(i, j)] * m[(i, j)];
+                }
+            }
+            s
+        };
+        if off.sqrt() <= 1e-14 * scale {
+            return Ok(finish(m, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Classic Jacobi rotation angle.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // A ← Jᵀ A J, applied to rows/columns p and q.
+                for k in 0..n {
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    m[(k, p)] = c * akp - s * akq;
+                    m[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[(p, k)];
+                    let aqk = m[(q, k)];
+                    m[(p, k)] = c * apk - s * aqk;
+                    m[(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors: V ← V J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(Error::NoConvergence {
+        iterations: MAX_SWEEPS,
+    })
+}
+
+fn finish(m: Matrix, v: Matrix) -> SymmetricEigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            eigenvectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotation::is_orthogonal;
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-10);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0],
+            &[1.0, 2.0, 0.5],
+            &[-2.0, 0.5, 3.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert!(is_orthogonal(&e.eigenvectors, 1e-10));
+        // Reconstruct V diag(λ) Vᵀ.
+        let n = 3;
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = e.eigenvalues[i];
+        }
+        let rec = e
+            .eigenvectors
+            .matmul(&lam)
+            .unwrap()
+            .matmul(&e.eigenvectors.transpose())
+            .unwrap();
+        assert!(rec.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 5.0, 0.0],
+            &[0.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        assert_eq!(e.eigenvalues, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[
+            &[2.5, -1.0, 0.3, 0.0],
+            &[-1.0, 4.0, 0.7, 0.2],
+            &[0.3, 0.7, 1.2, -0.5],
+            &[0.0, 0.2, -0.5, 3.3],
+        ])
+        .unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.eigenvalues.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            symmetric_eigen(&Matrix::zeros(2, 3)),
+            Err(Error::NotSquare { .. })
+        ));
+        let asym = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert!(matches!(symmetric_eigen(&asym), Err(Error::NotSymmetric)));
+        assert!(matches!(
+            symmetric_eigen(&Matrix::zeros(0, 0)),
+            Err(Error::Empty)
+        ));
+    }
+
+    #[test]
+    fn eigenvector_satisfies_definition() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = symmetric_eigen(&a).unwrap();
+        for k in 0..2 {
+            let vk = e.eigenvectors.column(k);
+            let av = a.matvec(&vk).unwrap();
+            for i in 0..2 {
+                assert!((av[i] - e.eigenvalues[k] * vk[i]).abs() < 1e-9);
+            }
+        }
+    }
+}

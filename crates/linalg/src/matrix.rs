@@ -1,0 +1,728 @@
+//! Dense row-major matrix of `f64` values.
+//!
+//! This is the *data matrix* of §3.2 of the paper: `m` rows (objects) by `n`
+//! columns (attributes). Storage is a single contiguous `Vec<f64>` in
+//! row-major order, which keeps row access (the hot path for distance
+//! computations) cache-friendly.
+
+use crate::{Error, Result};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `m × n` matrix of `f64`.
+///
+/// Rows represent objects and columns represent attributes, matching the
+/// paper's data-matrix convention (Eq. 2).
+///
+/// # Example
+///
+/// ```
+/// use rbt_linalg::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+/// assert_eq!(m.shape(), (2, 2));
+/// assert_eq!(m[(1, 0)], 3.0);
+/// assert_eq!(m.column(1), vec![2.0, 4.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates an `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 0.0)
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::DimensionMismatch {
+                expected: format!("{rows}x{cols} = {} elements", rows * cols),
+                found: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] if `rows` is empty and
+    /// [`Error::DimensionMismatch`] if the rows are ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let first = rows.first().ok_or(Error::Empty)?;
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(Error::DimensionMismatch {
+                    expected: format!("row of length {cols}"),
+                    found: format!("row {i} of length {}", row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a matrix from an iterator of owned rows.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Matrix::from_rows`].
+    pub fn from_row_iter<I, R>(iter: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[f64]>,
+    {
+        let mut data = Vec::new();
+        let mut cols = None;
+        let mut rows = 0usize;
+        for row in iter {
+            let row = row.as_ref();
+            match cols {
+                None => cols = Some(row.len()),
+                Some(c) if c != row.len() => {
+                    return Err(Error::DimensionMismatch {
+                        expected: format!("row of length {c}"),
+                        found: format!("row {rows} of length {}", row.len()),
+                    })
+                }
+                _ => {}
+            }
+            data.extend_from_slice(row);
+            rows += 1;
+        }
+        let cols = cols.ok_or(Error::Empty)?;
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix from columns instead of rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] for no columns, [`Error::DimensionMismatch`]
+    /// for ragged columns.
+    pub fn from_columns(columns: &[&[f64]]) -> Result<Self> {
+        let first = columns.first().ok_or(Error::Empty)?;
+        let rows = first.len();
+        for (j, col) in columns.iter().enumerate() {
+            if col.len() != rows {
+                return Err(Error::DimensionMismatch {
+                    expected: format!("column of length {rows}"),
+                    found: format!("column {j} of length {}", col.len()),
+                });
+            }
+        }
+        let cols = columns.len();
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for col in columns {
+                data.push(col[i]);
+            }
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows (objects).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (attributes).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` if the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its flat row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a freshly allocated `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds ({})",
+            self.cols
+        );
+        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+    }
+
+    /// Copies column `j` into `out` (clearing it first), avoiding an
+    /// allocation when a workhorse buffer is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn column_into(&self, j: usize, out: &mut Vec<f64>) {
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds ({})",
+            self.cols
+        );
+        out.clear();
+        out.extend((0..self.rows).map(|i| self.data[i * self.cols + j]));
+    }
+
+    /// Overwrites column `j` with `values`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `values.len() != rows`;
+    /// [`Error::IndexOutOfBounds`] if `j >= cols`.
+    pub fn set_column(&mut self, j: usize, values: &[f64]) -> Result<()> {
+        if j >= self.cols {
+            return Err(Error::IndexOutOfBounds {
+                index: j,
+                bound: self.cols,
+            });
+        }
+        if values.len() != self.rows {
+            return Err(Error::DimensionMismatch {
+                expected: format!("{} values", self.rows),
+                found: format!("{} values", values.len()),
+            });
+        }
+        for (i, &v) in values.iter().enumerate() {
+            self.data[i * self.cols + j] = v;
+        }
+        Ok(())
+    }
+
+    /// Iterator over rows as slices.
+    pub fn row_iter(&self) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(Error::DimensionMismatch {
+                expected: format!("rhs with {} rows", self.cols),
+                found: format!("rhs with {} rows", rhs.rows),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: streams over rhs rows, good locality for row-major.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(Error::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                found: format!("vector of length {}", v.len()),
+            });
+        }
+        Ok(self
+            .row_iter()
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] on shape mismatch.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(Error::DimensionMismatch {
+                expected: format!("{}x{}", self.rows, self.cols),
+                found: format!("{}x{}", rhs.rows, rhs.cols),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        })
+    }
+
+    /// Maximum absolute element-wise difference between two same-shape
+    /// matrices; `None` on shape mismatch.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> Option<f64> {
+        if self.shape() != rhs.shape() {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max),
+        )
+    }
+
+    /// `true` if every element of the two matrices differs by at most `tol`.
+    pub fn approx_eq(&self, rhs: &Matrix, tol: f64) -> bool {
+        matches!(self.max_abs_diff(rhs), Some(d) if d <= tol)
+    }
+
+    /// `true` if the matrix is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns a new matrix consisting of the selected columns, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] if any index is out of range and
+    /// [`Error::Empty`] if `indices` is empty.
+    pub fn select_columns(&self, indices: &[usize]) -> Result<Matrix> {
+        if indices.is_empty() {
+            return Err(Error::Empty);
+        }
+        for &j in indices {
+            if j >= self.cols {
+                return Err(Error::IndexOutOfBounds {
+                    index: j,
+                    bound: self.cols,
+                });
+            }
+        }
+        let mut data = Vec::with_capacity(self.rows * indices.len());
+        for i in 0..self.rows {
+            let row = self.row(i);
+            data.extend(indices.iter().map(|&j| row[j]));
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: indices.len(),
+            data,
+        })
+    }
+
+    /// Returns a new matrix consisting of the selected rows, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexOutOfBounds`] if any index is out of range and
+    /// [`Error::Empty`] if `indices` is empty.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Matrix> {
+        if indices.is_empty() {
+            return Err(Error::Empty);
+        }
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            if i >= self.rows {
+                return Err(Error::IndexOutOfBounds {
+                    index: i,
+                    bound: self.rows,
+                });
+            }
+            data.extend_from_slice(self.row(i));
+        }
+        Ok(Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Appends a row to the bottom of the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `row.len() != cols`.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<()> {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        if row.len() != self.cols {
+            return Err(Error::DimensionMismatch {
+                expected: format!("row of length {}", self.cols),
+                found: format!("row of length {}", row.len()),
+            });
+        }
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Frobenius norm `sqrt(sum of squares)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// `true` when any element is NaN or infinite. Numerical algorithms in
+    /// this workspace validate with this at their API boundary rather than
+    /// silently propagating NaNs.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self[(i, j)])?;
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn from_rows_shape_and_index() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 6.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(err, Error::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert_eq!(Matrix::from_rows(&[]).unwrap_err(), Error::Empty);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_columns_round_trips() {
+        let m = Matrix::from_columns(&[&[1.0, 4.0], &[2.0, 5.0], &[3.0, 6.0]]).unwrap();
+        assert_eq!(m, sample());
+    }
+
+    #[test]
+    fn from_row_iter_matches_from_rows() {
+        let m = Matrix::from_row_iter(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m, sample());
+    }
+
+    #[test]
+    fn column_extraction() {
+        let m = sample();
+        assert_eq!(m.column(0), vec![1.0, 4.0]);
+        assert_eq!(m.column(2), vec![3.0, 6.0]);
+        let mut buf = vec![0.0; 17];
+        m.column_into(1, &mut buf);
+        assert_eq!(buf, vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn set_column_overwrites() {
+        let mut m = sample();
+        m.set_column(1, &[9.0, 8.0]).unwrap();
+        assert_eq!(m.column(1), vec![9.0, 8.0]);
+        assert!(m.set_column(9, &[1.0, 2.0]).is_err());
+        assert!(m.set_column(0, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().shape(), (3, 2));
+        assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = sample();
+        let id = Matrix::identity(3);
+        assert_eq!(m.matmul(&id).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = sample();
+        assert!(a.matmul(&sample()).is_err());
+    }
+
+    #[test]
+    fn matvec_known() {
+        let m = sample();
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]).unwrap(), vec![-2.0, -2.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn sub_and_max_abs_diff() {
+        let a = sample();
+        let b = a.map(|x| x + 0.5);
+        let d = b.sub(&a).unwrap();
+        assert!(d.as_slice().iter().all(|&x| (x - 0.5).abs() < 1e-12));
+        assert!((a.max_abs_diff(&b).unwrap() - 0.5).abs() < 1e-12);
+        assert!(a.approx_eq(&b, 0.5 + 1e-9));
+        assert!(!a.approx_eq(&b, 0.4));
+    }
+
+    #[test]
+    fn symmetric_check() {
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 3.0]]).unwrap();
+        assert!(s.is_symmetric(0.0));
+        let ns = Matrix::from_rows(&[&[1.0, 2.0], &[2.1, 3.0]]).unwrap();
+        assert!(!ns.is_symmetric(1e-3));
+        assert!(!sample().is_symmetric(1.0));
+    }
+
+    #[test]
+    fn select_columns_and_rows() {
+        let m = sample();
+        let c = m.select_columns(&[2, 0]).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[3.0, 1.0], &[6.0, 4.0]]).unwrap());
+        let r = m.select_rows(&[1]).unwrap();
+        assert_eq!(r, Matrix::from_rows(&[&[4.0, 5.0, 6.0]]).unwrap());
+        assert!(m.select_columns(&[5]).is_err());
+        assert!(m.select_rows(&[5]).is_err());
+        assert!(m.select_columns(&[]).is_err());
+    }
+
+    #[test]
+    fn push_row_grows() {
+        let mut m = Matrix::zeros(0, 0);
+        m.push_row(&[1.0, 2.0]).unwrap();
+        m.push_row(&[3.0, 4.0]).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert!(m.push_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_iter_yields_rows() {
+        let m = sample();
+        let rows: Vec<&[f64]> = m.row_iter().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut m = sample();
+        assert!(!m.has_non_finite());
+        m[(0, 1)] = f64::NAN;
+        assert!(m.has_non_finite());
+        m[(0, 1)] = f64::INFINITY;
+        assert!(m.has_non_finite());
+        m[(0, 1)] = 2.0;
+        assert!(!m.has_non_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = sample();
+        let _ = m[(2, 0)];
+    }
+}

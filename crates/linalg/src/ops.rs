@@ -1,0 +1,125 @@
+//! Vector helpers shared across the workspace.
+//!
+//! These are the small slice-level kernels the higher layers (statistics,
+//! distances, clustering) are built from.
+
+use crate::{Error, Result};
+
+/// Dot product of two equal-length slices.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> Result<f64> {
+    check_same_len(a, b)?;
+    Ok(a.iter().zip(b).map(|(x, y)| x * y).sum())
+}
+
+/// Euclidean (L2) norm of a slice.
+pub fn norm2(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Element-wise difference `a - b` into a new vector.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Result<Vec<f64>> {
+    check_same_len(a, b)?;
+    Ok(a.iter().zip(b).map(|(x, y)| x - y).collect())
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) -> Result<()> {
+    check_same_len(x, y)?;
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+    Ok(())
+}
+
+/// In-place scaling `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Maximum absolute difference between two equal-length slices.
+///
+/// # Errors
+///
+/// Returns [`Error::DimensionMismatch`] if lengths differ.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> Result<f64> {
+    check_same_len(a, b)?;
+    Ok(a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max))
+}
+
+/// `true` when every pair of elements differs by at most `tol`.
+pub fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+#[inline]
+fn check_same_len(a: &[f64], b: &[f64]) -> Result<()> {
+    if a.len() != b.len() {
+        return Err(Error::DimensionMismatch {
+            expected: format!("slice of length {}", a.len()),
+            found: format!("slice of length {}", b.len()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_known() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap(), 32.0);
+        assert!(dot(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn norm2_known() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn sub_known() {
+        assert_eq!(sub(&[3.0, 2.0], &[1.0, 5.0]).unwrap(), vec![2.0, -3.0]);
+        assert!(sub(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y).unwrap();
+        assert_eq!(y, vec![3.0, -1.0]);
+        assert!(axpy(1.0, &[1.0], &mut y).is_err());
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(-0.5, &mut x);
+        assert_eq!(x, vec![-0.5, 1.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_and_approx_eq() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 1.0]).unwrap(), 1.0);
+        assert!(approx_eq(&[1.0, 2.0], &[1.0, 2.0 + 1e-12], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.0, 2.0], 1.0));
+    }
+}

@@ -1,0 +1,315 @@
+//! Direct linear solvers: Gaussian elimination with partial pivoting,
+//! matrix inversion, and linear least squares via the normal equations.
+//!
+//! These back the **known-sample attack** in `rbt-attack`: an attacker who
+//! knows `k ≥ n` original records and their transformed counterparts can
+//! solve `X' ≈ X · Rᵀ` for the rotation `R` by least squares.
+
+use crate::{Error, Matrix, Result};
+
+/// Solves `a · x = b` for a single right-hand side using Gaussian
+/// elimination with partial pivoting.
+///
+/// # Errors
+///
+/// * [`Error::NotSquare`] if `a` is rectangular,
+/// * [`Error::DimensionMismatch`] if `b.len() != a.rows()`,
+/// * [`Error::Singular`] if a pivot underflows.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let x = solve_multi(a, &Matrix::from_columns(&[b])?)?;
+    Ok(x.column(0))
+}
+
+/// Solves `a · X = B` for a matrix of right-hand sides.
+///
+/// # Errors
+///
+/// Same conditions as [`solve`].
+pub fn solve_multi(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(Error::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    if b.rows() != n {
+        return Err(Error::DimensionMismatch {
+            expected: format!("rhs with {n} rows"),
+            found: format!("rhs with {} rows", b.rows()),
+        });
+    }
+    if n == 0 {
+        return Err(Error::Empty);
+    }
+
+    let mut aug = a.clone();
+    let mut rhs = b.clone();
+    let m = rhs.cols();
+
+    for col in 0..n {
+        // Partial pivot: largest |entry| in the remaining column.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, aug[(r, col)]))
+            .max_by(|x, y| {
+                x.1.abs()
+                    .partial_cmp(&y.1.abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty range");
+        if pivot_val.abs() < 1e-12 {
+            return Err(Error::Singular);
+        }
+        if pivot_row != col {
+            swap_rows(&mut aug, pivot_row, col);
+            swap_rows(&mut rhs, pivot_row, col);
+        }
+        let pivot = aug[(col, col)];
+        for r in (col + 1)..n {
+            let factor = aug[(r, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = aug[(col, c)];
+                aug[(r, c)] -= factor * v;
+            }
+            for c in 0..m {
+                let v = rhs[(col, c)];
+                rhs[(r, c)] -= factor * v;
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = Matrix::zeros(n, m);
+    for c in 0..m {
+        for r in (0..n).rev() {
+            let mut acc = rhs[(r, c)];
+            for k in (r + 1)..n {
+                acc -= aug[(r, k)] * x[(k, c)];
+            }
+            x[(r, c)] = acc / aug[(r, r)];
+        }
+    }
+    Ok(x)
+}
+
+/// Inverts a square matrix.
+///
+/// # Errors
+///
+/// Same conditions as [`solve`].
+pub fn invert(a: &Matrix) -> Result<Matrix> {
+    solve_multi(a, &Matrix::identity(a.rows()))
+}
+
+/// Least-squares solution of the (generally overdetermined) system
+/// `a · x ≈ b` via the normal equations `aᵀa x = aᵀb`.
+///
+/// Adequate for the small, well-conditioned systems in this workspace
+/// (attack estimation with attribute counts in the tens).
+///
+/// # Errors
+///
+/// * [`Error::DimensionMismatch`] if `b.rows() != a.rows()`,
+/// * [`Error::Singular`] if `aᵀa` is singular (rank-deficient `a`).
+pub fn least_squares(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if b.rows() != a.rows() {
+        return Err(Error::DimensionMismatch {
+            expected: format!("rhs with {} rows", a.rows()),
+            found: format!("rhs with {} rows", b.rows()),
+        });
+    }
+    let at = a.transpose();
+    let ata = at.matmul(a)?;
+    let atb = at.matmul(b)?;
+    solve_multi(&ata, &atb)
+}
+
+/// Projects a square matrix onto the nearest orthogonal matrix (the
+/// orthogonal polar factor): `U = M · (MᵀM)^(−1/2)`, computed through the
+/// symmetric eigendecomposition of `MᵀM`.
+///
+/// Used by the attack suite to clean up noisy least-squares rotation
+/// estimates (orthogonal Procrustes refinement).
+///
+/// # Errors
+///
+/// * [`Error::NotSquare`] for rectangular input,
+/// * [`Error::Singular`] if `M` is rank-deficient (an eigenvalue of `MᵀM`
+///   underflows),
+/// * propagated eigendecomposition failures.
+pub fn nearest_orthogonal(m: &Matrix) -> Result<Matrix> {
+    if !m.is_square() {
+        return Err(Error::NotSquare {
+            rows: m.rows(),
+            cols: m.cols(),
+        });
+    }
+    let mtm = m.transpose().matmul(m)?;
+    let eig = crate::eigen::symmetric_eigen(&mtm)?;
+    let scale = eig.eigenvalues.first().copied().unwrap_or(0.0).abs();
+    if eig
+        .eigenvalues
+        .iter()
+        .any(|&l| l <= 1e-12 * scale.max(1e-12))
+    {
+        return Err(Error::Singular);
+    }
+    // (MᵀM)^(−1/2) = V diag(λ^{-1/2}) Vᵀ.
+    let n = m.rows();
+    let mut inv_sqrt = Matrix::zeros(n, n);
+    for i in 0..n {
+        inv_sqrt[(i, i)] = 1.0 / eig.eigenvalues[i].sqrt();
+    }
+    let root = eig
+        .eigenvectors
+        .matmul(&inv_sqrt)?
+        .matmul(&eig.eigenvectors.transpose())?;
+    m.matmul(&root)
+}
+
+fn swap_rows(m: &mut Matrix, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    for c in 0..m.cols() {
+        let tmp = m[(a, c)];
+        m[(a, c)] = m[(b, c)];
+        m[(b, c)] = tmp;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::approx_eq;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x - y = 1  →  x = 2, y = 1
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, -1.0]]).unwrap();
+        let x = solve(&a, &[5.0, 1.0]).unwrap();
+        assert!(approx_eq(&x, &[2.0, 1.0], 1e-12));
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the leading position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[3.0, 7.0]).unwrap();
+        assert!(approx_eq(&x, &[7.0, 3.0], 1e-12));
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(solve(&a, &[1.0, 2.0]).unwrap_err(), Error::Singular);
+    }
+
+    #[test]
+    fn solve_validates_shapes() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]),
+            Err(Error::NotSquare { .. })
+        ));
+        let sq = Matrix::identity(3);
+        assert!(solve(&sq, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = invert(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn invert_identity_is_identity() {
+        let inv = invert(&Matrix::identity(4)).unwrap();
+        assert!(inv.approx_eq(&Matrix::identity(4), 1e-12));
+    }
+
+    #[test]
+    fn least_squares_exact_when_square() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]).unwrap();
+        let b = Matrix::from_columns(&[&[4.0, 9.0]]).unwrap();
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[(0, 0)] - 2.0).abs() < 1e-10);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_line_fit() {
+        // Fit y = 2x + 1 through noiseless points (design matrix [x, 1]).
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let design: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 1.0]).collect();
+        let a = Matrix::from_row_iter(design).unwrap();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let b = Matrix::from_columns(&[&ys]).unwrap();
+        let coef = least_squares(&a, &b).unwrap();
+        assert!((coef[(0, 0)] - 2.0).abs() < 1e-10);
+        assert!((coef[(1, 0)] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_recovers_rotation() {
+        // The attack use case: given X (k×2) and X' = X Rᵀ, recover Rᵀ.
+        let r = crate::Rotation2::from_degrees(312.47).as_matrix();
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.2],
+            &[-0.5, 1.3],
+            &[2.0, -1.0],
+            &[0.3, 0.4],
+        ])
+        .unwrap();
+        let xp = x.matmul(&r.transpose()).unwrap();
+        let rt_est = least_squares(&x, &xp).unwrap();
+        assert!(rt_est.approx_eq(&r.transpose(), 1e-9));
+    }
+
+    #[test]
+    fn nearest_orthogonal_fixes_noisy_rotation() {
+        let r = crate::Rotation2::from_degrees(147.29).as_matrix();
+        // Perturb away from orthogonality.
+        let mut noisy = r.clone();
+        noisy[(0, 0)] += 0.02;
+        noisy[(1, 0)] -= 0.015;
+        assert!(!crate::rotation::is_orthogonal(&noisy, 1e-6));
+        let fixed = nearest_orthogonal(&noisy).unwrap();
+        assert!(crate::rotation::is_orthogonal(&fixed, 1e-10));
+        // Still close to the true rotation.
+        assert!(fixed.max_abs_diff(&r).unwrap() < 0.05);
+    }
+
+    #[test]
+    fn nearest_orthogonal_is_identity_on_orthogonal_input() {
+        let r = crate::Rotation2::from_degrees(312.47).as_matrix();
+        let fixed = nearest_orthogonal(&r).unwrap();
+        assert!(fixed.approx_eq(&r, 1e-10));
+    }
+
+    #[test]
+    fn nearest_orthogonal_validates() {
+        assert!(matches!(
+            nearest_orthogonal(&Matrix::zeros(2, 3)),
+            Err(Error::NotSquare { .. })
+        ));
+        assert!(matches!(
+            nearest_orthogonal(&Matrix::zeros(3, 3)),
+            Err(Error::Singular)
+        ));
+    }
+
+    #[test]
+    fn solve_multi_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0, 0.0], &[1.0, 2.0]]).unwrap();
+        let x = solve_multi(&a, &b).unwrap();
+        let back = a.matmul(&x).unwrap();
+        assert!(back.approx_eq(&b, 1e-12));
+    }
+}

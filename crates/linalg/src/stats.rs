@@ -1,0 +1,328 @@
+//! Descriptive statistics: mean, variance, covariance, correlation.
+//!
+//! The paper is internally inconsistent about the variance divisor: its
+//! Eq. (8) defines `Var` with a `1/N` (population) divisor, yet every number
+//! in the running example (Tables 2–6, the Var(A − A') security checks) uses
+//! the Bessel-corrected `1/(N−1)` (sample) divisor. [`VarianceMode`] makes
+//! the divisor explicit everywhere; the paper-matching default used by the
+//! higher layers is [`VarianceMode::Sample`].
+
+use crate::{Error, Matrix, Result};
+
+/// Which divisor to use for variance-like quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VarianceMode {
+    /// `1/N` divisor — the definition printed as Eq. (8) in the paper.
+    Population,
+    /// `1/(N−1)` divisor — what the paper's example numbers actually use.
+    #[default]
+    Sample,
+}
+
+impl VarianceMode {
+    /// The divisor for `n` observations.
+    ///
+    /// For `Sample` mode with `n == 1` the divisor degenerates; we return
+    /// `1.0` so that a singleton has variance 0 rather than NaN.
+    #[inline]
+    pub fn divisor(self, n: usize) -> f64 {
+        match self {
+            VarianceMode::Population => n as f64,
+            VarianceMode::Sample => {
+                if n > 1 {
+                    (n - 1) as f64
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for an empty slice.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(Error::Empty);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Variance of `xs` under the given [`VarianceMode`].
+///
+/// With `Population` mode this is exactly Eq. (8) of the paper.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for an empty slice.
+pub fn variance(xs: &[f64], mode: VarianceMode) -> Result<f64> {
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Ok(ss / mode.divisor(xs.len()))
+}
+
+/// Standard deviation under the given [`VarianceMode`].
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for an empty slice.
+pub fn std_dev(xs: &[f64], mode: VarianceMode) -> Result<f64> {
+    variance(xs, mode).map(f64::sqrt)
+}
+
+/// Covariance of two equal-length slices under the given [`VarianceMode`].
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for empty input and [`Error::DimensionMismatch`]
+/// for unequal lengths.
+pub fn covariance(xs: &[f64], ys: &[f64], mode: VarianceMode) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(Error::DimensionMismatch {
+            expected: format!("slice of length {}", xs.len()),
+            found: format!("slice of length {}", ys.len()),
+        });
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let ss: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum();
+    Ok(ss / mode.divisor(xs.len()))
+}
+
+/// Pearson correlation coefficient.
+///
+/// The result is divisor-independent (the divisors cancel), so no
+/// [`VarianceMode`] parameter is needed.
+///
+/// # Errors
+///
+/// Propagates errors from [`covariance`]; returns
+/// [`Error::InvalidArgument`] when either slice has zero variance.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    let mode = VarianceMode::Population;
+    let c = covariance(xs, ys, mode)?;
+    let vx = variance(xs, mode)?;
+    let vy = variance(ys, mode)?;
+    if vx == 0.0 || vy == 0.0 {
+        return Err(Error::InvalidArgument(
+            "correlation undefined for constant input".into(),
+        ));
+    }
+    Ok(c / (vx * vy).sqrt())
+}
+
+/// Variance of the element-wise difference `x − y`.
+///
+/// This is the paper's security measure building block: the security offered
+/// by a perturbation is `Var(X − X')` (§4.2, Pairwise-Security Threshold).
+///
+/// # Errors
+///
+/// Same conditions as [`covariance`].
+pub fn variance_of_difference(xs: &[f64], ys: &[f64], mode: VarianceMode) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(Error::DimensionMismatch {
+            expected: format!("slice of length {}", xs.len()),
+            found: format!("slice of length {}", ys.len()),
+        });
+    }
+    let diff: Vec<f64> = xs.iter().zip(ys).map(|(x, y)| x - y).collect();
+    variance(&diff, mode)
+}
+
+/// Per-column means of a data matrix.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for a matrix with no rows.
+pub fn column_means(m: &Matrix) -> Result<Vec<f64>> {
+    if m.rows() == 0 {
+        return Err(Error::Empty);
+    }
+    let mut sums = vec![0.0; m.cols()];
+    for row in m.row_iter() {
+        for (s, &x) in sums.iter_mut().zip(row) {
+            *s += x;
+        }
+    }
+    let n = m.rows() as f64;
+    for s in &mut sums {
+        *s /= n;
+    }
+    Ok(sums)
+}
+
+/// Per-column variances of a data matrix.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for a matrix with no rows.
+pub fn column_variances(m: &Matrix, mode: VarianceMode) -> Result<Vec<f64>> {
+    let means = column_means(m)?;
+    let mut ss = vec![0.0; m.cols()];
+    for row in m.row_iter() {
+        for ((s, &x), &mu) in ss.iter_mut().zip(row).zip(&means) {
+            let d = x - mu;
+            *s += d * d;
+        }
+    }
+    let div = mode.divisor(m.rows());
+    for s in &mut ss {
+        *s /= div;
+    }
+    Ok(ss)
+}
+
+/// Covariance matrix (columns as variables) of a data matrix.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for a matrix with no rows.
+pub fn covariance_matrix(m: &Matrix, mode: VarianceMode) -> Result<Matrix> {
+    let means = column_means(m)?;
+    let n = m.cols();
+    let mut cov = Matrix::zeros(n, n);
+    for row in m.row_iter() {
+        for j in 0..n {
+            let dj = row[j] - means[j];
+            for k in j..n {
+                let dk = row[k] - means[k];
+                cov[(j, k)] += dj * dk;
+            }
+        }
+    }
+    let div = mode.divisor(m.rows());
+    for j in 0..n {
+        for k in j..n {
+            let v = cov[(j, k)] / div;
+            cov[(j, k)] = v;
+            cov[(k, j)] = v;
+        }
+    }
+    Ok(cov)
+}
+
+/// Minimum and maximum of a slice.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for an empty slice.
+pub fn min_max(xs: &[f64]) -> Result<(f64, f64)> {
+    if xs.is_empty() {
+        return Err(Error::Empty);
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Ok((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AGE: [f64; 5] = [75.0, 56.0, 40.0, 28.0, 44.0];
+    const HR: [f64; 5] = [63.0, 53.0, 70.0, 76.0, 68.0];
+
+    #[test]
+    fn mean_known() {
+        assert!((mean(&AGE).unwrap() - 48.6).abs() < 1e-12);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn variance_population_matches_eq8() {
+        // Eq. (8): 1/N * sum (x - mean)^2 on the paper's age column.
+        assert!((variance(&AGE, VarianceMode::Population).unwrap() - 254.24).abs() < 1e-10);
+    }
+
+    #[test]
+    fn variance_sample_matches_paper_normalization() {
+        // The z-scores in Table 2 only reproduce with the 1/(N-1) divisor:
+        // std(age) = sqrt(1271.2/4) = 17.8269..., so z(75) = 26.4/17.8269 = 1.4809.
+        let sd = std_dev(&AGE, VarianceMode::Sample).unwrap();
+        assert!(((75.0 - 48.6) / sd - 1.4809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn variance_singleton_is_zero() {
+        assert_eq!(variance(&[5.0], VarianceMode::Sample).unwrap(), 0.0);
+        assert_eq!(variance(&[5.0], VarianceMode::Population).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn covariance_symmetry_and_self() {
+        let cxy = covariance(&AGE, &HR, VarianceMode::Sample).unwrap();
+        let cyx = covariance(&HR, &AGE, VarianceMode::Sample).unwrap();
+        assert!((cxy - cyx).abs() < 1e-12);
+        let cxx = covariance(&AGE, &AGE, VarianceMode::Sample).unwrap();
+        let vx = variance(&AGE, VarianceMode::Sample).unwrap();
+        assert!((cxx - vx).abs() < 1e-12);
+        assert!(covariance(&AGE, &HR[..3], VarianceMode::Sample).is_err());
+    }
+
+    #[test]
+    fn correlation_bounds_and_known_sign() {
+        let r = correlation(&AGE, &HR).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+        // Age and heart rate are negatively correlated in the paper's sample.
+        assert!(r < 0.0);
+        // Perfect correlation with self.
+        assert!((correlation(&AGE, &AGE).unwrap() - 1.0).abs() < 1e-12);
+        assert!(correlation(&[1.0, 1.0], &[2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn variance_of_difference_zero_for_identical() {
+        assert_eq!(
+            variance_of_difference(&AGE, &AGE, VarianceMode::Sample).unwrap(),
+            0.0
+        );
+        assert!(variance_of_difference(&AGE, &HR[..2], VarianceMode::Sample).is_err());
+    }
+
+    #[test]
+    fn column_stats_match_scalar_versions() {
+        let m = Matrix::from_columns(&[&AGE, &HR]).unwrap();
+        let means = column_means(&m).unwrap();
+        assert!((means[0] - mean(&AGE).unwrap()).abs() < 1e-12);
+        assert!((means[1] - mean(&HR).unwrap()).abs() < 1e-12);
+        let vars = column_variances(&m, VarianceMode::Sample).unwrap();
+        assert!((vars[0] - variance(&AGE, VarianceMode::Sample).unwrap()).abs() < 1e-12);
+        assert!((vars[1] - variance(&HR, VarianceMode::Sample).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_matrix_is_consistent() {
+        let m = Matrix::from_columns(&[&AGE, &HR]).unwrap();
+        let cov = covariance_matrix(&m, VarianceMode::Sample).unwrap();
+        assert!(cov.is_symmetric(1e-12));
+        assert!(
+            (cov[(0, 1)] - covariance(&AGE, &HR, VarianceMode::Sample).unwrap()).abs() < 1e-12
+        );
+        assert!((cov[(0, 0)] - variance(&AGE, VarianceMode::Sample).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_known() {
+        assert_eq!(min_max(&AGE).unwrap(), (28.0, 75.0));
+        assert!(min_max(&[]).is_err());
+    }
+
+    #[test]
+    fn divisor_edge_cases() {
+        assert_eq!(VarianceMode::Population.divisor(4), 4.0);
+        assert_eq!(VarianceMode::Sample.divisor(4), 3.0);
+        assert_eq!(VarianceMode::Sample.divisor(1), 1.0);
+    }
+}

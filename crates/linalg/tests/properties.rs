@@ -1,0 +1,213 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! These check the invariants the RBT method's correctness rests on:
+//! rotations are isometries, metrics satisfy the metric axioms, the
+//! eigendecomposition reconstructs its input, and solvers actually solve.
+
+use proptest::prelude::*;
+use rbt_linalg::dissimilarity::DissimilarityMatrix;
+use rbt_linalg::distance::Metric;
+use rbt_linalg::eigen::symmetric_eigen;
+use rbt_linalg::rotation::{givens, is_orthogonal};
+use rbt_linalg::solve::{invert, solve};
+use rbt_linalg::stats::{covariance, mean, variance, variance_of_difference};
+use rbt_linalg::{Matrix, Rotation2, VarianceMode};
+
+fn vec_pair(len: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    len.prop_flat_map(|n| {
+        (
+            prop::collection::vec(-100.0..100.0f64, n),
+            prop::collection::vec(-100.0..100.0f64, n),
+        )
+    })
+}
+
+fn small_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-50.0..50.0f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rotation_is_isometry(theta in -720.0..720.0f64, (xs, ys) in vec_pair(1..=32)) {
+        let r = Rotation2::from_degrees(theta);
+        let mut xr = xs.clone();
+        let mut yr = ys.clone();
+        r.apply_columns(&mut xr, &mut yr).unwrap();
+        // Pairwise 2-D point norms are preserved.
+        for i in 0..xs.len() {
+            let before = xs[i].hypot(ys[i]);
+            let after = xr[i].hypot(yr[i]);
+            prop_assert!((before - after).abs() < 1e-8 * (1.0 + before));
+        }
+    }
+
+    #[test]
+    fn rotation_inverse_round_trips(theta in -360.0..360.0f64, (xs, ys) in vec_pair(1..=16)) {
+        let r = Rotation2::from_degrees(theta);
+        let mut xr = xs.clone();
+        let mut yr = ys.clone();
+        r.apply_columns(&mut xr, &mut yr).unwrap();
+        r.inverse().apply_columns(&mut xr, &mut yr).unwrap();
+        for (a, b) in xr.iter().zip(&xs) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+        for (a, b) in yr.iter().zip(&ys) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn rotation_matrix_is_orthogonal(theta in -360.0..360.0f64) {
+        prop_assert!(is_orthogonal(&Rotation2::from_degrees(theta).as_matrix(), 1e-10));
+    }
+
+    #[test]
+    fn givens_matrix_is_orthogonal(theta in -360.0..360.0f64, n in 2usize..8, seed in 0usize..100) {
+        let i = seed % n;
+        let j = (seed / n + 1 + i) % n;
+        prop_assume!(i != j);
+        let g = givens(n, i, j, &Rotation2::from_degrees(theta)).unwrap();
+        prop_assert!(is_orthogonal(&g, 1e-10));
+    }
+
+    #[test]
+    fn metric_axioms((xs, ys) in vec_pair(1..=16)) {
+        for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev, Metric::Minkowski(3.0)] {
+            let d_xy = metric.distance(&xs, &ys);
+            let d_yx = metric.distance(&ys, &xs);
+            prop_assert!(d_xy >= 0.0);
+            prop_assert!((d_xy - d_yx).abs() < 1e-9 * (1.0 + d_xy));
+            prop_assert!(metric.distance(&xs, &xs) == 0.0);
+        }
+    }
+
+    #[test]
+    fn triangle_inequality((xs, ys) in vec_pair(2..=8), zs_seed in prop::collection::vec(-100.0..100.0f64, 8)) {
+        let zs: Vec<f64> = xs.iter().enumerate().map(|(i, _)| zs_seed[i % zs_seed.len()]).collect();
+        for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            let direct = metric.distance(&xs, &ys);
+            let via = metric.distance(&xs, &zs) + metric.distance(&zs, &ys);
+            prop_assert!(direct <= via + 1e-9 * (1.0 + via));
+        }
+    }
+
+    #[test]
+    fn variance_is_translation_invariant(xs in prop::collection::vec(-100.0..100.0f64, 2..32), shift in -1e3..1e3f64) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        for mode in [VarianceMode::Population, VarianceMode::Sample] {
+            let v0 = variance(&xs, mode).unwrap();
+            let v1 = variance(&shifted, mode).unwrap();
+            prop_assert!((v0 - v1).abs() < 1e-6 * (1.0 + v0.abs()));
+        }
+    }
+
+    #[test]
+    fn variance_scales_quadratically(xs in prop::collection::vec(-100.0..100.0f64, 2..32), k in -10.0..10.0f64) {
+        let scaled: Vec<f64> = xs.iter().map(|x| k * x).collect();
+        let v0 = variance(&xs, VarianceMode::Sample).unwrap();
+        let v1 = variance(&scaled, VarianceMode::Sample).unwrap();
+        prop_assert!((v1 - k * k * v0).abs() < 1e-6 * (1.0 + v1.abs()));
+    }
+
+    #[test]
+    fn var_of_difference_expansion((xs, ys) in vec_pair(2..=32)) {
+        // Var(X−Y) = Var(X) + Var(Y) − 2 Cov(X,Y), any divisor.
+        for mode in [VarianceMode::Population, VarianceMode::Sample] {
+            let lhs = variance_of_difference(&xs, &ys, mode).unwrap();
+            let rhs = variance(&xs, mode).unwrap() + variance(&ys, mode).unwrap()
+                - 2.0 * covariance(&xs, &ys, mode).unwrap();
+            prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs()));
+        }
+    }
+
+    #[test]
+    fn mean_within_bounds(xs in prop::collection::vec(-100.0..100.0f64, 1..64)) {
+        let m = mean(&xs).unwrap();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn dissimilarity_parallel_equals_serial(m in small_matrix(80, 5), threads in 2usize..6) {
+        let serial = DissimilarityMatrix::from_matrix(&m, Metric::Euclidean);
+        let parallel = DissimilarityMatrix::from_matrix_parallel(&m, Metric::Euclidean, threads);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn dissimilarity_dense_round_trip(m in small_matrix(20, 4)) {
+        let dm = DissimilarityMatrix::from_matrix(&m, Metric::Euclidean);
+        let dense = dm.to_dense();
+        for i in 0..m.rows() {
+            for j in 0..m.rows() {
+                prop_assert_eq!(dense[(i, j)], dm.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_frobenius(m in small_matrix(12, 12)) {
+        prop_assert!((m.frobenius_norm() - m.transpose().frobenius_norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(m in small_matrix(10, 10)) {
+        let id = Matrix::identity(m.cols());
+        prop_assert!(m.matmul(&id).unwrap().approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(vals in prop::collection::vec(-10.0..10.0f64, 9)) {
+        // Build a symmetric matrix A = B + Bᵀ from random B.
+        let b = Matrix::from_vec(3, 3, vals).unwrap();
+        let a = {
+            let bt = b.transpose();
+            let mut s = Matrix::zeros(3, 3);
+            for i in 0..3 {
+                for j in 0..3 {
+                    s[(i, j)] = b[(i, j)] + bt[(i, j)];
+                }
+            }
+            s
+        };
+        let e = symmetric_eigen(&a).unwrap();
+        prop_assert!(is_orthogonal(&e.eigenvectors, 1e-8));
+        let mut lam = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            lam[(i, i)] = e.eigenvalues[i];
+        }
+        let rec = e.eigenvectors.matmul(&lam).unwrap().matmul(&e.eigenvectors.transpose()).unwrap();
+        prop_assert!(rec.approx_eq(&a, 1e-7 * (1.0 + a.frobenius_norm())));
+    }
+
+    #[test]
+    fn solve_then_multiply_recovers_rhs(vals in prop::collection::vec(-5.0..5.0f64, 9), rhs in prop::collection::vec(-5.0..5.0f64, 3)) {
+        let mut a = Matrix::from_vec(3, 3, vals).unwrap();
+        // Diagonal dominance ⇒ nonsingular.
+        for i in 0..3 {
+            a[(i, i)] += 20.0;
+        }
+        let x = solve(&a, &rhs).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (b, r) in back.iter().zip(&rhs) {
+            prop_assert!((b - r).abs() < 1e-8 * (1.0 + r.abs()));
+        }
+    }
+
+    #[test]
+    fn invert_twice_is_identity_like(vals in prop::collection::vec(-5.0..5.0f64, 16)) {
+        let mut a = Matrix::from_vec(4, 4, vals).unwrap();
+        for i in 0..4 {
+            a[(i, i)] += 25.0;
+        }
+        let inv = invert(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        prop_assert!(prod.approx_eq(&Matrix::identity(4), 1e-8));
+    }
+}

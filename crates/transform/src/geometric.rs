@@ -1,0 +1,341 @@
+//! Geometric data transformation methods (GDTMs) from the authors' prior
+//! work (Oliveira & Zaïane 2003, reference \[10\] of the RBT paper).
+//!
+//! These are the methods whose study *motivated* RBT: translation preserves
+//! distances but offers weak, guessable protection; scaling and the hybrid
+//! break distances (misclassification); a fixed-angle rotation preserves
+//! distances but, without normalization and per-pair security ranges, its
+//! security is neither tunable nor uniform across attributes.
+
+use crate::{Error, Perturbation, Result};
+use rand::{Rng, RngExt};
+use rbt_linalg::{Matrix, Rotation2};
+
+/// Translation perturbation (TDP): adds a random constant, drawn once per
+/// attribute from `[-magnitude, magnitude]`, to every value of that
+/// attribute.
+#[derive(Debug, Clone, Copy)]
+pub struct TranslationPerturbation {
+    magnitude: f64,
+}
+
+impl TranslationPerturbation {
+    /// Creates a translation perturbation with the given per-attribute
+    /// shift magnitude.
+    pub fn new(magnitude: f64) -> Self {
+        TranslationPerturbation {
+            magnitude: magnitude.abs(),
+        }
+    }
+}
+
+impl Perturbation for TranslationPerturbation {
+    fn name(&self) -> &'static str {
+        "translation"
+    }
+
+    fn perturb<R: Rng + ?Sized>(&self, data: &Matrix, rng: &mut R) -> Result<Matrix> {
+        let shifts: Vec<f64> = (0..data.cols())
+            .map(|_| rng.random_range(-self.magnitude..=self.magnitude))
+            .collect();
+        let mut out = data.clone();
+        for i in 0..out.rows() {
+            for (v, s) in out.row_mut(i).iter_mut().zip(&shifts) {
+                *v += s;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Scaling perturbation (SDP): multiplies every value of an attribute by a
+/// random factor drawn once per attribute from `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPerturbation {
+    lo: f64,
+    hi: f64,
+}
+
+impl ScalingPerturbation {
+    /// Creates a scaling perturbation with factors drawn from `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `0 < lo <= hi`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if lo.is_nan() || hi.is_nan() || lo <= 0.0 || hi < lo || !hi.is_finite() {
+            return Err(Error::InvalidParameter(format!(
+                "scaling factors must satisfy 0 < lo <= hi, got [{lo}, {hi}]"
+            )));
+        }
+        Ok(ScalingPerturbation { lo, hi })
+    }
+}
+
+impl Perturbation for ScalingPerturbation {
+    fn name(&self) -> &'static str {
+        "scaling"
+    }
+
+    fn perturb<R: Rng + ?Sized>(&self, data: &Matrix, rng: &mut R) -> Result<Matrix> {
+        let factors: Vec<f64> = (0..data.cols())
+            .map(|_| rng.random_range(self.lo..=self.hi))
+            .collect();
+        let mut out = data.clone();
+        for i in 0..out.rows() {
+            for (v, f) in out.row_mut(i).iter_mut().zip(&factors) {
+                *v *= f;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Simple rotation (RDP): rotates consecutive attribute pairs by one fixed,
+/// administrator-chosen angle — no normalization prerequisite, no security
+/// range, no per-pair angles. (With an odd attribute count the last column
+/// is rotated against column 0, mirroring RBT's chaining.)
+#[derive(Debug, Clone, Copy)]
+pub struct SimpleRotation {
+    degrees: f64,
+}
+
+impl SimpleRotation {
+    /// Creates a fixed-angle rotation baseline.
+    pub fn new(degrees: f64) -> Self {
+        SimpleRotation { degrees }
+    }
+}
+
+impl Perturbation for SimpleRotation {
+    fn name(&self) -> &'static str {
+        "simple-rotation"
+    }
+
+    fn perturb<R: Rng + ?Sized>(&self, data: &Matrix, _rng: &mut R) -> Result<Matrix> {
+        let n = data.cols();
+        if n < 2 {
+            return Err(Error::InvalidParameter(
+                "simple rotation needs at least 2 attributes".into(),
+            ));
+        }
+        let rot = Rotation2::from_degrees(self.degrees);
+        let mut out = data.clone();
+        let mut pairs: Vec<(usize, usize)> = (0..n / 2).map(|t| (2 * t, 2 * t + 1)).collect();
+        if n % 2 == 1 {
+            pairs.push((n - 1, 0));
+        }
+        let mut xs = Vec::with_capacity(out.rows());
+        let mut ys = Vec::with_capacity(out.rows());
+        for (i, j) in pairs {
+            out.column_into(i, &mut xs);
+            out.column_into(j, &mut ys);
+            rot.apply_columns(&mut xs, &mut ys)?;
+            out.set_column(i, &xs)?;
+            out.set_column(j, &ys)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Hybrid perturbation (HDP): for each attribute pair, randomly picks
+/// translation, scaling, or rotation — the composite method of \[10\].
+#[derive(Debug, Clone, Copy)]
+pub struct HybridPerturbation {
+    translation_magnitude: f64,
+    scale_lo: f64,
+    scale_hi: f64,
+}
+
+impl Default for HybridPerturbation {
+    fn default() -> Self {
+        HybridPerturbation {
+            translation_magnitude: 1.0,
+            scale_lo: 0.5,
+            scale_hi: 1.5,
+        }
+    }
+}
+
+impl HybridPerturbation {
+    /// Creates a hybrid perturbation with explicit sub-method parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `0 < scale_lo <= scale_hi`.
+    pub fn new(translation_magnitude: f64, scale_lo: f64, scale_hi: f64) -> Result<Self> {
+        if !(scale_lo > 0.0 && scale_hi >= scale_lo) {
+            return Err(Error::InvalidParameter(format!(
+                "scale bounds must satisfy 0 < lo <= hi, got [{scale_lo}, {scale_hi}]"
+            )));
+        }
+        Ok(HybridPerturbation {
+            translation_magnitude: translation_magnitude.abs(),
+            scale_lo,
+            scale_hi,
+        })
+    }
+}
+
+impl Perturbation for HybridPerturbation {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn perturb<R: Rng + ?Sized>(&self, data: &Matrix, rng: &mut R) -> Result<Matrix> {
+        let n = data.cols();
+        if n < 2 {
+            return Err(Error::InvalidParameter(
+                "hybrid perturbation needs at least 2 attributes".into(),
+            ));
+        }
+        let mut out = data.clone();
+        let mut pairs: Vec<(usize, usize)> = (0..n / 2).map(|t| (2 * t, 2 * t + 1)).collect();
+        if n % 2 == 1 {
+            pairs.push((n - 1, 0));
+        }
+        let mut xs = Vec::with_capacity(out.rows());
+        let mut ys = Vec::with_capacity(out.rows());
+        for (i, j) in pairs {
+            match rng.random_range(0..3u32) {
+                0 => {
+                    // Translate both columns by independent shifts.
+                    for col in [i, j] {
+                        let shift = rng.random_range(
+                            -self.translation_magnitude..=self.translation_magnitude,
+                        );
+                        out.column_into(col, &mut xs);
+                        for v in &mut xs {
+                            *v += shift;
+                        }
+                        out.set_column(col, &xs)?;
+                    }
+                }
+                1 => {
+                    // Scale both columns by independent factors.
+                    for col in [i, j] {
+                        let factor = rng.random_range(self.scale_lo..=self.scale_hi);
+                        out.column_into(col, &mut xs);
+                        for v in &mut xs {
+                            *v *= factor;
+                        }
+                        out.set_column(col, &xs)?;
+                    }
+                }
+                _ => {
+                    // Rotate the pair by a random angle.
+                    let theta = rng.random_range(0.0..360.0);
+                    out.column_into(i, &mut xs);
+                    out.column_into(j, &mut ys);
+                    Rotation2::from_degrees(theta).apply_columns(&mut xs, &mut ys)?;
+                    out.set_column(i, &xs)?;
+                    out.set_column(j, &ys)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rbt_core::isometry::dissimilarity_drift;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn data() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[-4.0, 0.5, 6.0],
+            &[7.0, -8.0, 9.0],
+            &[2.0, 2.0, 2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn translation_preserves_distances_but_shifts_values() {
+        let d = data();
+        let p = TranslationPerturbation::new(10.0)
+            .perturb(&d, &mut rng(1))
+            .unwrap();
+        assert!(dissimilarity_drift(&d, &p) < 1e-12);
+        assert!(p.max_abs_diff(&d).unwrap() > 0.1);
+    }
+
+    #[test]
+    fn scaling_changes_distances() {
+        let d = data();
+        let p = ScalingPerturbation::new(2.0, 3.0)
+            .unwrap()
+            .perturb(&d, &mut rng(2))
+            .unwrap();
+        assert!(dissimilarity_drift(&d, &p) > 0.5);
+    }
+
+    #[test]
+    fn scaling_validates_bounds() {
+        assert!(ScalingPerturbation::new(0.0, 1.0).is_err());
+        assert!(ScalingPerturbation::new(2.0, 1.0).is_err());
+        assert!(ScalingPerturbation::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn simple_rotation_is_isometric() {
+        let d = data();
+        let p = SimpleRotation::new(73.2).perturb(&d, &mut rng(3)).unwrap();
+        assert!(dissimilarity_drift(&d, &p) < 1e-12);
+        assert!(p.max_abs_diff(&d).unwrap() > 0.1);
+    }
+
+    #[test]
+    fn simple_rotation_covers_odd_column() {
+        let d = data(); // 3 columns
+        let p = SimpleRotation::new(90.0).perturb(&d, &mut rng(0)).unwrap();
+        for j in 0..3 {
+            let moved = d
+                .column(j)
+                .iter()
+                .zip(&p.column(j))
+                .any(|(a, b)| (a - b).abs() > 1e-9);
+            assert!(moved, "column {j} unchanged");
+        }
+    }
+
+    #[test]
+    fn simple_rotation_needs_two_columns() {
+        let one = Matrix::from_columns(&[&[1.0, 2.0]]).unwrap();
+        assert!(SimpleRotation::new(10.0).perturb(&one, &mut rng(0)).is_err());
+        assert!(HybridPerturbation::default().perturb(&one, &mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn hybrid_perturbs_every_column() {
+        let d = data();
+        let p = HybridPerturbation::default()
+            .perturb(&d, &mut rng(7))
+            .unwrap();
+        assert_eq!(p.shape(), d.shape());
+        let total_change = p.max_abs_diff(&d).unwrap();
+        assert!(total_change > 1e-6);
+    }
+
+    #[test]
+    fn hybrid_validates_scale_bounds() {
+        assert!(HybridPerturbation::new(1.0, 0.0, 1.0).is_err());
+        assert!(HybridPerturbation::new(1.0, 2.0, 1.0).is_err());
+        assert!(HybridPerturbation::new(-1.0, 0.5, 1.5).is_ok());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(TranslationPerturbation::new(1.0).name(), "translation");
+        assert_eq!(ScalingPerturbation::new(1.0, 2.0).unwrap().name(), "scaling");
+        assert_eq!(SimpleRotation::new(1.0).name(), "simple-rotation");
+        assert_eq!(HybridPerturbation::default().name(), "hybrid");
+    }
+}

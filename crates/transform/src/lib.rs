@@ -1,0 +1,130 @@
+//! Baseline perturbation methods RBT is positioned against.
+//!
+//! The paper's related-work section contrasts RBT with two families:
+//!
+//! * the **geometric data transformation methods (GDTMs)** of the authors'
+//!   own prior work (Oliveira & Zaïane, SBBD 2003 — reference \[10\]):
+//!   translation, scaling, simple fixed-angle rotation, and a hybrid that
+//!   picks one of the three per attribute ([`geometric`]);
+//! * the **additive-noise** tradition of statistical-database security
+//!   (Adam & Worthmann \[1\], Muralidhar et al. \[9\]): `Y = X + e`
+//!   ([`noise`]), plus rank swapping ([`swap`]) from the same literature.
+//!
+//! The paper's critique (§1, §2) is that noise-style methods trade privacy
+//! against clustering accuracy — points drift across cluster boundaries and
+//! get misclassified — while translations/scalings/rotations *without*
+//! normalization and security ranges either distort similarity or add no
+//! tunable security. The comparison experiments (bench target `baselines`)
+//! quantify exactly that trade-off with the misclassification and
+//! F-measure metrics from `rbt-cluster` against the `Sec` privacy level
+//! from `rbt-core`.
+//!
+//! Every method implements [`Perturbation`], so the experiment harness can
+//! sweep them uniformly.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod geometric;
+pub mod noise;
+pub mod swap;
+
+pub use geometric::{HybridPerturbation, ScalingPerturbation, SimpleRotation, TranslationPerturbation};
+pub use noise::{AdditiveNoise, NoiseKind};
+pub use swap::RankSwap;
+
+use rand::Rng;
+use rbt_linalg::Matrix;
+use std::fmt;
+
+/// Errors produced by the baseline transforms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An underlying linear-algebra error.
+    Linalg(rbt_linalg::Error),
+    /// A parameter was invalid.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rbt_linalg::Error> for Error {
+    fn from(e: rbt_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A data-perturbation method: maps a data matrix to a released matrix.
+///
+/// Implementations must be deterministic given the RNG state, so that
+/// experiments are reproducible from a seed.
+pub trait Perturbation {
+    /// Human-readable method name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Produces the released (perturbed) matrix.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`Error::InvalidParameter`] when their
+    /// configuration is incompatible with the input shape.
+    fn perturb<R: Rng + ?Sized>(&self, data: &Matrix, rng: &mut R) -> Result<Matrix>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// All baselines behind one test: deterministic under a fixed seed.
+    #[test]
+    fn baselines_are_seed_deterministic() {
+        let data = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            &[7.0, 8.0, 9.0],
+            &[0.5, -1.0, 2.5],
+        ])
+        .unwrap();
+        let run = |seed: u64| -> Vec<Matrix> {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            vec![
+                TranslationPerturbation::new(5.0).perturb(&data, &mut rng).unwrap(),
+                ScalingPerturbation::new(0.5, 2.0).unwrap().perturb(&data, &mut rng).unwrap(),
+                SimpleRotation::new(45.0).perturb(&data, &mut rng).unwrap(),
+                HybridPerturbation::default().perturb(&data, &mut rng).unwrap(),
+                AdditiveNoise::gaussian(0.3).unwrap().perturb(&data, &mut rng).unwrap(),
+                AdditiveNoise::uniform(0.3).unwrap().perturb(&data, &mut rng).unwrap(),
+                RankSwap::new(0.5).unwrap().perturb(&data, &mut rng).unwrap(),
+            ]
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.approx_eq(y, 0.0));
+        }
+        // At least one method must differ across seeds (they are random).
+        assert!(a.iter().zip(&c).any(|(x, y)| !x.approx_eq(y, 1e-12)));
+    }
+}

@@ -1,0 +1,177 @@
+//! Additive-noise perturbation from the statistical-database literature.
+//!
+//! The classic `Y = X + e` scheme (Adam & Worthmann \[1\]; Muralidhar,
+//! Parsa & Sarathy \[9\]): independent zero-mean noise added to every
+//! value. Security grows with the noise level — and so does the distance
+//! distortion, which is exactly the privacy/accuracy trade-off the RBT
+//! paper claims to escape. The bench target `baselines` sweeps the noise
+//! level and reports misclassification vs the `Sec` level.
+
+use crate::{Error, Perturbation, Result};
+use rand::{Rng, RngExt};
+use rbt_data::rng::standard_normal;
+use rbt_linalg::Matrix;
+
+/// Which noise distribution to add.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseKind {
+    /// `e ~ Uniform(-level, level)`.
+    Uniform,
+    /// `e ~ Normal(0, level²)`.
+    Gaussian,
+}
+
+/// Additive i.i.d. noise perturbation.
+#[derive(Debug, Clone, Copy)]
+pub struct AdditiveNoise {
+    kind: NoiseKind,
+    level: f64,
+}
+
+impl AdditiveNoise {
+    /// Uniform noise on `[-level, level]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for a non-positive level.
+    pub fn uniform(level: f64) -> Result<Self> {
+        Self::new(NoiseKind::Uniform, level)
+    }
+
+    /// Gaussian noise with standard deviation `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for a non-positive level.
+    pub fn gaussian(level: f64) -> Result<Self> {
+        Self::new(NoiseKind::Gaussian, level)
+    }
+
+    /// Generic constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for a non-positive level.
+    pub fn new(kind: NoiseKind, level: f64) -> Result<Self> {
+        if level.is_nan() || level <= 0.0 || !level.is_finite() {
+            return Err(Error::InvalidParameter(format!(
+                "noise level must be positive and finite, got {level}"
+            )));
+        }
+        Ok(AdditiveNoise { kind, level })
+    }
+
+    /// The configured noise level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// The configured noise kind.
+    pub fn kind(&self) -> NoiseKind {
+        self.kind
+    }
+}
+
+impl Perturbation for AdditiveNoise {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            NoiseKind::Uniform => "additive-uniform",
+            NoiseKind::Gaussian => "additive-gaussian",
+        }
+    }
+
+    fn perturb<R: Rng + ?Sized>(&self, data: &Matrix, rng: &mut R) -> Result<Matrix> {
+        let noise = |rng: &mut R| -> f64 {
+            match self.kind {
+                NoiseKind::Uniform => rng.random_range(-self.level..=self.level),
+                NoiseKind::Gaussian => self.level * standard_normal(rng),
+            }
+        };
+        let mut out = data.clone();
+        for v in out.as_mut_slice() {
+            *v += noise(rng);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rbt_core::isometry::dissimilarity_drift;
+    use rbt_core::security::security_level;
+    use rbt_linalg::stats::VarianceMode;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn data() -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                let x = (i as f64 * 0.37).sin() * 3.0;
+                vec![x, x * 0.5 - 1.0, (i as f64 * 0.11).cos()]
+            })
+            .collect();
+        Matrix::from_row_iter(rows).unwrap()
+    }
+
+    #[test]
+    fn validates_level() {
+        assert!(AdditiveNoise::uniform(0.0).is_err());
+        assert!(AdditiveNoise::gaussian(-1.0).is_err());
+        assert!(AdditiveNoise::gaussian(f64::INFINITY).is_err());
+        assert!(AdditiveNoise::uniform(0.5).is_ok());
+    }
+
+    #[test]
+    fn noise_breaks_isometry() {
+        let d = data();
+        let p = AdditiveNoise::gaussian(0.5)
+            .unwrap()
+            .perturb(&d, &mut rng(1))
+            .unwrap();
+        assert!(dissimilarity_drift(&d, &p) > 0.1);
+    }
+
+    #[test]
+    fn gaussian_noise_variance_matches_level() {
+        let d = Matrix::zeros(40_000, 1);
+        let p = AdditiveNoise::gaussian(0.7)
+            .unwrap()
+            .perturb(&d, &mut rng(2))
+            .unwrap();
+        let v = rbt_linalg::stats::variance(&p.column(0), VarianceMode::Population).unwrap();
+        assert!((v - 0.49).abs() < 0.02, "variance {v}");
+    }
+
+    #[test]
+    fn uniform_noise_bounded() {
+        let d = Matrix::zeros(10_000, 1);
+        let p = AdditiveNoise::uniform(0.3)
+            .unwrap()
+            .perturb(&d, &mut rng(3))
+            .unwrap();
+        assert!(p.as_slice().iter().all(|&x| x.abs() <= 0.3));
+    }
+
+    #[test]
+    fn security_grows_with_level() {
+        // The statistical-DB Sec measure rises with the noise level — the
+        // "more privacy" side of the trade-off RBT criticises.
+        let d = data();
+        let col = d.column(0);
+        let mut secs = Vec::new();
+        for level in [0.1, 0.5, 1.5] {
+            let p = AdditiveNoise::gaussian(level)
+                .unwrap()
+                .perturb(&d, &mut rng(4))
+                .unwrap();
+            secs.push(
+                security_level(&col, &p.column(0), VarianceMode::Sample).unwrap(),
+            );
+        }
+        assert!(secs[0] < secs[1] && secs[1] < secs[2], "{secs:?}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # rbt — privacy-preserving clustering via Rotation-Based Transformation
+//!
+//! Facade crate for the reproduction of Oliveira & Zaïane,
+//! *"Achieving Privacy Preservation When Sharing Data For Clustering"*
+//! (2004). It re-exports the member crates under stable module names:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`linalg`] | `rbt-linalg` | matrices, statistics, rotations, distances |
+//! | [`data`] | `rbt-data` | datasets, normalization, synthetic generators |
+//! | [`cluster`] | `rbt-cluster` | k-means, hierarchical, DBSCAN, validation metrics |
+//! | [`core`] | `rbt-core` | the RBT method itself (the paper's contribution) |
+//! | [`transform`] | `rbt-transform` | baseline perturbation methods |
+//! | [`attack`] | `rbt-attack` | attacks on rotation perturbation |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for the end-to-end pipeline of the paper's
+//! Figure 1: normalize → rotate pairwise under security thresholds → share →
+//! cluster, with identical clusters before and after.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use rbt_attack as attack;
+pub use rbt_cluster as cluster;
+pub use rbt_core as core;
+pub use rbt_data as data;
+pub use rbt_linalg as linalg;
+pub use rbt_transform as transform;
+
+// Most-used types at the top level for ergonomic imports.
+pub use rbt_core::{PairwiseSecurityThreshold, RbtConfig, RbtTransformer};
+pub use rbt_data::dataset::Dataset;
+pub use rbt_linalg::{Matrix, Rotation2, VarianceMode};

@@ -1,0 +1,181 @@
+//! Integration tests for the `rbt-cli` binary: the full
+//! release → audit → recover workflow through the actual executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rbt-cli"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rbt-cli-test-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const SAMPLE: &str = "id,age,weight,heart_rate\n\
+1237,75,80,63\n\
+3420,56,64,53\n\
+2543,40,52,70\n\
+4461,28,58,76\n\
+2863,44,90,68\n";
+
+#[test]
+fn release_audit_recover_workflow() {
+    let dir = temp_dir("workflow");
+    let input = dir.join("data.csv");
+    std::fs::write(&input, SAMPLE).unwrap();
+    let released = dir.join("released.csv");
+    let key = dir.join("key.txt");
+    let params = dir.join("norm.txt");
+    let recovered = dir.join("recovered.csv");
+
+    let out = cli()
+        .args(["release", "--input"])
+        .arg(&input)
+        .arg("--output")
+        .arg(&released)
+        .args(["--key"])
+        .arg(&key)
+        .args(["--params"])
+        .arg(&params)
+        .args(["--rho", "0.3", "--seed", "42"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("released 5 rows x 3 attributes"));
+
+    // Released CSV has no id column and different values.
+    let released_text = std::fs::read_to_string(&released).unwrap();
+    assert!(released_text.starts_with("age,weight,heart_rate\n"));
+    assert!(!released_text.contains("1237"));
+
+    // Key and params files parse.
+    assert!(std::fs::read_to_string(&key).unwrap().starts_with("rbt-key v1 n=3"));
+    assert!(std::fs::read_to_string(&params)
+        .unwrap()
+        .starts_with("rbt-normalizer v1 cols=3"));
+
+    // Audit reports isometry.
+    let audit = cli()
+        .args(["audit", "--original"])
+        .arg(&input)
+        .args(["--released"])
+        .arg(&released)
+        .output()
+        .unwrap();
+    assert!(audit.status.success());
+    let audit_text = String::from_utf8_lossy(&audit.stdout);
+    assert!(audit_text.contains("isometric (tolerance 1e-6): true"), "{audit_text}");
+
+    // Inspect-key lists the two rotations.
+    let inspect = cli().args(["inspect-key", "--key"]).arg(&key).output().unwrap();
+    assert!(inspect.status.success());
+    let inspect_text = String::from_utf8_lossy(&inspect.stdout);
+    assert!(inspect_text.contains("2 rotation steps"));
+    assert!(inspect_text.contains("composite rotation is orthogonal: true"));
+
+    // Recover round-trips to the original integers.
+    let rec = cli()
+        .args(["recover", "--input"])
+        .arg(&released)
+        .args(["--key"])
+        .arg(&key)
+        .args(["--params"])
+        .arg(&params)
+        .args(["--output"])
+        .arg(&recovered)
+        .output()
+        .unwrap();
+    assert!(rec.status.success(), "{}", String::from_utf8_lossy(&rec.stderr));
+    let recovered_text = std::fs::read_to_string(&recovered).unwrap();
+    for line in ["75,80,63", "44,90,68"] {
+        assert!(recovered_text.contains(line), "{recovered_text}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn release_is_seed_deterministic() {
+    let dir = temp_dir("determinism");
+    let input = dir.join("data.csv");
+    std::fs::write(&input, SAMPLE).unwrap();
+    let mut outputs = Vec::new();
+    for run in 0..2 {
+        let released = dir.join(format!("released{run}.csv"));
+        let status = cli()
+            .args(["release", "--input"])
+            .arg(&input)
+            .args(["--output"])
+            .arg(&released)
+            .args(["--key"])
+            .arg(dir.join(format!("key{run}.txt")))
+            .args(["--params"])
+            .arg(dir.join(format!("norm{run}.txt")))
+            .args(["--seed", "7"])
+            .status()
+            .unwrap();
+        assert!(status.success());
+        outputs.push(std::fs::read_to_string(&released).unwrap());
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    // Unknown command.
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing required flag.
+    let out = cli().args(["release", "--input", "x.csv"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing required flag"));
+
+    // Nonexistent input file.
+    let out = cli()
+        .args([
+            "release",
+            "--input",
+            "/nonexistent/data.csv",
+            "--output",
+            "/tmp/x.csv",
+            "--key",
+            "/tmp/k.txt",
+            "--params",
+            "/tmp/p.txt",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // Bad rho.
+    let out = cli()
+        .args([
+            "release",
+            "--input",
+            "/tmp/whatever.csv",
+            "--output",
+            "/tmp/x.csv",
+            "--key",
+            "/tmp/k.txt",
+            "--params",
+            "/tmp/p.txt",
+            "--rho",
+            "banana",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --rho"));
+
+    // Help succeeds.
+    let out = cli().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

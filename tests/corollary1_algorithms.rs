@@ -1,0 +1,121 @@
+//! Corollary 1 across every clustering family in the suite: the partition
+//! found on the RBT release is identical to the partition found on the
+//! original (normalized) data — for multiple workloads and seeds.
+
+use rand::SeedableRng;
+use rbt::cluster::metrics::same_partition;
+use rbt::cluster::{
+    Agglomerative, Dbscan, KMeans, KMeansInit, KMedoids, Linkage,
+};
+use rbt::core::{PairwiseSecurityThreshold, RbtConfig, RbtTransformer};
+use rbt::data::synth::{two_rings, GaussianMixture};
+use rbt::data::Normalization;
+use rbt::linalg::dissimilarity::DissimilarityMatrix;
+use rbt::linalg::distance::Metric;
+use rbt::linalg::Matrix;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn rbt(normalized: &Matrix, seed: u64) -> Matrix {
+    RbtTransformer::new(RbtConfig::uniform(
+        PairwiseSecurityThreshold::uniform(0.35).unwrap(),
+    ))
+    .transform(normalized, &mut rng(seed))
+    .unwrap()
+    .transformed
+}
+
+fn mixture(rows: usize, cols: usize, k: usize, seed: u64) -> Matrix {
+    let gm = GaussianMixture::well_separated(k, cols, 10.0, 1.0).unwrap();
+    let raw = gm.sample(rows, &mut rng(seed)).matrix;
+    Normalization::zscore_paper().fit_transform(&raw).unwrap().1
+}
+
+#[test]
+fn kmeans_partition_preserved_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let normalized = mixture(250, 5, 3, seed);
+        let released = rbt(&normalized, 100 + seed);
+        let km = KMeans::new(3).unwrap().with_init(KMeansInit::FirstK);
+        let a = km.fit(&normalized, &mut rng(0)).unwrap().labels;
+        let b = km.fit(&released, &mut rng(0)).unwrap().labels;
+        assert!(same_partition(&a, &b), "seed {seed}");
+    }
+}
+
+#[test]
+fn kmedoids_partition_preserved() {
+    let normalized = mixture(200, 4, 3, 11);
+    let released = rbt(&normalized, 12);
+    let dm_a = DissimilarityMatrix::from_matrix(&normalized, Metric::Euclidean);
+    let dm_b = DissimilarityMatrix::from_matrix(&released, Metric::Euclidean);
+    let km = KMedoids::new(3).unwrap();
+    let a = km.fit_from(&dm_a, &[0, 1, 2]).unwrap();
+    let b = km.fit_from(&dm_b, &[0, 1, 2]).unwrap();
+    assert!(same_partition(&a.labels, &b.labels));
+    assert_eq!(a.medoids, b.medoids); // identical medoid objects, too
+}
+
+#[test]
+fn every_linkage_dendrogram_cut_preserved() {
+    let normalized = mixture(150, 4, 3, 21);
+    let released = rbt(&normalized, 22);
+    let dm_a = DissimilarityMatrix::from_matrix(&normalized, Metric::Euclidean);
+    let dm_b = DissimilarityMatrix::from_matrix(&released, Metric::Euclidean);
+    for linkage in [
+        Linkage::Single,
+        Linkage::Complete,
+        Linkage::Average,
+        Linkage::Ward,
+    ] {
+        let da = Agglomerative::new(linkage).fit(&dm_a).unwrap();
+        let db = Agglomerative::new(linkage).fit(&dm_b).unwrap();
+        for k in [2usize, 3, 5, 10] {
+            assert!(
+                same_partition(&da.cut(k).unwrap(), &db.cut(k).unwrap()),
+                "{linkage:?} at k={k}"
+            );
+        }
+        // Merge heights coincide as well (the full dendrogram transfers).
+        for (ma, mb) in da.merges().iter().zip(db.merges()) {
+            assert!((ma.distance - mb.distance).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn dbscan_clusters_and_noise_preserved() {
+    let normalized = mixture(300, 4, 3, 31);
+    let released = rbt(&normalized, 32);
+    let a = Dbscan::new(1.2, 4).unwrap().fit(&normalized, Metric::Euclidean);
+    let b = Dbscan::new(1.2, 4).unwrap().fit(&released, Metric::Euclidean);
+    assert_eq!(a.labels, b.labels);
+    assert_eq!(a.noise, b.noise);
+}
+
+#[test]
+fn non_convex_rings_preserved_for_dbscan() {
+    // The workload where density-based clustering matters: RBT must not
+    // break the rings either.
+    let rings = two_rings(200, 2.0, 8.0, 0.05, &mut rng(41));
+    let (_, normalized) = Normalization::zscore_paper()
+        .fit_transform(&rings.matrix)
+        .unwrap();
+    let released = rbt(&normalized, 42);
+    let a = Dbscan::new(0.25, 3).unwrap().fit(&normalized, Metric::Euclidean);
+    let b = Dbscan::new(0.25, 3).unwrap().fit(&released, Metric::Euclidean);
+    assert_eq!(a.labels, b.labels);
+}
+
+#[test]
+fn manhattan_based_clustering_is_not_guaranteed() {
+    // Negative control: the guarantee is Euclidean-specific. Manhattan
+    // dissimilarities genuinely change under rotation.
+    let normalized = mixture(100, 4, 2, 51);
+    let released = rbt(&normalized, 52);
+    let dm_a = DissimilarityMatrix::from_matrix(&normalized, Metric::Manhattan);
+    let dm_b = DissimilarityMatrix::from_matrix(&released, Metric::Manhattan);
+    assert!(dm_a.max_abs_diff(&dm_b).unwrap() > 0.01);
+}

@@ -1,0 +1,121 @@
+//! Cross-crate regression: the entire §5.1 running example of the paper,
+//! from raw Table 1 to every printed artifact, plus the documented
+//! Figure 2 erratum. These tests pin the reproduction so refactors cannot
+//! silently drift from the paper.
+
+use rbt::core::security::{security_range, DEFAULT_GRID};
+use rbt::core::paper;
+use rbt::data::datasets;
+use rbt::linalg::dissimilarity::DissimilarityMatrix;
+use rbt::linalg::distance::Metric;
+
+#[test]
+fn tables_1_through_6_reproduce() {
+    let example = paper::run_example().unwrap();
+
+    // Table 2 (paper rounds to 4 decimals).
+    assert!(example
+        .normalized
+        .approx_eq(datasets::arrhythmia_normalized_table2().matrix(), 5e-5));
+
+    // Table 3.
+    assert!(example
+        .transformed
+        .approx_eq(datasets::arrhythmia_transformed_table3().matrix(), 5e-4));
+
+    // Table 4 == Table 6: dissimilarity of the release.
+    let dm = DissimilarityMatrix::from_matrix(&example.transformed, Metric::Euclidean);
+    let table4 = DissimilarityMatrix::from_condensed(
+        5,
+        datasets::lower_triangle_to_condensed(&datasets::ARRHYTHMIA_TABLE4_LOWER),
+    )
+    .unwrap();
+    assert!(dm.max_abs_diff(&table4).unwrap() < 5e-4);
+
+    // Table 5: the re-normalization attack's dissimilarity matrix.
+    let attacked =
+        rbt::attack::renormalize::renormalization_attack(&example.transformed, None).unwrap();
+    let dm5 = DissimilarityMatrix::from_matrix(&attacked.renormalized, Metric::Euclidean);
+    let table5 = DissimilarityMatrix::from_condensed(
+        5,
+        datasets::lower_triangle_to_condensed(&datasets::ARRHYTHMIA_TABLE5_LOWER),
+    )
+    .unwrap();
+    assert!(dm5.max_abs_diff(&table5).unwrap() < 5e-4);
+}
+
+#[test]
+fn headline_result_dissimilarities_identical() {
+    // §5.1: "the dissimilarity matrix corresponding to the normalized
+    // database in Table 2 is exactly the dissimilarity matrix in Table 4".
+    let example = paper::run_example().unwrap();
+    let before = DissimilarityMatrix::from_matrix(&example.normalized, Metric::Euclidean);
+    let after = DissimilarityMatrix::from_matrix(&example.transformed, Metric::Euclidean);
+    assert!(before.max_abs_diff(&after).unwrap() < 1e-12);
+}
+
+#[test]
+fn figure2_upper_endpoint_and_erratum() {
+    let profile = paper::pair1_profile();
+    let range = security_range(&profile, &paper::pst1(), DEFAULT_GRID).unwrap();
+    assert_eq!(range.intervals().len(), 1);
+    let (lo, hi) = range.intervals()[0];
+    // Upper endpoint: paper-exact.
+    assert!((hi - paper::FIGURE2_RANGE.1).abs() < 0.05);
+    // Lower endpoint: the paper's 48.03° violates its own rho2 (erratum);
+    // the real boundary is 82.69°.
+    assert!((lo - paper::FIGURE2_RANGE_MEASURED.0).abs() < 0.05);
+    assert!(profile.var_diff_second(paper::FIGURE2_RANGE.0) < paper::pst1().rho2);
+}
+
+#[test]
+fn figure3_reproduces_exactly() {
+    let profile = paper::pair2_profile();
+    let range = security_range(&profile, &paper::pst2(), DEFAULT_GRID).unwrap();
+    assert_eq!(range.intervals().len(), 1);
+    let (lo, hi) = range.intervals()[0];
+    assert!((lo - paper::FIGURE3_RANGE.0).abs() < 0.01, "lo = {lo}");
+    assert!((hi - paper::FIGURE3_RANGE.1).abs() < 0.01, "hi = {hi}");
+}
+
+#[test]
+#[allow(clippy::approx_constant)] // 0.318 is the paper's printed value, not 1/pi
+fn achieved_variances_match_section_5_1() {
+    let p1 = paper::pair1_profile();
+    assert!((p1.var_diff_first(paper::THETA1_DEGREES) - 0.318).abs() < 1e-3);
+    assert!((p1.var_diff_second(paper::THETA1_DEGREES) - 0.9805).abs() < 5e-4);
+    let p2 = paper::pair2_profile();
+    assert!((p2.var_diff_first(paper::THETA2_DEGREES) - 2.9714).abs() < 1e-3);
+    assert!((p2.var_diff_second(paper::THETA2_DEGREES) - 6.9274).abs() < 1e-3);
+}
+
+#[test]
+fn section_5_2_variance_camouflage() {
+    let example = paper::run_example().unwrap();
+    let vars = rbt::linalg::stats::column_variances(
+        &example.transformed,
+        rbt::VarianceMode::Sample,
+    )
+    .unwrap();
+    for (measured, printed) in vars.iter().zip([1.9039, 0.7840, 0.3122]) {
+        assert!((measured - printed).abs() < 1e-3, "{measured} vs {printed}");
+    }
+}
+
+#[test]
+fn paper_thresholds_are_met_by_paper_angles() {
+    let example = paper::run_example().unwrap();
+    let steps = example.key.steps();
+    assert!(steps[0].achieved_var1 >= paper::pst1().rho1);
+    assert!(steps[0].achieved_var2 >= paper::pst1().rho2);
+    assert!(steps[1].achieved_var1 >= paper::pst2().rho1);
+    assert!(steps[1].achieved_var2 >= paper::pst2().rho2);
+}
+
+#[test]
+fn paper_chosen_angles_lie_in_measured_ranges() {
+    let r1 = security_range(&paper::pair1_profile(), &paper::pst1(), DEFAULT_GRID).unwrap();
+    assert!(r1.contains(paper::THETA1_DEGREES));
+    let r2 = security_range(&paper::pair2_profile(), &paper::pst2(), DEFAULT_GRID).unwrap();
+    assert!(r2.contains(paper::THETA2_DEGREES));
+}
