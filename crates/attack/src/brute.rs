@@ -57,7 +57,9 @@ pub fn brute_force_angle(
         return Err(Error::InvalidParameter("empty known sample".into()));
     }
     if grid < 4 {
-        return Err(Error::InvalidParameter(format!("grid must be >= 4, got {grid}")));
+        return Err(Error::InvalidParameter(format!(
+            "grid must be >= 4, got {grid}"
+        )));
     }
     for (name, len) in [("y", y.len()), ("x'", xr.len()), ("y'", yr.len())] {
         if len != x.len() {

@@ -164,8 +164,7 @@ impl FastIca {
             w_rows.push(w);
         }
 
-        let unmixing = Matrix::from_row_iter(w_rows.clone())
-            .expect("unmixing rows are consistent");
+        let unmixing = Matrix::from_row_iter(w_rows.clone()).expect("unmixing rows are consistent");
         let sources = z.matmul(&unmixing.transpose())?;
         Ok(IcaOutcome {
             sources,
@@ -244,7 +243,6 @@ mod tests {
     /// Independent, strongly non-Gaussian sources (cubed normals are
     /// heavy-tailed; uniforms are sub-Gaussian).
     fn independent_sources(rows: usize, seed: u64) -> Matrix {
-        use rand::RngExt;
         let mut r = rng(seed);
         let data: Vec<Vec<f64>> = (0..rows)
             .map(|_| {
@@ -292,8 +290,7 @@ mod tests {
         for k in 0..3 {
             let col = outcome.sources.column(k);
             let mean = rbt_linalg::stats::mean(&col).unwrap();
-            let var =
-                rbt_linalg::stats::variance(&col, VarianceMode::Population).unwrap();
+            let var = rbt_linalg::stats::variance(&col, VarianceMode::Population).unwrap();
             assert!(mean.abs() < 1e-8, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-6, "var {var}");
         }
@@ -320,11 +317,17 @@ mod tests {
         let gauss = Matrix::from_row_iter(gauss).unwrap();
         let (_, normalized) = Normalization::zscore_paper().fit_transform(&gauss).unwrap();
         let released = release(&normalized, 8);
-        match FastIca::new(60, 1e-12).unwrap().attack(&released, &mut rng(9)) {
+        match FastIca::new(60, 1e-12)
+            .unwrap()
+            .attack(&released, &mut rng(9))
+        {
             Err(Error::Degenerate(_)) => {} // no convergence — expected
             Ok(outcome) => {
                 let (mean_corr, _) = match_components(&outcome, &normalized).unwrap();
-                assert!(mean_corr < 0.9, "Gaussian sources should not be recoverable, got {mean_corr}");
+                assert!(
+                    mean_corr < 0.9,
+                    "Gaussian sources should not be recoverable, got {mean_corr}"
+                );
             }
             Err(other) => panic!("unexpected error {other:?}"),
         }

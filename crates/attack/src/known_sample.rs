@@ -67,9 +67,7 @@ pub fn known_sample_attack(
 
     // X' = X · Rᵀ  ⇒  solve the least-squares problem for Rᵀ.
     let rt = least_squares(known_original, known_released).map_err(|e| match e {
-        rbt_linalg::Error::Singular => {
-            Error::Degenerate("known sample is rank-deficient".into())
-        }
+        rbt_linalg::Error::Singular => Error::Degenerate("known sample is rank-deficient".into()),
         other => Error::Linalg(other),
     })?;
 
@@ -83,9 +81,7 @@ pub fn known_sample_attack(
     // transpose of Rᵀ-estimate's transpose = R̂). Use the actual inverse to
     // stay correct even when the estimate drifts from orthogonality.
     let rt_inv = rbt_linalg::solve::invert(&rt).map_err(|e| match e {
-        rbt_linalg::Error::Singular => {
-            Error::Degenerate("estimated rotation is singular".into())
-        }
+        rbt_linalg::Error::Singular => Error::Degenerate("estimated rotation is singular".into()),
         other => Error::Linalg(other),
     })?;
     let reconstructed = released.matmul(&rt_inv)?;
@@ -115,14 +111,13 @@ pub fn known_sample_attack_procrustes(
     released: &Matrix,
 ) -> Result<KnownSampleOutcome> {
     let raw = known_sample_attack(known_original, known_released, released)?;
-    let rt = rbt_linalg::solve::nearest_orthogonal(&raw.estimated_rotation_t).map_err(|e| {
-        match e {
+    let rt =
+        rbt_linalg::solve::nearest_orthogonal(&raw.estimated_rotation_t).map_err(|e| match e {
             rbt_linalg::Error::Singular => {
                 Error::Degenerate("estimate is singular; cannot orthogonalize".into())
             }
             other => Error::Linalg(other),
-        }
-    })?;
+        })?;
     // Orthogonal estimate ⇒ the inverse is the transpose: X̂ = X'·R̂.
     let reconstructed = released.matmul(&rt.transpose())?;
     let defect = {
@@ -245,8 +240,7 @@ mod tests {
         };
         let known_rel = released.select_rows(&idx).unwrap();
         let raw = known_sample_attack(&known_orig, &known_rel, &released).unwrap();
-        let refined =
-            known_sample_attack_procrustes(&known_orig, &known_rel, &released).unwrap();
+        let refined = known_sample_attack_procrustes(&known_orig, &known_rel, &released).unwrap();
         let raw_report = evaluate(&normalized, &raw.reconstructed, 0.1).unwrap();
         let refined_report = evaluate(&normalized, &refined.reconstructed, 0.1).unwrap();
         assert!(refined.orthogonality_defect < 1e-9);

@@ -116,8 +116,7 @@ pub fn distance_profile_linkage(
             }
             *states += 1;
             let consistent = assignment.iter().enumerate().all(|(prev, &row)| {
-                let d_rel =
-                    Metric::Euclidean.distance(released.row(candidate), released.row(row));
+                let d_rel = Metric::Euclidean.distance(released.row(candidate), released.row(row));
                 (d_rel - known_d[level][prev]).abs() <= tolerance
             });
             if !consistent {
@@ -286,11 +285,7 @@ mod tests {
         let known = normalized.select_rows(&truth).unwrap();
         let linked = distance_profile_linkage(&known, &released, 1e-6).unwrap();
         let known_rel = released.select_rows(&linked.assignment).unwrap();
-        let attack = crate::known_sample::known_sample_attack(
-            &known,
-            &known_rel,
-            &released,
-        );
+        let attack = crate::known_sample::known_sample_attack(&known, &known_rel, &released);
         // 3 known rows < n = 5 attributes: underdetermined, but combining
         // linkage with more known individuals crosses the threshold.
         assert!(attack.is_err());
@@ -299,12 +294,8 @@ mod tests {
         let linked5 = distance_profile_linkage(&known5, &released, 1e-6).unwrap();
         assert_eq!(linked5.assignment, truth5);
         let known_rel5 = released.select_rows(&linked5.assignment).unwrap();
-        let outcome = crate::known_sample::known_sample_attack(
-            &known5,
-            &known_rel5,
-            &released,
-        )
-        .unwrap();
+        let outcome =
+            crate::known_sample::known_sample_attack(&known5, &known_rel5, &released).unwrap();
         let report =
             crate::reconstruction::evaluate(&normalized, &outcome.reconstructed, 0.01).unwrap();
         assert!(report.fraction_recovered > 0.999);

@@ -202,9 +202,9 @@ mod tests {
                 let b = standard_normal(&mut r);
                 let c = standard_normal(&mut r);
                 vec![
-                    3.0 * a + 0.5 * a * a,       // wide + skewed
+                    3.0 * a + 0.5 * a * a,           // wide + skewed
                     1.5 * b + 0.4 * a + 0.3 * b * b, // correlated + skewed
-                    0.7 * c + 0.2 * c * c,       // narrow + skewed
+                    0.7 * c + 0.2 * c * c,           // narrow + skewed
                 ]
             })
             .collect();
@@ -257,7 +257,9 @@ mod tests {
         // generator — covariance estimated, not known.
         let raw_owner = skewed_data(4000, 5);
         let raw_attacker = skewed_data(4000, 99);
-        let (_, normalized) = Normalization::zscore_paper().fit_transform(&raw_owner).unwrap();
+        let (_, normalized) = Normalization::zscore_paper()
+            .fit_transform(&raw_owner)
+            .unwrap();
         let (_, attacker_ref) = Normalization::zscore_paper()
             .fit_transform(&raw_attacker)
             .unwrap();

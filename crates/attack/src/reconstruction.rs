@@ -26,7 +26,11 @@ pub struct ReconstructionReport {
 ///
 /// * [`Error::ShapeMismatch`] if the matrices disagree in shape,
 /// * [`Error::InvalidParameter`] for a non-positive `epsilon` or empty input.
-pub fn evaluate(original: &Matrix, reconstructed: &Matrix, epsilon: f64) -> Result<ReconstructionReport> {
+pub fn evaluate(
+    original: &Matrix,
+    reconstructed: &Matrix,
+    epsilon: f64,
+) -> Result<ReconstructionReport> {
     if original.shape() != reconstructed.shape() {
         return Err(Error::ShapeMismatch(format!(
             "original is {:?}, reconstruction is {:?}",

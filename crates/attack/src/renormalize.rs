@@ -45,8 +45,7 @@ pub fn renormalization_attack(
     let drift_vs_released = before
         .max_abs_diff(&after)
         .expect("same object count by construction");
-    let error_vs_original =
-        normalized_original.and_then(|orig| renormalized.max_abs_diff(orig));
+    let error_vs_original = normalized_original.and_then(|orig| renormalized.max_abs_diff(orig));
     Ok(RenormalizationReport {
         renormalized,
         drift_vs_released,
@@ -83,15 +82,18 @@ mod tests {
         let released = datasets::arrhythmia_transformed_table3();
         let report = renormalization_attack(released.matrix(), None).unwrap();
         // §5.2: "the distances between the objects will be changed".
-        assert!(report.drift_vs_released > 0.5, "drift {}", report.drift_vs_released);
+        assert!(
+            report.drift_vs_released > 0.5,
+            "drift {}",
+            report.drift_vs_released
+        );
     }
 
     #[test]
     fn attack_does_not_recover_the_original() {
         let released = datasets::arrhythmia_transformed_table3();
         let original = datasets::arrhythmia_normalized_table2();
-        let report =
-            renormalization_attack(released.matrix(), Some(original.matrix())).unwrap();
+        let report = renormalization_attack(released.matrix(), Some(original.matrix())).unwrap();
         // Far from a reversal.
         assert!(report.error_vs_original.unwrap() > 0.5);
     }

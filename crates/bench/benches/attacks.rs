@@ -50,8 +50,12 @@ fn bench_pca(c: &mut Criterion) {
 
 fn bench_brute_force(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
-    let xs: Vec<f64> = (0..16).map(|_| rbt_data::rng::standard_normal(&mut rng)).collect();
-    let ys: Vec<f64> = (0..16).map(|_| rbt_data::rng::standard_normal(&mut rng)).collect();
+    let xs: Vec<f64> = (0..16)
+        .map(|_| rbt_data::rng::standard_normal(&mut rng))
+        .collect();
+    let ys: Vec<f64> = (0..16)
+        .map(|_| rbt_data::rng::standard_normal(&mut rng))
+        .collect();
     let rot = rbt_linalg::Rotation2::from_degrees(217.3);
     let mut xr = xs.clone();
     let mut yr = ys.clone();

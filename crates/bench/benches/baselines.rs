@@ -8,8 +8,8 @@ use rbt_bench::{workload, WorkloadSpec};
 use rbt_core::{PairwiseSecurityThreshold, RbtConfig, RbtTransformer};
 use rbt_data::Normalization;
 use rbt_transform::{
-    AdditiveNoise, HybridPerturbation, Perturbation, RankSwap, ScalingPerturbation,
-    SimpleRotation, TranslationPerturbation,
+    AdditiveNoise, HybridPerturbation, Perturbation, RankSwap, ScalingPerturbation, SimpleRotation,
+    TranslationPerturbation,
 };
 use std::hint::black_box;
 

@@ -126,7 +126,10 @@ fn main() {
         ("exact covariance (original data)", normalized.clone()),
         ("independent sample, same population", {
             let other = population(1_000, 6, 991);
-            Normalization::zscore_paper().fit_transform(&other).unwrap().1
+            Normalization::zscore_paper()
+                .fit_transform(&other)
+                .unwrap()
+                .1
         }),
     ] {
         match pca_attack(&reference, &released, SignResolution::Skewness) {
@@ -139,7 +142,12 @@ fn main() {
                     format!("{:.2e}", out.min_spectral_gap),
                 ]);
             }
-            Err(e) => rows.push(vec![label.to_string(), format!("failed: {e}"), "-".into(), "-".into()]),
+            Err(e) => rows.push(vec![
+                label.to_string(),
+                format!("failed: {e}"),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     println!(
@@ -166,7 +174,7 @@ fn main() {
     // separate it blind.
     let ica_raw = {
         let mut r = StdRng::seed_from_u64(555);
-        use rand::RngExt;
+
         let rows: Vec<Vec<f64>> = (0..4000)
             .map(|_| {
                 let a = standard_normal(&mut r);
@@ -178,7 +186,9 @@ fn main() {
             .collect();
         Matrix::from_row_iter(rows).unwrap()
     };
-    let (_, ica_normalized) = Normalization::zscore_paper().fit_transform(&ica_raw).unwrap();
+    let (_, ica_normalized) = Normalization::zscore_paper()
+        .fit_transform(&ica_raw)
+        .unwrap();
     let ica_released = release(&ica_normalized, 556);
     let mut r = StdRng::seed_from_u64(557);
     match rbt_attack::ica::FastIca::default().attack(&ica_released, &mut r) {
@@ -215,7 +225,12 @@ fn main() {
                 format!("{}", out.states_explored),
                 format!("{:.1e}", out.max_mismatch),
             ]),
-            Err(e) => rows.push(vec![format!("{k}"), format!("failed: {e}"), "-".into(), "-".into()]),
+            Err(e) => rows.push(vec![
+                format!("{k}"),
+                format!("failed: {e}"),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     println!(

@@ -26,8 +26,8 @@ use rbt_data::Normalization;
 use rbt_linalg::stats::VarianceMode;
 use rbt_linalg::Matrix;
 use rbt_transform::{
-    AdditiveNoise, HybridPerturbation, Perturbation, RankSwap, ScalingPerturbation,
-    SimpleRotation, TranslationPerturbation,
+    AdditiveNoise, HybridPerturbation, Perturbation, RankSwap, ScalingPerturbation, SimpleRotation,
+    TranslationPerturbation,
 };
 
 fn kmeans_labels(data: &Matrix, k: usize) -> Vec<usize> {

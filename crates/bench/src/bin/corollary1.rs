@@ -28,16 +28,27 @@ fn kmeans_labels(data: &Matrix, k: usize) -> Vec<usize> {
 fn kmedoids_labels(data: &Matrix, k: usize) -> Vec<usize> {
     let dm = DissimilarityMatrix::from_matrix(data, Metric::Euclidean);
     let initial: Vec<usize> = (0..k).collect();
-    KMedoids::new(k).unwrap().fit_from(&dm, &initial).unwrap().labels
+    KMedoids::new(k)
+        .unwrap()
+        .fit_from(&dm, &initial)
+        .unwrap()
+        .labels
 }
 
 fn hierarchical_labels(data: &Matrix, k: usize, linkage: Linkage) -> Vec<usize> {
     let dm = DissimilarityMatrix::from_matrix(data, Metric::Euclidean);
-    Agglomerative::new(linkage).fit(&dm).unwrap().cut(k).unwrap()
+    Agglomerative::new(linkage)
+        .fit(&dm)
+        .unwrap()
+        .cut(k)
+        .unwrap()
 }
 
 fn dbscan_labels(data: &Matrix) -> Vec<usize> {
-    Dbscan::new(1.5, 4).unwrap().fit(data, Metric::Euclidean).labels
+    Dbscan::new(1.5, 4)
+        .unwrap()
+        .fit(data, Metric::Euclidean)
+        .labels
 }
 
 fn main() {
@@ -97,10 +108,7 @@ fn main() {
                 format!("{}", same_partition(before, after)),
                 format!("{:.4}", misclassification_error(before, after).unwrap()),
                 format!("{:.4}", adjusted_rand_index(before, after).unwrap()),
-                format!(
-                    "{:.4}",
-                    misclassification_error(&w.labels, after).unwrap()
-                ),
+                format!("{:.4}", misclassification_error(&w.labels, after).unwrap()),
             ]
         })
         .collect();

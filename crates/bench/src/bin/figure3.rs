@@ -27,7 +27,11 @@ fn main() {
                 format!("{theta:.0}"),
                 format!("{v1:.4}"),
                 format!("{v2:.4}"),
-                if profile.satisfies(theta, &pst) { "yes".into() } else { "no".into() },
+                if profile.satisfies(theta, &pst) {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]
         })
         .collect();

@@ -12,7 +12,13 @@ use rbt_linalg::distance::Metric;
 fn main() {
     println!("== Theorem 2: distance preservation vs database size ==\n");
     let mut rows = Vec::new();
-    for (m, n) in [(100usize, 3usize), (500, 5), (1_000, 8), (2_000, 12), (4_000, 16)] {
+    for (m, n) in [
+        (100usize, 3usize),
+        (500, 5),
+        (1_000, 8),
+        (2_000, 12),
+        (4_000, 16),
+    ] {
         let w = workload(WorkloadSpec {
             rows: m,
             cols: n,

@@ -22,7 +22,10 @@ fn run(name: &str, data: &Dataset, rho: f64, seed: u64) {
         data.n_rows(),
         data.n_cols()
     );
-    println!("  released IDs suppressed: {}", out.released.ids().is_none());
+    println!(
+        "  released IDs suppressed: {}",
+        out.released.ids().is_none()
+    );
     for step in out.key.steps() {
         println!(
             "  rotate pair ({}, {}) by {:.2}°: Var1 = {:.4}, Var2 = {:.4}",
@@ -41,7 +44,12 @@ fn run(name: &str, data: &Dataset, rho: f64, seed: u64) {
 }
 
 fn main() {
-    run("cardiac arrhythmia sample (Table 1)", &datasets::arrhythmia_sample(), 0.25, 7);
+    run(
+        "cardiac arrhythmia sample (Table 1)",
+        &datasets::arrhythmia_sample(),
+        0.25,
+        7,
+    );
 
     let w = workload(WorkloadSpec {
         rows: 2_000,
@@ -59,5 +67,10 @@ fn main() {
         seed: 17,
     });
     let ds = Dataset::from_matrix(w.matrix.clone());
-    run("synthetic mixture (500 × 5, odd attribute count)", &ds, 0.4, 19);
+    run(
+        "synthetic mixture (500 × 5, odd attribute count)",
+        &ds,
+        0.4,
+        19,
+    );
 }

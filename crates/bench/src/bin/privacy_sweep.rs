@@ -84,8 +84,14 @@ fn main() {
     let mut rows = Vec::new();
     let strategies: Vec<(String, PairingStrategy)> = vec![
         ("sequential".into(), PairingStrategy::Sequential),
-        ("random-shuffle (seed 1)".into(), PairingStrategy::RandomShuffle),
-        ("random-shuffle (seed 2)".into(), PairingStrategy::RandomShuffle),
+        (
+            "random-shuffle (seed 1)".into(),
+            PairingStrategy::RandomShuffle,
+        ),
+        (
+            "random-shuffle (seed 2)".into(),
+            PairingStrategy::RandomShuffle,
+        ),
         (
             "explicit reversed".into(),
             PairingStrategy::Explicit(vec![(7, 6), (5, 4), (3, 2), (1, 0)]),
@@ -93,11 +99,9 @@ fn main() {
     ];
     for (i, (name, strategy)) in strategies.into_iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(170 + i as u64);
-        let out = RbtTransformer::new(
-            RbtConfig::uniform(pst).with_pairing(strategy),
-        )
-        .transform(&normalized, &mut rng)
-        .unwrap();
+        let out = RbtTransformer::new(RbtConfig::uniform(pst).with_pairing(strategy))
+            .transform(&normalized, &mut rng)
+            .unwrap();
         let vars: Vec<f64> = out
             .key
             .steps()
@@ -106,8 +110,7 @@ fn main() {
             .collect();
         let min = vars.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = vars.iter().cloned().fold(0.0f64, f64::max);
-        let drift =
-            rbt_core::isometry::dissimilarity_drift(&normalized, &out.transformed);
+        let drift = rbt_core::isometry::dissimilarity_drift(&normalized, &out.transformed);
         rows.push(vec![
             name,
             format!("{min:.3}"),

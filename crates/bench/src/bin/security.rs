@@ -35,7 +35,12 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["attribute", "Var before", "Var after", "Sec = Var(X-X')/Var(X)"],
+            &[
+                "attribute",
+                "Var before",
+                "Var after",
+                "Sec = Var(X-X')/Var(X)"
+            ],
             &rows
         )
     );
@@ -46,11 +51,7 @@ fn main() {
     );
 
     println!("== §5.2: the re-normalization attack fails ==\n");
-    let report = renormalization_attack(
-        &example.transformed,
-        Some(&example.normalized),
-    )
-    .unwrap();
+    let report = renormalization_attack(&example.transformed, Some(&example.normalized)).unwrap();
     println!(
         "distance drift caused by re-normalizing the release: {:.4}",
         report.drift_vs_released
@@ -85,7 +86,9 @@ fn main() {
     let min = secs.iter().cloned().fold(f64::INFINITY, f64::min);
     println!(
         "per-attribute Sec levels: min = {min:.3}, all = {:?}",
-        secs.iter().map(|s| (s * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+        secs.iter()
+            .map(|s| (s * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
     );
     let report = renormalization_attack(&released, Some(&normalized)).unwrap();
     println!(

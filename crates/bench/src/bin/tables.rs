@@ -11,7 +11,10 @@ use rbt_linalg::distance::Metric;
 
 fn main() {
     let example = paper::run_example().expect("paper example replays");
-    let ids: Vec<String> = datasets::ARRHYTHMIA_IDS.iter().map(|i| i.to_string()).collect();
+    let ids: Vec<String> = datasets::ARRHYTHMIA_IDS
+        .iter()
+        .map(|i| i.to_string())
+        .collect();
     let cols: Vec<String> = datasets::ARRHYTHMIA_COLUMNS
         .iter()
         .map(|s| s.to_string())

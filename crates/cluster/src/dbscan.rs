@@ -49,7 +49,9 @@ impl Dbscan {
             )));
         }
         if min_points == 0 {
-            return Err(Error::InvalidParameter("min_points must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "min_points must be positive".into(),
+            ));
         }
         Ok(Dbscan { eps, min_points })
     }
@@ -77,9 +79,8 @@ impl Dbscan {
         let mut labels = vec![UNVISITED; n];
         let mut n_clusters = 0usize;
 
-        let neighbours = |i: usize| -> Vec<usize> {
-            (0..n).filter(|&j| dm.get(i, j) <= self.eps).collect()
-        };
+        let neighbours =
+            |i: usize| -> Vec<usize> { (0..n).filter(|&j| dm.get(i, j) <= self.eps).collect() };
 
         for i in 0..n {
             if labels[i] != UNVISITED {
@@ -207,12 +208,18 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(77);
         let rings = rbt_data::synth::two_rings(250, 2.0, 8.0, 0.05, &mut rng);
-        let result = Dbscan::new(1.2, 3).unwrap().fit(&rings.matrix, Metric::Euclidean);
+        let result = Dbscan::new(1.2, 3)
+            .unwrap()
+            .fit(&rings.matrix, Metric::Euclidean);
         assert_eq!(result.n_clusters, 2, "noise: {}", result.noise.len());
         // Rings must map to consistent clusters.
         let err = crate::metrics::misclassification_error(
             &rings.labels,
-            &result.labels.iter().map(|&l| if l == NOISE { 0 } else { l }).collect::<Vec<_>>(),
+            &result
+                .labels
+                .iter()
+                .map(|&l| if l == NOISE { 0 } else { l })
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         assert!(err < 0.05, "misclassification {err}");

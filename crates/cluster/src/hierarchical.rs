@@ -294,10 +294,7 @@ mod tests {
         // Below the smallest merge: all singletons.
         let s = dend.cut_at_height(0.5).unwrap();
         assert_eq!(s.len(), 6);
-        assert_eq!(
-            s.iter().collect::<std::collections::HashSet<_>>().len(),
-            6
-        );
+        assert_eq!(s.iter().collect::<std::collections::HashSet<_>>().len(), 6);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! choices), so RBT preserves its output *exactly*.
 
 use crate::{Error, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use rbt_linalg::distance::Metric;
 use rbt_linalg::Matrix;
 
@@ -154,9 +154,7 @@ impl KMeans {
                     // Empty cluster: re-seed to the point farthest from its
                     // centroid — deterministic and standard practice.
                     let far = farthest_point(data, &centroids, &labels);
-                    new_centroids
-                        .row_mut(j)
-                        .copy_from_slice(data.row(far));
+                    new_centroids.row_mut(j).copy_from_slice(data.row(far));
                 } else {
                     let inv = 1.0 / count as f64;
                     for v in new_centroids.row_mut(j) {
@@ -306,7 +304,10 @@ mod tests {
         let data = Matrix::zeros(3, 2);
         assert!(matches!(
             km.fit(&data, &mut rng(0)),
-            Err(Error::TooFewPoints { points: 3, required: 5 })
+            Err(Error::TooFewPoints {
+                points: 3,
+                required: 5
+            })
         ));
     }
 
@@ -323,9 +324,21 @@ mod tests {
     #[test]
     fn inertia_decreases_with_more_clusters() {
         let (data, _) = two_blobs();
-        let i1 = KMeans::new(1).unwrap().fit(&data, &mut rng(1)).unwrap().inertia;
-        let i2 = KMeans::new(2).unwrap().fit(&data, &mut rng(1)).unwrap().inertia;
-        let i4 = KMeans::new(4).unwrap().fit(&data, &mut rng(1)).unwrap().inertia;
+        let i1 = KMeans::new(1)
+            .unwrap()
+            .fit(&data, &mut rng(1))
+            .unwrap()
+            .inertia;
+        let i2 = KMeans::new(2)
+            .unwrap()
+            .fit(&data, &mut rng(1))
+            .unwrap()
+            .inertia;
+        let i4 = KMeans::new(4)
+            .unwrap()
+            .fit(&data, &mut rng(1))
+            .unwrap()
+            .inertia;
         assert!(i2 < i1);
         assert!(i4 <= i2 + 1e-9);
     }

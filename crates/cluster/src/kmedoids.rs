@@ -6,7 +6,7 @@
 //! never a synthetic average.
 
 use crate::{Error, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use rbt_linalg::dissimilarity::DissimilarityMatrix;
 
 /// K-medoids configuration.
@@ -86,11 +86,7 @@ impl KMedoids {
     /// * [`Error::TooFewPoints`] if `dm.len() < k`,
     /// * [`Error::InvalidParameter`] if `initial` has the wrong length,
     ///   duplicates, or out-of-range indices.
-    pub fn fit_from(
-        &self,
-        dm: &DissimilarityMatrix,
-        initial: &[usize],
-    ) -> Result<KMedoidsResult> {
+    pub fn fit_from(&self, dm: &DissimilarityMatrix, initial: &[usize]) -> Result<KMedoidsResult> {
         let n = dm.len();
         if n < self.k {
             return Err(Error::TooFewPoints {
@@ -137,8 +133,7 @@ impl KMedoids {
             // Medoid update: the member minimising total within-cluster distance.
             let mut changed = false;
             for c in 0..self.k {
-                let members: Vec<usize> =
-                    (0..n).filter(|&i| labels[i] == c).collect();
+                let members: Vec<usize> = (0..n).filter(|&i| labels[i] == c).collect();
                 if members.is_empty() {
                     continue;
                 }

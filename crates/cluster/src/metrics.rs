@@ -349,11 +349,10 @@ pub fn silhouette(dm: &DissimilarityMatrix, labels: &[usize]) -> Result<f64> {
         ));
     }
     let clusters: Vec<usize> = distinct.into_iter().collect();
-    let sizes: std::collections::HashMap<usize, usize> =
-        clusters
-            .iter()
-            .map(|&c| (c, labels.iter().filter(|&&l| l == c).count()))
-            .collect();
+    let sizes: std::collections::HashMap<usize, usize> = clusters
+        .iter()
+        .map(|&c| (c, labels.iter().filter(|&&l| l == c).count()))
+        .collect();
 
     let mut total = 0.0;
     for i in 0..n {
@@ -437,8 +436,7 @@ pub fn davies_bouldin(data: &Matrix, labels: &[usize]) -> Result<f64> {
     }
     for (row, &label) in data.row_iter().zip(labels) {
         let c = index_of[&label];
-        scatter[c] +=
-            rbt_linalg::distance::Metric::Euclidean.distance(row, centroids.row(c));
+        scatter[c] += rbt_linalg::distance::Metric::Euclidean.distance(row, centroids.row(c));
     }
     for (s, &count) in scatter.iter_mut().zip(&counts) {
         *s /= count as f64;
@@ -552,12 +550,8 @@ mod tests {
     #[test]
     fn hungarian_solves_known_assignment() {
         // Classic 3x3 instance: optimal cost 5 (1+2+2).
-        let cost = Matrix::from_rows(&[
-            &[4.0, 1.0, 3.0],
-            &[2.0, 0.0, 5.0],
-            &[3.0, 2.0, 2.0],
-        ])
-        .unwrap();
+        let cost =
+            Matrix::from_rows(&[&[4.0, 1.0, 3.0], &[2.0, 0.0, 5.0], &[3.0, 2.0, 2.0]]).unwrap();
         let assign = hungarian_min(&cost);
         let total: f64 = assign.iter().enumerate().map(|(i, &j)| cost[(i, j)]).sum();
         assert!((total - 5.0).abs() < 1e-12);
@@ -588,7 +582,9 @@ mod tests {
             z ^ (z >> 31)
         };
         let truth: Vec<usize> = (0..400u64).map(|i| (hash(i) % 4) as usize).collect();
-        let pred: Vec<usize> = (0..400u64).map(|i| (hash(i + 1_000_000) % 4) as usize).collect();
+        let pred: Vec<usize> = (0..400u64)
+            .map(|i| (hash(i + 1_000_000) % 4) as usize)
+            .collect();
         let ari = adjusted_rand_index(&truth, &pred).unwrap();
         assert!(ari.abs() < 0.1, "ARI {ari}");
         // Rand index, uncorrected, sits much higher.
@@ -667,20 +663,18 @@ mod tests {
 
     #[test]
     fn davies_bouldin_prefers_separated_clusters() {
-        let tight = Matrix::from_rows(&[
-            &[0.0, 0.0],
-            &[0.1, 0.0],
-            &[10.0, 10.0],
-            &[10.1, 10.0],
-        ])
-        .unwrap();
+        let tight =
+            Matrix::from_rows(&[&[0.0, 0.0], &[0.1, 0.0], &[10.0, 10.0], &[10.1, 10.0]]).unwrap();
         let labels = [0, 0, 1, 1];
         let good = davies_bouldin(&tight, &labels).unwrap();
         // Smash the clusters together: index worsens (grows).
         let close = tight.map(|x| x * 0.05);
         let bad = davies_bouldin(&close, &labels).unwrap();
         assert!(good < 0.1, "good {good}");
-        assert!((bad - good).abs() < 1e-9, "DB is scale-invariant: {bad} vs {good}");
+        assert!(
+            (bad - good).abs() < 1e-9,
+            "DB is scale-invariant: {bad} vs {good}"
+        );
         // Mixed labels genuinely worsen it.
         let mixed = davies_bouldin(&tight, &[0, 1, 0, 1]).unwrap();
         assert!(mixed > good);

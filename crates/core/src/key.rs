@@ -51,7 +51,10 @@ impl TransformationKey {
                 )));
             }
             if s.i == s.j {
-                return Err(Error::KeyMismatch(format!("step {t} pairs {} with itself", s.i)));
+                return Err(Error::KeyMismatch(format!(
+                    "step {t} pairs {} with itself",
+                    s.i
+                )));
             }
         }
         Ok(TransformationKey {
@@ -330,11 +333,7 @@ mod tests {
     #[test]
     fn composite_matrix_matches_stepwise_application() {
         let key = paper_key();
-        let data = Matrix::from_rows(&[
-            &[1.0, -0.5, 0.25],
-            &[0.1, 2.0, -1.0],
-        ])
-        .unwrap();
+        let data = Matrix::from_rows(&[&[1.0, -0.5, 0.25], &[0.1, 2.0, -1.0]]).unwrap();
         let stepwise = key.apply(&data).unwrap();
         let r = key.composite_matrix().unwrap();
         assert!(rbt_linalg::rotation::is_orthogonal(&r, 1e-12));

@@ -41,8 +41,8 @@
 pub mod isometry;
 pub mod key;
 pub mod method;
-pub mod paper;
 pub mod pairing;
+pub mod paper;
 pub mod pipeline;
 pub mod reflection;
 pub mod security;

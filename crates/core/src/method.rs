@@ -195,8 +195,7 @@ impl RbtTransformer {
         for (&(i, j), pst) in pairs.iter().zip(&thresholds) {
             out.column_into(i, &mut xs);
             out.column_into(j, &mut ys);
-            let profile =
-                PairVarianceProfile::from_columns(&xs, &ys, self.config.variance_mode)?;
+            let profile = PairVarianceProfile::from_columns(&xs, &ys, self.config.variance_mode)?;
             let range = security_range(&profile, pst, self.config.solver_grid)?;
             if range.is_empty() {
                 let (max_var1, max_var2) = max_achievable(&profile, self.config.solver_grid);
@@ -264,8 +263,7 @@ impl RbtTransformer {
         for ((&(i, j), pst), &theta) in pairs.iter().zip(&thresholds).zip(angles) {
             out.column_into(i, &mut xs);
             out.column_into(j, &mut ys);
-            let profile =
-                PairVarianceProfile::from_columns(&xs, &ys, self.config.variance_mode)?;
+            let profile = PairVarianceProfile::from_columns(&xs, &ys, self.config.variance_mode)?;
             if !profile.satisfies(theta, pst) {
                 return Err(Error::InvalidParameter(format!(
                     "angle {theta}° violates PST ({}, {}) for pair ({i}, {j}): \
@@ -400,8 +398,7 @@ mod tests {
     #[test]
     fn unsatisfiable_threshold_reports_max_achievable() {
         let normalized = normalized_sample();
-        let config =
-            RbtConfig::uniform(PairwiseSecurityThreshold::uniform(50.0).unwrap());
+        let config = RbtConfig::uniform(PairwiseSecurityThreshold::uniform(50.0).unwrap());
         match RbtTransformer::new(config).transform(&normalized, &mut rng(0)) {
             Err(Error::EmptySecurityRange {
                 max_var1, max_var2, ..
@@ -452,10 +449,7 @@ mod tests {
     #[test]
     fn fixed_angles_replay_and_validation() {
         let normalized = normalized_sample();
-        let config = default_config().with_pairing(PairingStrategy::Explicit(vec![
-            (0, 2),
-            (1, 0),
-        ]));
+        let config = default_config().with_pairing(PairingStrategy::Explicit(vec![(0, 2), (1, 0)]));
         let t = RbtTransformer::new(config);
         // The paper's angles satisfy a loose uniform threshold.
         let out = t

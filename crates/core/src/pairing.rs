@@ -10,7 +10,7 @@
 
 use crate::{Error, Result};
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// How attribute pairs are chosen.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -58,10 +58,8 @@ impl PairingStrategy {
             PairingStrategy::RandomShuffle => {
                 let mut order: Vec<usize> = (0..n).collect();
                 order.shuffle(rng);
-                let mut pairs: Vec<(usize, usize)> = order
-                    .chunks_exact(2)
-                    .map(|c| (c[0], c[1]))
-                    .collect();
+                let mut pairs: Vec<(usize, usize)> =
+                    order.chunks_exact(2).map(|c| (c[0], c[1])).collect();
                 if n % 2 == 1 {
                     let leftover = order[n - 1];
                     // Any already-distorted attribute is a valid partner.
@@ -163,8 +161,12 @@ mod tests {
 
     #[test]
     fn random_shuffle_varies_with_seed() {
-        let a = PairingStrategy::RandomShuffle.pairs(8, &mut rng(1)).unwrap();
-        let b = PairingStrategy::RandomShuffle.pairs(8, &mut rng(2)).unwrap();
+        let a = PairingStrategy::RandomShuffle
+            .pairs(8, &mut rng(1))
+            .unwrap();
+        let b = PairingStrategy::RandomShuffle
+            .pairs(8, &mut rng(2))
+            .unwrap();
         assert_ne!(a, b);
     }
 

@@ -205,10 +205,8 @@ mod tests {
         // The paper's headline §5.1 outcome: the dissimilarity matrices of
         // Table 2 and Table 3 are identical.
         let example = run_example().unwrap();
-        let before =
-            DissimilarityMatrix::from_matrix(&example.normalized, Metric::Euclidean);
-        let after =
-            DissimilarityMatrix::from_matrix(&example.transformed, Metric::Euclidean);
+        let before = DissimilarityMatrix::from_matrix(&example.normalized, Metric::Euclidean);
+        let after = DissimilarityMatrix::from_matrix(&example.transformed, Metric::Euclidean);
         assert!(before.max_abs_diff(&after).unwrap() < 1e-12);
     }
 
@@ -247,11 +245,8 @@ mod tests {
         // §5.2 lists the released data's variances as [1.9039, 0.7840, 0.3122]
         // (sample divisor), contrasting with [1, 1, 1] before distortion.
         let example = run_example().unwrap();
-        let vars = rbt_linalg::stats::column_variances(
-            &example.transformed,
-            VarianceMode::Sample,
-        )
-        .unwrap();
+        let vars = rbt_linalg::stats::column_variances(&example.transformed, VarianceMode::Sample)
+            .unwrap();
         assert!((vars[0] - 1.9039).abs() < 1e-3, "vars {vars:?}");
         assert!((vars[1] - 0.7840).abs() < 1e-3, "vars {vars:?}");
         assert!((vars[2] - 0.3122).abs() < 1e-3, "vars {vars:?}");

@@ -7,7 +7,7 @@
 //! normalizer + transformation key).
 
 use crate::method::{RbtConfig, RbtTransformer};
-use crate::{Result};
+use crate::Result;
 use rand::Rng;
 use rbt_data::{Dataset, FittedNormalizer, Normalization};
 
@@ -130,9 +130,7 @@ mod tests {
         assert!(out.released.ids().is_none());
         assert_eq!(out.released.columns(), raw.columns());
         // Distances preserved w.r.t. the normalized data (Theorem 2).
-        assert!(
-            dissimilarity_drift(out.normalized.matrix(), out.released.matrix()) < 1e-9
-        );
+        assert!(dissimilarity_drift(out.normalized.matrix(), out.released.matrix()) < 1e-9);
         // Values actually distorted.
         assert!(
             out.released
@@ -160,9 +158,7 @@ mod tests {
             .with_normalization(Normalization::min_max_unit())
             .run(&raw, &mut rng(3))
             .unwrap();
-        assert!(
-            dissimilarity_drift(out.normalized.matrix(), out.released.matrix()) < 1e-9
-        );
+        assert!(dissimilarity_drift(out.normalized.matrix(), out.released.matrix()) < 1e-9);
     }
 
     #[test]

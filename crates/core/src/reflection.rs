@@ -22,7 +22,7 @@
 
 use crate::security::{PairVarianceProfile, PairwiseSecurityThreshold, SecurityRange};
 use crate::{Error, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use rbt_linalg::rotation::Reflection2;
 use rbt_linalg::{Matrix, Rotation2};
 use std::fmt;
@@ -187,7 +187,9 @@ impl IsometryKey {
                 )));
             }
             if i == j {
-                return Err(Error::KeyMismatch(format!("step {t} pairs {i} with itself")));
+                return Err(Error::KeyMismatch(format!(
+                    "step {t} pairs {i} with itself"
+                )));
             }
         }
         Ok(IsometryKey {
@@ -390,8 +392,7 @@ impl HybridIsometry {
         for (&(i, j), pst) in pairs.iter().zip(&thresholds) {
             out.column_into(i, &mut xs);
             out.column_into(j, &mut ys);
-            let profile =
-                PairVarianceProfile::from_columns(&xs, &ys, self.config.variance_mode)?;
+            let profile = PairVarianceProfile::from_columns(&xs, &ys, self.config.variance_mode)?;
 
             let prefer_reflection: bool = rng.random();
             let rotation_range =
@@ -399,7 +400,11 @@ impl HybridIsometry {
             let reflection_range =
                 reflection_security_range(&profile, pst, self.config.solver_grid)?;
 
-            let step = match (prefer_reflection, reflection_range.is_empty(), rotation_range.is_empty()) {
+            let step = match (
+                prefer_reflection,
+                reflection_range.is_empty(),
+                rotation_range.is_empty(),
+            ) {
                 (true, false, _) | (false, _, true) if !reflection_range.is_empty() => {
                     IsometryStep::Reflect {
                         i,
@@ -486,12 +491,8 @@ mod tests {
     #[test]
     fn reflection_range_samples_satisfy() {
         let z = normalized_sample();
-        let p = PairVarianceProfile::from_columns(
-            &z.column(0),
-            &z.column(2),
-            VarianceMode::Sample,
-        )
-        .unwrap();
+        let p = PairVarianceProfile::from_columns(&z.column(0), &z.column(2), VarianceMode::Sample)
+            .unwrap();
         let pst = PairwiseSecurityThreshold::uniform(0.3).unwrap();
         let range = reflection_security_range(&p, &pst, 1440).unwrap();
         assert!(!range.is_empty());
@@ -505,12 +506,8 @@ mod tests {
     #[test]
     fn reflection_range_respects_bounds() {
         let z = normalized_sample();
-        let p = PairVarianceProfile::from_columns(
-            &z.column(0),
-            &z.column(1),
-            VarianceMode::Sample,
-        )
-        .unwrap();
+        let p = PairVarianceProfile::from_columns(&z.column(0), &z.column(1), VarianceMode::Sample)
+            .unwrap();
         let pst = PairwiseSecurityThreshold::uniform(0.1).unwrap();
         let range = reflection_security_range(&p, &pst, 1440).unwrap();
         for &(lo, hi) in range.intervals() {
@@ -528,7 +525,10 @@ mod tests {
         ));
         for seed in 0..8 {
             let out = hybrid.transform(&z, &mut rng(seed)).unwrap();
-            assert!(dissimilarity_drift(&z, &out.transformed) < 1e-9, "seed {seed}");
+            assert!(
+                dissimilarity_drift(&z, &out.transformed) < 1e-9,
+                "seed {seed}"
+            );
             let back = out.key.invert(&out.transformed).unwrap();
             assert!(back.approx_eq(&z, 1e-10), "seed {seed}");
         }

@@ -18,7 +18,7 @@
 //! bisection refinement of every boundary.
 
 use crate::{Error, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use rbt_linalg::stats::{self, VarianceMode};
 
 /// The paper's *Pairwise-Security Threshold* `PST(ρ1, ρ2)` (Definition 2):
@@ -338,13 +338,7 @@ pub fn end_to_end_security(
         )));
     }
     (0..normalized.cols())
-        .map(|j| {
-            security_level(
-                &normalized.column(j),
-                &transformed.column(j),
-                mode,
-            )
-        })
+        .map(|j| security_level(&normalized.column(j), &transformed.column(j), mode))
         .collect()
 }
 
@@ -439,7 +433,10 @@ mod tests {
         assert_eq!(range.intervals().len(), 1, "{:?}", range.intervals());
         let (lo, hi) = range.intervals()[0];
         assert!((hi - paper::FIGURE2_RANGE.1).abs() < 0.05, "hi = {hi}");
-        assert!((lo - paper::FIGURE2_RANGE_MEASURED.0).abs() < 0.05, "lo = {lo}");
+        assert!(
+            (lo - paper::FIGURE2_RANGE_MEASURED.0).abs() < 0.05,
+            "lo = {lo}"
+        );
         // Demonstrate the erratum: the paper's lower endpoint fails its own
         // threshold, while our boundary satisfies it.
         assert!(p.var_diff_second(paper::FIGURE2_RANGE.0) < 0.55);
@@ -581,14 +578,18 @@ mod tests {
         // Step 1: rotate (age, hr) by 187.5°.
         let mut xs = m.column(0);
         let mut ys = m.column(2);
-        Rotation2::from_degrees(187.5).apply_columns(&mut xs, &mut ys).unwrap();
+        Rotation2::from_degrees(187.5)
+            .apply_columns(&mut xs, &mut ys)
+            .unwrap();
         m.set_column(0, &xs).unwrap();
         m.set_column(2, &ys).unwrap();
         // Step 2: rotate (weight, age) by ~189.2° — the CLI demo's actual
         // draw, which happens to move age back near its start.
         let mut ws = m.column(1);
         let mut age = m.column(0);
-        Rotation2::from_degrees(189.17).apply_columns(&mut ws, &mut age).unwrap();
+        Rotation2::from_degrees(189.17)
+            .apply_columns(&mut ws, &mut age)
+            .unwrap();
         m.set_column(1, &ws).unwrap();
         m.set_column(0, &age).unwrap();
 
@@ -613,15 +614,10 @@ mod tests {
     fn security_level_known_values() {
         let x = [1.0, 2.0, 3.0, 4.0];
         // Unperturbed: Sec = 0.
-        assert_eq!(
-            security_level(&x, &x, VarianceMode::Sample).unwrap(),
-            0.0
-        );
+        assert_eq!(security_level(&x, &x, VarianceMode::Sample).unwrap(), 0.0);
         // Perturbation = −X (difference 2X): Var(2X)/Var(X) = 4.
         let neg: Vec<f64> = x.iter().map(|v| -v).collect();
-        assert!(
-            (security_level(&x, &neg, VarianceMode::Sample).unwrap() - 4.0).abs() < 1e-12
-        );
+        assert!((security_level(&x, &neg, VarianceMode::Sample).unwrap() - 4.0).abs() < 1e-12);
         assert!(security_level(&[1.0, 1.0], &[1.0, 2.0], VarianceMode::Sample).is_err());
     }
 }

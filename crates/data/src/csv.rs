@@ -52,15 +52,16 @@ pub fn to_csv(ds: &Dataset) -> String {
 /// Returns [`Error::Parse`] for an empty input, ragged rows, or unparsable
 /// numbers.
 pub fn from_csv(text: &str) -> Result<Dataset> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (_, header) = lines.next().ok_or(Error::Parse {
         line: 1,
         message: "empty input".into(),
     })?;
     let mut names: Vec<&str> = header.split(',').map(str::trim).collect();
-    let has_ids = names
-        .first()
-        .is_some_and(|n| n.eq_ignore_ascii_case("id"));
+    let has_ids = names.first().is_some_and(|n| n.eq_ignore_ascii_case("id"));
     if has_ids {
         names.remove(0);
     }

@@ -222,13 +222,10 @@ mod tests {
 
     fn sample() -> Dataset {
         let m = Matrix::from_rows(&[&[75.0, 80.0, 63.0], &[56.0, 64.0, 53.0]]).unwrap();
-        Dataset::new(
-            m,
-            vec!["age".into(), "weight".into(), "heart_rate".into()],
-        )
-        .unwrap()
-        .with_ids(vec![1237, 3420])
-        .unwrap()
+        Dataset::new(m, vec!["age".into(), "weight".into(), "heart_rate".into()])
+            .unwrap()
+            .with_ids(vec![1237, 3420])
+            .unwrap()
     }
 
     #[test]

@@ -74,7 +74,9 @@ impl Normalization {
     ///   `new_min >= new_max`.
     pub fn fit(&self, m: &Matrix) -> Result<FittedNormalizer> {
         if m.rows() == 0 || m.cols() == 0 {
-            return Err(Error::Shape("cannot fit a normalizer to an empty matrix".into()));
+            return Err(Error::Shape(
+                "cannot fit a normalizer to an empty matrix".into(),
+            ));
         }
         if let Normalization::MinMax { new_min, new_max } = self {
             if new_min >= new_max {
@@ -311,7 +313,10 @@ impl FittedNormalizer {
                     new_min,
                     new_max,
                 } => {
-                    let _ = writeln!(out, "minmax {min:.17e} {max:.17e} {new_min:.17e} {new_max:.17e}");
+                    let _ = writeln!(
+                        out,
+                        "minmax {min:.17e} {max:.17e} {new_min:.17e} {new_max:.17e}"
+                    );
                 }
                 ColumnParams::ZScore { mean, std } => {
                     let _ = writeln!(out, "zscore {mean:.17e} {std:.17e}");
@@ -335,7 +340,10 @@ impl FittedNormalizer {
     ///
     /// Returns [`Error::Parse`] for malformed input.
     pub fn from_text(text: &str) -> Result<Self> {
-        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
         let (_, header) = lines.next().ok_or(Error::Parse {
             line: 1,
             message: "empty normalizer".into(),
@@ -622,7 +630,9 @@ mod tests {
 
     #[test]
     fn fit_rejects_empty() {
-        assert!(Normalization::zscore_paper().fit(&Matrix::zeros(0, 0)).is_err());
+        assert!(Normalization::zscore_paper()
+            .fit(&Matrix::zeros(0, 0))
+            .is_err());
     }
 
     #[test]

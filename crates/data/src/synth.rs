@@ -12,7 +12,7 @@
 
 use crate::rng::standard_normal;
 use crate::{Error, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use rbt_linalg::Matrix;
 
 /// A generated dataset together with its ground-truth cluster labels.
@@ -135,11 +135,7 @@ impl GaussianMixture {
                 idx = i;
             }
             let c = &self.components[idx];
-            data.extend(
-                c.center
-                    .iter()
-                    .map(|&mu| mu + c.std * standard_normal(rng)),
-            );
+            data.extend(c.center.iter().map(|&mu| mu + c.std * standard_normal(rng)));
             labels.push(idx);
         }
         LabelledData {
@@ -294,7 +290,11 @@ mod tests {
     fn uniform_cube_bounds() {
         let d = uniform_cube(1000, 3, -2.0, 2.0, &mut seeded(8));
         assert_eq!(d.matrix.shape(), (1000, 3));
-        assert!(d.matrix.as_slice().iter().all(|&x| (-2.0..2.0).contains(&x)));
+        assert!(d
+            .matrix
+            .as_slice()
+            .iter()
+            .all(|&x| (-2.0..2.0).contains(&x)));
         // Variance of U(-2,2) is 16/12 ≈ 1.333.
         let v = rbt_linalg::stats::column_variances(&d.matrix, VarianceMode::Population).unwrap();
         assert!((v[0] - 16.0 / 12.0).abs() < 0.1);

@@ -48,7 +48,7 @@ impl DissimilarityMatrix {
     }
 
     /// Parallel version of [`from_matrix`](Self::from_matrix) using
-    /// `crossbeam` scoped threads. Rows are partitioned into contiguous
+    /// `std::thread` scoped threads. Rows are partitioned into contiguous
     /// chunks whose condensed spans are disjoint, so no locking is needed.
     ///
     /// Falls back to the serial path when `threads <= 1` or the input is
@@ -81,7 +81,7 @@ impl DissimilarityMatrix {
             i * (2 * n - i - 1) / 2
         };
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut rest: &mut [f64] = &mut condensed;
             let mut consumed = 0usize;
             for w in boundaries.windows(2) {
@@ -93,7 +93,7 @@ impl DissimilarityMatrix {
                 let (chunk, tail) = rest.split_at_mut(span_end - consumed);
                 consumed = span_end;
                 rest = tail;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut k = 0usize;
                     for i in start_row..end_row {
                         let ri = data.row(i);
@@ -104,8 +104,7 @@ impl DissimilarityMatrix {
                     }
                 });
             }
-        })
-        .expect("dissimilarity worker panicked");
+        });
 
         DissimilarityMatrix { n, condensed }
     }
@@ -316,7 +315,10 @@ mod tests {
         // Small input falls back to serial.
         let small = points();
         let par = DissimilarityMatrix::from_matrix_parallel(&small, Metric::Euclidean, 4);
-        assert_eq!(par, DissimilarityMatrix::from_matrix(&small, Metric::Euclidean));
+        assert_eq!(
+            par,
+            DissimilarityMatrix::from_matrix(&small, Metric::Euclidean)
+        );
     }
 
     #[test]

@@ -56,11 +56,7 @@ impl Metric {
         match *self {
             Metric::Euclidean => squared_euclidean(a, b).sqrt(),
             Metric::SquaredEuclidean => squared_euclidean(a, b),
-            Metric::Manhattan => a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| (x - y).abs())
-                .sum(),
+            Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
             Metric::Minkowski(p) => a
                 .iter()
                 .zip(b)

@@ -151,12 +151,8 @@ mod tests {
 
     #[test]
     fn reconstruction_and_orthogonality() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.5],
-            &[-2.0, 0.5, 3.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.5], &[-2.0, 0.5, 3.0]]).unwrap();
         let e = symmetric_eigen(&a).unwrap();
         assert!(is_orthogonal(&e.eigenvectors, 1e-10));
         // Reconstruct V diag(λ) Vᵀ.
@@ -176,12 +172,7 @@ mod tests {
 
     #[test]
     fn eigenvalues_sorted_descending() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 5.0, 0.0],
-            &[0.0, 0.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 5.0, 0.0], &[0.0, 0.0, 3.0]]).unwrap();
         let e = symmetric_eigen(&a).unwrap();
         assert_eq!(e.eigenvalues, vec![5.0, 3.0, 1.0]);
     }

@@ -259,13 +259,7 @@ mod tests {
     fn least_squares_recovers_rotation() {
         // The attack use case: given X (k×2) and X' = X Rᵀ, recover Rᵀ.
         let r = crate::Rotation2::from_degrees(312.47).as_matrix();
-        let x = Matrix::from_rows(&[
-            &[1.0, 0.2],
-            &[-0.5, 1.3],
-            &[2.0, -1.0],
-            &[0.3, 0.4],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[&[1.0, 0.2], &[-0.5, 1.3], &[2.0, -1.0], &[0.3, 0.4]]).unwrap();
         let xp = x.matmul(&r.transpose()).unwrap();
         let rt_est = least_squares(&x, &xp).unwrap();
         assert!(rt_est.approx_eq(&r.transpose(), 1e-9));

@@ -88,11 +88,7 @@ pub fn covariance(xs: &[f64], ys: &[f64], mode: VarianceMode) -> Result<f64> {
     }
     let mx = mean(xs)?;
     let my = mean(ys)?;
-    let ss: f64 = xs
-        .iter()
-        .zip(ys)
-        .map(|(x, y)| (x - mx) * (y - my))
-        .sum();
+    let ss: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     Ok(ss / mode.divisor(xs.len()))
 }
 
@@ -307,9 +303,7 @@ mod tests {
         let m = Matrix::from_columns(&[&AGE, &HR]).unwrap();
         let cov = covariance_matrix(&m, VarianceMode::Sample).unwrap();
         assert!(cov.is_symmetric(1e-12));
-        assert!(
-            (cov[(0, 1)] - covariance(&AGE, &HR, VarianceMode::Sample).unwrap()).abs() < 1e-12
-        );
+        assert!((cov[(0, 1)] - covariance(&AGE, &HR, VarianceMode::Sample).unwrap()).abs() < 1e-12);
         assert!((cov[(0, 0)] - variance(&AGE, VarianceMode::Sample).unwrap()).abs() < 1e-12);
     }
 

@@ -8,7 +8,7 @@
 //! security is neither tunable nor uniform across attributes.
 
 use crate::{Error, Perturbation, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use rbt_linalg::{Matrix, Rotation2};
 
 /// Translation perturbation (TDP): adds a random constant, drawn once per
@@ -201,9 +201,8 @@ impl Perturbation for HybridPerturbation {
                 0 => {
                     // Translate both columns by independent shifts.
                     for col in [i, j] {
-                        let shift = rng.random_range(
-                            -self.translation_magnitude..=self.translation_magnitude,
-                        );
+                        let shift = rng
+                            .random_range(-self.translation_magnitude..=self.translation_magnitude);
                         out.column_into(col, &mut xs);
                         for v in &mut xs {
                             *v += shift;
@@ -309,8 +308,12 @@ mod tests {
     #[test]
     fn simple_rotation_needs_two_columns() {
         let one = Matrix::from_columns(&[&[1.0, 2.0]]).unwrap();
-        assert!(SimpleRotation::new(10.0).perturb(&one, &mut rng(0)).is_err());
-        assert!(HybridPerturbation::default().perturb(&one, &mut rng(0)).is_err());
+        assert!(SimpleRotation::new(10.0)
+            .perturb(&one, &mut rng(0))
+            .is_err());
+        assert!(HybridPerturbation::default()
+            .perturb(&one, &mut rng(0))
+            .is_err());
     }
 
     #[test]
@@ -334,7 +337,10 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(TranslationPerturbation::new(1.0).name(), "translation");
-        assert_eq!(ScalingPerturbation::new(1.0, 2.0).unwrap().name(), "scaling");
+        assert_eq!(
+            ScalingPerturbation::new(1.0, 2.0).unwrap().name(),
+            "scaling"
+        );
         assert_eq!(SimpleRotation::new(1.0).name(), "simple-rotation");
         assert_eq!(HybridPerturbation::default().name(), "hybrid");
     }

@@ -29,7 +29,9 @@ pub mod geometric;
 pub mod noise;
 pub mod swap;
 
-pub use geometric::{HybridPerturbation, ScalingPerturbation, SimpleRotation, TranslationPerturbation};
+pub use geometric::{
+    HybridPerturbation, ScalingPerturbation, SimpleRotation, TranslationPerturbation,
+};
 pub use noise::{AdditiveNoise, NoiseKind};
 pub use swap::RankSwap;
 
@@ -109,13 +111,29 @@ mod tests {
         let run = |seed: u64| -> Vec<Matrix> {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             vec![
-                TranslationPerturbation::new(5.0).perturb(&data, &mut rng).unwrap(),
-                ScalingPerturbation::new(0.5, 2.0).unwrap().perturb(&data, &mut rng).unwrap(),
+                TranslationPerturbation::new(5.0)
+                    .perturb(&data, &mut rng)
+                    .unwrap(),
+                ScalingPerturbation::new(0.5, 2.0)
+                    .unwrap()
+                    .perturb(&data, &mut rng)
+                    .unwrap(),
                 SimpleRotation::new(45.0).perturb(&data, &mut rng).unwrap(),
-                HybridPerturbation::default().perturb(&data, &mut rng).unwrap(),
-                AdditiveNoise::gaussian(0.3).unwrap().perturb(&data, &mut rng).unwrap(),
-                AdditiveNoise::uniform(0.3).unwrap().perturb(&data, &mut rng).unwrap(),
-                RankSwap::new(0.5).unwrap().perturb(&data, &mut rng).unwrap(),
+                HybridPerturbation::default()
+                    .perturb(&data, &mut rng)
+                    .unwrap(),
+                AdditiveNoise::gaussian(0.3)
+                    .unwrap()
+                    .perturb(&data, &mut rng)
+                    .unwrap(),
+                AdditiveNoise::uniform(0.3)
+                    .unwrap()
+                    .perturb(&data, &mut rng)
+                    .unwrap(),
+                RankSwap::new(0.5)
+                    .unwrap()
+                    .perturb(&data, &mut rng)
+                    .unwrap(),
             ]
         };
         let a = run(42);

@@ -8,7 +8,7 @@
 //! level and reports misclassification vs the `Sec` level.
 
 use crate::{Error, Perturbation, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use rbt_data::rng::standard_normal;
 use rbt_linalg::Matrix;
 
@@ -168,9 +168,7 @@ mod tests {
                 .unwrap()
                 .perturb(&d, &mut rng(4))
                 .unwrap();
-            secs.push(
-                security_level(&col, &p.column(0), VarianceMode::Sample).unwrap(),
-            );
+            secs.push(security_level(&col, &p.column(0), VarianceMode::Sample).unwrap());
         }
         assert!(secs[0] < secs[1] && secs[1] < secs[2], "{secs:?}");
     }

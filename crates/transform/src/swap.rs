@@ -8,7 +8,7 @@
 //! so clustering accuracy falls as the window grows.
 
 use crate::{Error, Perturbation, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use rbt_linalg::Matrix;
 
 /// Rank-swapping perturbation.
@@ -112,7 +112,10 @@ mod tests {
     #[test]
     fn preserves_marginal_multiset() {
         let d = data();
-        let p = RankSwap::new(0.3).unwrap().perturb(&d, &mut rng(1)).unwrap();
+        let p = RankSwap::new(0.3)
+            .unwrap()
+            .perturb(&d, &mut rng(1))
+            .unwrap();
         for j in 0..d.cols() {
             let mut orig = d.column(j);
             let mut released = p.column(j);
@@ -125,7 +128,10 @@ mod tests {
     #[test]
     fn actually_moves_values() {
         let d = data();
-        let p = RankSwap::new(0.3).unwrap().perturb(&d, &mut rng(2)).unwrap();
+        let p = RankSwap::new(0.3)
+            .unwrap()
+            .perturb(&d, &mut rng(2))
+            .unwrap();
         assert!(p.max_abs_diff(&d).unwrap() > 0.5);
     }
 
@@ -134,7 +140,10 @@ mod tests {
         let d = data();
         // Window of 2 ranks: values move at most 2 positions in a column
         // whose sorted gaps are 1.0 — displacement bounded by 2.
-        let p = RankSwap::new(2.0 / 50.0).unwrap().perturb(&d, &mut rng(3)).unwrap();
+        let p = RankSwap::new(2.0 / 50.0)
+            .unwrap()
+            .perturb(&d, &mut rng(3))
+            .unwrap();
         let max_disp = p.max_abs_diff(&d).unwrap();
         assert!(max_disp <= 2.0 + 1e-12, "displacement {max_disp}");
     }
@@ -142,7 +151,10 @@ mod tests {
     #[test]
     fn tiny_inputs_are_noops_or_safe() {
         let one = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
-        let p = RankSwap::new(0.5).unwrap().perturb(&one, &mut rng(0)).unwrap();
+        let p = RankSwap::new(0.5)
+            .unwrap()
+            .perturb(&one, &mut rng(0))
+            .unwrap();
         assert!(p.approx_eq(&one, 0.0));
     }
 }

@@ -49,7 +49,12 @@ fn synthetic_cohort(per_group: usize, seed: u64) -> (Dataset, Vec<usize>) {
     let matrix = Matrix::from_row_iter(rows).unwrap();
     let ds = Dataset::new(
         matrix,
-        vec!["age".into(), "bmi".into(), "heart_rate".into(), "systolic_bp".into()],
+        vec![
+            "age".into(),
+            "bmi".into(),
+            "heart_rate".into(),
+            "systolic_bp".into(),
+        ],
     )
     .unwrap()
     .with_ids(ids)
@@ -86,7 +91,10 @@ fn main() {
     // The release leaves the hospital as a CSV with no IDs.
     let path = std::env::temp_dir().join("hospital_release.csv");
     csv::write_file(&output.released, &path).unwrap();
-    println!("release written to {} (no IDs, rotated values)", path.display());
+    println!(
+        "release written to {} (no IDs, rotated values)",
+        path.display()
+    );
 
     // The research lab (miner) reads the CSV and clusters hierarchically.
     let received = csv::read_file(&path).unwrap();
@@ -107,7 +115,10 @@ fn main() {
     println!("lab clustering == internal clustering: true (Corollary 1)");
 
     let err = misclassification_error(&truth, &lab_clusters).unwrap();
-    println!("misclassification vs latent condition groups: {:.1}%", 100.0 * err);
+    println!(
+        "misclassification vs latent condition groups: {:.1}%",
+        100.0 * err
+    );
 
     std::fs::remove_file(&path).ok();
 }

@@ -24,10 +24,10 @@ use rbt::PairwiseSecurityThreshold;
 fn customers(per_segment: usize, seed: u64) -> Dataset {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let segments = [
-        (250.0, 1.0, 30.0, 45.0),   // occasional small-basket
-        (1200.0, 3.5, 80.0, 12.0),  // regular mid-spend
-        (4800.0, 8.0, 140.0, 4.0),  // high-value loyal
-        (900.0, 0.5, 400.0, 90.0),  // rare bulk buyers
+        (250.0, 1.0, 30.0, 45.0),  // occasional small-basket
+        (1200.0, 3.5, 80.0, 12.0), // regular mid-spend
+        (4800.0, 8.0, 140.0, 4.0), // high-value loyal
+        (900.0, 0.5, 400.0, 90.0), // rare bulk buyers
     ];
     let mut rows = Vec::new();
     for &(spend, visits, basket, recency) in &segments {
@@ -108,11 +108,8 @@ fn main() {
             .filter_map(|(i, &l)| (l == c).then_some(i))
             .collect();
         for j in 0..4 {
-            let mean: f64 = members
-                .iter()
-                .map(|&i| data.matrix()[(i, j)])
-                .sum::<f64>()
-                / members.len() as f64;
+            let mean: f64 =
+                members.iter().map(|&i| data.matrix()[(i, j)]).sum::<f64>() / members.len() as f64;
             max_err = max_err.max((mean - decoded[(c, j)]).abs() / mean.abs().max(1.0));
         }
     }

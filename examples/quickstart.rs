@@ -27,7 +27,10 @@ fn main() {
     // Release. The RNG seed is part of the owner's secret state.
     let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
     let output = pipeline.run(&patients, &mut rng).unwrap();
-    println!("Released data (IDs suppressed, values rotated):\n{}", output.released);
+    println!(
+        "Released data (IDs suppressed, values rotated):\n{}",
+        output.released
+    );
 
     // The owner keeps the key; it can invert the release.
     println!("Owner-side key:\n{}", output.key);

@@ -69,7 +69,10 @@ fn main() {
 
     println!("--- attack 1: re-normalization (the paper's §5.2 analysis) ---");
     let report = renormalization_attack(released, Some(normalized)).unwrap();
-    println!("  distance drift caused: {:.3} (utility destroyed)", report.drift_vs_released);
+    println!(
+        "  distance drift caused: {:.3} (utility destroyed)",
+        report.drift_vs_released
+    );
     println!(
         "  reconstruction error:  {:.3} (nowhere near the original)",
         report.error_vs_original.unwrap()

@@ -1,0 +1,306 @@
+//! Vendored stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness (the build environment has no registry access).
+//!
+//! It reproduces the subset of criterion's surface the workspace benches
+//! use — [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — on top of a simple
+//! wall-clock timer: a short warm-up, then a fixed measurement window, then
+//! a mean-per-iteration report on stdout. It has none of criterion's
+//! statistics (no outlier analysis, no HTML reports); it exists so
+//! `cargo bench` runs and regressions stay *visible*, not
+//! publication-grade.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings shared by all benches in a run.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    /// Target number of timed iterations per benchmark (upper bound; the
+    /// time cap below usually binds first for slow benches).
+    sample_size: usize,
+    /// Wall-clock cap on the measurement phase of one benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target iteration count per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock cap per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration count for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Records the per-iteration workload size, reported as a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut c = self.effective();
+        run_one(&mut c, &label, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark that borrows a shared input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut c = self.effective();
+        run_one(&mut c, &label, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; settings are per-call).
+    pub fn finish(self) {}
+
+    fn effective(&self) -> Criterion {
+        let mut c = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            c.sample_size = n;
+        }
+        c
+    }
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark id (strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration workload size, used to report a rate next to the time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// The timing callback handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    mean_secs: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean wall-clock cost per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: a few calls so lazy initialisation and cache effects do
+        // not dominate the first timed sample.
+        let warmup = (self.sample_size / 10).clamp(1, 10);
+        for _ in 0..warmup {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while iters < self.sample_size as u64 {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn run_one<F>(c: &mut Criterion, label: &str, throughput: Option<Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        sample_size: c.sample_size,
+        measurement_time: c.measurement_time,
+        mean_secs: f64::NAN,
+        iters: 0,
+    };
+    f(&mut b);
+    assert!(
+        b.iters > 0,
+        "benchmark {label:?} never called Bencher::iter — nothing was measured"
+    );
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.3e} elem/s)", n as f64 / b.mean_secs)
+        }
+        Some(Throughput::Bytes(n)) => format!("  ({:.3e} B/s)", n as f64 / b.mean_secs),
+        None => String::new(),
+    };
+    println!(
+        "bench {label:<48} {:>12}  [{} iters]{rate}",
+        human_time(b.mean_secs),
+        b.iters
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if !secs.is_finite() {
+        "n/a".to_string()
+    } else if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a bench group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_finite_time() {
+        let mut c = Criterion::default();
+        c.sample_size(5).measurement_time(Duration::from_millis(10));
+        c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        c.sample_size(5).measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .throughput(Throughput::Elements(10))
+            .bench_with_input(BenchmarkId::new("x", 1), &3u64, |b, &n| {
+                b.iter(|| black_box(n * 2))
+            });
+        g.finish();
+    }
+}

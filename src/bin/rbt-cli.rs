@@ -110,7 +110,7 @@ fn cmd_release(args: &[String]) -> Result<(), String> {
         Some(v) => v.parse().map_err(|e| format!("bad --seed: {e}"))?,
         None => {
             // No seed given: derive one from the OS entropy source.
-            use rand::RngExt;
+
             rand::rng().random()
         }
     };
@@ -166,9 +166,7 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
     let normalizer =
         FittedNormalizer::from_text(&read_file(&params_path)?).map_err(|e| e.to_string())?;
 
-    let normalized = key
-        .invert(released.matrix())
-        .map_err(|e| e.to_string())?;
+    let normalized = key.invert(released.matrix()).map_err(|e| e.to_string())?;
     let raw = normalizer
         .inverse_transform(&normalized)
         .map_err(|e| e.to_string())?;
@@ -230,10 +228,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let drift = rbt::core::isometry::dissimilarity_drift(&normalized, released.matrix());
     println!("distance drift vs z-scored original: {drift:.3e}");
-    println!(
-        "isometric (tolerance 1e-6): {}",
-        drift < 1e-6
-    );
+    println!("isometric (tolerance 1e-6): {}", drift < 1e-6);
 
     println!("per-attribute security level Sec = Var(X - X') / Var(X):");
     for j in 0..original.n_cols().min(released.n_cols()) {

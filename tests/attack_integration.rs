@@ -73,7 +73,9 @@ fn pca_attack_breaks_real_releases_distribution_only() {
     let out = release(&z, 66);
     // Attacker's prior: an independent sample from the same population.
     let prior_raw = population(4_000, 67);
-    let (_, prior) = Normalization::zscore_paper().fit_transform(&prior_raw).unwrap();
+    let (_, prior) = Normalization::zscore_paper()
+        .fit_transform(&prior_raw)
+        .unwrap();
     let attack = pca_attack(&prior, &out.transformed, SignResolution::Skewness).unwrap();
     let report = evaluate(&z, &attack.reconstructed, 0.25).unwrap();
     assert!(
@@ -93,11 +95,7 @@ fn brute_force_recovers_each_recorded_angle() {
     let out = release(&z, 69);
     let last = out.key.steps().last().unwrap();
     // State just before the last rotation = invert only the last step.
-    let partial_key = rbt::core::TransformationKey::new(
-        vec![last.clone()],
-        z.cols(),
-    )
-    .unwrap();
+    let partial_key = rbt::core::TransformationKey::new(vec![last.clone()], z.cols()).unwrap();
     let before_last = partial_key.invert(&out.transformed).unwrap();
     let estimate = brute_force_angle(
         &before_last.column(last.i)[..8],
@@ -125,5 +123,7 @@ fn rbt_composite_equals_attack_estimate() {
         &out.transformed,
     )
     .unwrap();
-    assert!(attack.estimated_rotation_t.approx_eq(&truth.transpose(), 1e-8));
+    assert!(attack
+        .estimated_rotation_t
+        .approx_eq(&truth.transpose(), 1e-8));
 }

@@ -43,7 +43,11 @@ fn release_audit_recover_workflow() {
         .args(["--rho", "0.3", "--seed", "42"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("released 5 rows x 3 attributes"));
 
@@ -53,7 +57,9 @@ fn release_audit_recover_workflow() {
     assert!(!released_text.contains("1237"));
 
     // Key and params files parse.
-    assert!(std::fs::read_to_string(&key).unwrap().starts_with("rbt-key v1 n=3"));
+    assert!(std::fs::read_to_string(&key)
+        .unwrap()
+        .starts_with("rbt-key v1 n=3"));
     assert!(std::fs::read_to_string(&params)
         .unwrap()
         .starts_with("rbt-normalizer v1 cols=3"));
@@ -68,10 +74,17 @@ fn release_audit_recover_workflow() {
         .unwrap();
     assert!(audit.status.success());
     let audit_text = String::from_utf8_lossy(&audit.stdout);
-    assert!(audit_text.contains("isometric (tolerance 1e-6): true"), "{audit_text}");
+    assert!(
+        audit_text.contains("isometric (tolerance 1e-6): true"),
+        "{audit_text}"
+    );
 
     // Inspect-key lists the two rotations.
-    let inspect = cli().args(["inspect-key", "--key"]).arg(&key).output().unwrap();
+    let inspect = cli()
+        .args(["inspect-key", "--key"])
+        .arg(&key)
+        .output()
+        .unwrap();
     assert!(inspect.status.success());
     let inspect_text = String::from_utf8_lossy(&inspect.stdout);
     assert!(inspect_text.contains("2 rotation steps"));
@@ -89,7 +102,11 @@ fn release_audit_recover_workflow() {
         .arg(&recovered)
         .output()
         .unwrap();
-    assert!(rec.status.success(), "{}", String::from_utf8_lossy(&rec.stderr));
+    assert!(
+        rec.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rec.stderr)
+    );
     let recovered_text = std::fs::read_to_string(&recovered).unwrap();
     for line in ["75,80,63", "44,90,68"] {
         assert!(recovered_text.contains(line), "{recovered_text}");
@@ -133,7 +150,10 @@ fn bad_invocations_fail_cleanly() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
     // Missing required flag.
-    let out = cli().args(["release", "--input", "x.csv"]).output().unwrap();
+    let out = cli()
+        .args(["release", "--input", "x.csv"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("missing required flag"));
 

@@ -4,9 +4,7 @@
 
 use rand::SeedableRng;
 use rbt::cluster::metrics::same_partition;
-use rbt::cluster::{
-    Agglomerative, Dbscan, KMeans, KMeansInit, KMedoids, Linkage,
-};
+use rbt::cluster::{Agglomerative, Dbscan, KMeans, KMeansInit, KMedoids, Linkage};
 use rbt::core::{PairwiseSecurityThreshold, RbtConfig, RbtTransformer};
 use rbt::data::synth::{two_rings, GaussianMixture};
 use rbt::data::Normalization;
@@ -89,8 +87,12 @@ fn every_linkage_dendrogram_cut_preserved() {
 fn dbscan_clusters_and_noise_preserved() {
     let normalized = mixture(300, 4, 3, 31);
     let released = rbt(&normalized, 32);
-    let a = Dbscan::new(1.2, 4).unwrap().fit(&normalized, Metric::Euclidean);
-    let b = Dbscan::new(1.2, 4).unwrap().fit(&released, Metric::Euclidean);
+    let a = Dbscan::new(1.2, 4)
+        .unwrap()
+        .fit(&normalized, Metric::Euclidean);
+    let b = Dbscan::new(1.2, 4)
+        .unwrap()
+        .fit(&released, Metric::Euclidean);
     assert_eq!(a.labels, b.labels);
     assert_eq!(a.noise, b.noise);
 }
@@ -104,8 +106,12 @@ fn non_convex_rings_preserved_for_dbscan() {
         .fit_transform(&rings.matrix)
         .unwrap();
     let released = rbt(&normalized, 42);
-    let a = Dbscan::new(0.25, 3).unwrap().fit(&normalized, Metric::Euclidean);
-    let b = Dbscan::new(0.25, 3).unwrap().fit(&released, Metric::Euclidean);
+    let a = Dbscan::new(0.25, 3)
+        .unwrap()
+        .fit(&normalized, Metric::Euclidean);
+    let b = Dbscan::new(0.25, 3)
+        .unwrap()
+        .fit(&released, Metric::Euclidean);
     assert_eq!(a.labels, b.labels);
 }
 

@@ -5,9 +5,7 @@
 use rand::SeedableRng;
 use rbt::cluster::metrics::same_partition;
 use rbt::cluster::{KMeans, KMeansInit};
-use rbt::core::{
-    PairingStrategy, Pipeline, PipelineOutput, RbtConfig, TransformationKey,
-};
+use rbt::core::{PairingStrategy, Pipeline, PipelineOutput, RbtConfig, TransformationKey};
 use rbt::data::synth::GaussianMixture;
 use rbt::data::{csv, Dataset, Normalization};
 use rbt::PairwiseSecurityThreshold;

@@ -1,0 +1,73 @@
+//! Smoke test for the facade crate: the re-exports advertised in
+//! `src/lib.rs`'s crate map must resolve, and the headline guarantee —
+//! a rotation release preserves pairwise distances — must hold on a
+//! minimal 2-column example.
+
+use rand::SeedableRng;
+use rbt::linalg::distance::Metric;
+
+#[test]
+fn facade_reexports_resolve() {
+    // Top-level convenience re-exports.
+    let _: rbt::PairwiseSecurityThreshold = rbt::PairwiseSecurityThreshold::uniform(0.1).unwrap();
+    let m: rbt::Matrix = rbt::Matrix::identity(2);
+    let _: rbt::VarianceMode = rbt::VarianceMode::Sample;
+
+    // Module-path forms from the crate-map table.
+    let _: rbt::core::RbtConfig =
+        rbt::core::RbtConfig::uniform(rbt::core::PairwiseSecurityThreshold::uniform(0.1).unwrap());
+    let ds: rbt::Dataset = rbt::data::Dataset::from_matrix(m);
+    assert_eq!(ds.n_cols(), 2);
+
+    // One symbol from each re-exported member crate.
+    let _ = rbt::linalg::Rotation2::from_degrees(30.0);
+    let _ = rbt::cluster::KMeansInit::PlusPlus;
+    let _ = rbt::transform::NoiseKind::Gaussian;
+    assert!(rbt::attack::keyspace::brute_force_work(4, 360) > 0);
+}
+
+#[test]
+fn two_column_rotation_round_trip_preserves_pairwise_distances() {
+    // A small 2-attribute dataset; normalize, transform, and check that
+    // every pairwise Euclidean distance survives both the release and the
+    // key-inversion round trip.
+    let raw = rbt::Matrix::from_rows(&[
+        &[1.0, 10.0],
+        &[2.0, 14.0],
+        &[4.0, 9.0],
+        &[8.0, 3.0],
+        &[3.0, 7.0],
+    ])
+    .unwrap();
+    let (_, z) = rbt::data::Normalization::zscore_paper()
+        .fit_transform(&raw)
+        .unwrap();
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let out = rbt::RbtTransformer::new(rbt::RbtConfig::uniform(
+        rbt::PairwiseSecurityThreshold::uniform(0.2).unwrap(),
+    ))
+    .transform(&z, &mut rng)
+    .unwrap();
+
+    // Pairwise distances are preserved (Theorem 2)…
+    for i in 0..z.rows() {
+        for j in (i + 1)..z.rows() {
+            let before = Metric::Euclidean.distance(z.row(i), z.row(j));
+            let after = Metric::Euclidean.distance(out.transformed.row(i), out.transformed.row(j));
+            assert!(
+                (before - after).abs() < 1e-9 * (1.0 + before),
+                "distance ({i},{j}) drifted: {before} -> {after}"
+            );
+        }
+    }
+    // …the values themselves are not.
+    assert!(
+        !out.transformed.approx_eq(&z, 1e-3),
+        "release left data undistorted"
+    );
+
+    // Round trip: the key inverts the release exactly.
+    let back = out.key.invert(&out.transformed).unwrap();
+    assert!(back.approx_eq(&z, 1e-9));
+}

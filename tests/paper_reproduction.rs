@@ -3,8 +3,8 @@
 //! Figure 2 erratum. These tests pin the reproduction so refactors cannot
 //! silently drift from the paper.
 
-use rbt::core::security::{security_range, DEFAULT_GRID};
 use rbt::core::paper;
+use rbt::core::security::{security_range, DEFAULT_GRID};
 use rbt::data::datasets;
 use rbt::linalg::dissimilarity::DissimilarityMatrix;
 use rbt::linalg::distance::Metric;
@@ -92,11 +92,9 @@ fn achieved_variances_match_section_5_1() {
 #[test]
 fn section_5_2_variance_camouflage() {
     let example = paper::run_example().unwrap();
-    let vars = rbt::linalg::stats::column_variances(
-        &example.transformed,
-        rbt::VarianceMode::Sample,
-    )
-    .unwrap();
+    let vars =
+        rbt::linalg::stats::column_variances(&example.transformed, rbt::VarianceMode::Sample)
+            .unwrap();
     for (measured, printed) in vars.iter().zip([1.9039, 0.7840, 0.3122]) {
         assert!((measured - printed).abs() < 1e-3, "{measured} vs {printed}");
     }

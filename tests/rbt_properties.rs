@@ -23,8 +23,7 @@ fn normalized(m: &Matrix) -> Option<Matrix> {
     // Skip degenerate draws where a column is (nearly) constant — the
     // z-score is undefined there and the variance curves vanish.
     let (_, z) = Normalization::zscore_paper().fit_transform(m).ok()?;
-    let vars =
-        rbt::linalg::stats::column_variances(&z, rbt::VarianceMode::Sample).ok()?;
+    let vars = rbt::linalg::stats::column_variances(&z, rbt::VarianceMode::Sample).ok()?;
     vars.iter().all(|&v| v > 0.5).then_some(z)
 }
 
