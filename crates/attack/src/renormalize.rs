@@ -40,8 +40,10 @@ pub fn renormalization_attack(
     normalized_original: Option<&Matrix>,
 ) -> Result<RenormalizationReport> {
     let (_, renormalized) = Normalization::zscore_paper().fit_transform(released)?;
-    let before = DissimilarityMatrix::from_matrix(released, Metric::Euclidean);
-    let after = DissimilarityMatrix::from_matrix(&renormalized, Metric::Euclidean);
+    let threads = rbt_linalg::pool::default_threads();
+    let before = DissimilarityMatrix::from_matrix_parallel(released, Metric::Euclidean, threads);
+    let after =
+        DissimilarityMatrix::from_matrix_parallel(&renormalized, Metric::Euclidean, threads);
     let drift_vs_released = before
         .max_abs_diff(&after)
         .expect("same object count by construction");

@@ -1,0 +1,446 @@
+//! Kernel micro-benchmarks: the pre-PR scalar hot paths against the
+//! performance substrate (unrolled kernels, fused column sweeps, blocked
+//! matmul, pooled parallelism), with a JSON trail.
+//!
+//! Unlike the criterion benches, this is a custom harness (`harness =
+//! false` + plain `main`) because it has two extra jobs:
+//!
+//! 1. keep *replicas of the pre-optimisation scalar implementations* around
+//!    so every speedup is measured against the real before-state, not a
+//!    strawman, and
+//! 2. emit `BENCH_kernels.json` at the workspace root so the perf
+//!    trajectory of the repo is recorded, run over run.
+//!
+//! Run the full suite:   `cargo bench -p rbt-bench --bench kernels`
+//! CI smoke (seconds):   `cargo bench -p rbt-bench --bench kernels -- --quick-smoke`
+
+use rbt_bench::{workload, WorkloadSpec};
+use rbt_core::key::{RotationStep, TransformationKey};
+use rbt_linalg::dissimilarity::DissimilarityMatrix;
+use rbt_linalg::distance::Metric;
+use rbt_linalg::pool::{self, even_chunks, Pool};
+use rbt_linalg::rotation::givens;
+use rbt_linalg::{kernels, Matrix, Rotation2};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best (minimum) seconds per iteration for each of the competing
+/// implementations, measured in **alternating rounds**: scalar, fast,
+/// (parallel), scalar, fast, … The minimum filters scheduler and allocator
+/// noise, and the alternation keeps a clock-frequency or steal-time drift
+/// mid-run from biasing one side of the ratio — which it visibly does on
+/// small shared VMs if each side is measured in one contiguous phase.
+fn time_competitors(budget_s: f64, rounds: usize, fs: &mut [&mut dyn FnMut()]) -> Vec<f64> {
+    for f in fs.iter_mut() {
+        f(); // warm-up
+    }
+    let mut best = vec![f64::INFINITY; fs.len()];
+    let round_budget = budget_s / rounds as f64;
+    for _ in 0..rounds {
+        for (slot, f) in best.iter_mut().zip(fs.iter_mut()) {
+            let round = Instant::now();
+            loop {
+                let t = Instant::now();
+                f();
+                *slot = slot.min(t.elapsed().as_secs_f64());
+                if round.elapsed().as_secs_f64() >= round_budget {
+                    break;
+                }
+            }
+        }
+    }
+    best
+}
+
+struct Entry {
+    name: &'static str,
+    params: String,
+    scalar_s: f64,
+    fast_s: f64,
+    parallel_s: Option<f64>,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.scalar_s / self.fast_s
+    }
+    fn speedup_parallel(&self) -> Option<f64> {
+        self.parallel_s.map(|p| self.scalar_s / p)
+    }
+}
+
+// ---- pre-PR scalar replicas ------------------------------------------------
+
+/// `DissimilarityMatrix::from_matrix` as it was before the kernel rewrite:
+/// one scalar `Metric::distance` call per pair.
+fn scalar_dissimilarity(data: &Matrix, metric: Metric) -> Vec<f64> {
+    let n = data.rows();
+    let mut condensed = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+    for i in 0..n {
+        let ri = data.row(i);
+        for j in (i + 1)..n {
+            condensed.push(metric.distance(ri, data.row(j)));
+        }
+    }
+    condensed
+}
+
+/// `TransformationKey::apply` as it was before the fused column sweep:
+/// extract both columns, rotate the buffers, write both columns back.
+fn scalar_apply(key: &TransformationKey, m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    let mut xs = Vec::with_capacity(out.rows());
+    let mut ys = Vec::with_capacity(out.rows());
+    for step in key.steps() {
+        out.column_into(step.i, &mut xs);
+        out.column_into(step.j, &mut ys);
+        Rotation2::from_degrees(step.theta_degrees)
+            .apply_columns(&mut xs, &mut ys)
+            .unwrap();
+        out.set_column(step.i, &xs).unwrap();
+        out.set_column(step.j, &ys).unwrap();
+    }
+    out
+}
+
+/// `TransformationKey::composite_matrix` as it was before the row-pair
+/// sweep: one full Givens matmul per step.
+fn scalar_composite(key: &TransformationKey) -> Matrix {
+    let n = key.n_attributes();
+    let mut acc = Matrix::identity(n);
+    for step in key.steps() {
+        let g = givens(
+            n,
+            step.i,
+            step.j,
+            &Rotation2::from_degrees(step.theta_degrees),
+        )
+        .unwrap();
+        acc = g.matmul_naive(&acc).unwrap();
+    }
+    acc
+}
+
+/// The k-means assignment loop as it was before the blocked kernel: one
+/// scalar `Metric::distance` call per (point, centroid) pair.
+fn scalar_assign(data: &Matrix, centroids: &Matrix, labels: &mut [usize]) {
+    for (i, point) in data.row_iter().enumerate() {
+        let mut best = (0usize, f64::INFINITY);
+        for (j, c) in centroids.row_iter().enumerate() {
+            let d2 = Metric::SquaredEuclidean.distance(point, c);
+            if d2 < best.1 {
+                best = (j, d2);
+            }
+        }
+        labels[i] = best.0;
+    }
+}
+
+// ---- harness ---------------------------------------------------------------
+
+/// A synthetic `p`-step key over `n` attributes (pairs wrap around so every
+/// attribute is touched at least twice, like sequential pairing on real
+/// runs).
+fn synthetic_key(n: usize, p: usize) -> TransformationKey {
+    let steps: Vec<RotationStep> = (0..p)
+        .map(|t| {
+            let i = (2 * t) % n;
+            let j = (2 * t + 1) % n;
+            let (i, j) = if i == j { (i, (j + 1) % n) } else { (i, j) };
+            RotationStep {
+                i,
+                j,
+                theta_degrees: 17.0 + 7.3 * t as f64,
+                achieved_var1: 0.0,
+                achieved_var2: 0.0,
+            }
+        })
+        .collect();
+    TransformationKey::new(steps, n).unwrap()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick-smoke");
+    let budget = if quick { 0.6 } else { 3.0 };
+    let rounds = if quick { 3 } else { 6 };
+    let threads = pool::default_threads();
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // 1. Dissimilarity construction, m >= 2000 (the Eq. 5/6 hot path).
+    {
+        let (m, cols) = (2000usize, 64usize);
+        let w = workload(WorkloadSpec {
+            rows: m,
+            cols,
+            k: 4,
+            seed: 977,
+        });
+        let best = time_competitors(
+            budget,
+            rounds,
+            &mut [
+                &mut || {
+                    black_box(scalar_dissimilarity(&w.matrix, Metric::Euclidean));
+                },
+                &mut || {
+                    black_box(DissimilarityMatrix::from_matrix(
+                        &w.matrix,
+                        Metric::Euclidean,
+                    ));
+                },
+                &mut || {
+                    black_box(DissimilarityMatrix::from_matrix_parallel(
+                        &w.matrix,
+                        Metric::Euclidean,
+                        threads,
+                    ));
+                },
+            ],
+        );
+        let (scalar_s, fast_s, parallel_s) = (best[0], best[1], best[2]);
+        // Sanity: the kernel path reproduces the scalar distances.
+        let reference = scalar_dissimilarity(&w.matrix, Metric::Euclidean);
+        let fast = DissimilarityMatrix::from_matrix(&w.matrix, Metric::Euclidean);
+        let max_err = reference
+            .iter()
+            .zip(fast.condensed())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1e-9, "kernel drifted from scalar: {max_err}");
+        entries.push(Entry {
+            name: "dissimilarity_build",
+            params: format!("{{\"m\": {m}, \"cols\": {cols}}}"),
+            scalar_s,
+            fast_s,
+            parallel_s: Some(parallel_s),
+        });
+    }
+
+    // 2. Composite-key application, n >= 32 attributes (Eq. 1 lifted to n-D).
+    {
+        let (rows, n, p) = (4096usize, 32usize, 32usize);
+        let w = workload(WorkloadSpec {
+            rows,
+            cols: n,
+            k: 4,
+            seed: 978,
+        });
+        let key = synthetic_key(n, p);
+        let best = time_competitors(
+            budget,
+            rounds,
+            &mut [
+                &mut || {
+                    black_box(scalar_apply(&key, &w.matrix));
+                },
+                &mut || {
+                    black_box(key.apply(&w.matrix).unwrap());
+                },
+            ],
+        );
+        let (scalar_s, fast_s) = (best[0], best[1]);
+        let reference = scalar_apply(&key, &w.matrix);
+        let fast = key.apply(&w.matrix).unwrap();
+        assert!(
+            reference.approx_eq(&fast, 0.0),
+            "fused apply must be bit-identical to the scalar path"
+        );
+        entries.push(Entry {
+            name: "key_apply",
+            params: format!("{{\"rows\": {rows}, \"n_attributes\": {n}, \"steps\": {p}}}"),
+            scalar_s,
+            fast_s,
+            parallel_s: None,
+        });
+    }
+
+    // 3. Composite-matrix accumulation (Givens product).
+    {
+        let (n, p) = (64usize, 64usize);
+        let key = synthetic_key(n, p);
+        let best = time_competitors(
+            budget,
+            rounds,
+            &mut [
+                &mut || {
+                    black_box(scalar_composite(&key));
+                },
+                &mut || {
+                    black_box(key.composite_matrix().unwrap());
+                },
+            ],
+        );
+        let (scalar_s, fast_s) = (best[0], best[1]);
+        assert!(scalar_composite(&key).approx_eq(&key.composite_matrix().unwrap(), 1e-12));
+        entries.push(Entry {
+            name: "composite_matrix",
+            params: format!("{{\"n_attributes\": {n}, \"steps\": {p}}}"),
+            scalar_s,
+            fast_s,
+            parallel_s: None,
+        });
+    }
+
+    // 4. Blocked vs naive matmul.
+    {
+        let n = if quick { 768usize } else { 1024 };
+        let a =
+            Matrix::from_vec(n, n, (0..n * n).map(|t| (t as f64 * 0.61).sin()).collect()).unwrap();
+        let b =
+            Matrix::from_vec(n, n, (0..n * n).map(|t| (t as f64 * 0.37).cos()).collect()).unwrap();
+        let best = time_competitors(
+            budget,
+            rounds,
+            &mut [
+                &mut || {
+                    black_box(a.matmul_naive(&b).unwrap());
+                },
+                &mut || {
+                    black_box(a.matmul(&b).unwrap());
+                },
+            ],
+        );
+        let (scalar_s, fast_s) = (best[0], best[1]);
+        assert!(a
+            .matmul(&b)
+            .unwrap()
+            .approx_eq(&a.matmul_naive(&b).unwrap(), 0.0));
+        entries.push(Entry {
+            name: "matmul",
+            params: format!("{{\"n\": {n}}}"),
+            scalar_s,
+            fast_s,
+            parallel_s: None,
+        });
+    }
+
+    // 5. K-means assignment sweep (the Corollary 1 workhorse).
+    {
+        let (m, cols, k) = (2000usize, 16usize, 16usize);
+        let w = workload(WorkloadSpec {
+            rows: m,
+            cols,
+            k,
+            seed: 979,
+        });
+        let centroids = w.matrix.select_rows(&(0..k).collect::<Vec<_>>()).unwrap();
+        let mut labels = vec![0usize; m];
+        let mut fast_labels = vec![0usize; m];
+        let mut par_labels = vec![0usize; m];
+        let pool = Pool::new(threads);
+        let bounds = even_chunks(m, threads);
+        let best = time_competitors(
+            budget,
+            rounds,
+            &mut [
+                &mut || {
+                    scalar_assign(&w.matrix, &centroids, &mut labels);
+                    black_box(&labels);
+                },
+                &mut || {
+                    for (i, slot) in fast_labels.iter_mut().enumerate() {
+                        *slot = kernels::nearest_row_squared(
+                            w.matrix.row(i),
+                            centroids.as_slice(),
+                            cols,
+                            k,
+                        )
+                        .0;
+                    }
+                    black_box(&fast_labels);
+                },
+                &mut || {
+                    pool.for_each_chunk_mut(&mut par_labels, &bounds, |_, start, chunk| {
+                        for (t, slot) in chunk.iter_mut().enumerate() {
+                            *slot = kernels::nearest_row_squared(
+                                w.matrix.row(start + t),
+                                centroids.as_slice(),
+                                cols,
+                                k,
+                            )
+                            .0;
+                        }
+                    });
+                    black_box(&par_labels);
+                },
+            ],
+        );
+        let (scalar_s, fast_s, parallel_s) = (best[0], best[1], best[2]);
+        scalar_assign(&w.matrix, &centroids, &mut labels);
+        assert_eq!(labels, fast_labels, "blocked assignment changed labels");
+        assert_eq!(labels, par_labels, "parallel assignment changed labels");
+        entries.push(Entry {
+            name: "kmeans_assign",
+            params: format!("{{\"m\": {m}, \"cols\": {cols}, \"k\": {k}}}"),
+            scalar_s,
+            fast_s,
+            parallel_s: Some(parallel_s),
+        });
+    }
+
+    // ---- report ------------------------------------------------------------
+
+    println!(
+        "\nkernels bench ({} mode, {} thread(s))",
+        if quick { "quick-smoke" } else { "full" },
+        threads
+    );
+    println!(
+        "{:<20} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "bench", "scalar s", "fast s", "parallel s", "speedup", "par-x"
+    );
+    for e in &entries {
+        println!(
+            "{:<20} {:>12.6} {:>12.6} {:>12} {:>8.2}x {:>9}",
+            e.name,
+            e.scalar_s,
+            e.fast_s,
+            e.parallel_s.map_or("-".into(), |p| format!("{p:.6}")),
+            e.speedup(),
+            e.speedup_parallel()
+                .map_or("-".into(), |s| format!("{s:.2}x")),
+        );
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"generated_by\": \"cargo bench -p rbt-bench --bench kernels{}\",",
+        if quick { " -- --quick-smoke" } else { "" }
+    );
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick-smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"host_threads\": {threads},");
+    let _ = writeln!(json, "  \"benches\": [");
+    for (idx, e) in entries.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", e.name);
+        let _ = writeln!(json, "      \"params\": {},", e.params);
+        let _ = writeln!(json, "      \"scalar_seconds\": {:.9},", e.scalar_s);
+        let _ = writeln!(json, "      \"fast_seconds\": {:.9},", e.fast_s);
+        if let Some(p) = e.parallel_s {
+            let _ = writeln!(json, "      \"parallel_seconds\": {p:.9},");
+            let _ = writeln!(
+                json,
+                "      \"speedup_parallel_vs_scalar\": {:.3},",
+                e.speedup_parallel().unwrap()
+            );
+        }
+        let _ = writeln!(json, "      \"speedup_fast_vs_scalar\": {:.3}", e.speedup());
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if idx + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(out_path, &json).expect("write BENCH_kernels.json");
+    println!("\nwrote {out_path}");
+}

@@ -26,7 +26,11 @@ fn kmeans_labels(data: &Matrix, k: usize) -> Vec<usize> {
 }
 
 fn kmedoids_labels(data: &Matrix, k: usize) -> Vec<usize> {
-    let dm = DissimilarityMatrix::from_matrix(data, Metric::Euclidean);
+    let dm = DissimilarityMatrix::from_matrix_parallel(
+        data,
+        Metric::Euclidean,
+        rbt_linalg::pool::default_threads(),
+    );
     let initial: Vec<usize> = (0..k).collect();
     KMedoids::new(k)
         .unwrap()
@@ -36,9 +40,8 @@ fn kmedoids_labels(data: &Matrix, k: usize) -> Vec<usize> {
 }
 
 fn hierarchical_labels(data: &Matrix, k: usize, linkage: Linkage) -> Vec<usize> {
-    let dm = DissimilarityMatrix::from_matrix(data, Metric::Euclidean);
     Agglomerative::new(linkage)
-        .fit(&dm)
+        .fit_matrix(data, Metric::Euclidean)
         .unwrap()
         .cut(k)
         .unwrap()

@@ -46,7 +46,9 @@ fn main() {
     );
 
     println!("== Table 4: dissimilarity matrix of the transformed data ==");
-    let dm3 = DissimilarityMatrix::from_matrix(&example.transformed, Metric::Euclidean);
+    let threads = rbt_linalg::pool::default_threads();
+    let dm3 =
+        DissimilarityMatrix::from_matrix_parallel(&example.transformed, Metric::Euclidean, threads);
     print!("{}", dm3.format_lower_triangle(4));
     let table4 = DissimilarityMatrix::from_condensed(
         5,
@@ -61,7 +63,8 @@ fn main() {
     println!("== Table 5: dissimilarity after an attacker re-normalizes ==");
     let report =
         rbt_attack::renormalize::renormalization_attack(&example.transformed, None).unwrap();
-    let dm5 = DissimilarityMatrix::from_matrix(&report.renormalized, Metric::Euclidean);
+    let dm5 =
+        DissimilarityMatrix::from_matrix_parallel(&report.renormalized, Metric::Euclidean, threads);
     print!("{}", dm5.format_lower_triangle(4));
     let table5 = DissimilarityMatrix::from_condensed(
         5,
@@ -79,7 +82,8 @@ fn main() {
 
     println!("== Table 6: dissimilarity of the release (copy of Table 4) ==");
     print!("{}", dm3.format_lower_triangle(4));
-    let dm2 = DissimilarityMatrix::from_matrix(&example.normalized, Metric::Euclidean);
+    let dm2 =
+        DissimilarityMatrix::from_matrix_parallel(&example.normalized, Metric::Euclidean, threads);
     println!(
         "identical to the normalized data's dissimilarity: max diff = {:.2e}",
         dm3.max_abs_diff(&dm2).unwrap()

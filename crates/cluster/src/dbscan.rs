@@ -8,6 +8,7 @@
 use crate::{Error, Result};
 use rbt_linalg::dissimilarity::DissimilarityMatrix;
 use rbt_linalg::distance::Metric;
+use rbt_linalg::pool::{self, even_chunks, Pool};
 use rbt_linalg::Matrix;
 
 /// Label assigned to noise points.
@@ -67,26 +68,46 @@ impl Dbscan {
     }
 
     /// Runs DBSCAN on row vectors with the given metric.
+    ///
+    /// The dissimilarity matrix is built on the shared pool
+    /// ([`DissimilarityMatrix::from_matrix_parallel`]) with the machine's
+    /// available parallelism.
     pub fn fit(&self, data: &Matrix, metric: Metric) -> DbscanResult {
-        let dm = DissimilarityMatrix::from_matrix(data, metric);
+        let dm = DissimilarityMatrix::from_matrix_parallel(data, metric, pool::default_threads());
         self.fit_precomputed(&dm)
     }
 
     /// Runs DBSCAN on a precomputed dissimilarity matrix.
+    ///
+    /// The ε-region queries — the O(n²) part — are answered up front, in
+    /// parallel, one neighbour list per point; the breadth-first cluster
+    /// expansion then consumes the precomputed lists. Each list depends
+    /// only on `dm`, so labels are bit-identical to the serial
+    /// query-as-you-go formulation for any thread count.
     pub fn fit_precomputed(&self, dm: &DissimilarityMatrix) -> DbscanResult {
         let n = dm.len();
         const UNVISITED: usize = usize::MAX - 1;
         let mut labels = vec![UNVISITED; n];
         let mut n_clusters = 0usize;
 
-        let neighbours =
-            |i: usize| -> Vec<usize> { (0..n).filter(|&j| dm.get(i, j) <= self.eps).collect() };
+        let mut neighbours: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // Below ~512 points the O(n²) query sweep is microseconds — run it
+        // inline rather than paying thread-spawn latency.
+        let pool = if n < 512 { Pool::new(1) } else { Pool::auto() };
+        pool.for_each_chunk_mut(&mut neighbours, &even_chunks(n, pool.threads()), {
+            |_, start, chunk| {
+                for (t, list) in chunk.iter_mut().enumerate() {
+                    let i = start + t;
+                    *list = (0..n).filter(|&j| dm.get(i, j) <= self.eps).collect();
+                }
+            }
+        });
 
         for i in 0..n {
             if labels[i] != UNVISITED {
                 continue;
             }
-            let seeds = neighbours(i);
+            let seeds = &neighbours[i];
             if seeds.len() < self.min_points {
                 labels[i] = NOISE;
                 continue;
@@ -95,7 +116,7 @@ impl Dbscan {
             n_clusters += 1;
             labels[i] = cluster;
             // Expand cluster: breadth-first over density-reachable points.
-            let mut queue: std::collections::VecDeque<usize> = seeds.into();
+            let mut queue: std::collections::VecDeque<usize> = seeds.iter().copied().collect();
             while let Some(j) = queue.pop_front() {
                 if labels[j] == NOISE {
                     labels[j] = cluster; // border point claimed by this cluster
@@ -104,9 +125,9 @@ impl Dbscan {
                     continue;
                 }
                 labels[j] = cluster;
-                let jn = neighbours(j);
+                let jn = &neighbours[j];
                 if jn.len() >= self.min_points {
-                    queue.extend(jn);
+                    queue.extend(jn.iter().copied());
                 }
             }
         }

@@ -150,6 +150,25 @@ impl Agglomerative {
         self.linkage
     }
 
+    /// Builds the dissimilarity matrix from row vectors — in parallel, on
+    /// the shared pool — and fits the dendrogram on it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`fit`](Self::fit).
+    pub fn fit_matrix(
+        &self,
+        data: &rbt_linalg::Matrix,
+        metric: rbt_linalg::distance::Metric,
+    ) -> Result<Dendrogram> {
+        let dm = DissimilarityMatrix::from_matrix_parallel(
+            data,
+            metric,
+            rbt_linalg::pool::default_threads(),
+        );
+        self.fit(&dm)
+    }
+
     /// Builds the full dendrogram from a dissimilarity matrix.
     ///
     /// Runs the naive `O(n³)` algorithm over a working copy of the dense
@@ -248,6 +267,18 @@ mod tests {
         // 1-D points 0, 1, 2, 10, 11, 12 — two obvious groups.
         let m = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[10.0], &[11.0], &[12.0]]).unwrap();
         DissimilarityMatrix::from_matrix(&m, Metric::Euclidean)
+    }
+
+    #[test]
+    fn fit_matrix_matches_precomputed() {
+        let m = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[10.0], &[11.0], &[12.0]]).unwrap();
+        let via_dm = Agglomerative::new(Linkage::Average)
+            .fit(&line_points())
+            .unwrap();
+        let via_matrix = Agglomerative::new(Linkage::Average)
+            .fit_matrix(&m, Metric::Euclidean)
+            .unwrap();
+        assert_eq!(via_dm.merges(), via_matrix.merges());
     }
 
     #[test]

@@ -47,7 +47,11 @@ pub fn select_k<R: Rng + ?Sized>(
             "silhouette-based selection needs k >= 2".into(),
         ));
     }
-    let dm = DissimilarityMatrix::from_matrix(data, Metric::Euclidean);
+    let dm = DissimilarityMatrix::from_matrix_parallel(
+        data,
+        Metric::Euclidean,
+        rbt_linalg::pool::default_threads(),
+    );
     let mut candidates = Vec::new();
     for k in k_range {
         let result = KMeans::new(k)?

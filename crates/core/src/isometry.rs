@@ -26,8 +26,9 @@ pub fn dissimilarity_drift_with(before: &Matrix, after: &Matrix, metric: Metric)
     if before.rows() != after.rows() {
         return f64::INFINITY;
     }
-    let a = DissimilarityMatrix::from_matrix(before, metric);
-    let b = DissimilarityMatrix::from_matrix(after, metric);
+    let threads = rbt_linalg::pool::default_threads();
+    let a = DissimilarityMatrix::from_matrix_parallel(before, metric, threads);
+    let b = DissimilarityMatrix::from_matrix_parallel(after, metric, threads);
     a.max_abs_diff(&b).unwrap_or(f64::INFINITY)
 }
 
@@ -43,8 +44,9 @@ pub fn relative_drift(before: &Matrix, after: &Matrix, floor: f64) -> f64 {
     if before.rows() != after.rows() {
         return f64::INFINITY;
     }
-    let a = DissimilarityMatrix::from_matrix(before, Metric::Euclidean);
-    let b = DissimilarityMatrix::from_matrix(after, Metric::Euclidean);
+    let threads = rbt_linalg::pool::default_threads();
+    let a = DissimilarityMatrix::from_matrix_parallel(before, Metric::Euclidean, threads);
+    let b = DissimilarityMatrix::from_matrix_parallel(after, Metric::Euclidean, threads);
     a.condensed()
         .iter()
         .zip(b.condensed())

@@ -78,26 +78,29 @@ impl TransformationKey {
     /// release). The matrix must already be normalized with the same
     /// parameters as the original fit.
     ///
+    /// Each step is one allocation-free fused column sweep
+    /// ([`Matrix::rotate_column_pair`]), so a `p`-step key costs `O(p·m)`
+    /// with no intermediate buffers. The arithmetic matches the
+    /// extract–rotate–write-back path bit-for-bit.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::KeyMismatch`] if the column count differs.
     pub fn apply(&self, normalized: &Matrix) -> Result<Matrix> {
         self.check(normalized)?;
         let mut out = normalized.clone();
-        let mut xs = Vec::with_capacity(out.rows());
-        let mut ys = Vec::with_capacity(out.rows());
         for step in &self.steps {
-            out.column_into(step.i, &mut xs);
-            out.column_into(step.j, &mut ys);
-            Rotation2::from_degrees(step.theta_degrees).apply_columns(&mut xs, &mut ys)?;
-            out.set_column(step.i, &xs)?;
-            out.set_column(step.j, &ys)?;
+            let (s, c) = Rotation2::from_degrees(step.theta_degrees)
+                .radians()
+                .sin_cos();
+            out.rotate_column_pair(step.i, step.j, c, s)
+                .map_err(|e| Error::KeyMismatch(e.to_string()))?;
         }
         Ok(out)
     }
 
     /// Undoes the transformation (owner-side): applies the inverse rotations
-    /// in reverse order.
+    /// in reverse order, as fused column sweeps like [`apply`](Self::apply).
     ///
     /// # Errors
     ///
@@ -105,16 +108,13 @@ impl TransformationKey {
     pub fn invert(&self, transformed: &Matrix) -> Result<Matrix> {
         self.check(transformed)?;
         let mut out = transformed.clone();
-        let mut xs = Vec::with_capacity(out.rows());
-        let mut ys = Vec::with_capacity(out.rows());
         for step in self.steps.iter().rev() {
-            out.column_into(step.i, &mut xs);
-            out.column_into(step.j, &mut ys);
-            Rotation2::from_degrees(step.theta_degrees)
+            let (s, c) = Rotation2::from_degrees(step.theta_degrees)
                 .inverse()
-                .apply_columns(&mut xs, &mut ys)?;
-            out.set_column(step.i, &xs)?;
-            out.set_column(step.j, &ys)?;
+                .radians()
+                .sin_cos();
+            out.rotate_column_pair(step.i, step.j, c, s)
+                .map_err(|e| Error::KeyMismatch(e.to_string()))?;
         }
         Ok(out)
     }
@@ -123,20 +123,24 @@ impl TransformationKey {
     /// (the product of its Givens rotations, in application order). Row
     /// vectors transform as `x' = x · Rᵀ`.
     ///
+    /// Left-multiplying by a Givens matrix only touches two rows, so the
+    /// product is accumulated with [`Matrix::rotate_row_pair`] — `O(p·n)`
+    /// row updates instead of `p` full `n × n` matmuls (`O(p·n³)`), with
+    /// the same per-element accumulation order as the matmul it replaces.
+    ///
     /// # Errors
     ///
-    /// Propagates [`rbt_linalg::Error`] (cannot occur for a validated key).
+    /// Returns [`Error::KeyMismatch`] on an out-of-range step (cannot occur
+    /// for a validated key).
     pub fn composite_matrix(&self) -> Result<Matrix> {
         let n = self.n_attributes;
         let mut acc = Matrix::identity(n);
         for step in &self.steps {
-            let g = rbt_linalg::rotation::givens(
-                n,
-                step.i,
-                step.j,
-                &Rotation2::from_degrees(step.theta_degrees),
-            )?;
-            acc = g.matmul(&acc)?;
+            let (s, c) = Rotation2::from_degrees(step.theta_degrees)
+                .radians()
+                .sin_cos();
+            acc.rotate_row_pair(step.i, step.j, c, s)
+                .map_err(|e| Error::KeyMismatch(e.to_string()))?;
         }
         Ok(acc)
     }

@@ -209,9 +209,12 @@ impl RbtTransformer {
                 });
             }
             let theta = range.sample(rng)?;
-            Rotation2::from_degrees(theta).apply_columns(&mut xs, &mut ys)?;
-            out.set_column(i, &xs)?;
-            out.set_column(j, &ys)?;
+            // Fused in-place column sweep: bit-identical to rotating the
+            // extracted columns and writing them back, without the
+            // write-back passes.
+            let (s, c) = Rotation2::from_degrees(theta).radians().sin_cos();
+            out.rotate_column_pair(i, j, c, s)
+                .map_err(|e| Error::InvalidParameter(e.to_string()))?;
             steps.push(RotationStep {
                 i,
                 j,
@@ -274,9 +277,9 @@ impl RbtTransformer {
                     profile.var_diff_second(theta),
                 )));
             }
-            Rotation2::from_degrees(theta).apply_columns(&mut xs, &mut ys)?;
-            out.set_column(i, &xs)?;
-            out.set_column(j, &ys)?;
+            let (s, c) = Rotation2::from_degrees(theta).radians().sin_cos();
+            out.rotate_column_pair(i, j, c, s)
+                .map_err(|e| Error::InvalidParameter(e.to_string()))?;
             steps.push(RotationStep {
                 i,
                 j,

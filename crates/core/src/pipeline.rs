@@ -58,6 +58,11 @@ impl Pipeline {
 
     /// Runs normalize → distort → (anonymize) on a dataset.
     ///
+    /// Normalization fits stream each column ([`rbt_linalg::Matrix::column_iter`])
+    /// and each RBT step is a fused in-place column-pair sweep, so the whole
+    /// release costs `O(m·n)` for the fits plus `O(p·m)` for the `p`
+    /// rotations, with no per-step buffers.
+    ///
     /// # Errors
     ///
     /// Propagates normalization errors ([`crate::Error::Data`]) and RBT

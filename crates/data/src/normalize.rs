@@ -86,10 +86,8 @@ impl Normalization {
             }
         }
         let mut params = Vec::with_capacity(m.cols());
-        let mut buf = Vec::with_capacity(m.rows());
         for j in 0..m.cols() {
-            m.column_into(j, &mut buf);
-            params.push(self.fit_column(&buf)?);
+            params.push(self.fit_column(m, j)?);
         }
         Ok(FittedNormalizer {
             method: *self,
@@ -108,10 +106,12 @@ impl Normalization {
         Ok((fitted, out))
     }
 
-    fn fit_column(&self, col: &[f64]) -> Result<ColumnParams> {
+    /// Fits column `j` by streaming [`Matrix::column_iter`] — no per-column
+    /// `Vec` except for the robust variant, which must sort for medians.
+    fn fit_column(&self, m: &Matrix, j: usize) -> Result<ColumnParams> {
         Ok(match *self {
             Normalization::MinMax { new_min, new_max } => {
-                let (min, max) = stats::min_max(col)?;
+                let (min, max) = stats::min_max_of(m.column_iter(j))?;
                 ColumnParams::MinMax {
                     min,
                     max,
@@ -120,12 +120,12 @@ impl Normalization {
                 }
             }
             Normalization::ZScore { mode } => {
-                let mean = stats::mean(col)?;
-                let std = stats::std_dev(col, mode)?;
+                let mean = stats::mean_of(m.column_iter(j))?;
+                let std = stats::variance_of(m.column_iter(j), mode)?.sqrt();
                 ColumnParams::ZScore { mean, std }
             }
             Normalization::DecimalScaling => {
-                let max_abs = col.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+                let max_abs = m.column_iter(j).fold(0.0f64, |a, x| a.max(x.abs()));
                 let mut factor = 1.0;
                 while max_abs / factor >= 1.0 {
                     factor *= 10.0;
@@ -133,7 +133,8 @@ impl Normalization {
                 ColumnParams::DecimalScaling { factor }
             }
             Normalization::RobustZScore => {
-                let med = median(col);
+                let col: Vec<f64> = m.column_iter(j).collect();
+                let med = median(&col);
                 let deviations: Vec<f64> = col.iter().map(|x| (x - med).abs()).collect();
                 // 1.4826 makes the MAD a consistent sigma estimator under
                 // normality.

@@ -11,6 +11,8 @@
 //! layout via [`DissimilarityMatrix::format_lower_triangle`].
 
 use crate::distance::Metric;
+use crate::kernels;
+use crate::pool::{pair_chunks, Pool};
 use crate::{Error, Matrix, Result};
 
 /// Condensed (upper-triangle) matrix of pairwise distances.
@@ -35,75 +37,41 @@ pub struct DissimilarityMatrix {
 
 impl DissimilarityMatrix {
     /// Computes all pairwise distances between the rows of `data`.
+    ///
+    /// This is the `threads = 1` case of
+    /// [`from_matrix_parallel`](Self::from_matrix_parallel); both use the
+    /// fused row-to-block kernels from [`crate::kernels`], so their output
+    /// is bit-identical.
     pub fn from_matrix(data: &Matrix, metric: Metric) -> Self {
         let n = data.rows();
-        let mut condensed = Vec::with_capacity(n.saturating_sub(1) * n / 2);
-        for i in 0..n {
-            let ri = data.row(i);
-            for j in (i + 1)..n {
-                condensed.push(metric.distance(ri, data.row(j)));
-            }
-        }
+        let mut condensed = vec![0.0f64; n.saturating_sub(1) * n / 2];
+        fill_rows(data, metric, 0, n, &mut condensed);
         DissimilarityMatrix { n, condensed }
     }
 
-    /// Parallel version of [`from_matrix`](Self::from_matrix) using
-    /// `std::thread` scoped threads. Rows are partitioned into contiguous
-    /// chunks whose condensed spans are disjoint, so no locking is needed.
+    /// Parallel version of [`from_matrix`](Self::from_matrix) on the shared
+    /// scoped pool ([`crate::pool`]). Rows are partitioned on **exact
+    /// cumulative pair counts** ([`pair_chunks`]), so the long condensed
+    /// spans owned by early rows are balanced across threads, and each
+    /// thread fills a disjoint span of the condensed buffer — no locking.
     ///
     /// Falls back to the serial path when `threads <= 1` or the input is
     /// small enough that spawning would dominate.
     pub fn from_matrix_parallel(data: &Matrix, metric: Metric, threads: usize) -> Self {
         let n = data.rows();
-        let total = n.saturating_sub(1) * n / 2;
         if threads <= 1 || n < 64 {
             return Self::from_matrix(data, metric);
         }
+        let total = n.saturating_sub(1) * n / 2;
         let mut condensed = vec![0.0f64; total];
 
-        // Split the condensed buffer at row boundaries into `threads`
-        // roughly equal spans of *work* (pair count), not of rows: early
-        // rows own longer spans.
-        let mut boundaries = Vec::with_capacity(threads + 1);
-        boundaries.push(0usize); // row index boundaries
-        let per_chunk = total / threads;
-        let mut acc = 0usize;
-        for i in 0..n {
-            acc += n - i - 1;
-            if acc >= per_chunk * boundaries.len() && boundaries.len() < threads {
-                boundaries.push(i + 1);
-            }
-        }
-        boundaries.push(n);
+        let row_bounds = pair_chunks(n, threads);
+        // Start of row i's span in the condensed buffer.
+        let row_offset = |i: usize| -> usize { i * (2 * n - i - 1) / 2 };
+        let elem_bounds: Vec<usize> = row_bounds.iter().map(|&r| row_offset(r)).collect();
 
-        let row_offset = |i: usize| -> usize {
-            // Start of row i's span in the condensed buffer.
-            i * (2 * n - i - 1) / 2
-        };
-
-        std::thread::scope(|scope| {
-            let mut rest: &mut [f64] = &mut condensed;
-            let mut consumed = 0usize;
-            for w in boundaries.windows(2) {
-                let (start_row, end_row) = (w[0], w[1]);
-                if start_row == end_row {
-                    continue;
-                }
-                let span_end = row_offset(end_row);
-                let (chunk, tail) = rest.split_at_mut(span_end - consumed);
-                consumed = span_end;
-                rest = tail;
-                scope.spawn(move || {
-                    let mut k = 0usize;
-                    for i in start_row..end_row {
-                        let ri = data.row(i);
-                        for j in (i + 1)..n {
-                            chunk[k] = metric.distance(ri, data.row(j));
-                            k += 1;
-                        }
-                    }
-                });
-            }
+        Pool::new(threads).for_each_chunk_mut(&mut condensed, &elem_bounds, |idx, _, chunk| {
+            fill_rows(data, metric, row_bounds[idx], row_bounds[idx + 1], chunk);
         });
 
         DissimilarityMatrix { n, condensed }
@@ -220,6 +188,27 @@ impl DissimilarityMatrix {
     }
 }
 
+/// Fills `out` with the condensed spans of rows `start_row..end_row`: for
+/// each row `i`, the distances to rows `i+1..n` via the fused block kernel.
+fn fill_rows(data: &Matrix, metric: Metric, start_row: usize, end_row: usize, out: &mut [f64]) {
+    let n = data.rows();
+    let cols = data.cols();
+    let flat = data.as_slice();
+    let mut off = 0usize;
+    for i in start_row..end_row {
+        let count = n - i - 1;
+        kernels::distances_to_block(
+            metric,
+            data.row(i),
+            &flat[(i + 1) * cols..],
+            cols,
+            &mut out[off..off + count],
+        );
+        off += count;
+    }
+    debug_assert_eq!(off, out.len());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +308,33 @@ mod tests {
             par,
             DissimilarityMatrix::from_matrix(&small, Metric::Euclidean)
         );
+    }
+
+    #[test]
+    fn parallel_chunk_boundaries_uneven_pair_totals() {
+        // n·(n−1)/2 not divisible by the thread count: 101·100/2 = 5050
+        // (5050 % 4 = 2, % 3 = 1) and 67·66/2 = 2211 (2211 % 4 = 3, % 2 = 1).
+        // The old `acc >= per_chunk · boundaries.len()` heuristic drifted on
+        // exactly these skewed triangular workloads.
+        for n in [101usize, 67] {
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|i| vec![(i as f64 * 0.9).sin(), (i as f64 * 0.4).cos(), i as f64])
+                .collect();
+            let m = Matrix::from_row_iter(rows).unwrap();
+            let serial = DissimilarityMatrix::from_matrix(&m, Metric::Euclidean);
+            for threads in [2usize, 3, 4, 5, 16, 200] {
+                let par = DissimilarityMatrix::from_matrix_parallel(&m, Metric::Euclidean, threads);
+                assert_eq!(serial, par, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_column_matrix_has_zero_distances() {
+        let m = Matrix::zeros(70, 0);
+        let dm = DissimilarityMatrix::from_matrix_parallel(&m, Metric::Euclidean, 4);
+        assert_eq!(dm.len(), 70);
+        assert!(dm.condensed().iter().all(|&d| d == 0.0));
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! Unrolled, auto-vectorizable distance kernels.
+//!
+//! [`Metric::distance`](crate::distance::Metric::distance) folds into a
+//! single accumulator, which serialises the floating-point adds (IEEE
+//! addition is not associative, so the compiler cannot reorder them). The
+//! kernels here instead:
+//!
+//! * keep **four** independent accumulators per row, breaking the add
+//!   dependency chain so the CPU can overlap the adds and the optimiser can
+//!   use SIMD lanes,
+//! * contract `d·d + acc` into a fused multiply-add **when the build
+//!   target has the `fma` feature** (see `.cargo/config.toml`, which builds
+//!   for the host CPU) — the cfg-gate matters because without hardware FMA
+//!   `mul_add` falls back to a slow libm call,
+//! * fuse "one query row against a block of rows" loops that interleave
+//!   two target rows per pass, so the query stays in registers and the
+//!   eight accumulator chains saturate the FP units.
+//!
+//! Reordering (and fusing) a sum changes the result in the last few ulps,
+//! so kernel distances agree with the scalar [`Metric::distance`] reference
+//! to ~1e-12 **relative** error, not bit-for-bit — the property tests in
+//! `tests/properties.rs` pin exactly that contract. What *is* exact: every
+//! kernel in this module computes a given (query, row) distance with the
+//! same per-row accumulation structure, so the block kernels, the pairwise
+//! kernels, and the parallel dissimilarity builder all agree bit-for-bit
+//! with each other.
+
+use crate::distance::Metric;
+
+/// `a · b + c`, fused when the target has hardware FMA and an ordinary
+/// multiply-add otherwise (the libm software fallback of `mul_add` is far
+/// slower than two rounded operations).
+#[inline(always)]
+fn fmadd(a: f64, b: f64, c: f64) -> f64 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
+/// Squared Euclidean distance with four independent accumulator chains.
+#[inline]
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "distance between unequal-length points");
+    let len = a.len().min(b.len());
+    let (a, b) = (&a[..len], &b[..len]);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        let d0 = x[0] - y[0];
+        let d1 = x[1] - y[1];
+        let d2 = x[2] - y[2];
+        let d3 = x[3] - y[3];
+        s0 = fmadd(d0, d0, s0);
+        s1 = fmadd(d1, d1, s1);
+        s2 = fmadd(d2, d2, s2);
+        s3 = fmadd(d3, d3, s3);
+    }
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let d = x - y;
+        s0 = fmadd(d, d, s0);
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Euclidean distance via [`squared_euclidean`].
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Manhattan (L1) distance with four independent accumulator chains.
+#[inline]
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "distance between unequal-length points");
+    let len = a.len().min(b.len());
+    let (a, b) = (&a[..len], &b[..len]);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        s0 += (x[0] - y[0]).abs();
+        s1 += (x[1] - y[1]).abs();
+        s2 += (x[2] - y[2]).abs();
+        s3 += (x[3] - y[3]).abs();
+    }
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        s0 += (x - y).abs();
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+/// Squared Euclidean distances from `q` to two rows at once. Each row's
+/// accumulation has exactly the structure of [`squared_euclidean`], so the
+/// results are bit-identical to two separate calls — the interleave only
+/// buys instruction-level parallelism (eight independent FMA chains) and
+/// one pass over `q`.
+#[inline]
+fn squared_two_rows(q: &[f64], ra: &[f64], rb: &[f64]) -> (f64, f64) {
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let (mut b0, mut b1, mut b2, mut b3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut cq = q.chunks_exact(4);
+    let mut c1 = ra.chunks_exact(4);
+    let mut c2 = rb.chunks_exact(4);
+    while let (Some(x), Some(ya), Some(yb)) = (cq.next(), c1.next(), c2.next()) {
+        let d0 = x[0] - ya[0];
+        let d1 = x[1] - ya[1];
+        let d2 = x[2] - ya[2];
+        let d3 = x[3] - ya[3];
+        let e0 = x[0] - yb[0];
+        let e1 = x[1] - yb[1];
+        let e2 = x[2] - yb[2];
+        let e3 = x[3] - yb[3];
+        a0 = fmadd(d0, d0, a0);
+        a1 = fmadd(d1, d1, a1);
+        a2 = fmadd(d2, d2, a2);
+        a3 = fmadd(d3, d3, a3);
+        b0 = fmadd(e0, e0, b0);
+        b1 = fmadd(e1, e1, b1);
+        b2 = fmadd(e2, e2, b2);
+        b3 = fmadd(e3, e3, b3);
+    }
+    let rem = cq.remainder();
+    let base = q.len() - rem.len();
+    for (k, x) in rem.iter().enumerate() {
+        let d = x - ra[base + k];
+        a0 = fmadd(d, d, a0);
+        let e = x - rb[base + k];
+        b0 = fmadd(e, e, b0);
+    }
+    ((a0 + a1) + (a2 + a3), (b0 + b1) + (b2 + b3))
+}
+
+/// Distance from `query` to a single row under `metric`, using the unrolled
+/// kernels for the metrics that have one and the scalar
+/// [`Metric::distance`] for the rest.
+#[inline]
+pub fn distance(metric: Metric, query: &[f64], row: &[f64]) -> f64 {
+    match metric {
+        Metric::Euclidean => euclidean(query, row),
+        Metric::SquaredEuclidean => squared_euclidean(query, row),
+        Metric::Manhattan => manhattan(query, row),
+        other => other.distance(query, row),
+    }
+}
+
+/// Fused kernel: distances from one `query` row to a contiguous block of
+/// row-major rows.
+///
+/// `block` holds `out.len()` rows of `cols` values each (a sub-slice of a
+/// [`Matrix`](crate::Matrix) buffer); `out[r]` receives
+/// `metric(query, block_row_r)`. For the Euclidean metrics, pairs of
+/// target rows are interleaved (eight independent accumulator chains) —
+/// bit-identical to per-pair kernel calls, roughly 1.5× faster.
+///
+/// # Panics
+///
+/// Panics if `block` is shorter than `out.len() * cols`.
+pub fn distances_to_block(
+    metric: Metric,
+    query: &[f64],
+    block: &[f64],
+    cols: usize,
+    out: &mut [f64],
+) {
+    assert!(
+        block.len() >= out.len() * cols,
+        "block holds {} values, need {} rows of {cols}",
+        block.len(),
+        out.len()
+    );
+    if cols == 0 {
+        // Zero-attribute rows are all coincident; every supported metric
+        // reports distance 0 for them.
+        out.fill(0.0);
+        return;
+    }
+    match metric {
+        Metric::Euclidean => {
+            let rows = out.len();
+            let mut row_pairs = block[..rows * cols].chunks_exact(2 * cols);
+            let mut out_pairs = out.chunks_exact_mut(2);
+            for (pair, slots) in (&mut row_pairs).zip(&mut out_pairs) {
+                let (d2a, d2b) = squared_two_rows(query, &pair[..cols], &pair[cols..]);
+                slots[0] = d2a.sqrt();
+                slots[1] = d2b.sqrt();
+            }
+            if let [slot] = out_pairs.into_remainder() {
+                *slot = squared_euclidean(query, row_pairs.remainder()).sqrt();
+            }
+        }
+        Metric::SquaredEuclidean => {
+            let rows = out.len();
+            let mut row_pairs = block[..rows * cols].chunks_exact(2 * cols);
+            let mut out_pairs = out.chunks_exact_mut(2);
+            for (pair, slots) in (&mut row_pairs).zip(&mut out_pairs) {
+                let (d2a, d2b) = squared_two_rows(query, &pair[..cols], &pair[cols..]);
+                slots[0] = d2a;
+                slots[1] = d2b;
+            }
+            if let [slot] = out_pairs.into_remainder() {
+                *slot = squared_euclidean(query, row_pairs.remainder());
+            }
+        }
+        Metric::Manhattan => {
+            for (r, slot) in out.iter_mut().enumerate() {
+                *slot = manhattan(query, &block[r * cols..(r + 1) * cols]);
+            }
+        }
+        other => {
+            for (r, slot) in out.iter_mut().enumerate() {
+                *slot = other.distance(query, &block[r * cols..(r + 1) * cols]);
+            }
+        }
+    }
+}
+
+/// Index and distance of the row of `block` nearest to `query` under the
+/// squared-Euclidean metric (the k-means assignment kernel).
+///
+/// Rows are scanned in order and ties keep the earliest index; the
+/// distances come from the same kernels as [`distances_to_block`], so the
+/// argmin matches a scalar first-minimum loop over those values exactly —
+/// which is what makes parallel k-means assignment bit-identical to the
+/// serial path.
+///
+/// Returns `(0, f64::INFINITY)` for an empty block.
+pub fn nearest_row_squared(query: &[f64], block: &[f64], cols: usize, rows: usize) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    let mut r = 0usize;
+    while r + 2 <= rows {
+        let (d2a, d2b) = squared_two_rows(
+            query,
+            &block[r * cols..(r + 1) * cols],
+            &block[(r + 1) * cols..(r + 2) * cols],
+        );
+        if d2a < best.1 {
+            best = (r, d2a);
+        }
+        if d2b < best.1 {
+            best = (r + 1, d2b);
+        }
+        r += 2;
+    }
+    if r < rows {
+        let d2 = squared_euclidean(query, &block[r * cols..(r + 1) * cols]);
+        if d2 < best.1 {
+            best = (r, d2);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    fn sample(n: usize, seed: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i as f64 + seed) * 0.7).sin() * 10.0)
+            .collect()
+    }
+
+    #[test]
+    fn kernels_match_scalar_reference() {
+        // Lengths around the unroll width, including the remainder cases.
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 33] {
+            let a = sample(n, 0.0);
+            let b = sample(n, 3.0);
+            assert!(close(
+                squared_euclidean(&a, &b),
+                Metric::SquaredEuclidean.distance(&a, &b)
+            ));
+            assert!(close(euclidean(&a, &b), Metric::Euclidean.distance(&a, &b)));
+            assert!(close(manhattan(&a, &b), Metric::Manhattan.distance(&a, &b)));
+        }
+    }
+
+    #[test]
+    fn dispatch_covers_all_metrics() {
+        let a = sample(9, 1.0);
+        let b = sample(9, 2.0);
+        for metric in [
+            Metric::Euclidean,
+            Metric::SquaredEuclidean,
+            Metric::Manhattan,
+            Metric::Chebyshev,
+            Metric::Minkowski(3.0),
+        ] {
+            assert!(close(distance(metric, &a, &b), metric.distance(&a, &b)));
+        }
+    }
+
+    #[test]
+    fn block_kernel_bitwise_matches_pairwise() {
+        // Odd row counts exercise the interleave tail; lengths around the
+        // unroll width exercise the remainder loop.
+        for cols in [3usize, 4, 6, 8, 11] {
+            for rows in [0usize, 1, 2, 5, 11, 12] {
+                let query = sample(cols, 0.5);
+                let block: Vec<f64> = sample(rows * cols, 9.0);
+                for metric in [
+                    Metric::Euclidean,
+                    Metric::SquaredEuclidean,
+                    Metric::Manhattan,
+                    Metric::Chebyshev,
+                ] {
+                    let mut out = vec![0.0; rows];
+                    distances_to_block(metric, &query, &block, cols, &mut out);
+                    for r in 0..rows {
+                        let expect = distance(metric, &query, &block[r * cols..(r + 1) * cols]);
+                        assert_eq!(
+                            out[r].to_bits(),
+                            expect.to_bits(),
+                            "metric {metric} cols {cols} rows {rows} row {r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_kernel_zero_cols_is_all_zero() {
+        let mut out = vec![1.0; 4];
+        distances_to_block(Metric::Euclidean, &[], &[], 0, &mut out);
+        assert_eq!(out, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn nearest_row_scans_in_order() {
+        let cols = 3;
+        // Rows 1 and 3 are both exact matches; the earliest must win.
+        let query = [1.0, 2.0, 3.0];
+        let block = [
+            9.0, 9.0, 9.0, //
+            1.0, 2.0, 3.0, //
+            0.0, 0.0, 0.0, //
+            1.0, 2.0, 3.0, //
+        ];
+        let (idx, d2) = nearest_row_squared(&query, &block, cols, 4);
+        assert_eq!(idx, 1);
+        assert_eq!(d2, 0.0);
+        let (idx, d2) = nearest_row_squared(&query, &[], cols, 0);
+        assert_eq!(idx, 0);
+        assert_eq!(d2, f64::INFINITY);
+    }
+
+    #[test]
+    fn nearest_row_matches_sequential_scan() {
+        // Odd and even row counts (interleave tail) against a reference
+        // first-minimum scan over the same kernel distances.
+        for rows in [1usize, 2, 5, 8, 13] {
+            let cols = 7;
+            let query = sample(cols, 2.5);
+            let block: Vec<f64> = sample(rows * cols, 4.0);
+            let mut best = (0usize, f64::INFINITY);
+            for r in 0..rows {
+                let d2 = squared_euclidean(&query, &block[r * cols..(r + 1) * cols]);
+                if d2 < best.1 {
+                    best = (r, d2);
+                }
+            }
+            assert_eq!(nearest_row_squared(&query, &block, cols, rows), best);
+        }
+    }
+}

@@ -14,10 +14,14 @@
 //! * [`eigen`] — cyclic-Jacobi symmetric eigendecomposition (used by the
 //!   PCA-based attack in `rbt-attack`),
 //! * [`solve`] — Gaussian elimination and least squares (used by the
-//!   known-sample attack).
+//!   known-sample attack),
+//! * [`kernels`] — unrolled, auto-vectorizable distance kernels (the engine
+//!   under dissimilarity construction and k-means assignment),
+//! * [`pool`] — the shared scoped thread pool and work-partition helpers
+//!   every parallel hot path in the workspace runs on.
 //!
-//! The crate has no `unsafe` code and no dependencies beyond `crossbeam`
-//! (scoped threads for the parallel dissimilarity builder).
+//! The crate has no `unsafe` code and no dependencies: parallelism is
+//! `std::thread::scope` via [`pool`].
 //!
 //! # Example
 //!
@@ -35,8 +39,10 @@
 pub mod dissimilarity;
 pub mod distance;
 pub mod eigen;
+pub mod kernels;
 pub mod matrix;
 pub mod ops;
+pub mod pool;
 pub mod rotation;
 pub mod solve;
 pub mod stats;

@@ -45,10 +45,28 @@ impl VarianceMode {
 ///
 /// Returns [`Error::Empty`] for an empty slice.
 pub fn mean(xs: &[f64]) -> Result<f64> {
-    if xs.is_empty() {
+    mean_of(xs.iter().copied())
+}
+
+/// Arithmetic mean of a streamed column — the allocation-free companion of
+/// [`mean`], used with [`Matrix::column_iter`](crate::Matrix::column_iter)
+/// so column scans never materialise a `Vec`. Summation order matches the
+/// slice version, so the two agree bit-for-bit.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for an empty iterator.
+pub fn mean_of(xs: impl Iterator<Item = f64>) -> Result<f64> {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for x in xs {
+        sum += x;
+        count += 1;
+    }
+    if count == 0 {
         return Err(Error::Empty);
     }
-    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+    Ok(sum / count as f64)
 }
 
 /// Variance of `xs` under the given [`VarianceMode`].
@@ -59,9 +77,25 @@ pub fn mean(xs: &[f64]) -> Result<f64> {
 ///
 /// Returns [`Error::Empty`] for an empty slice.
 pub fn variance(xs: &[f64], mode: VarianceMode) -> Result<f64> {
-    let m = mean(xs)?;
-    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
-    Ok(ss / mode.divisor(xs.len()))
+    variance_of(xs.iter().copied(), mode)
+}
+
+/// Two-pass variance of a streamed column (`Clone` lets the iterator be
+/// walked once for the mean and once for the centred sum of squares) —
+/// the allocation-free companion of [`variance`].
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for an empty iterator.
+pub fn variance_of(xs: impl Iterator<Item = f64> + Clone, mode: VarianceMode) -> Result<f64> {
+    let m = mean_of(xs.clone())?;
+    let mut ss = 0.0;
+    let mut count = 0usize;
+    for x in xs {
+        ss += (x - m) * (x - m);
+        count += 1;
+    }
+    Ok(ss / mode.divisor(count))
 }
 
 /// Standard deviation under the given [`VarianceMode`].
@@ -211,14 +245,26 @@ pub fn covariance_matrix(m: &Matrix, mode: VarianceMode) -> Result<Matrix> {
 ///
 /// Returns [`Error::Empty`] for an empty slice.
 pub fn min_max(xs: &[f64]) -> Result<(f64, f64)> {
-    if xs.is_empty() {
-        return Err(Error::Empty);
-    }
+    min_max_of(xs.iter().copied())
+}
+
+/// Minimum and maximum of a streamed column — the allocation-free
+/// companion of [`min_max`].
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for an empty iterator.
+pub fn min_max_of(xs: impl Iterator<Item = f64>) -> Result<(f64, f64)> {
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
-    for &x in xs {
+    let mut seen = false;
+    for x in xs {
         lo = lo.min(x);
         hi = hi.max(x);
+        seen = true;
+    }
+    if !seen {
+        return Err(Error::Empty);
     }
     Ok((lo, hi))
 }
@@ -311,6 +357,28 @@ mod tests {
     fn min_max_known() {
         assert_eq!(min_max(&AGE).unwrap(), (28.0, 75.0));
         assert!(min_max(&[]).is_err());
+    }
+
+    #[test]
+    fn streamed_variants_bitwise_match_slice_versions() {
+        let m = Matrix::from_columns(&[&AGE, &HR]).unwrap();
+        for j in 0..2 {
+            let col = m.column(j);
+            assert_eq!(mean_of(m.column_iter(j)).unwrap(), mean(&col).unwrap());
+            for mode in [VarianceMode::Population, VarianceMode::Sample] {
+                assert_eq!(
+                    variance_of(m.column_iter(j), mode).unwrap(),
+                    variance(&col, mode).unwrap()
+                );
+            }
+            assert_eq!(
+                min_max_of(m.column_iter(j)).unwrap(),
+                min_max(&col).unwrap()
+            );
+        }
+        assert!(mean_of(std::iter::empty()).is_err());
+        assert!(variance_of(std::iter::empty(), VarianceMode::Sample).is_err());
+        assert!(min_max_of(std::iter::empty()).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use proptest::prelude::*;
 use rbt_linalg::dissimilarity::DissimilarityMatrix;
 use rbt_linalg::distance::Metric;
 use rbt_linalg::eigen::symmetric_eigen;
+use rbt_linalg::kernels;
 use rbt_linalg::rotation::{givens, is_orthogonal};
 use rbt_linalg::solve::{invert, solve};
 use rbt_linalg::stats::{covariance, mean, variance, variance_of_difference};
@@ -138,6 +139,83 @@ proptest! {
         let serial = DissimilarityMatrix::from_matrix(&m, Metric::Euclidean);
         let parallel = DissimilarityMatrix::from_matrix_parallel(&m, Metric::Euclidean, threads);
         prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn kernel_distances_match_scalar_metric((xs, ys) in vec_pair(1..=48)) {
+        // The unrolled kernels reorder the accumulation (four independent
+        // partial sums), so they agree with the scalar fold to relative
+        // 1e-12, not bit-for-bit.
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0);
+        prop_assert!(close(
+            kernels::squared_euclidean(&xs, &ys),
+            Metric::SquaredEuclidean.distance(&xs, &ys)
+        ));
+        prop_assert!(close(
+            kernels::euclidean(&xs, &ys),
+            Metric::Euclidean.distance(&xs, &ys)
+        ));
+        prop_assert!(close(
+            kernels::manhattan(&xs, &ys),
+            Metric::Manhattan.distance(&xs, &ys)
+        ));
+    }
+
+    #[test]
+    fn block_kernel_matches_per_pair_kernel(m in small_matrix(24, 9), q in 0usize..24) {
+        // The fused row-to-block kernel preserves the per-pair summation
+        // order, so it matches the pairwise kernel exactly.
+        let q = q % m.rows();
+        let query = m.row(q).to_vec();
+        for metric in [Metric::Euclidean, Metric::SquaredEuclidean, Metric::Manhattan] {
+            let mut out = vec![0.0; m.rows()];
+            kernels::distances_to_block(metric, &query, m.as_slice(), m.cols(), &mut out);
+            for r in 0..m.rows() {
+                prop_assert_eq!(out[r], kernels::distance(metric, &query, m.row(r)));
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_equals_naive(r in 1usize..10, c in 1usize..6, seed in 0u64..1000) {
+        // k > 512 forces the tiled path (smaller shapes dispatch straight
+        // to the naive loops). The blocked product visits k monotonically
+        // per output element, so it is bit-for-bit the naive i-k-j product.
+        let k = 513 + (seed as usize % 100);
+        let a = Matrix::from_vec(
+            r,
+            k,
+            (0..r * k).map(|t| ((t as f64) * 0.61).sin() * 10.0).collect(),
+        ).unwrap();
+        let b = Matrix::from_vec(
+            k,
+            c,
+            (0..k * c).map(|t| ((t as f64) + seed as f64).sin() * 10.0).collect(),
+        ).unwrap();
+        prop_assert_eq!(a.matmul(&b).unwrap(), a.matmul_naive(&b).unwrap());
+    }
+
+    #[test]
+    fn fused_column_rotation_equals_extract_writeback(
+        m in small_matrix(30, 6),
+        theta in -360.0..360.0f64,
+        pick in 0usize..30,
+    ) {
+        prop_assume!(m.cols() >= 2);
+        let i = pick % m.cols();
+        let j = (i + 1 + pick / m.cols()) % m.cols();
+        prop_assume!(i != j);
+        let rot = Rotation2::from_degrees(theta);
+        let (s, c) = rot.radians().sin_cos();
+        let mut fused = m.clone();
+        fused.rotate_column_pair(i, j, c, s).unwrap();
+        let mut reference = m.clone();
+        let mut xs = reference.column(i);
+        let mut ys = reference.column(j);
+        rot.apply_columns(&mut xs, &mut ys).unwrap();
+        reference.set_column(i, &xs).unwrap();
+        reference.set_column(j, &ys).unwrap();
+        prop_assert_eq!(fused, reference); // bit-for-bit
     }
 
     #[test]

@@ -98,14 +98,19 @@ fn main() {
 
     // The research lab (miner) reads the CSV and clusters hierarchically.
     let received = csv::read_file(&path).unwrap();
-    let dm = DissimilarityMatrix::from_matrix(received.matrix(), Metric::Euclidean);
+    let threads = rbt::linalg::pool::default_threads();
+    let dm =
+        DissimilarityMatrix::from_matrix_parallel(received.matrix(), Metric::Euclidean, threads);
     let dendrogram = Agglomerative::new(Linkage::Ward).fit(&dm).unwrap();
     let lab_clusters = dendrogram.cut(3).unwrap();
 
     // The hospital checks: the lab found exactly the groups an internal
     // analysis of the un-released data would find.
-    let internal_dm =
-        DissimilarityMatrix::from_matrix(output.normalized.matrix(), Metric::Euclidean);
+    let internal_dm = DissimilarityMatrix::from_matrix_parallel(
+        output.normalized.matrix(),
+        Metric::Euclidean,
+        threads,
+    );
     let internal_clusters = Agglomerative::new(Linkage::Ward)
         .fit(&internal_dm)
         .unwrap()
