@@ -1,0 +1,582 @@
+//! The versioned key-file codec — how the owner's secrets leave the
+//! process.
+//!
+//! A one-shot release (Figure 1) can keep the [`TransformationKey`] and
+//! fitted normalizer in memory, but a production owner releasing *new*
+//! records under the *same* secrets must persist them between runs. This
+//! module defines the binary envelope every persisted record travels in:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"RBTS"
+//! 4       2     format version (little-endian u16, currently 1)
+//! 6       1     record kind (key / normalizer / config / session)
+//! 7       8     payload length (little-endian u64)
+//! 15      n     payload (record-specific, see below)
+//! 15+n    4     CRC-32 over bytes [0, 15+n)
+//! ```
+//!
+//! Payloads are built from [`rbt_linalg::codec`] primitives: fixed-width
+//! little-endian integers and raw `f64` bit patterns, so a round trip is
+//! **bit-identical** — no decimal formatting in the loop. The trailing
+//! CRC-32 covers the header too, so any single flipped byte (magic,
+//! version, length, payload, or the checksum itself) and any truncation is
+//! rejected with a typed [`CodecError`]; decoding never panics. The
+//! human-readable companion format lives on
+//! [`crate::session::ReleaseSession::to_text`].
+
+use crate::key::{RotationStep, TransformationKey};
+use crate::method::{RbtConfig, ThresholdPolicy};
+use crate::pairing::PairingStrategy;
+use crate::security::PairwiseSecurityThreshold;
+use crate::{Error, Result};
+use rbt_data::FittedNormalizer;
+use rbt_linalg::codec::{crc32, ByteReader, ByteWriter, DecodeError};
+use rbt_linalg::stats::VarianceMode;
+use std::fmt;
+
+/// The four magic bytes opening every binary key file.
+pub const MAGIC: [u8; 4] = *b"RBTS";
+
+/// The current format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// What a sealed envelope contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RecordKind {
+    /// A [`TransformationKey`] on its own.
+    Key,
+    /// A [`FittedNormalizer`] on its own.
+    Normalizer,
+    /// An [`RbtConfig`] (pairing + threshold metadata) on its own.
+    Config,
+    /// A full release session: key, normalizer, optional config and drift
+    /// bounds, ID-suppression flag.
+    Session,
+}
+
+impl RecordKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            RecordKind::Key => 1,
+            RecordKind::Normalizer => 2,
+            RecordKind::Config => 3,
+            RecordKind::Session => 4,
+        }
+    }
+}
+
+/// Why a key file could not be decoded (or, for text forms, parsed).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The input does not start with the `RBTS` magic.
+    BadMagic {
+        /// The bytes found instead (zero-padded when shorter than 4).
+        found: [u8; 4],
+    },
+    /// The format version is newer than this build understands.
+    UnsupportedVersion {
+        /// The version field that was read.
+        found: u16,
+    },
+    /// The envelope holds a different record kind than the caller asked
+    /// for.
+    WrongKind {
+        /// The kind the caller expected.
+        expected: RecordKind,
+        /// The kind byte found in the envelope.
+        found: u8,
+    },
+    /// The trailing CRC-32 does not match the envelope contents.
+    ChecksumMismatch {
+        /// The checksum stored in the file.
+        stored: u32,
+        /// The checksum computed over the received bytes.
+        computed: u32,
+    },
+    /// A low-level byte-stream failure (truncation, bad tag, …).
+    Byte(DecodeError),
+    /// A structurally valid envelope carried semantically invalid contents.
+    Invalid {
+        /// What was wrong.
+        message: String,
+    },
+    /// A failure in the line-oriented text form.
+    Text {
+        /// 1-based index into the non-empty lines of the input.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic { found } => {
+                write!(f, "bad magic {found:?} (expected {MAGIC:?})")
+            }
+            CodecError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (this build reads {FORMAT_VERSION})"
+                )
+            }
+            CodecError::WrongKind { expected, found } => {
+                write!(
+                    f,
+                    "envelope holds record kind {found}, expected {expected:?}"
+                )
+            }
+            CodecError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: file says {stored:08x}, contents hash to {computed:08x}"
+            ),
+            CodecError::Byte(e) => write!(f, "byte stream error: {e}"),
+            CodecError::Invalid { message } => write!(f, "invalid record: {message}"),
+            CodecError::Text { line, message } => {
+                write!(f, "text parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Byte(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl CodecError {
+    /// A [`CodecError::BadMagic`] describing the first bytes of `bytes`
+    /// (zero-padded when shorter than 4).
+    pub(crate) fn bad_magic(bytes: &[u8]) -> Self {
+        let mut found = [0u8; 4];
+        found[..bytes.len().min(4)].copy_from_slice(&bytes[..bytes.len().min(4)]);
+        CodecError::BadMagic { found }
+    }
+}
+
+impl From<DecodeError> for CodecError {
+    fn from(e: DecodeError) -> Self {
+        CodecError::Byte(e)
+    }
+}
+
+impl From<DecodeError> for Error {
+    fn from(e: DecodeError) -> Self {
+        Error::Codec(CodecError::Byte(e))
+    }
+}
+
+impl From<CodecError> for Error {
+    fn from(e: CodecError) -> Self {
+        Error::Codec(e)
+    }
+}
+
+/// Wraps `payload` in the magic/version/kind/length envelope and appends
+/// the CRC-32.
+pub(crate) fn seal(kind: RecordKind, payload: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(&MAGIC);
+    w.put_u16(FORMAT_VERSION);
+    w.put_u8(kind.to_u8());
+    w.put_usize(payload.len());
+    w.put_bytes(payload);
+    let checksum = crc32(w.as_bytes());
+    w.put_u32(checksum);
+    w.into_bytes()
+}
+
+/// Verifies magic, checksum, version, kind, and length, returning the
+/// payload slice.
+///
+/// The order matters: the magic identifies the file type, then the
+/// trailing CRC-32 (covering everything before it) is verified over the
+/// *whole* input, so any flipped byte — version, kind, length, payload,
+/// or the checksum itself — reports as corruption; only an intact file of
+/// a newer format reaches the `UnsupportedVersion` / `WrongKind` paths.
+pub(crate) fn open(bytes: &[u8], expected: RecordKind) -> Result<&[u8]> {
+    if bytes.len() < 4 || bytes[..4] != MAGIC {
+        return Err(CodecError::bad_magic(bytes).into());
+    }
+    // Smallest well-formed envelope: header (15) + empty payload + CRC (4).
+    if bytes.len() < 19 {
+        return Err(CodecError::Byte(DecodeError::Truncated {
+            offset: bytes.len(),
+            needed: 19,
+            available: bytes.len(),
+        })
+        .into());
+    }
+    let body_end = bytes.len() - 4;
+    let stored = u32::from_le_bytes([
+        bytes[body_end],
+        bytes[body_end + 1],
+        bytes[body_end + 2],
+        bytes[body_end + 3],
+    ]);
+    let computed = crc32(&bytes[..body_end]);
+    if stored != computed {
+        return Err(CodecError::ChecksumMismatch { stored, computed }.into());
+    }
+    let mut r = ByteReader::new(&bytes[4..body_end]);
+    let version = r.take_u16().map_err(CodecError::from)?;
+    if version != FORMAT_VERSION {
+        return Err(CodecError::UnsupportedVersion { found: version }.into());
+    }
+    let kind = r.take_u8().map_err(CodecError::from)?;
+    if kind != expected.to_u8() {
+        return Err(CodecError::WrongKind {
+            expected,
+            found: kind,
+        }
+        .into());
+    }
+    let len = r.take_usize().map_err(CodecError::from)?;
+    if len != r.remaining() {
+        return Err(CodecError::Invalid {
+            message: format!(
+                "length field says {len} payload bytes, envelope holds {}",
+                r.remaining()
+            ),
+        }
+        .into());
+    }
+    r.take_bytes(len).map_err(|e| CodecError::from(e).into())
+}
+
+/// Sanity-caps a decoded element count against the bytes actually present,
+/// so a corrupted count cannot trigger a huge allocation.
+pub(crate) fn check_count(r: &ByteReader<'_>, count: usize, min_bytes_each: usize) -> Result<()> {
+    if count.saturating_mul(min_bytes_each) > r.remaining() {
+        return Err(CodecError::Invalid {
+            message: format!(
+                "count {count} needs at least {} bytes, {} remain",
+                count.saturating_mul(min_bytes_each),
+                r.remaining()
+            ),
+        }
+        .into());
+    }
+    Ok(())
+}
+
+pub(crate) fn write_key_record(w: &mut ByteWriter, key: &TransformationKey) {
+    w.put_usize(key.n_attributes());
+    w.put_usize(key.steps().len());
+    for s in key.steps() {
+        w.put_usize(s.i);
+        w.put_usize(s.j);
+        w.put_f64(s.theta_degrees);
+        w.put_f64(s.achieved_var1);
+        w.put_f64(s.achieved_var2);
+    }
+}
+
+pub(crate) fn read_key_record(r: &mut ByteReader<'_>) -> Result<TransformationKey> {
+    let n_attributes = r.take_usize().map_err(CodecError::from)?;
+    let n_steps = r.take_usize().map_err(CodecError::from)?;
+    check_count(r, n_steps, 40)?;
+    let mut steps = Vec::with_capacity(n_steps);
+    for _ in 0..n_steps {
+        steps.push(RotationStep {
+            i: r.take_usize().map_err(CodecError::from)?,
+            j: r.take_usize().map_err(CodecError::from)?,
+            theta_degrees: r.take_f64().map_err(CodecError::from)?,
+            achieved_var1: r.take_f64().map_err(CodecError::from)?,
+            achieved_var2: r.take_f64().map_err(CodecError::from)?,
+        });
+    }
+    // `new` re-validates index ranges, so a tampered-but-checksummed
+    // payload still cannot produce an inconsistent key.
+    TransformationKey::new(steps, n_attributes)
+}
+
+pub(crate) fn write_config_record(w: &mut ByteWriter, config: &RbtConfig) {
+    match &config.pairing {
+        PairingStrategy::Sequential => w.put_u8(0),
+        PairingStrategy::RandomShuffle => w.put_u8(1),
+        PairingStrategy::Explicit(pairs) => {
+            w.put_u8(2);
+            w.put_usize(pairs.len());
+            for &(i, j) in pairs {
+                w.put_usize(i);
+                w.put_usize(j);
+            }
+        }
+    }
+    match &config.thresholds {
+        ThresholdPolicy::Uniform(pst) => {
+            w.put_u8(0);
+            w.put_f64(pst.rho1);
+            w.put_f64(pst.rho2);
+        }
+        ThresholdPolicy::PerPair(list) => {
+            w.put_u8(1);
+            w.put_usize(list.len());
+            for pst in list {
+                w.put_f64(pst.rho1);
+                w.put_f64(pst.rho2);
+            }
+        }
+    }
+    w.put_u8(match config.variance_mode {
+        VarianceMode::Population => 0,
+        VarianceMode::Sample => 1,
+    });
+    w.put_usize(config.solver_grid);
+}
+
+pub(crate) fn read_config_record(r: &mut ByteReader<'_>) -> Result<RbtConfig> {
+    let pairing = match r.take_u8().map_err(CodecError::from)? {
+        0 => PairingStrategy::Sequential,
+        1 => PairingStrategy::RandomShuffle,
+        2 => {
+            let n = r.take_usize().map_err(CodecError::from)?;
+            check_count(r, n, 16)?;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = r.take_usize().map_err(CodecError::from)?;
+                let j = r.take_usize().map_err(CodecError::from)?;
+                pairs.push((i, j));
+            }
+            PairingStrategy::Explicit(pairs)
+        }
+        other => {
+            return Err(CodecError::Invalid {
+                message: format!("unknown pairing tag {other}"),
+            }
+            .into())
+        }
+    };
+    let thresholds = match r.take_u8().map_err(CodecError::from)? {
+        0 => ThresholdPolicy::Uniform(PairwiseSecurityThreshold::new(
+            r.take_f64().map_err(CodecError::from)?,
+            r.take_f64().map_err(CodecError::from)?,
+        )?),
+        1 => {
+            let n = r.take_usize().map_err(CodecError::from)?;
+            check_count(r, n, 16)?;
+            let mut list = Vec::with_capacity(n);
+            for _ in 0..n {
+                list.push(PairwiseSecurityThreshold::new(
+                    r.take_f64().map_err(CodecError::from)?,
+                    r.take_f64().map_err(CodecError::from)?,
+                )?);
+            }
+            ThresholdPolicy::PerPair(list)
+        }
+        other => {
+            return Err(CodecError::Invalid {
+                message: format!("unknown threshold tag {other}"),
+            }
+            .into())
+        }
+    };
+    let variance_mode = match r.take_u8().map_err(CodecError::from)? {
+        0 => VarianceMode::Population,
+        1 => VarianceMode::Sample,
+        other => {
+            return Err(CodecError::Invalid {
+                message: format!("unknown variance mode tag {other}"),
+            }
+            .into())
+        }
+    };
+    let solver_grid = r.take_usize().map_err(CodecError::from)?;
+    Ok(RbtConfig {
+        pairing,
+        thresholds,
+        variance_mode,
+        solver_grid,
+    })
+}
+
+/// Encodes a [`TransformationKey`] into a sealed binary envelope.
+pub fn encode_key(key: &TransformationKey) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    write_key_record(&mut w, key);
+    seal(RecordKind::Key, w.as_bytes())
+}
+
+/// Decodes the envelope written by [`encode_key`].
+///
+/// # Errors
+///
+/// [`Error::Codec`] for framing/corruption problems,
+/// [`Error::KeyMismatch`] for a structurally valid but inconsistent key.
+pub fn decode_key(bytes: &[u8]) -> Result<TransformationKey> {
+    let payload = open(bytes, RecordKind::Key)?;
+    let mut r = ByteReader::new(payload);
+    let key = read_key_record(&mut r)?;
+    r.expect_end().map_err(CodecError::from)?;
+    Ok(key)
+}
+
+/// Encodes a [`FittedNormalizer`] into a sealed binary envelope.
+pub fn encode_normalizer(normalizer: &FittedNormalizer) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    normalizer.encode_into(&mut w);
+    seal(RecordKind::Normalizer, w.as_bytes())
+}
+
+/// Decodes the envelope written by [`encode_normalizer`].
+///
+/// # Errors
+///
+/// Returns [`Error::Codec`] for framing/corruption problems or unknown
+/// parameter tags.
+pub fn decode_normalizer(bytes: &[u8]) -> Result<FittedNormalizer> {
+    let payload = open(bytes, RecordKind::Normalizer)?;
+    let mut r = ByteReader::new(payload);
+    let normalizer = FittedNormalizer::decode_from(&mut r).map_err(CodecError::from)?;
+    r.expect_end().map_err(CodecError::from)?;
+    Ok(normalizer)
+}
+
+/// Encodes an [`RbtConfig`] into a sealed binary envelope.
+pub fn encode_config(config: &RbtConfig) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    write_config_record(&mut w, config);
+    seal(RecordKind::Config, w.as_bytes())
+}
+
+/// Decodes the envelope written by [`encode_config`].
+///
+/// # Errors
+///
+/// [`Error::Codec`] for framing/corruption problems,
+/// [`Error::InvalidParameter`] for an out-of-range threshold.
+pub fn decode_config(bytes: &[u8]) -> Result<RbtConfig> {
+    let payload = open(bytes, RecordKind::Config)?;
+    let mut r = ByteReader::new(payload);
+    let config = read_config_record(&mut r)?;
+    r.expect_end().map_err(CodecError::from)?;
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    fn paper_key() -> TransformationKey {
+        paper::run_example().unwrap().key
+    }
+
+    #[test]
+    fn key_envelope_round_trips_bit_identically() {
+        let key = paper_key();
+        let bytes = encode_key(&key);
+        assert_eq!(&bytes[..4], b"RBTS");
+        let back = decode_key(&bytes).unwrap();
+        assert_eq!(back.n_attributes(), key.n_attributes());
+        for (a, b) in back.steps().iter().zip(key.steps()) {
+            assert_eq!(a.theta_degrees.to_bits(), b.theta_degrees.to_bits());
+            assert_eq!(a.achieved_var1.to_bits(), b.achieved_var1.to_bits());
+            assert_eq!(a.achieved_var2.to_bits(), b.achieved_var2.to_bits());
+            assert_eq!((a.i, a.j), (b.i, b.j));
+        }
+    }
+
+    #[test]
+    fn normalizer_envelope_round_trips() {
+        let example = paper::run_example().unwrap();
+        let bytes = encode_normalizer(&example.normalizer);
+        let back = decode_normalizer(&bytes).unwrap();
+        assert_eq!(back, example.normalizer);
+    }
+
+    #[test]
+    fn config_envelope_round_trips() {
+        let config = RbtConfig::uniform(PairwiseSecurityThreshold::uniform(0.3).unwrap())
+            .with_pairing(PairingStrategy::Explicit(vec![(0, 2), (1, 0)]))
+            .with_thresholds(ThresholdPolicy::PerPair(vec![paper::pst1(), paper::pst2()]))
+            .with_solver_grid(1234);
+        let bytes = encode_config(&config);
+        let back = decode_config(&bytes).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let key = paper_key();
+        let mut bytes = encode_key(&key);
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode_key(&bytes),
+            Err(Error::Codec(CodecError::BadMagic { .. }))
+        ));
+        let mut bytes = encode_key(&key);
+        bytes[4] = 0xFF; // version low byte
+        assert!(matches!(
+            decode_key(&bytes),
+            Err(Error::Codec(CodecError::ChecksumMismatch { .. }))
+        ));
+        // An intact envelope of a *future* version is UnsupportedVersion:
+        // rebuild the checksum after bumping the version field.
+        let mut bytes = encode_key(&key);
+        bytes[4] = 2;
+        let body_end = bytes.len() - 4;
+        let fixed = crc32(&bytes[..body_end]);
+        bytes[body_end..].copy_from_slice(&fixed.to_le_bytes());
+        assert!(matches!(
+            decode_key(&bytes),
+            Err(Error::Codec(CodecError::UnsupportedVersion { found: 2 }))
+        ));
+    }
+
+    #[test]
+    fn wrong_kind_rejected() {
+        let example = paper::run_example().unwrap();
+        let bytes = encode_normalizer(&example.normalizer);
+        assert!(matches!(
+            decode_key(&bytes),
+            Err(Error::Codec(CodecError::WrongKind { .. }))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = encode_key(&paper_key());
+        for cut in 0..bytes.len() {
+            match decode_key(&bytes[..cut]) {
+                Err(Error::Codec(_)) => {}
+                other => panic!("cut {cut}: expected codec error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let bytes = encode_key(&paper_key());
+        for idx in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[idx] ^= 0x01;
+            assert!(decode_key(&corrupted).is_err(), "flip at byte {idx}");
+        }
+    }
+
+    #[test]
+    fn tampered_step_indices_still_validated() {
+        // Build a payload whose step references column 9 of a 3-column key,
+        // with a *correct* checksum: decode must fail in key validation.
+        let mut w = ByteWriter::new();
+        w.put_usize(3);
+        w.put_usize(1);
+        w.put_usize(9);
+        w.put_usize(1);
+        w.put_f64(45.0);
+        w.put_f64(0.0);
+        w.put_f64(0.0);
+        let bytes = seal(RecordKind::Key, w.as_bytes());
+        assert!(matches!(decode_key(&bytes), Err(Error::KeyMismatch(_))));
+    }
+}

@@ -31,6 +31,10 @@
 //!   invertible,
 //! * [`pipeline`] — normalize-then-distort (Figure 1) over `rbt-data`
 //!   datasets,
+//! * [`session`] — streaming release sessions: persisted secrets applied
+//!   to arriving out-of-sample batches, with drift accounting,
+//! * [`codec`] — the versioned, checksummed key-file codec (binary
+//!   envelope; the text form lives on [`session::ReleaseSession`]),
 //! * [`isometry`] — Theorem 2 checks: dissimilarity-matrix preservation,
 //! * [`paper`] — the constants of the paper's running example (§5.1) and a
 //!   function reproducing Tables 2–6 from Table 1.
@@ -38,6 +42,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod codec;
 pub mod isometry;
 pub mod key;
 pub mod method;
@@ -46,12 +51,14 @@ pub mod paper;
 pub mod pipeline;
 pub mod reflection;
 pub mod security;
+pub mod session;
 
 pub use key::{RotationStep, TransformationKey};
 pub use method::{RbtConfig, RbtOutput, RbtTransformer, ThresholdPolicy};
 pub use pairing::PairingStrategy;
 pub use pipeline::{Pipeline, PipelineOutput};
 pub use security::{PairVarianceProfile, PairwiseSecurityThreshold, SecurityRange};
+pub use session::{DriftBounds, ReleaseSession, SessionBatch};
 
 use std::fmt;
 
@@ -92,6 +99,9 @@ pub enum Error {
         /// What went wrong.
         message: String,
     },
+    /// A persisted key file could not be decoded (bad magic, unsupported
+    /// version, checksum mismatch, truncation, malformed record, …).
+    Codec(codec::CodecError),
 }
 
 impl fmt::Display for Error {
@@ -117,6 +127,7 @@ impl fmt::Display for Error {
             Error::KeyParse { line, message } => {
                 write!(f, "key parse error at line {line}: {message}")
             }
+            Error::Codec(e) => write!(f, "codec error: {e}"),
         }
     }
 }
@@ -126,6 +137,7 @@ impl std::error::Error for Error {
         match self {
             Error::Linalg(e) => Some(e),
             Error::Data(e) => Some(e),
+            Error::Codec(e) => Some(e),
             _ => None,
         }
     }

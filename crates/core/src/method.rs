@@ -52,7 +52,7 @@ impl ThresholdPolicy {
 }
 
 /// Configuration of an RBT run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RbtConfig {
     /// Pair-selection strategy (§4.3 Step 1).
     pub pairing: PairingStrategy,

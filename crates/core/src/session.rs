@@ -1,0 +1,1169 @@
+//! Streaming release sessions — the same secrets applied to arriving data.
+//!
+//! The paper's Figure 1 pipeline is a one-shot release: fit a normalizer,
+//! draw a [`TransformationKey`], rotate, publish. A production data owner
+//! instead keeps releasing *new* records under the *same* secrets, the
+//! session shape the outsourced-clustering literature assumes (multi-user
+//! and multi-server k-means over a stable owner-side transformation). A
+//! [`ReleaseSession`] packages exactly that:
+//!
+//! * it wraps the fitted secrets (key + normalizer) with
+//!   [`transform_batch`](ReleaseSession::transform_batch) /
+//!   [`invert_batch`](ReleaseSession::invert_batch) for out-of-sample
+//!   records,
+//! * batches are processed in bounded row chunks fanned out over the
+//!   shared [`rbt_linalg::pool`] — both normalization and every rotation
+//!   step are row-local, so any chunk size and thread count produces
+//!   output **bit-identical** to running the one-shot [`crate::Pipeline`]
+//!   on the concatenated data (pinned by the conformance battery),
+//! * it counts **drift**: records whose normalized values fall outside the
+//!   per-column min–max range observed on the fitting data, the first
+//!   sign that the fitted normalization no longer represents the stream,
+//! * it persists: [`to_bytes`](ReleaseSession::to_bytes) /
+//!   [`to_text`](ReleaseSession::to_text) produce the checksummed key-file
+//!   formats of [`crate::codec`], so the secrets can leave the process and
+//!   come back for tomorrow's batch.
+
+use crate::codec::{self, CodecError, RecordKind};
+use crate::key::TransformationKey;
+use crate::method::RbtConfig;
+use crate::pipeline::PipelineOutput;
+use crate::{Error, Result};
+use rbt_data::{Dataset, FittedNormalizer, Normalization};
+use rbt_linalg::codec::{crc32, ByteReader, ByteWriter};
+use rbt_linalg::matrix::rotate_pair_in_rows;
+use rbt_linalg::pool::{self, Pool};
+use rbt_linalg::stats::{self, VarianceMode};
+use rbt_linalg::{Matrix, Rotation2};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default maximum number of rows per processing chunk.
+pub const DEFAULT_CHUNK_ROWS: usize = 4096;
+
+/// Per-column `[min, max]` of the *normalized* fitting data — the
+/// reference against which arriving batches are drift-checked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftBounds {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl DriftBounds {
+    /// Computes the bounds from a normalized fitting matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Linalg`] for an empty matrix.
+    pub fn from_normalized(normalized: &Matrix) -> Result<Self> {
+        let mut mins = Vec::with_capacity(normalized.cols());
+        let mut maxs = Vec::with_capacity(normalized.cols());
+        for j in 0..normalized.cols() {
+            let (lo, hi) = stats::min_max_of(normalized.column_iter(j))?;
+            mins.push(lo);
+            maxs.push(hi);
+        }
+        if mins.is_empty() {
+            return Err(Error::InvalidParameter(
+                "drift bounds need at least one column".into(),
+            ));
+        }
+        Ok(DriftBounds { mins, maxs })
+    }
+
+    /// Builds bounds from explicit per-column minima and maxima.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for empty or mismatched vectors
+    /// or any `min > max`.
+    pub fn new(mins: Vec<f64>, maxs: Vec<f64>) -> Result<Self> {
+        if mins.is_empty() || mins.len() != maxs.len() {
+            return Err(Error::InvalidParameter(format!(
+                "drift bounds need matching non-empty columns ({} mins, {} maxs)",
+                mins.len(),
+                maxs.len()
+            )));
+        }
+        if mins.iter().zip(&maxs).any(|(lo, hi)| !(lo <= hi)) {
+            return Err(Error::InvalidParameter(
+                "drift bounds need min <= max per column".into(),
+            ));
+        }
+        Ok(DriftBounds { mins, maxs })
+    }
+
+    /// Number of columns covered.
+    pub fn n_cols(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Per-column minima.
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Per-column maxima.
+    pub fn maxs(&self) -> &[f64] {
+        &self.maxs
+    }
+
+    /// Whether every value of a normalized row lies inside its column's
+    /// fitted `[min, max]`. NaNs count as out of range.
+    pub fn row_in_range(&self, row: &[f64]) -> bool {
+        row.len() == self.mins.len()
+            && row
+                .iter()
+                .zip(self.mins.iter().zip(&self.maxs))
+                .all(|(v, (lo, hi))| *v >= *lo && *v <= *hi)
+    }
+}
+
+/// One transformed batch: the releasable dataset plus drift accounting.
+#[derive(Debug, Clone)]
+pub struct SessionBatch {
+    /// The released data: normalized with the session's fitted parameters,
+    /// rotated with its key, optionally ID-stripped.
+    pub released: Dataset,
+    /// How many of this batch's records had at least one normalized value
+    /// outside the fitted min–max range (0 when the session carries no
+    /// [`DriftBounds`]).
+    pub out_of_range_rows: usize,
+}
+
+/// A long-lived release session: fitted secrets plus batch machinery.
+#[derive(Debug, Clone)]
+pub struct ReleaseSession {
+    key: TransformationKey,
+    normalizer: FittedNormalizer,
+    config: Option<RbtConfig>,
+    drift: Option<DriftBounds>,
+    suppress_ids: bool,
+    chunk_rows: usize,
+    threads: usize,
+    records_seen: u64,
+    records_out_of_range: u64,
+}
+
+impl ReleaseSession {
+    /// Creates a session from a key and the normalizer it was fitted with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::KeyMismatch`] when the two disagree on the number
+    /// of attributes.
+    pub fn new(key: TransformationKey, normalizer: FittedNormalizer) -> Result<Self> {
+        if key.n_attributes() != normalizer.n_cols() {
+            return Err(Error::KeyMismatch(format!(
+                "key covers {} attributes, normalizer {} columns",
+                key.n_attributes(),
+                normalizer.n_cols()
+            )));
+        }
+        Ok(ReleaseSession {
+            key,
+            normalizer,
+            config: None,
+            drift: None,
+            suppress_ids: true,
+            chunk_rows: DEFAULT_CHUNK_ROWS,
+            threads: pool::default_threads(),
+            records_seen: 0,
+            records_out_of_range: 0,
+        })
+    }
+
+    /// Builds a session straight from a [`crate::Pipeline::run`] output,
+    /// deriving [`DriftBounds`] from the normalized fitting data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches (cannot occur for a genuine pipeline
+    /// output).
+    pub fn from_pipeline_output(out: &PipelineOutput) -> Result<Self> {
+        ReleaseSession::new(out.key.clone(), out.normalizer.clone())?
+            .with_drift_bounds(DriftBounds::from_normalized(out.normalized.matrix())?)
+    }
+
+    /// Attaches the [`RbtConfig`] the key was drawn under (metadata for
+    /// audits; not needed to transform).
+    pub fn with_config(mut self, config: RbtConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Attaches drift bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::KeyMismatch`] when the column count disagrees with
+    /// the key.
+    pub fn with_drift_bounds(mut self, bounds: DriftBounds) -> Result<Self> {
+        if bounds.n_cols() != self.key.n_attributes() {
+            return Err(Error::KeyMismatch(format!(
+                "drift bounds cover {} columns, key {} attributes",
+                bounds.n_cols(),
+                self.key.n_attributes()
+            )));
+        }
+        self.drift = Some(bounds);
+        Ok(self)
+    }
+
+    /// Controls §5.3 Step 2 on released batches — whether object IDs are
+    /// stripped (`true` by default).
+    pub fn with_id_suppression(mut self, suppress: bool) -> Self {
+        self.suppress_ids = suppress;
+        self
+    }
+
+    /// Sets the maximum rows per processing chunk (clamped to ≥ 1).
+    /// Chunking bounds per-thread working sets; it never changes output.
+    pub fn with_chunk_rows(mut self, chunk_rows: usize) -> Self {
+        self.chunk_rows = chunk_rows.max(1);
+        self
+    }
+
+    /// Sets the thread budget for batch processing (clamped to ≥ 1;
+    /// defaults to [`pool::default_threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The session's transformation key.
+    pub fn key(&self) -> &TransformationKey {
+        &self.key
+    }
+
+    /// The session's fitted normalizer.
+    pub fn normalizer(&self) -> &FittedNormalizer {
+        &self.normalizer
+    }
+
+    /// The config metadata, when attached.
+    pub fn config(&self) -> Option<&RbtConfig> {
+        self.config.as_ref()
+    }
+
+    /// The drift bounds, when attached.
+    pub fn drift_bounds(&self) -> Option<&DriftBounds> {
+        self.drift.as_ref()
+    }
+
+    /// Whether released batches are ID-stripped.
+    pub fn suppresses_ids(&self) -> bool {
+        self.suppress_ids
+    }
+
+    /// Maximum rows per processing chunk.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Thread budget for batch processing.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total records transformed over the session's lifetime (counters are
+    /// runtime state — they reset when a session is decoded from a file).
+    pub fn records_seen(&self) -> u64 {
+        self.records_seen
+    }
+
+    /// Total records whose normalized values fell outside the fitted
+    /// min–max range.
+    pub fn records_out_of_range(&self) -> u64 {
+        self.records_out_of_range
+    }
+
+    /// Transforms a batch of out-of-sample records: normalize with the
+    /// *fitted* parameters, apply the key's rotations, optionally strip
+    /// IDs. Rows are processed in chunks of at most
+    /// [`chunk_rows`](Self::chunk_rows) rows across
+    /// [`threads`](Self::threads) pool threads; output is bit-identical to
+    /// the one-shot pipeline for every chunk/thread configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::KeyMismatch`] when the batch's column count
+    /// disagrees with the session.
+    pub fn transform_batch(&mut self, batch: &Dataset) -> Result<SessionBatch> {
+        let (matrix, out_of_range_rows) = self.transform_matrix(batch.matrix())?;
+        self.records_seen += batch.n_rows() as u64;
+        self.records_out_of_range += out_of_range_rows as u64;
+        // Build the released dataset around the transformed matrix directly
+        // — cloning the input dataset just to replace its matrix would copy
+        // the batch a second time on the streaming hot path.
+        let mut released = Dataset::new(matrix, batch.columns().to_vec()).map_err(Error::Data)?;
+        if !self.suppress_ids {
+            if let Some(ids) = batch.ids() {
+                released = released.with_ids(ids.to_vec()).map_err(Error::Data)?;
+            }
+        }
+        Ok(SessionBatch {
+            released,
+            out_of_range_rows,
+        })
+    }
+
+    /// Owner-side inverse of [`transform_batch`](Self::transform_batch):
+    /// undoes the rotations and the normalization of a released batch,
+    /// returning raw-scale values (IDs, if present, are kept).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::KeyMismatch`] when the batch's column count
+    /// disagrees with the session.
+    pub fn invert_batch(&self, released: &Dataset) -> Result<Dataset> {
+        let matrix = self.invert_matrix(released.matrix())?;
+        let mut recovered =
+            Dataset::new(matrix, released.columns().to_vec()).map_err(Error::Data)?;
+        if let Some(ids) = released.ids() {
+            recovered = recovered.with_ids(ids.to_vec()).map_err(Error::Data)?;
+        }
+        Ok(recovered)
+    }
+
+    /// The matrix-level forward transform plus the batch's out-of-range
+    /// row count.
+    fn transform_matrix(&self, m: &Matrix) -> Result<(Matrix, usize)> {
+        self.check_cols(m)?;
+        let mut out = m.clone();
+        let n_cols = m.cols();
+        if m.rows() == 0 {
+            return Ok((out, 0));
+        }
+        // Precompute each step's (cos, sin) exactly as the one-shot paths
+        // do, so the chunked sweeps are the same arithmetic.
+        let steps: Vec<(usize, usize, f64, f64)> = self
+            .key
+            .steps()
+            .iter()
+            .map(|st| {
+                let (s, c) = Rotation2::from_degrees(st.theta_degrees)
+                    .radians()
+                    .sin_cos();
+                (st.i, st.j, c, s)
+            })
+            .collect();
+        let bounds = self.element_bounds(m.rows(), n_cols);
+        let out_of_range = AtomicUsize::new(0);
+        let normalizer = &self.normalizer;
+        let drift = self.drift.as_ref();
+        Pool::new(self.threads).for_each_chunk_mut(out.as_mut_slice(), &bounds, |_, _, chunk| {
+            normalizer
+                .transform_rows_in_place(chunk)
+                .expect("chunk boundaries are whole rows of the checked width");
+            if let Some(b) = drift {
+                let n = chunk
+                    .chunks_exact(n_cols)
+                    .filter(|row| !b.row_in_range(row))
+                    .count();
+                if n > 0 {
+                    out_of_range.fetch_add(n, Ordering::Relaxed);
+                }
+            }
+            for &(i, j, c, s) in &steps {
+                rotate_pair_in_rows(chunk, n_cols, i, j, c, s);
+            }
+        });
+        Ok((out, out_of_range.load(Ordering::Relaxed)))
+    }
+
+    /// The matrix-level inverse transform.
+    fn invert_matrix(&self, m: &Matrix) -> Result<Matrix> {
+        self.check_cols(m)?;
+        let mut out = m.clone();
+        let n_cols = m.cols();
+        if m.rows() == 0 {
+            return Ok(out);
+        }
+        // Inverse rotations in reverse order — the same (cos, sin) the
+        // whole-matrix `TransformationKey::invert` uses.
+        let steps: Vec<(usize, usize, f64, f64)> = self
+            .key
+            .steps()
+            .iter()
+            .rev()
+            .map(|st| {
+                let (s, c) = Rotation2::from_degrees(st.theta_degrees)
+                    .inverse()
+                    .radians()
+                    .sin_cos();
+                (st.i, st.j, c, s)
+            })
+            .collect();
+        let bounds = self.element_bounds(m.rows(), n_cols);
+        let normalizer = &self.normalizer;
+        Pool::new(self.threads).for_each_chunk_mut(out.as_mut_slice(), &bounds, |_, _, chunk| {
+            for &(i, j, c, s) in &steps {
+                rotate_pair_in_rows(chunk, n_cols, i, j, c, s);
+            }
+            normalizer
+                .invert_rows_in_place(chunk)
+                .expect("chunk boundaries are whole rows of the checked width");
+        });
+        Ok(out)
+    }
+
+    /// Row-aligned element boundaries with at most
+    /// [`chunk_rows`](Self::chunk_rows) rows per chunk.
+    fn element_bounds(&self, n_rows: usize, n_cols: usize) -> Vec<usize> {
+        let n_chunks = n_rows.div_ceil(self.chunk_rows);
+        pool::even_chunks(n_rows, n_chunks)
+            .into_iter()
+            .map(|r| r * n_cols)
+            .collect()
+    }
+
+    fn check_cols(&self, m: &Matrix) -> Result<()> {
+        if m.cols() != self.key.n_attributes() {
+            return Err(Error::KeyMismatch(format!(
+                "session fitted for {} attributes, batch has {}",
+                self.key.n_attributes(),
+                m.cols()
+            )));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence
+    // ------------------------------------------------------------------
+
+    /// Serializes the session (secrets + metadata, not runtime counters or
+    /// chunk/thread knobs) into the sealed binary envelope of
+    /// [`crate::codec`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        codec::write_key_record(&mut w, &self.key);
+        self.normalizer.encode_into(&mut w);
+        w.put_bool(self.config.is_some());
+        if let Some(config) = &self.config {
+            codec::write_config_record(&mut w, config);
+        }
+        w.put_bool(self.drift.is_some());
+        if let Some(drift) = &self.drift {
+            w.put_usize(drift.n_cols());
+            for (lo, hi) in drift.mins.iter().zip(&drift.maxs) {
+                w.put_f64(*lo);
+                w.put_f64(*hi);
+            }
+        }
+        w.put_bool(self.suppress_ids);
+        codec::seal(RecordKind::Session, w.as_bytes())
+    }
+
+    /// Decodes the envelope written by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Codec`] for framing/corruption problems; key/normalizer
+    /// validation errors for inconsistent (but checksummed) contents.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let payload = codec::open(bytes, RecordKind::Session)?;
+        let mut r = ByteReader::new(payload);
+        let key = codec::read_key_record(&mut r)?;
+        let normalizer = FittedNormalizer::decode_from(&mut r).map_err(CodecError::from)?;
+        let config = if r.take_bool().map_err(CodecError::from)? {
+            Some(codec::read_config_record(&mut r)?)
+        } else {
+            None
+        };
+        let drift = if r.take_bool().map_err(CodecError::from)? {
+            let cols = r.take_usize().map_err(CodecError::from)?;
+            codec::check_count(&r, cols, 16)?;
+            let mut mins = Vec::with_capacity(cols);
+            let mut maxs = Vec::with_capacity(cols);
+            for _ in 0..cols {
+                mins.push(r.take_f64().map_err(CodecError::from)?);
+                maxs.push(r.take_f64().map_err(CodecError::from)?);
+            }
+            Some(DriftBounds::new(mins, maxs)?)
+        } else {
+            None
+        };
+        let suppress_ids = r.take_bool().map_err(CodecError::from)?;
+        r.expect_end().map_err(CodecError::from)?;
+
+        let mut session = ReleaseSession::new(key, normalizer)?;
+        if let Some(config) = config {
+            session = session.with_config(config);
+        }
+        if let Some(drift) = drift {
+            session = session.with_drift_bounds(drift)?;
+        }
+        Ok(session.with_id_suppression(suppress_ids))
+    }
+
+    /// Serializes the session to the human-readable, checksummed text
+    /// form:
+    ///
+    /// ```text
+    /// rbt-session v1
+    /// key n=3 steps=2
+    /// rotate 0 2 3.12470000000000027e2 … …
+    /// normalizer method=zscore-sample
+    /// param zscore 4.85999999999999943e1 1.78269458778902041e1
+    /// …
+    /// config variance=sample grid=3600
+    /// pairing explicit
+    /// pair 0 2
+    /// …
+    /// thresholds per-pair
+    /// pst 2.99999999999999989e-1 5.50000000000000044e-1
+    /// …
+    /// drift cols=3
+    /// range -1.26620297443029371e0 1.46215096606798721e0
+    /// …
+    /// suppress-ids true
+    /// checksum 9f1c2ab3
+    /// ```
+    ///
+    /// Floats print with 17 fractional digits, which round-trips every
+    /// finite `f64` exactly; the final line is the CRC-32 (hex) of all
+    /// preceding non-empty lines joined with `\n`, so hand edits are
+    /// detected just like bit flips in the binary form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Codec`] if the normalizer's method has no stable
+    /// text tag (cannot occur for the methods this workspace ships).
+    pub fn to_text(&self) -> Result<String> {
+        let mut body = String::from("rbt-session v1\n");
+        let _ = writeln!(
+            body,
+            "key n={} steps={}",
+            self.key.n_attributes(),
+            self.key.steps().len()
+        );
+        for s in self.key.steps() {
+            let _ = writeln!(
+                body,
+                "rotate {} {} {:.17e} {:.17e} {:.17e}",
+                s.i, s.j, s.theta_degrees, s.achieved_var1, s.achieved_var2
+            );
+        }
+        let _ = writeln!(
+            body,
+            "normalizer method={}",
+            method_tag(self.normalizer.method())?
+        );
+        for line in self.normalizer.to_text().lines().skip(1) {
+            let _ = writeln!(body, "param {line}");
+        }
+        if let Some(config) = &self.config {
+            let variance = match config.variance_mode {
+                VarianceMode::Population => "population",
+                VarianceMode::Sample => "sample",
+            };
+            let _ = writeln!(
+                body,
+                "config variance={variance} grid={}",
+                config.solver_grid
+            );
+            match &config.pairing {
+                crate::pairing::PairingStrategy::Sequential => {
+                    let _ = writeln!(body, "pairing sequential");
+                }
+                crate::pairing::PairingStrategy::RandomShuffle => {
+                    let _ = writeln!(body, "pairing random-shuffle");
+                }
+                crate::pairing::PairingStrategy::Explicit(pairs) => {
+                    let _ = writeln!(body, "pairing explicit");
+                    for &(i, j) in pairs {
+                        let _ = writeln!(body, "pair {i} {j}");
+                    }
+                }
+            }
+            match &config.thresholds {
+                crate::method::ThresholdPolicy::Uniform(pst) => {
+                    let _ = writeln!(body, "thresholds uniform");
+                    let _ = writeln!(body, "pst {:.17e} {:.17e}", pst.rho1, pst.rho2);
+                }
+                crate::method::ThresholdPolicy::PerPair(list) => {
+                    let _ = writeln!(body, "thresholds per-pair");
+                    for pst in list {
+                        let _ = writeln!(body, "pst {:.17e} {:.17e}", pst.rho1, pst.rho2);
+                    }
+                }
+            }
+        }
+        if let Some(drift) = &self.drift {
+            let _ = writeln!(body, "drift cols={}", drift.n_cols());
+            for (lo, hi) in drift.mins.iter().zip(&drift.maxs) {
+                let _ = writeln!(body, "range {lo:.17e} {hi:.17e}");
+            }
+        }
+        let _ = writeln!(body, "suppress-ids {}", self.suppress_ids);
+        let checksum = crc32(text_checksum_content(&body).as_bytes());
+        let _ = writeln!(body, "checksum {checksum:08x}");
+        Ok(body)
+    }
+
+    /// Parses the form produced by [`to_text`](Self::to_text), verifying
+    /// the trailing checksum first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Codec`] with [`CodecError::Text`] /
+    /// [`CodecError::ChecksumMismatch`] / [`CodecError::UnsupportedVersion`]
+    /// for malformed, tampered, or future-version input.
+    pub fn from_text(text: &str) -> Result<Self> {
+        let lines: Vec<&str> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect();
+        let text_err =
+            |line: usize, message: String| -> Error { CodecError::Text { line, message }.into() };
+        if lines.len() < 2 {
+            return Err(text_err(1, "input too short for a session".into()));
+        }
+        // Checksum line first, so tampering reports as corruption rather
+        // than a confusing downstream parse error.
+        let last = lines.len() - 1;
+        let stored = lines[last]
+            .strip_prefix("checksum ")
+            .and_then(|h| u32::from_str_radix(h.trim(), 16).ok())
+            .ok_or_else(|| {
+                text_err(
+                    last + 1,
+                    format!("expected checksum line, found {:?}", lines[last]),
+                )
+            })?;
+        let computed = crc32(lines[..last].join("\n").as_bytes());
+        if stored != computed {
+            return Err(CodecError::ChecksumMismatch { stored, computed }.into());
+        }
+
+        let mut cursor = Cursor {
+            lines: &lines[..last],
+            pos: 0,
+        };
+        let header = cursor.next_line()?;
+        if header != "rbt-session v1" {
+            if let Some(v) = header
+                .strip_prefix("rbt-session v")
+                .and_then(|rest| rest.parse::<u16>().ok())
+            {
+                return Err(CodecError::UnsupportedVersion { found: v }.into());
+            }
+            return Err(text_err(1, format!("bad header {header:?}")));
+        }
+
+        // key n=<n> steps=<k>
+        let (line_no, fields) = cursor.tagged_fields("key", 2)?;
+        let n_attributes = parse_kv(&fields[0], "n", line_no)?;
+        let n_steps: usize = parse_kv(&fields[1], "steps", line_no)?;
+        let mut steps = Vec::with_capacity(n_steps.min(1024));
+        for _ in 0..n_steps {
+            let (line_no, f) = cursor.tagged_fields("rotate", 5)?;
+            steps.push(crate::key::RotationStep {
+                i: parse_field(&f[0], "i", line_no)?,
+                j: parse_field(&f[1], "j", line_no)?,
+                theta_degrees: parse_field(&f[2], "theta", line_no)?,
+                achieved_var1: parse_field(&f[3], "var1", line_no)?,
+                achieved_var2: parse_field(&f[4], "var2", line_no)?,
+            });
+        }
+        let key = TransformationKey::new(steps, n_attributes)?;
+
+        // normalizer method=<tag> + param lines
+        let (line_no, fields) = cursor.tagged_fields("normalizer", 1)?;
+        let tag: String = parse_kv(&fields[0], "method", line_no)?;
+        let mut param_lines: Vec<&str> = Vec::new();
+        while let Some(line) = cursor.peek() {
+            match line.strip_prefix("param ") {
+                Some(rest) => {
+                    param_lines.push(rest);
+                    cursor.pos += 1;
+                }
+                None => break,
+            }
+        }
+        let normalizer_text = format!(
+            "rbt-normalizer v1 cols={}\n{}",
+            param_lines.len(),
+            param_lines.join("\n")
+        );
+        let normalizer = FittedNormalizer::from_text(&normalizer_text)
+            .map_err(|e| text_err(line_no, format!("normalizer section: {e}")))?;
+        let normalizer = match tag.as_str() {
+            // minmax/decimal params fully determine the method already.
+            "minmax" | "decimal" => normalizer,
+            "zscore-sample" => normalizer.with_method(Normalization::zscore_paper()),
+            "zscore-population" => normalizer.with_method(Normalization::ZScore {
+                mode: VarianceMode::Population,
+            }),
+            "robust" => normalizer.with_method(Normalization::RobustZScore),
+            other => return Err(text_err(line_no, format!("unknown method tag {other:?}"))),
+        };
+
+        // Optional config section.
+        let mut config = None;
+        if cursor.peek().is_some_and(|l| l.starts_with("config ")) {
+            let (line_no, fields) = cursor.tagged_fields("config", 2)?;
+            let variance = match parse_kv::<String>(&fields[0], "variance", line_no)?.as_str() {
+                "population" => VarianceMode::Population,
+                "sample" => VarianceMode::Sample,
+                other => {
+                    return Err(text_err(
+                        line_no,
+                        format!("unknown variance mode {other:?}"),
+                    ))
+                }
+            };
+            let grid: usize = parse_kv(&fields[1], "grid", line_no)?;
+            let (line_no, fields) = cursor.tagged_fields("pairing", 1)?;
+            let pairing = match fields[0].as_str() {
+                "sequential" => crate::pairing::PairingStrategy::Sequential,
+                "random-shuffle" => crate::pairing::PairingStrategy::RandomShuffle,
+                "explicit" => {
+                    let mut pairs = Vec::new();
+                    while cursor.peek().is_some_and(|l| l.starts_with("pair ")) {
+                        let (line_no, f) = cursor.tagged_fields("pair", 2)?;
+                        pairs.push((
+                            parse_field(&f[0], "i", line_no)?,
+                            parse_field(&f[1], "j", line_no)?,
+                        ));
+                    }
+                    crate::pairing::PairingStrategy::Explicit(pairs)
+                }
+                other => return Err(text_err(line_no, format!("unknown pairing {other:?}"))),
+            };
+            let (line_no, fields) = cursor.tagged_fields("thresholds", 1)?;
+            let per_pair = match fields[0].as_str() {
+                "uniform" => false,
+                "per-pair" => true,
+                other => return Err(text_err(line_no, format!("unknown thresholds {other:?}"))),
+            };
+            let mut psts = Vec::new();
+            while cursor.peek().is_some_and(|l| l.starts_with("pst ")) {
+                let (line_no, f) = cursor.tagged_fields("pst", 2)?;
+                psts.push(crate::security::PairwiseSecurityThreshold::new(
+                    parse_field(&f[0], "rho1", line_no)?,
+                    parse_field(&f[1], "rho2", line_no)?,
+                )?);
+            }
+            let thresholds = if per_pair {
+                crate::method::ThresholdPolicy::PerPair(psts)
+            } else {
+                let [pst] = psts[..] else {
+                    return Err(text_err(
+                        line_no,
+                        format!(
+                            "uniform thresholds need exactly one pst line, found {}",
+                            psts.len()
+                        ),
+                    ));
+                };
+                crate::method::ThresholdPolicy::Uniform(pst)
+            };
+            config = Some(RbtConfig {
+                pairing,
+                thresholds,
+                variance_mode: variance,
+                solver_grid: grid,
+            });
+        }
+
+        // Optional drift section.
+        let mut drift = None;
+        if cursor.peek().is_some_and(|l| l.starts_with("drift ")) {
+            let (line_no, fields) = cursor.tagged_fields("drift", 1)?;
+            let cols: usize = parse_kv(&fields[0], "cols", line_no)?;
+            let mut mins = Vec::with_capacity(cols.min(1024));
+            let mut maxs = Vec::with_capacity(cols.min(1024));
+            for _ in 0..cols {
+                let (line_no, f) = cursor.tagged_fields("range", 2)?;
+                mins.push(parse_field(&f[0], "min", line_no)?);
+                maxs.push(parse_field(&f[1], "max", line_no)?);
+            }
+            drift = Some(DriftBounds::new(mins, maxs)?);
+        }
+
+        let (line_no, fields) = cursor.tagged_fields("suppress-ids", 1)?;
+        let suppress_ids = match fields[0].as_str() {
+            "true" => true,
+            "false" => false,
+            other => {
+                return Err(text_err(
+                    line_no,
+                    format!("bad suppress-ids value {other:?}"),
+                ))
+            }
+        };
+        if let Some(extra) = cursor.peek() {
+            return Err(text_err(
+                cursor.pos + 1,
+                format!("unexpected trailing line {extra:?}"),
+            ));
+        }
+
+        let mut session = ReleaseSession::new(key, normalizer)?;
+        if let Some(config) = config {
+            session = session.with_config(config);
+        }
+        if let Some(drift) = drift {
+            session = session.with_drift_bounds(drift)?;
+        }
+        Ok(session.with_id_suppression(suppress_ids))
+    }
+
+    /// Decodes a key file in either format: binary envelopes are sniffed
+    /// by their `RBTS` magic, anything else is parsed as text.
+    ///
+    /// # Errors
+    ///
+    /// As [`from_bytes`](Self::from_bytes) / [`from_text`](Self::from_text);
+    /// non-UTF-8 input without the magic reports [`CodecError::BadMagic`].
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.starts_with(&codec::MAGIC) {
+            return ReleaseSession::from_bytes(bytes);
+        }
+        match std::str::from_utf8(bytes) {
+            Ok(text) => ReleaseSession::from_text(text),
+            Err(_) => Err(CodecError::bad_magic(bytes).into()),
+        }
+    }
+}
+
+/// The exact byte content the text checksum covers: every non-empty
+/// trimmed line so far, joined with `\n` (whitespace-only edits therefore
+/// do not invalidate a file, semantic edits do).
+fn text_checksum_content(body: &str) -> String {
+    body.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Maps a normalization method to its stable text tag.
+fn method_tag(method: Normalization) -> Result<&'static str> {
+    Ok(match method {
+        Normalization::MinMax { .. } => "minmax",
+        Normalization::ZScore {
+            mode: VarianceMode::Sample,
+        } => "zscore-sample",
+        Normalization::ZScore {
+            mode: VarianceMode::Population,
+        } => "zscore-population",
+        Normalization::DecimalScaling => "decimal",
+        Normalization::RobustZScore => "robust",
+        other => {
+            return Err(CodecError::Invalid {
+                message: format!("normalization method {other:?} has no text tag"),
+            }
+            .into())
+        }
+    })
+}
+
+/// Line cursor over the verified (pre-checksum) text lines.
+struct Cursor<'a> {
+    lines: &'a [&'a str],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a str> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next_line(&mut self) -> Result<&'a str> {
+        let line = self.peek().ok_or(CodecError::Text {
+            line: self.pos + 1,
+            message: "unexpected end of input".into(),
+        })?;
+        self.pos += 1;
+        Ok(line)
+    }
+
+    /// Consumes a line expected to start with `tag` followed by exactly
+    /// `n_fields` whitespace-separated fields; returns (1-based line
+    /// number, fields).
+    fn tagged_fields(&mut self, tag: &str, n_fields: usize) -> Result<(usize, Vec<String>)> {
+        let line_no = self.pos + 1;
+        let line = self.next_line()?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some(tag) {
+            return Err(CodecError::Text {
+                line: line_no,
+                message: format!("expected {tag:?} line, found {line:?}"),
+            }
+            .into());
+        }
+        let fields: Vec<String> = parts.map(str::to_string).collect();
+        if fields.len() != n_fields {
+            return Err(CodecError::Text {
+                line: line_no,
+                message: format!(
+                    "{tag:?} line needs {n_fields} fields, found {}",
+                    fields.len()
+                ),
+            }
+            .into());
+        }
+        Ok((line_no, fields))
+    }
+}
+
+/// Parses a `key=value` field.
+fn parse_kv<T: std::str::FromStr>(field: &str, name: &str, line: usize) -> Result<T> {
+    field
+        .strip_prefix(name)
+        .and_then(|rest| rest.strip_prefix('='))
+        .and_then(|v| v.parse::<T>().ok())
+        .ok_or_else(|| {
+            CodecError::Text {
+                line,
+                message: format!("expected {name}=<value>, found {field:?}"),
+            }
+            .into()
+        })
+}
+
+/// Parses a bare field.
+fn parse_field<T: std::str::FromStr>(field: &str, name: &str, line: usize) -> Result<T> {
+    field.parse::<T>().map_err(|_| {
+        CodecError::Text {
+            line,
+            message: format!("bad {name}: {field:?}"),
+        }
+        .into()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::{RbtConfig, ThresholdPolicy};
+    use crate::pairing::PairingStrategy;
+    use crate::pipeline::Pipeline;
+    use crate::security::PairwiseSecurityThreshold;
+    use rand::SeedableRng;
+    use rbt_data::datasets;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new(RbtConfig::uniform(
+            PairwiseSecurityThreshold::uniform(0.25).unwrap(),
+        ))
+    }
+
+    fn fitted_session() -> (ReleaseSession, crate::pipeline::PipelineOutput) {
+        let raw = datasets::arrhythmia_sample();
+        let out = pipeline().run(&raw, &mut rng(7)).unwrap();
+        let session = ReleaseSession::from_pipeline_output(&out).unwrap();
+        (session, out)
+    }
+
+    #[test]
+    fn transform_batch_matches_one_shot_release_bitwise() {
+        let (mut session, out) = fitted_session();
+        let raw = datasets::arrhythmia_sample();
+        for chunk_rows in [1, 2, 5, 100] {
+            for threads in [1, 3] {
+                let mut s = session
+                    .clone()
+                    .with_chunk_rows(chunk_rows)
+                    .with_threads(threads);
+                let batch = s.transform_batch(&raw).unwrap();
+                assert!(
+                    batch
+                        .released
+                        .matrix()
+                        .approx_eq(out.released.matrix(), 0.0),
+                    "chunk_rows={chunk_rows} threads={threads}"
+                );
+                assert!(batch.released.ids().is_none());
+            }
+        }
+        // And drift is zero on the fitting data itself.
+        let batch = session.transform_batch(&raw).unwrap();
+        assert_eq!(batch.out_of_range_rows, 0);
+        assert_eq!(session.records_seen(), 5);
+        assert_eq!(session.records_out_of_range(), 0);
+    }
+
+    #[test]
+    fn invert_batch_recovers_raw_values() {
+        let (mut session, _) = fitted_session();
+        let raw = datasets::arrhythmia_sample();
+        let batch = session.transform_batch(&raw).unwrap();
+        let recovered = session.invert_batch(&batch.released).unwrap();
+        assert!(recovered.matrix().approx_eq(raw.matrix(), 1e-9));
+    }
+
+    #[test]
+    fn out_of_sample_rows_are_flagged_as_drift() {
+        let (mut session, _) = fitted_session();
+        // A record far outside the fitted value ranges.
+        let outlier = Dataset::new(
+            Matrix::from_rows(&[&[1e4, 1e4, 1e4], &[75.0, 80.0, 63.0]]).unwrap(),
+            datasets::ARRHYTHMIA_COLUMNS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        )
+        .unwrap();
+        let batch = session.transform_batch(&outlier).unwrap();
+        assert_eq!(batch.out_of_range_rows, 1);
+        assert_eq!(session.records_out_of_range(), 1);
+        assert_eq!(session.records_seen(), 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (mut session, _) = fitted_session();
+        let empty = Dataset::from_matrix(Matrix::zeros(0, 3));
+        let batch = session.transform_batch(&empty).unwrap();
+        assert_eq!(batch.released.n_rows(), 0);
+        assert_eq!(batch.out_of_range_rows, 0);
+        assert_eq!(session.records_seen(), 0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_typed() {
+        let (mut session, _) = fitted_session();
+        let wrong = Dataset::from_matrix(Matrix::zeros(2, 5));
+        assert!(matches!(
+            session.transform_batch(&wrong),
+            Err(Error::KeyMismatch(_))
+        ));
+        assert!(matches!(
+            session.invert_batch(&wrong),
+            Err(Error::KeyMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn new_rejects_mismatched_secrets() {
+        let (_, out) = fitted_session();
+        let other = rbt_data::Normalization::zscore_paper()
+            .fit(&Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 5.0]]).unwrap())
+            .unwrap();
+        assert!(matches!(
+            ReleaseSession::new(out.key.clone(), other),
+            Err(Error::KeyMismatch(_))
+        ));
+    }
+
+    fn assert_sessions_equal(a: &ReleaseSession, b: &ReleaseSession) {
+        assert_eq!(a.key(), b.key());
+        assert_eq!(a.normalizer(), b.normalizer());
+        assert_eq!(a.config(), b.config());
+        assert_eq!(a.drift_bounds(), b.drift_bounds());
+        assert_eq!(a.suppresses_ids(), b.suppresses_ids());
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_everything() {
+        let (session, _) = fitted_session();
+        let session = session.with_config(
+            RbtConfig::uniform(PairwiseSecurityThreshold::uniform(0.25).unwrap())
+                .with_pairing(PairingStrategy::Explicit(vec![(0, 2), (1, 0)]))
+                .with_thresholds(ThresholdPolicy::PerPair(vec![
+                    crate::paper::pst1(),
+                    crate::paper::pst2(),
+                ])),
+        );
+        let bytes = session.to_bytes();
+        let back = ReleaseSession::from_bytes(&bytes).unwrap();
+        assert_sessions_equal(&back, &session);
+        // decode() sniffs the magic.
+        assert_sessions_equal(&ReleaseSession::decode(&bytes).unwrap(), &session);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_everything() {
+        let (session, _) = fitted_session();
+        let session = session
+            .with_config(RbtConfig::uniform(
+                PairwiseSecurityThreshold::uniform(0.25).unwrap(),
+            ))
+            .with_id_suppression(false);
+        let text = session.to_text().unwrap();
+        assert!(text.starts_with("rbt-session v1\n"));
+        let back = ReleaseSession::from_text(&text).unwrap();
+        assert_sessions_equal(&back, &session);
+        assert_sessions_equal(&ReleaseSession::decode(text.as_bytes()).unwrap(), &session);
+        // The decoded session transforms bit-identically.
+        let raw = datasets::arrhythmia_sample();
+        let mut a = session.clone();
+        let mut b = back;
+        assert!(a
+            .transform_batch(&raw)
+            .unwrap()
+            .released
+            .matrix()
+            .approx_eq(b.transform_batch(&raw).unwrap().released.matrix(), 0.0));
+    }
+
+    #[test]
+    fn text_tampering_is_detected() {
+        let (session, _) = fitted_session();
+        let text = session.to_text().unwrap();
+        // Flip one digit of the first rotation angle.
+        let tampered = text.replacen("rotate 0", "rotate 1", 1);
+        assert!(matches!(
+            ReleaseSession::from_text(&tampered),
+            Err(Error::Codec(CodecError::ChecksumMismatch { .. }))
+        ));
+        // Corrupt the checksum itself.
+        let idx = text.rfind("checksum ").unwrap() + "checksum ".len();
+        let mut broken = text.clone().into_bytes();
+        broken[idx] = if broken[idx] == b'0' { b'1' } else { b'0' };
+        assert!(ReleaseSession::from_text(std::str::from_utf8(&broken).unwrap()).is_err());
+        // Dropped line.
+        let dropped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("suppress-ids"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(ReleaseSession::from_text(&dropped).is_err());
+        // Future version (valid checksum, bumped header).
+        let future = {
+            let body: String = text
+                .lines()
+                .filter(|l| !l.starts_with("checksum"))
+                .map(|l| format!("{l}\n"))
+                .collect::<String>()
+                .replacen("rbt-session v1", "rbt-session v9", 1);
+            let sum = crc32(text_checksum_content(&body).as_bytes());
+            format!("{body}checksum {sum:08x}\n")
+        };
+        assert!(matches!(
+            ReleaseSession::from_text(&future),
+            Err(Error::Codec(CodecError::UnsupportedVersion { found: 9 }))
+        ));
+    }
+
+    #[test]
+    fn whitespace_edits_do_not_break_the_checksum() {
+        let (session, _) = fitted_session();
+        let text = session.to_text().unwrap();
+        let padded: String = text.lines().flat_map(|l| ["  ", l, "  \n", "\n"]).collect();
+        let back = ReleaseSession::from_text(&padded).unwrap();
+        assert_eq!(back.key(), session.key());
+    }
+
+    #[test]
+    fn drift_bounds_validation() {
+        assert!(DriftBounds::new(vec![], vec![]).is_err());
+        assert!(DriftBounds::new(vec![0.0], vec![1.0, 2.0]).is_err());
+        assert!(DriftBounds::new(vec![2.0], vec![1.0]).is_err());
+        let b = DriftBounds::new(vec![0.0, -1.0], vec![1.0, 1.0]).unwrap();
+        assert!(b.row_in_range(&[0.5, 0.0]));
+        assert!(!b.row_in_range(&[1.5, 0.0]));
+        assert!(!b.row_in_range(&[f64::NAN, 0.0]));
+        assert!(!b.row_in_range(&[0.5]));
+    }
+}

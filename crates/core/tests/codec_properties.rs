@@ -1,0 +1,222 @@
+//! Property tests for the key-file codec: round trips are bit-identical
+//! for random keys, normalizers, and configs; corrupted bytes (truncation,
+//! bad magic, any flipped byte — checksum included) are rejected with
+//! typed errors, never panics.
+
+use proptest::prelude::*;
+use rbt_core::codec::{self, CodecError};
+use rbt_core::{
+    Error, PairingStrategy, PairwiseSecurityThreshold, RbtConfig, ReleaseSession, RotationStep,
+    ThresholdPolicy, TransformationKey,
+};
+use rbt_data::{FittedNormalizer, Normalization};
+use rbt_linalg::{Matrix, VarianceMode};
+
+fn key_strategy() -> impl Strategy<Value = TransformationKey> {
+    (2usize..8).prop_flat_map(|n| {
+        prop::collection::vec(
+            (
+                0usize..n,
+                1usize..n,
+                -720.0..720.0f64,
+                0.0..10.0f64,
+                0.0..10.0f64,
+            ),
+            1..6,
+        )
+        .prop_map(move |raw| {
+            let steps = raw
+                .into_iter()
+                .map(
+                    |(a, off, theta_degrees, achieved_var1, achieved_var2)| RotationStep {
+                        i: a,
+                        j: (a + off) % n,
+                        theta_degrees,
+                        achieved_var1,
+                        achieved_var2,
+                    },
+                )
+                .collect();
+            TransformationKey::new(steps, n).expect("constructed steps are in range and distinct")
+        })
+    })
+}
+
+fn normalizer_strategy() -> impl Strategy<Value = FittedNormalizer> {
+    (2usize..12, 1usize..6, 0usize..6).prop_flat_map(|(rows, cols, which)| {
+        prop::collection::vec(-1e6..1e6f64, rows * cols).prop_map(move |data| {
+            let m = Matrix::from_vec(rows, cols, data).unwrap();
+            let method = match which {
+                0 => Normalization::zscore_paper(),
+                1 => Normalization::ZScore {
+                    mode: VarianceMode::Population,
+                },
+                2 => Normalization::min_max_unit(),
+                3 => Normalization::MinMax {
+                    new_min: -2.0,
+                    new_max: 2.0,
+                },
+                4 => Normalization::DecimalScaling,
+                _ => Normalization::RobustZScore,
+            };
+            method.fit(&m).expect("non-empty matrix fits")
+        })
+    })
+}
+
+fn config_strategy() -> impl Strategy<Value = RbtConfig> {
+    (
+        0usize..3,
+        2usize..9,
+        any::<bool>(),
+        0.0..5.0f64,
+        16usize..5000,
+    )
+        .prop_map(|(pairing_kind, n, per_pair, rho, grid)| {
+            let pairing = match pairing_kind {
+                0 => PairingStrategy::Sequential,
+                1 => PairingStrategy::RandomShuffle,
+                _ => {
+                    let mut pairs: Vec<(usize, usize)> =
+                        (0..n / 2).map(|t| (2 * t, 2 * t + 1)).collect();
+                    if n % 2 == 1 {
+                        pairs.push((n - 1, 0));
+                    }
+                    PairingStrategy::Explicit(pairs)
+                }
+            };
+            let n_pairs = n.div_ceil(2);
+            let thresholds = if per_pair {
+                ThresholdPolicy::PerPair(
+                    (0..n_pairs)
+                        .map(|t| {
+                            PairwiseSecurityThreshold::new(rho + t as f64 * 0.125, rho).unwrap()
+                        })
+                        .collect(),
+                )
+            } else {
+                ThresholdPolicy::Uniform(PairwiseSecurityThreshold::uniform(rho).unwrap())
+            };
+            RbtConfig::uniform(PairwiseSecurityThreshold::uniform(0.1).unwrap())
+                .with_pairing(pairing)
+                .with_thresholds(thresholds)
+                .with_variance_mode(if per_pair {
+                    VarianceMode::Sample
+                } else {
+                    VarianceMode::Population
+                })
+                .with_solver_grid(grid)
+        })
+}
+
+/// Bitwise comparison of two keys (stricter than `PartialEq`, which uses
+/// float equality and would conflate `-0.0` with `0.0`).
+fn assert_keys_bit_identical(a: &TransformationKey, b: &TransformationKey) {
+    assert_eq!(a.n_attributes(), b.n_attributes());
+    assert_eq!(a.steps().len(), b.steps().len());
+    for (x, y) in a.steps().iter().zip(b.steps()) {
+        assert_eq!((x.i, x.j), (y.i, y.j));
+        assert_eq!(x.theta_degrees.to_bits(), y.theta_degrees.to_bits());
+        assert_eq!(x.achieved_var1.to_bits(), y.achieved_var1.to_bits());
+        assert_eq!(x.achieved_var2.to_bits(), y.achieved_var2.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn key_binary_round_trip_is_bit_identical(key in key_strategy()) {
+        let bytes = codec::encode_key(&key);
+        let back = codec::decode_key(&bytes).unwrap();
+        assert_keys_bit_identical(&back, &key);
+        // Canonical encoding: re-encoding reproduces the same bytes.
+        prop_assert_eq!(codec::encode_key(&back), bytes);
+    }
+
+    #[test]
+    fn normalizer_binary_round_trip_is_bit_identical(normalizer in normalizer_strategy()) {
+        let bytes = codec::encode_normalizer(&normalizer);
+        let back = codec::decode_normalizer(&bytes).unwrap();
+        prop_assert_eq!(&back, &normalizer);
+        prop_assert_eq!(back.method(), normalizer.method());
+        prop_assert_eq!(codec::encode_normalizer(&back), bytes);
+    }
+
+    #[test]
+    fn config_binary_round_trip_is_exact(config in config_strategy()) {
+        let bytes = codec::encode_config(&config);
+        let back = codec::decode_config(&bytes).unwrap();
+        prop_assert_eq!(&back, &config);
+        prop_assert_eq!(codec::encode_config(&back), bytes);
+    }
+
+    #[test]
+    fn truncated_key_bytes_are_typed_errors(key in key_strategy(), frac in 0.0..1.0f64) {
+        let bytes = codec::encode_key(&key);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        match codec::decode_key(&bytes[..cut.min(bytes.len() - 1)]) {
+            Err(Error::Codec(_)) => {}
+            other => prop_assert!(false, "expected codec error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn flipped_key_byte_is_rejected(key in key_strategy(), pos in 0.0..1.0f64, bit in 0u8..8) {
+        let mut bytes = codec::encode_key(&key);
+        let idx = ((bytes.len() as f64) * pos) as usize % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        prop_assert!(codec::decode_key(&bytes).is_err(), "flip at {}", idx);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected(key in key_strategy(), byte in any::<u8>()) {
+        let mut bytes = codec::encode_key(&key);
+        if byte != bytes[0] {
+            bytes[0] = byte;
+            prop_assert!(matches!(
+                codec::decode_key(&bytes),
+                Err(Error::Codec(CodecError::BadMagic { .. }))
+            ));
+        }
+    }
+
+    #[test]
+    fn flipped_checksum_byte_is_rejected(key in key_strategy(), which in 0usize..4, bit in 0u8..8) {
+        let mut bytes = codec::encode_key(&key);
+        let idx = bytes.len() - 4 + which;
+        bytes[idx] ^= 1 << bit;
+        prop_assert!(matches!(
+            codec::decode_key(&bytes),
+            Err(Error::Codec(CodecError::ChecksumMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn session_round_trips_through_both_formats(
+        key in key_strategy(),
+        rows in 2usize..10,
+        suppress in any::<bool>(),
+    ) {
+        // A normalizer fitted for the key's width, plus drift bounds.
+        let n = key.n_attributes();
+        let m = Matrix::from_vec(rows, n, (0..rows * n).map(|k| k as f64).collect()).unwrap();
+        let (normalizer, normalized) = Normalization::zscore_paper().fit_transform(&m).unwrap();
+        let session = ReleaseSession::new(key, normalizer)
+            .unwrap()
+            .with_drift_bounds(rbt_core::DriftBounds::from_normalized(&normalized).unwrap())
+            .unwrap()
+            .with_id_suppression(suppress);
+
+        let from_bytes = ReleaseSession::from_bytes(&session.to_bytes()).unwrap();
+        let from_text = ReleaseSession::from_text(&session.to_text().unwrap()).unwrap();
+        for back in [&from_bytes, &from_text] {
+            assert_keys_bit_identical(back.key(), session.key());
+            prop_assert_eq!(back.normalizer(), session.normalizer());
+            prop_assert_eq!(back.drift_bounds(), session.drift_bounds());
+            prop_assert_eq!(back.suppresses_ids(), session.suppresses_ids());
+        }
+        // Text round trip of the *text itself* is canonical too.
+        prop_assert_eq!(from_text.to_text().unwrap(), session.to_text().unwrap());
+    }
+}

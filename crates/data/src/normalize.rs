@@ -14,6 +14,7 @@
 //! released data (§5.2, Table 5).
 
 use crate::{Error, Result};
+use rbt_linalg::codec::{ByteReader, ByteWriter, DecodeError, DecodeResult};
 use rbt_linalg::stats::{self, VarianceMode};
 use rbt_linalg::Matrix;
 
@@ -247,6 +248,16 @@ impl FittedNormalizer {
         self.params.len()
     }
 
+    /// Overrides the advisory [`method`](Self::method) tag without touching
+    /// the fitted per-column parameters. Codecs that persist the method
+    /// separately (the session key-file formats) use this to restore what
+    /// [`from_text`](Self::from_text) cannot infer from z-score-shaped
+    /// parameters alone (sample vs population vs robust fits).
+    pub fn with_method(mut self, method: Normalization) -> Self {
+        self.method = method;
+        self
+    }
+
     /// Applies the fitted normalization to a matrix with the same column
     /// layout.
     ///
@@ -257,12 +268,7 @@ impl FittedNormalizer {
     pub fn transform(&self, m: &Matrix) -> Result<Matrix> {
         self.check_cols(m)?;
         let mut out = m.clone();
-        for i in 0..out.rows() {
-            let row = out.row_mut(i);
-            for (v, p) in row.iter_mut().zip(&self.params) {
-                *v = p.apply(*v);
-            }
-        }
+        self.transform_rows_in_place(out.as_mut_slice())?;
         Ok(out)
     }
 
@@ -275,13 +281,180 @@ impl FittedNormalizer {
     pub fn inverse_transform(&self, m: &Matrix) -> Result<Matrix> {
         self.check_cols(m)?;
         let mut out = m.clone();
-        for i in 0..out.rows() {
-            let row = out.row_mut(i);
+        self.invert_rows_in_place(out.as_mut_slice())?;
+        Ok(out)
+    }
+
+    /// Applies the fitted normalization in place to a row-major slice of
+    /// complete rows (`rows.len()` must be a multiple of
+    /// [`n_cols`](Self::n_cols)).
+    ///
+    /// This is the primitive under [`transform`](Self::transform), exposed
+    /// so batch processors can normalize disjoint row chunks independently
+    /// (the release session fans chunks out over the shared thread pool);
+    /// the arithmetic is elementwise per row, so any chunking produces
+    /// bit-identical output to the whole-matrix call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] if `rows.len()` is not a multiple of
+    /// the fitted column count.
+    pub fn transform_rows_in_place(&self, rows: &mut [f64]) -> Result<()> {
+        self.check_row_slice(rows)?;
+        for row in rows.chunks_exact_mut(self.params.len()) {
+            for (v, p) in row.iter_mut().zip(&self.params) {
+                *v = p.apply(*v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Inverts the fitted normalization in place on a row-major slice of
+    /// complete rows — the chunked counterpart of
+    /// [`inverse_transform`](Self::inverse_transform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] if `rows.len()` is not a multiple of
+    /// the fitted column count.
+    pub fn invert_rows_in_place(&self, rows: &mut [f64]) -> Result<()> {
+        self.check_row_slice(rows)?;
+        for row in rows.chunks_exact_mut(self.params.len()) {
             for (v, p) in row.iter_mut().zip(&self.params) {
                 *v = p.invert(*v);
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    fn check_row_slice(&self, rows: &[f64]) -> Result<()> {
+        if self.params.is_empty() || rows.len() % self.params.len() != 0 {
+            return Err(Error::NotFitted(format!(
+                "slice of {} values is not whole rows of {} columns",
+                rows.len(),
+                self.params.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serializes the fitted normalizer into `w` as a compact binary
+    /// record: method tag, column count, then one tagged parameter entry
+    /// per column with `f64` bit patterns. Unlike
+    /// [`to_text`](Self::to_text)/[`from_text`](Self::from_text), this
+    /// round-trips the struct **exactly** — including the advisory method
+    /// tag and every float bit.
+    ///
+    /// The record carries no framing; the session key-file envelope adds
+    /// magic, version, and checksum around it.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        match self.method {
+            Normalization::MinMax { new_min, new_max } => {
+                w.put_u8(0);
+                w.put_f64(new_min);
+                w.put_f64(new_max);
+            }
+            Normalization::ZScore {
+                mode: VarianceMode::Sample,
+            } => w.put_u8(1),
+            Normalization::ZScore {
+                mode: VarianceMode::Population,
+            } => w.put_u8(2),
+            Normalization::DecimalScaling => w.put_u8(3),
+            Normalization::RobustZScore => w.put_u8(4),
+        }
+        w.put_usize(self.params.len());
+        for p in &self.params {
+            match *p {
+                ColumnParams::MinMax {
+                    min,
+                    max,
+                    new_min,
+                    new_max,
+                } => {
+                    w.put_u8(0);
+                    w.put_f64(min);
+                    w.put_f64(max);
+                    w.put_f64(new_min);
+                    w.put_f64(new_max);
+                }
+                ColumnParams::ZScore { mean, std } => {
+                    w.put_u8(1);
+                    w.put_f64(mean);
+                    w.put_f64(std);
+                }
+                ColumnParams::DecimalScaling { factor } => {
+                    w.put_u8(2);
+                    w.put_f64(factor);
+                }
+            }
+        }
+    }
+
+    /// Decodes the record written by [`encode_into`](Self::encode_into),
+    /// advancing `r` past it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`DecodeError`] (never panics) for truncated input,
+    /// unknown method/parameter tags, or a zero column count.
+    pub fn decode_from(r: &mut ByteReader<'_>) -> DecodeResult<Self> {
+        let tag_offset = r.position();
+        let method = match r.take_u8()? {
+            0 => Normalization::MinMax {
+                new_min: r.take_f64()?,
+                new_max: r.take_f64()?,
+            },
+            1 => Normalization::ZScore {
+                mode: VarianceMode::Sample,
+            },
+            2 => Normalization::ZScore {
+                mode: VarianceMode::Population,
+            },
+            3 => Normalization::DecimalScaling,
+            4 => Normalization::RobustZScore,
+            other => {
+                return Err(DecodeError::Malformed {
+                    offset: tag_offset,
+                    message: format!("unknown normalization method tag {other}"),
+                })
+            }
+        };
+        let cols_offset = r.position();
+        let cols = r.take_usize()?;
+        if cols == 0 {
+            return Err(DecodeError::Malformed {
+                offset: cols_offset,
+                message: "normalizer with zero columns".into(),
+            });
+        }
+        let mut params = Vec::with_capacity(cols.min(1024));
+        for _ in 0..cols {
+            let tag_offset = r.position();
+            let p = match r.take_u8()? {
+                0 => ColumnParams::MinMax {
+                    min: r.take_f64()?,
+                    max: r.take_f64()?,
+                    new_min: r.take_f64()?,
+                    new_max: r.take_f64()?,
+                },
+                1 => ColumnParams::ZScore {
+                    mean: r.take_f64()?,
+                    std: r.take_f64()?,
+                },
+                2 => ColumnParams::DecimalScaling {
+                    factor: r.take_f64()?,
+                },
+                other => {
+                    return Err(DecodeError::Malformed {
+                        offset: tag_offset,
+                        message: format!("unknown column parameter tag {other}"),
+                    })
+                }
+            };
+            params.push(p);
+        }
+        Ok(FittedNormalizer { method, params })
     }
 
     fn check_cols(&self, m: &Matrix) -> Result<()> {
@@ -627,6 +800,95 @@ mod tests {
         assert!(FittedNormalizer::from_text("rbt-normalizer v1 cols=1\nzscore 1").is_err());
         assert!(FittedNormalizer::from_text("rbt-normalizer v1 cols=2\nzscore 1 2").is_err());
         assert!(FittedNormalizer::from_text("rbt-normalizer v1 cols=1\nzscore x 2").is_err());
+    }
+
+    #[test]
+    fn binary_codec_round_trips_exactly() {
+        let raw = crate::datasets::arrhythmia_sample();
+        for method in [
+            Normalization::zscore_paper(),
+            Normalization::ZScore {
+                mode: VarianceMode::Population,
+            },
+            Normalization::min_max_unit(),
+            Normalization::MinMax {
+                new_min: -3.5,
+                new_max: 12.25,
+            },
+            Normalization::DecimalScaling,
+            Normalization::RobustZScore,
+        ] {
+            let (fitted, _) = method.fit_transform(raw.matrix()).unwrap();
+            let mut w = ByteWriter::new();
+            fitted.encode_into(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            let back = FittedNormalizer::decode_from(&mut r).unwrap();
+            r.expect_end().unwrap();
+            // Struct-exact: the advisory method survives, unlike from_text.
+            assert_eq!(back, fitted, "{method:?}");
+            assert_eq!(back.method(), method, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn binary_codec_rejects_corruption() {
+        let raw = crate::datasets::arrhythmia_sample();
+        let (fitted, _) = Normalization::zscore_paper()
+            .fit_transform(raw.matrix())
+            .unwrap();
+        let mut w = ByteWriter::new();
+        fitted.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        // Every truncation point fails with a typed error, no panic.
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(FittedNormalizer::decode_from(&mut r).is_err(), "cut {cut}");
+        }
+        // Unknown method / parameter tags.
+        let mut bad_method = bytes.clone();
+        bad_method[0] = 99;
+        assert!(matches!(
+            FittedNormalizer::decode_from(&mut ByteReader::new(&bad_method)),
+            Err(DecodeError::Malformed { offset: 0, .. })
+        ));
+        let mut bad_param = bytes.clone();
+        bad_param[9] = 77; // first column's parameter tag (method u8 + cols u64)
+        assert!(matches!(
+            FittedNormalizer::decode_from(&mut ByteReader::new(&bad_param)),
+            Err(DecodeError::Malformed { offset: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn rows_in_place_matches_matrix_transform() {
+        let raw = crate::datasets::arrhythmia_sample();
+        let (fitted, t) = Normalization::zscore_paper()
+            .fit_transform(raw.matrix())
+            .unwrap();
+        let mut rows = raw.matrix().as_slice().to_vec();
+        fitted.transform_rows_in_place(&mut rows).unwrap();
+        assert_eq!(rows, t.as_slice());
+        fitted.invert_rows_in_place(&mut rows).unwrap();
+        let back = Matrix::from_vec(raw.n_rows(), raw.n_cols(), rows).unwrap();
+        assert!(back.approx_eq(raw.matrix(), 1e-9));
+        // Ragged slices are rejected.
+        let mut ragged = vec![0.0; 4];
+        assert!(matches!(
+            fitted.transform_rows_in_place(&mut ragged),
+            Err(Error::NotFitted(_))
+        ));
+    }
+
+    #[test]
+    fn with_method_overrides_advisory_tag() {
+        let m = Matrix::from_columns(&[&[3.0, 7.0, -2.0]]).unwrap();
+        let (fitted, t) = Normalization::RobustZScore.fit_transform(&m).unwrap();
+        let restored = FittedNormalizer::from_text(&fitted.to_text())
+            .unwrap()
+            .with_method(Normalization::RobustZScore);
+        assert_eq!(restored.method(), Normalization::RobustZScore);
+        assert!(restored.transform(&m).unwrap().approx_eq(&t, 0.0));
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! * [`kernels`] — unrolled, auto-vectorizable distance kernels (the engine
 //!   under dissimilarity construction and k-means assignment),
 //! * [`pool`] — the shared scoped thread pool and work-partition helpers
-//!   every parallel hot path in the workspace runs on.
+//!   every parallel hot path in the workspace runs on,
+//! * [`codec`] — little-endian byte writer/reader and CRC-32, the
+//!   persistence substrate under the release-session key files.
 //!
 //! The crate has no `unsafe` code and no dependencies: parallelism is
 //! `std::thread::scope` via [`pool`].
@@ -36,6 +38,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod codec;
 pub mod dissimilarity;
 pub mod distance;
 pub mod eigen;

@@ -447,12 +447,7 @@ impl Matrix {
                 });
             }
         }
-        for row in self.data.chunks_exact_mut(self.cols) {
-            let x = row[i];
-            let y = row[j];
-            row[i] = x * c + y * s;
-            row[j] = -x * s + y * c;
-        }
+        rotate_pair_in_rows(&mut self.data, self.cols, i, j, c, s);
         Ok(())
     }
 
@@ -677,6 +672,34 @@ impl Matrix {
     /// silently propagating NaNs.
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+/// Applies the plane rotation `[c s; -s c]` to columns `i` and `j` of a
+/// row-major slice of complete rows: for every row,
+/// `(rowᵢ, rowⱼ) ← (c·rowᵢ + s·rowⱼ, −s·rowᵢ + c·rowⱼ)`.
+///
+/// This is the exact update of [`Matrix::rotate_column_pair`] (which
+/// delegates here), factored out so callers that process a matrix in
+/// independent row chunks — the release-session batch transformer chunks
+/// through the shared [`crate::pool`] — share one arithmetic expression and
+/// stay bit-identical to the whole-matrix path by construction.
+///
+/// Rows whose tail does not fill a complete `n_cols` stride are ignored;
+/// callers are expected to pass `rows.len() % n_cols == 0` (debug-asserted).
+///
+/// # Panics
+///
+/// Debug-asserts `i`/`j` in range and distinct; release builds index out of
+/// bounds (and panic) for invalid column indices, so validate upstream.
+pub fn rotate_pair_in_rows(rows: &mut [f64], n_cols: usize, i: usize, j: usize, c: f64, s: f64) {
+    debug_assert!(n_cols > 0 && rows.len() % n_cols == 0);
+    debug_assert!(i < n_cols && j < n_cols && i != j);
+    for row in rows.chunks_exact_mut(n_cols) {
+        let x = row[i];
+        let y = row[j];
+        row[i] = x * c + y * s;
+        row[j] = -x * s + y * c;
     }
 }
 

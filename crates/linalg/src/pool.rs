@@ -18,14 +18,29 @@
 
 use std::num::NonZeroUsize;
 
-/// The machine's available parallelism (`1` when it cannot be queried).
+/// The default thread budget: the `RBT_THREADS` environment variable when
+/// it holds a positive integer, otherwise the machine's available
+/// parallelism (`1` when it cannot be queried).
 ///
 /// This is the default thread count every production call site uses; pass
 /// an explicit count only to pin behaviour in tests or benches.
+/// `RBT_THREADS=1` forces every pooled path onto the caller's thread — CI
+/// runs the whole test suite a second time under it so the serial≡parallel
+/// contracts are exercised on both sides.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    match threads_from_env(std::env::var("RBT_THREADS").ok().as_deref()) {
+        Some(n) => n,
+        None => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Parses an `RBT_THREADS`-style override: `Some(n)` for a positive
+/// integer, `None` for an unset, empty, zero, or unparsable value.
+fn threads_from_env(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
 }
 
 /// A scoped fork–join pool with a fixed thread budget.
@@ -190,6 +205,19 @@ mod tests {
         assert!(default_threads() >= 1);
         assert_eq!(Pool::auto().threads(), default_threads());
         assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn threads_env_override_parsing() {
+        // Valid overrides win…
+        assert_eq!(threads_from_env(Some("1")), Some(1));
+        assert_eq!(threads_from_env(Some(" 8 ")), Some(8));
+        // …while unset/empty/zero/garbage fall back to autodetection.
+        assert_eq!(threads_from_env(None), None);
+        assert_eq!(threads_from_env(Some("")), None);
+        assert_eq!(threads_from_env(Some("0")), None);
+        assert_eq!(threads_from_env(Some("lots")), None);
+        assert_eq!(threads_from_env(Some("-2")), None);
     }
 
     #[test]

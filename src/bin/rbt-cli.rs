@@ -16,7 +16,7 @@
 //! reports per-attribute security levels.
 
 use rand::SeedableRng;
-use rbt::core::{Pipeline, RbtConfig, TransformationKey};
+use rbt::core::{Pipeline, RbtConfig, ReleaseSession, TransformationKey};
 use rbt::data::{csv, FittedNormalizer, Normalization};
 use rbt::{PairwiseSecurityThreshold, VarianceMode};
 use std::collections::HashMap;
@@ -32,6 +32,9 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "release" => cmd_release(rest),
         "recover" => cmd_recover(rest),
+        "keygen" => cmd_keygen(rest),
+        "transform" => cmd_transform(rest),
+        "invert" => cmd_invert(rest),
         "inspect-key" => cmd_inspect_key(rest),
         "audit" => cmd_audit(rest),
         "help" | "--help" | "-h" => {
@@ -52,11 +55,21 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 rbt-cli — privacy-preserving data release via Rotation-Based Transformation
 
-USAGE:
+USAGE — one-shot release (Figure 1):
   rbt-cli release --input <csv> --output <csv> --key <file> --params <file>
           [--rho <f64, default 0.3>] [--seed <u64, default random>]
           [--normalization zscore|minmax|decimal|robust] [--keep-ids]
   rbt-cli recover --input <csv> --key <file> --params <file> --output <csv>
+
+Streaming release sessions (persisted secrets, batch after batch):
+  rbt-cli keygen --input <csv> --key <file> [--released <csv>]
+          [--rho <f64, default 0.3>] [--seed <u64, default random>]
+          [--normalization zscore|minmax|decimal|robust] [--keep-ids]
+          [--format text|binary, default text]
+  rbt-cli transform --key <file> --input <csv> --output <csv>
+  rbt-cli invert --key <file> --input <csv> --output <csv>
+
+Inspection:
   rbt-cli inspect-key --key <file>
   rbt-cli audit --original <csv> --released <csv>";
 
@@ -95,32 +108,43 @@ fn read_file(path: &Path) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))
 }
 
+fn parse_rho(flags: &HashMap<String, String>) -> Result<f64, String> {
+    flags
+        .get("rho")
+        .map(|v| v.parse().map_err(|e| format!("bad --rho: {e}")))
+        .transpose()
+        .map(|v| v.unwrap_or(0.3))
+}
+
+fn parse_seed(flags: &HashMap<String, String>) -> Result<u64, String> {
+    match flags.get("seed") {
+        Some(v) => v.parse().map_err(|e| format!("bad --seed: {e}")),
+        None => {
+            // No seed given: derive one from the OS entropy source.
+            Ok(rand::rng().random())
+        }
+    }
+}
+
+fn parse_normalization(flags: &HashMap<String, String>) -> Result<Normalization, String> {
+    match flags.get("normalization").map(String::as_str) {
+        None | Some("zscore") => Ok(Normalization::zscore_paper()),
+        Some("minmax") => Ok(Normalization::min_max_unit()),
+        Some("decimal") => Ok(Normalization::DecimalScaling),
+        Some("robust") => Ok(Normalization::RobustZScore),
+        Some(other) => Err(format!("unknown normalization {other:?}")),
+    }
+}
+
 fn cmd_release(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &["keep-ids"])?;
     let input = PathBuf::from(required(&flags, "input")?);
     let output = PathBuf::from(required(&flags, "output")?);
     let key_path = PathBuf::from(required(&flags, "key")?);
     let params_path = PathBuf::from(required(&flags, "params")?);
-    let rho: f64 = flags
-        .get("rho")
-        .map(|v| v.parse().map_err(|e| format!("bad --rho: {e}")))
-        .transpose()?
-        .unwrap_or(0.3);
-    let seed: u64 = match flags.get("seed") {
-        Some(v) => v.parse().map_err(|e| format!("bad --seed: {e}"))?,
-        None => {
-            // No seed given: derive one from the OS entropy source.
-
-            rand::rng().random()
-        }
-    };
-    let normalization = match flags.get("normalization").map(String::as_str) {
-        None | Some("zscore") => Normalization::zscore_paper(),
-        Some("minmax") => Normalization::min_max_unit(),
-        Some("decimal") => Normalization::DecimalScaling,
-        Some("robust") => Normalization::RobustZScore,
-        Some(other) => return Err(format!("unknown normalization {other:?}")),
-    };
+    let rho = parse_rho(&flags)?;
+    let seed = parse_seed(&flags)?;
+    let normalization = parse_normalization(&flags)?;
 
     let data = csv::read_file(&input).map_err(|e| e.to_string())?;
     let pst = PairwiseSecurityThreshold::uniform(rho).map_err(|e| e.to_string())?;
@@ -183,12 +207,158 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_keygen(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["keep-ids"])?;
+    let input = PathBuf::from(required(&flags, "input")?);
+    let key_path = PathBuf::from(required(&flags, "key")?);
+    let rho = parse_rho(&flags)?;
+    let seed = parse_seed(&flags)?;
+    let normalization = parse_normalization(&flags)?;
+    let suppress_ids = !flags.contains_key("keep-ids");
+    let binary = match flags.get("format").map(String::as_str) {
+        None | Some("text") => false,
+        Some("binary") => true,
+        Some(other) => return Err(format!("unknown key format {other:?}")),
+    };
+
+    let data = csv::read_file(&input).map_err(|e| e.to_string())?;
+    let pst = PairwiseSecurityThreshold::uniform(rho).map_err(|e| e.to_string())?;
+    let config = RbtConfig::uniform(pst);
+    let pipeline = Pipeline::new(config.clone())
+        .with_normalization(normalization)
+        .with_id_suppression(suppress_ids);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let out = pipeline.run(&data, &mut rng).map_err(|e| e.to_string())?;
+
+    let session = ReleaseSession::from_pipeline_output(&out)
+        .map_err(|e| e.to_string())?
+        .with_config(config)
+        .with_id_suppression(suppress_ids);
+    if binary {
+        std::fs::write(&key_path, session.to_bytes())
+            .map_err(|e| format!("writing {}: {e}", key_path.display()))?;
+    } else {
+        write_file(&key_path, &session.to_text().map_err(|e| e.to_string())?)?;
+    }
+
+    if let Some(released_path) = flags.get("released").map(PathBuf::from) {
+        csv::write_file(&out.released, &released_path).map_err(|e| e.to_string())?;
+        println!(
+            "initial release: {} rows -> {}",
+            out.released.n_rows(),
+            released_path.display()
+        );
+    }
+    println!(
+        "session key for {} attributes ({} rotation steps, {} key file) -> {}",
+        out.key.n_attributes(),
+        out.key.steps().len(),
+        if binary { "binary" } else { "text" },
+        key_path.display()
+    );
+    println!(
+        "fitted on {} records; keep the key file private",
+        data.n_rows()
+    );
+    println!("seed (keep private): {seed}");
+    Ok(())
+}
+
+fn load_session(key_path: &Path) -> Result<ReleaseSession, String> {
+    let bytes =
+        std::fs::read(key_path).map_err(|e| format!("reading {}: {e}", key_path.display()))?;
+    ReleaseSession::decode(&bytes).map_err(|e| e.to_string())
+}
+
+fn cmd_transform(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let key_path = PathBuf::from(required(&flags, "key")?);
+    let input = PathBuf::from(required(&flags, "input")?);
+    let output = PathBuf::from(required(&flags, "output")?);
+
+    let mut session = load_session(&key_path)?;
+    let data = csv::read_file(&input).map_err(|e| e.to_string())?;
+    let batch = session.transform_batch(&data).map_err(|e| e.to_string())?;
+    csv::write_file(&batch.released, &output).map_err(|e| e.to_string())?;
+
+    println!(
+        "transformed {} rows x {} attributes -> {}",
+        batch.released.n_rows(),
+        batch.released.n_cols(),
+        output.display()
+    );
+    if batch.out_of_range_rows > 0 {
+        println!(
+            "warning: {} of {} records fall outside the fitted normalization \
+             range — consider re-fitting the session",
+            batch.out_of_range_rows,
+            data.n_rows()
+        );
+    } else {
+        println!("drift: 0 records outside the fitted range");
+    }
+    Ok(())
+}
+
+fn cmd_invert(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &[])?;
+    let key_path = PathBuf::from(required(&flags, "key")?);
+    let input = PathBuf::from(required(&flags, "input")?);
+    let output = PathBuf::from(required(&flags, "output")?);
+
+    let session = load_session(&key_path)?;
+    let data = csv::read_file(&input).map_err(|e| e.to_string())?;
+    let recovered = session.invert_batch(&data).map_err(|e| e.to_string())?;
+    csv::write_file(&recovered, &output).map_err(|e| e.to_string())?;
+    println!(
+        "recovered {} rows x {} attributes -> {}",
+        recovered.n_rows(),
+        recovered.n_cols(),
+        output.display()
+    );
+    Ok(())
+}
+
 fn cmd_inspect_key(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &[])?;
     let key_path = PathBuf::from(required(&flags, "key")?);
-    let key: TransformationKey = read_file(&key_path)?
-        .parse()
-        .map_err(|e: rbt::core::Error| e.to_string())?;
+    let bytes =
+        std::fs::read(&key_path).map_err(|e| format!("reading {}: {e}", key_path.display()))?;
+    // Session key files (binary or text) carry more than the key. Only
+    // files that do not *look like* sessions fall through to the legacy
+    // bare-key text parser — a corrupted session file must surface its
+    // decode error (e.g. a checksum mismatch), not a misleading legacy
+    // parse failure.
+    let looks_like_session = bytes.starts_with(&rbt::core::codec::MAGIC)
+        || std::str::from_utf8(&bytes).is_ok_and(|t| t.trim_start().starts_with("rbt-session"));
+    let key: TransformationKey = if looks_like_session {
+        let session = ReleaseSession::decode(&bytes).map_err(|e| e.to_string())?;
+        println!(
+            "session key file: normalizer for {} columns, drift bounds {}, \
+             config {}, id suppression {}",
+            session.normalizer().n_cols(),
+            if session.drift_bounds().is_some() {
+                "attached"
+            } else {
+                "absent"
+            },
+            if session.config().is_some() {
+                "attached"
+            } else {
+                "absent"
+            },
+            if session.suppresses_ids() {
+                "on"
+            } else {
+                "off"
+            }
+        );
+        session.key().clone()
+    } else {
+        String::from_utf8_lossy(&bytes)
+            .parse()
+            .map_err(|e: rbt::core::Error| e.to_string())?
+    };
     println!(
         "key for {} attributes, {} rotation steps:",
         key.n_attributes(),

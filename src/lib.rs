@@ -18,6 +18,10 @@
 //! See `examples/quickstart.rs` for the end-to-end pipeline of the paper's
 //! Figure 1: normalize → rotate pairwise under security thresholds → share →
 //! cluster, with identical clusters before and after.
+//!
+//! For streaming workloads — the same persisted secrets applied to batch
+//! after batch of arriving records — see [`ReleaseSession`] and
+//! `examples/streaming_release.rs`.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,6 +34,8 @@ pub use rbt_linalg as linalg;
 pub use rbt_transform as transform;
 
 // Most-used types at the top level for ergonomic imports.
-pub use rbt_core::{PairwiseSecurityThreshold, RbtConfig, RbtTransformer};
+pub use rbt_core::{
+    DriftBounds, PairwiseSecurityThreshold, RbtConfig, RbtTransformer, ReleaseSession, SessionBatch,
+};
 pub use rbt_data::dataset::Dataset;
 pub use rbt_linalg::{Matrix, Rotation2, VarianceMode};

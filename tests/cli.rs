@@ -143,6 +143,222 @@ fn release_is_seed_deterministic() {
 }
 
 #[test]
+fn keygen_transform_invert_round_trip() {
+    let dir = temp_dir("session-roundtrip");
+    let input = dir.join("data.csv");
+    std::fs::write(&input, SAMPLE).unwrap();
+    let key = dir.join("session.rbt");
+    let released0 = dir.join("released0.csv");
+    let transformed = dir.join("transformed.csv");
+    let recovered = dir.join("recovered.csv");
+
+    let out = cli()
+        .args(["keygen", "--input"])
+        .arg(&input)
+        .args(["--key"])
+        .arg(&key)
+        .args(["--released"])
+        .arg(&released0)
+        .args(["--rho", "0.25", "--seed", "9"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("session key for 3 attributes"));
+    // Default key-file format is the human-readable checksummed text form.
+    assert!(std::fs::read_to_string(&key)
+        .unwrap()
+        .starts_with("rbt-session v1\n"));
+
+    // Transforming the same rows through the persisted session must equal
+    // the keygen-time release byte for byte (the matrices are bit-identical
+    // and the CSV writer is deterministic).
+    let out = cli()
+        .args(["transform", "--key"])
+        .arg(&key)
+        .args(["--input"])
+        .arg(&input)
+        .args(["--output"])
+        .arg(&transformed)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("drift: 0 records"));
+    assert_eq!(
+        std::fs::read(&transformed).unwrap(),
+        std::fs::read(&released0).unwrap(),
+        "streamed transform differs from the keygen-time release"
+    );
+
+    // invert recovers the raw values within 1e-9.
+    let out = cli()
+        .args(["invert", "--key"])
+        .arg(&key)
+        .args(["--input"])
+        .arg(&transformed)
+        .args(["--output"])
+        .arg(&recovered)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let recovered_ds = rbt::data::csv::read_file(&recovered).unwrap();
+    let original = rbt::data::csv::from_csv(SAMPLE).unwrap();
+    let err = recovered_ds
+        .matrix()
+        .max_abs_diff(original.matrix())
+        .unwrap();
+    assert!(err < 1e-9, "recovered CSV off by {err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_and_text_key_files_are_equivalent() {
+    let dir = temp_dir("session-binary");
+    let input = dir.join("data.csv");
+    std::fs::write(&input, SAMPLE).unwrap();
+    let key_text = dir.join("session.rbt");
+    let key_bin = dir.join("session.bin");
+    let out_text = dir.join("t-text.csv");
+    let out_bin = dir.join("t-bin.csv");
+
+    for (key, fmt) in [(&key_text, "text"), (&key_bin, "binary")] {
+        let out = cli()
+            .args(["keygen", "--input"])
+            .arg(&input)
+            .args(["--key"])
+            .arg(key)
+            .args(["--seed", "4242", "--format", fmt])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(&std::fs::read(&key_bin).unwrap()[..4], b"RBTS");
+
+    for (key, out_path) in [(&key_text, &out_text), (&key_bin, &out_bin)] {
+        let out = cli()
+            .args(["transform", "--key"])
+            .arg(key)
+            .args(["--input"])
+            .arg(&input)
+            .args(["--output"])
+            .arg(out_path)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // Same seed, either key-file container: identical releases.
+    assert_eq!(
+        std::fs::read(&out_text).unwrap(),
+        std::fs::read(&out_bin).unwrap()
+    );
+
+    // inspect-key understands session key files (both containers).
+    for key in [&key_text, &key_bin] {
+        let inspect = cli()
+            .args(["inspect-key", "--key"])
+            .arg(key)
+            .output()
+            .unwrap();
+        assert!(inspect.status.success());
+        let text = String::from_utf8_lossy(&inspect.stdout);
+        assert!(text.contains("session key file"), "{text}");
+        assert!(text.contains("drift bounds attached"), "{text}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_session_key_files_are_refused() {
+    let dir = temp_dir("session-corrupt");
+    let input = dir.join("data.csv");
+    std::fs::write(&input, SAMPLE).unwrap();
+    let key = dir.join("session.rbt");
+    let output = dir.join("out.csv");
+
+    let out = cli()
+        .args(["keygen", "--input"])
+        .arg(&input)
+        .args(["--key"])
+        .arg(&key)
+        .args(["--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Tamper with one rotation line in the text key file.
+    let text = std::fs::read_to_string(&key).unwrap();
+    let tampered = text.replacen("rotate 0", "rotate 1", 1);
+    assert_ne!(text, tampered);
+    std::fs::write(&key, tampered).unwrap();
+
+    let out = cli()
+        .args(["transform", "--key"])
+        .arg(&key)
+        .args(["--input"])
+        .arg(&input)
+        .args(["--output"])
+        .arg(&output)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "tampered key must be refused");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("checksum mismatch"),
+        "stderr should name the corruption: {stderr}"
+    );
+    assert!(!output.exists(), "no output written from a corrupt key");
+
+    // inspect-key reports the same corruption instead of falling back to
+    // the legacy bare-key parser.
+    let out = cli()
+        .args(["inspect-key", "--key"])
+        .arg(&key)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("checksum mismatch"),
+        "inspect-key should surface the decode error: {stderr}"
+    );
+
+    // Unknown --format is a usage error.
+    let out = cli()
+        .args(["keygen", "--input"])
+        .arg(&input)
+        .args(["--key"])
+        .arg(&key)
+        .args(["--format", "yaml"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown key format"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_invocations_fail_cleanly() {
     // Unknown command.
     let out = cli().arg("frobnicate").output().unwrap();
