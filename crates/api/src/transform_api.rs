@@ -1,0 +1,184 @@
+//! The object-safe release interface every privacy method implements.
+//!
+//! The paper's Corollary 1 claims RBT is a drop-in release method for *any*
+//! distance-based clustering — and §5.2 benchmarks it against the noise,
+//! swapping, and geometric baselines. This module gives all of those one
+//! service boundary:
+//!
+//! * [`PrivacyTransform`] — an **unfitted method**: a name, a
+//!   [`MethodProperties`] descriptor, and [`fit`](PrivacyTransform::fit),
+//!   which consumes a dataset plus randomness and produces the initial
+//!   release alongside a fitted, reusable transform;
+//! * [`FittedTransform`] — the **fitted state**: batch-wise
+//!   [`transform_batch`](FittedTransform::transform_batch) /
+//!   [`invert_batch`](FittedTransform::invert_batch) (inversion is
+//!   `Err(`[`RbtError::NotInvertible`](crate::RbtError::NotInvertible)`)`
+//!   for the baselines), and a
+//!   [`to_bytes`](FittedTransform::to_bytes) codec hook that rides the
+//!   sealed `RBTS` envelope of [`rbt_core::codec`].
+//!
+//! Both traits are dyn-compatible: the CLI, the bench harness, and the
+//! [`Release`](crate::Release) builder all hold `Box<dyn …>` and select
+//! methods by name through the [`Method`](crate::Method) registry. The
+//! randomness parameter is `&mut dyn RngCore` for the same reason — seeded
+//! reproducibility without a generic signature.
+
+use crate::error::Result;
+use rand::RngCore;
+use rbt_data::Dataset;
+use std::any::Any;
+use std::fmt;
+
+/// What a method guarantees, and what breaking it would cost an attacker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodProperties {
+    /// Whether the method preserves all pairwise distances exactly
+    /// (Theorem 2 / Corollary 1: clustering results are identical on the
+    /// release). The noise/swap/geometric baselines trade this away.
+    pub isometric: bool,
+    /// Whether the fitted state can undo its own releases
+    /// ([`FittedTransform::invert_batch`]).
+    pub invertible: bool,
+    /// Whether the method accepts pairwise-security thresholds (the §4.2
+    /// PST knob). Baselines tune privacy through their own parameters.
+    pub tunable_thresholds: bool,
+    /// A coarse lower-bound estimate, in bits, of the §5.2 brute-force
+    /// keyspace an attacker must search (angle discretization only;
+    /// pairing/order uncertainty makes the true space larger). `None`
+    /// before fitting, or for methods whose security is not key-based.
+    pub keyspace_bits: Option<f64>,
+}
+
+impl fmt::Display for MethodProperties {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "isometric={} invertible={} thresholds={}",
+            self.isometric, self.invertible, self.tunable_thresholds
+        )?;
+        if let Some(bits) = self.keyspace_bits {
+            write!(f, " keyspace≥2^{bits:.0}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An unfitted privacy-preserving release method.
+///
+/// Implementations must be deterministic given the RNG stream, so a seeded
+/// run reproduces its release bit for bit.
+pub trait PrivacyTransform {
+    /// The registry name (`rbt`, `hybrid-isometry`, `noise`, `swap`,
+    /// `geometric`).
+    fn name(&self) -> &'static str;
+
+    /// The method's capability descriptor. `keyspace_bits` is `None`
+    /// before fitting (it depends on the fitted key size).
+    fn properties(&self) -> MethodProperties;
+
+    /// Fits the method to a dataset: derives whatever owner-side secrets
+    /// it needs (normalization statistics, rotation keys, perturbation
+    /// draws) and produces the initial release of that same data.
+    ///
+    /// # Errors
+    ///
+    /// * [`RbtError::InfeasibleThreshold`](crate::RbtError::InfeasibleThreshold)
+    ///   when a security threshold cannot be met at any angle,
+    /// * [`RbtError::InvalidConfig`](crate::RbtError::InvalidConfig) for
+    ///   parameters incompatible with the data (too few columns, NaNs, …),
+    /// * [`RbtError::DimensionMismatch`](crate::RbtError::DimensionMismatch)
+    ///   for internal shape disagreements.
+    fn fit(&self, data: &Dataset, rng: &mut dyn RngCore) -> Result<FitOutput>;
+}
+
+/// Everything [`PrivacyTransform::fit`] produces.
+pub struct FitOutput {
+    /// The initial release: the fitting data transformed under the freshly
+    /// drawn secrets (ID-suppressed per the method's configuration).
+    pub released: Dataset,
+    /// The fitted, reusable transform for out-of-sample batches.
+    pub fitted: Box<dyn FittedTransform>,
+}
+
+/// A fitted privacy transform: owner-side secrets bound to a fixed
+/// attribute layout, applicable to batch after batch of arriving records.
+pub trait FittedTransform: Send {
+    /// The registry name of the method that produced this state.
+    fn method_name(&self) -> &'static str;
+
+    /// The capability descriptor, now including the fitted
+    /// [`keyspace_bits`](MethodProperties::keyspace_bits) estimate where
+    /// the method has one.
+    fn properties(&self) -> MethodProperties;
+
+    /// Number of attributes (columns) this state was fitted for.
+    fn n_attributes(&self) -> usize;
+
+    /// Transforms a batch of out-of-sample records under the fitted
+    /// secrets.
+    ///
+    /// # Errors
+    ///
+    /// [`RbtError::DimensionMismatch`](crate::RbtError::DimensionMismatch)
+    /// when the batch's column count disagrees with the fitted layout.
+    fn transform_batch(&mut self, batch: &Dataset) -> Result<Dataset>;
+
+    /// Owner-side inverse: recovers the pre-release values of a released
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// * [`RbtError::NotInvertible`](crate::RbtError::NotInvertible) for
+    ///   methods without an inverse (the baselines),
+    /// * [`RbtError::DimensionMismatch`](crate::RbtError::DimensionMismatch)
+    ///   on a column-count disagreement.
+    fn invert_batch(&self, released: &Dataset) -> Result<Dataset>;
+
+    /// Serializes the fitted state into the sealed, checksummed `RBTS`
+    /// envelope of [`rbt_core::codec`] — RBT states use the existing
+    /// session record (readable by every session consumer), other methods
+    /// the name-tagged method record. Decode with
+    /// [`decode_fitted`](crate::decode_fitted).
+    ///
+    /// # Errors
+    ///
+    /// [`RbtError::Codec`](crate::RbtError::Codec) when the state has no
+    /// stable encoding (cannot occur for the shipped methods).
+    fn to_bytes(&self) -> Result<Vec<u8>>;
+
+    /// Upcast hook for callers that need the concrete fitted type (e.g.
+    /// the RBT [`ReleaseSession`](rbt_core::ReleaseSession) behind
+    /// [`FittedRelease::session`](crate::FittedRelease::session)).
+    fn as_any(&self) -> &dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traits_are_dyn_compatible() {
+        // Compile-time check: both traits box.
+        fn _takes_boxed(_: Box<dyn PrivacyTransform>, _: Box<dyn FittedTransform>) {}
+    }
+
+    #[test]
+    fn properties_display_is_compact() {
+        let p = MethodProperties {
+            isometric: true,
+            invertible: true,
+            tunable_thresholds: true,
+            keyspace_bits: Some(371.2),
+        };
+        let s = p.to_string();
+        assert!(s.contains("isometric=true"));
+        assert!(s.contains("keyspace≥2^371"));
+        let q = MethodProperties {
+            isometric: false,
+            invertible: false,
+            tunable_thresholds: false,
+            keyspace_bits: None,
+        };
+        assert!(!q.to_string().contains("keyspace"));
+    }
+}

@@ -12,7 +12,7 @@
 /// Number of perfect matchings of `n` labelled items (`(n−1)!!` for even
 /// `n`), saturating at `u128::MAX`.
 pub fn perfect_matchings(n: usize) -> u128 {
-    if n % 2 != 0 {
+    if !n.is_multiple_of(2) {
         return 0;
     }
     let mut acc: u128 = 1;
@@ -39,7 +39,7 @@ pub fn ordered_pairings(n: usize) -> u128 {
     if n < 2 {
         return 0;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         let k = (n / 2) as u32;
         let m = perfect_matchings(n);
         m.saturating_mul(1u128 << k.min(127))

@@ -14,6 +14,8 @@
 //! Run the full suite:   `cargo bench -p rbt-bench --bench kernels`
 //! CI smoke (seconds):   `cargo bench -p rbt-bench --bench kernels -- --quick-smoke`
 
+use rand::SeedableRng;
+use rbt_api::{Method, Release};
 use rbt_bench::{workload, WorkloadSpec};
 use rbt_core::key::{RotationStep, TransformationKey};
 use rbt_linalg::dissimilarity::DissimilarityMatrix;
@@ -376,6 +378,58 @@ fn main() {
             scalar_s,
             fast_s,
             parallel_s: Some(parallel_s),
+        });
+    }
+
+    // 6. Object-safe release dispatch: the same fitted RBT state driven
+    //    directly as a concrete `ReleaseSession` vs through the release
+    //    API's `Box<dyn FittedTransform>`. The whole point of the trait
+    //    layer is that this vtable hop costs nothing against the O(rows ×
+    //    (cols + steps)) batch work behind it.
+    {
+        let (rows, n) = (4096usize, 32usize);
+        let w = workload(WorkloadSpec {
+            rows,
+            cols: n,
+            k: 4,
+            seed: 980,
+        });
+        let dataset = rbt_data::Dataset::from_matrix(w.matrix.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut via_trait = Release::of(&dataset)
+            .with_method(Method::Rbt)
+            .fit(&mut rng)
+            .expect("default thresholds are feasible on this workload");
+        let mut direct = via_trait
+            .session()
+            .expect("rbt exposes its session")
+            .clone();
+        let best = time_competitors(
+            budget,
+            rounds,
+            &mut [
+                &mut || {
+                    black_box(direct.transform_batch(&dataset).unwrap());
+                },
+                &mut || {
+                    black_box(via_trait.transform_batch(&dataset).unwrap());
+                },
+            ],
+        );
+        let (scalar_s, fast_s) = (best[0], best[1]);
+        // Sanity: both paths release identical bytes.
+        let a = direct.transform_batch(&dataset).unwrap();
+        let b = via_trait.transform_batch(&dataset).unwrap();
+        assert!(
+            a.released.matrix().approx_eq(b.matrix(), 0.0),
+            "trait dispatch changed the release"
+        );
+        entries.push(Entry {
+            name: "release_dispatch",
+            params: format!("{{\"rows\": {rows}, \"n_attributes\": {n}}}"),
+            scalar_s,
+            fast_s,
+            parallel_s: None,
         });
     }
 

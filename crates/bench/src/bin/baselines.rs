@@ -17,6 +17,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rbt_api::{Method, Release};
 use rbt_bench::{format_table, workload, WorkloadSpec};
 use rbt_cluster::metrics::{f_measure, misclassification_error};
 use rbt_cluster::{KMeans, KMeansInit};
@@ -139,6 +140,19 @@ fn main() {
                 .perturb(&normalized, &mut rng)
                 .unwrap(),
         );
+    }
+
+    // Every registered method once more through the unified release API,
+    // selected by string — the harness no longer hand-wires each method.
+    let api_data = rbt_data::Dataset::from_matrix(normalized.clone());
+    for name in ["rbt", "hybrid-isometry", "noise", "swap", "geometric"] {
+        let method = Method::from_name(name).expect("registry name");
+        let mut rng = StdRng::seed_from_u64(777);
+        let fitted = Release::of(&api_data)
+            .with_method(method)
+            .fit(&mut rng)
+            .expect("defaults are feasible on this workload");
+        record(format!("api:{name}"), fitted.released().matrix().clone());
     }
 
     println!("== E-X1: privacy vs clustering accuracy across methods ==\n");

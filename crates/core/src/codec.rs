@@ -54,6 +54,11 @@ pub enum RecordKind {
     /// A full release session: key, normalizer, optional config and drift
     /// bounds, ID-suppression flag.
     Session,
+    /// A fitted privacy-transform method other than the RBT session: a
+    /// method-name tag followed by a method-specific payload. The release
+    /// API layer uses this kind so every registered method — hybrid
+    /// isometries, baselines — persists inside the same sealed envelope.
+    Method,
 }
 
 impl RecordKind {
@@ -63,6 +68,7 @@ impl RecordKind {
             RecordKind::Normalizer => 2,
             RecordKind::Config => 3,
             RecordKind::Session => 4,
+            RecordKind::Method => 5,
         }
     }
 }
@@ -397,6 +403,29 @@ pub(crate) fn read_config_record(r: &mut ByteReader<'_>) -> Result<RbtConfig> {
         variance_mode,
         solver_grid,
     })
+}
+
+/// Wraps an arbitrary record payload in the sealed `RBTS` envelope
+/// (magic, version, kind, length, trailing CRC-32).
+///
+/// This is the public codec hook for the release-API layer: any fitted
+/// privacy-transform method can serialize its state as a payload and ride
+/// the same envelope (and corruption guarantees) as the built-in
+/// key/normalizer/session records.
+pub fn seal_envelope(kind: RecordKind, payload: &[u8]) -> Vec<u8> {
+    seal(kind, payload)
+}
+
+/// Verifies magic, checksum, version, and kind of a sealed envelope and
+/// returns the payload slice — the decoding counterpart of
+/// [`seal_envelope`].
+///
+/// # Errors
+///
+/// Returns [`Error::Codec`] for framing or corruption problems (bad magic,
+/// checksum mismatch, unsupported version, wrong kind, bad length).
+pub fn open_envelope(bytes: &[u8], expected: RecordKind) -> Result<&[u8]> {
+    open(bytes, expected)
 }
 
 /// Encodes a [`TransformationKey`] into a sealed binary envelope.

@@ -34,6 +34,13 @@ pub enum ThresholdPolicy {
     PerPair(Vec<PairwiseSecurityThreshold>),
 }
 
+impl From<PairwiseSecurityThreshold> for ThresholdPolicy {
+    /// A single threshold means "uniform across every pair".
+    fn from(pst: PairwiseSecurityThreshold) -> Self {
+        ThresholdPolicy::Uniform(pst)
+    }
+}
+
 impl ThresholdPolicy {
     fn resolve(&self, n_pairs: usize) -> Result<Vec<PairwiseSecurityThreshold>> {
         match self {

@@ -85,7 +85,15 @@ impl DriftBounds {
                 maxs.len()
             )));
         }
-        if mins.iter().zip(&maxs).any(|(lo, hi)| !(lo <= hi)) {
+        // NaN bounds must be rejected too, hence the explicit partial_cmp
+        // (plain `lo <= hi` would let them through when negated).
+        let ordered = |lo: &f64, hi: &f64| {
+            matches!(
+                lo.partial_cmp(hi),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            )
+        };
+        if mins.iter().zip(&maxs).any(|(lo, hi)| !ordered(lo, hi)) {
             return Err(Error::InvalidParameter(
                 "drift bounds need min <= max per column".into(),
             ));
@@ -684,23 +692,15 @@ impl ReleaseSession {
                 None => break,
             }
         }
+        // Rebuild the normalizer's own text form, method tag included, so
+        // its parser owns tag validation and method restoration.
         let normalizer_text = format!(
-            "rbt-normalizer v1 cols={}\n{}",
+            "rbt-normalizer v1 cols={} method={tag}\n{}",
             param_lines.len(),
             param_lines.join("\n")
         );
         let normalizer = FittedNormalizer::from_text(&normalizer_text)
             .map_err(|e| text_err(line_no, format!("normalizer section: {e}")))?;
-        let normalizer = match tag.as_str() {
-            // minmax/decimal params fully determine the method already.
-            "minmax" | "decimal" => normalizer,
-            "zscore-sample" => normalizer.with_method(Normalization::zscore_paper()),
-            "zscore-population" => normalizer.with_method(Normalization::ZScore {
-                mode: VarianceMode::Population,
-            }),
-            "robust" => normalizer.with_method(Normalization::RobustZScore),
-            other => return Err(text_err(line_no, format!("unknown method tag {other:?}"))),
-        };
 
         // Optional config section.
         let mut config = None;
@@ -842,24 +842,14 @@ fn text_checksum_content(body: &str) -> String {
         .join("\n")
 }
 
-/// Maps a normalization method to its stable text tag.
+/// Maps a normalization method to its stable text tag (shared with the
+/// normalizer's own text format via [`Normalization::text_tag`]).
 fn method_tag(method: Normalization) -> Result<&'static str> {
-    Ok(match method {
-        Normalization::MinMax { .. } => "minmax",
-        Normalization::ZScore {
-            mode: VarianceMode::Sample,
-        } => "zscore-sample",
-        Normalization::ZScore {
-            mode: VarianceMode::Population,
-        } => "zscore-population",
-        Normalization::DecimalScaling => "decimal",
-        Normalization::RobustZScore => "robust",
-        other => {
-            return Err(CodecError::Invalid {
-                message: format!("normalization method {other:?} has no text tag"),
-            }
-            .into())
+    method.text_tag().ok_or_else(|| {
+        CodecError::Invalid {
+            message: format!("normalization method {method:?} has no text tag"),
         }
+        .into()
     })
 }
 
@@ -1105,6 +1095,41 @@ mod tests {
             .released
             .matrix()
             .approx_eq(b.transform_batch(&raw).unwrap().released.matrix(), 0.0));
+    }
+
+    #[test]
+    fn text_round_trip_preserves_method_tag_for_every_normalization() {
+        // The advisory normalization method must survive the text form for
+        // every shipped method — population/robust fits produce z-score-
+        // shaped parameters that the tag alone distinguishes.
+        let raw = datasets::arrhythmia_sample();
+        for method in [
+            Normalization::zscore_paper(),
+            Normalization::ZScore {
+                mode: VarianceMode::Population,
+            },
+            Normalization::min_max_unit(),
+            Normalization::DecimalScaling,
+            Normalization::RobustZScore,
+        ] {
+            // A small threshold: min–max/decimal scaling shrink variances
+            // well below the z-score tests' 0.25.
+            let out = Pipeline::new(RbtConfig::uniform(
+                PairwiseSecurityThreshold::uniform(1e-4).unwrap(),
+            ))
+            .with_normalization(method)
+            .run(&raw, &mut rng(13))
+            .unwrap();
+            let session = ReleaseSession::from_pipeline_output(&out).unwrap();
+            let text = session.to_text().unwrap();
+            let back = ReleaseSession::from_text(&text).unwrap();
+            assert_eq!(
+                back.normalizer().method(),
+                method,
+                "method tag lost through session text form"
+            );
+            assert_sessions_equal(&back, &session);
+        }
     }
 
     #[test]

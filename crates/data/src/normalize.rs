@@ -66,17 +66,45 @@ impl Normalization {
         }
     }
 
+    /// The stable text tag identifying this method in persisted key files
+    /// (`minmax`, `zscore-sample`, `zscore-population`, `decimal`,
+    /// `robust`), or `None` for a method without one.
+    ///
+    /// Min–max target ranges are not part of the tag: the fitted per-column
+    /// parameters already carry them.
+    pub fn text_tag(&self) -> Option<&'static str> {
+        Some(match self {
+            Normalization::MinMax { .. } => "minmax",
+            Normalization::ZScore {
+                mode: VarianceMode::Sample,
+            } => "zscore-sample",
+            Normalization::ZScore {
+                mode: VarianceMode::Population,
+            } => "zscore-population",
+            Normalization::DecimalScaling => "decimal",
+            Normalization::RobustZScore => "robust",
+            #[allow(unreachable_patterns)] // future #[non_exhaustive] variants
+            _ => return None,
+        })
+    }
+
     /// Fits the normalization to the columns of `m`.
     ///
     /// # Errors
     ///
     /// * [`Error::Shape`] for an empty matrix,
     /// * [`Error::InvalidArgument`] for a min–max target with
-    ///   `new_min >= new_max`.
+    ///   `new_min >= new_max`, or for input containing NaN or infinite
+    ///   values (no finite column statistics exist for such data).
     pub fn fit(&self, m: &Matrix) -> Result<FittedNormalizer> {
         if m.rows() == 0 || m.cols() == 0 {
             return Err(Error::Shape(
                 "cannot fit a normalizer to an empty matrix".into(),
+            ));
+        }
+        if m.has_non_finite() {
+            return Err(Error::InvalidArgument(
+                "cannot fit a normalizer to NaN or infinite values".into(),
             ));
         }
         if let Normalization::MinMax { new_min, new_max } = self {
@@ -154,7 +182,7 @@ impl Normalization {
 fn median(xs: &[f64]) -> f64 {
     debug_assert!(!xs.is_empty());
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite attribute values"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     if n % 2 == 1 {
         sorted[n / 2]
@@ -328,7 +356,7 @@ impl FittedNormalizer {
     }
 
     fn check_row_slice(&self, rows: &[f64]) -> Result<()> {
-        if self.params.is_empty() || rows.len() % self.params.len() != 0 {
+        if self.params.is_empty() || !rows.len().is_multiple_of(self.params.len()) {
             return Err(Error::NotFitted(format!(
                 "slice of {} values is not whole rows of {} columns",
                 rows.len(),
@@ -472,13 +500,23 @@ impl FittedNormalizer {
     /// format (the owner-side companion of the transformation key):
     ///
     /// ```text
-    /// rbt-normalizer v1 cols=3
+    /// rbt-normalizer v1 cols=3 method=zscore-sample
     /// zscore 4.8599999e1 1.7826945e1
     /// …
     /// ```
+    ///
+    /// The `method=` field carries the advisory [`method`](Self::method)
+    /// tag that z-score-shaped parameters alone cannot distinguish (sample
+    /// vs population vs robust fits), so the text form round-trips it just
+    /// like the binary codec. Headers written before this field existed
+    /// parse fine — see [`from_text`](Self::from_text).
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = format!("rbt-normalizer v1 cols={}\n", self.params.len());
+        let mut out = format!("rbt-normalizer v1 cols={}", self.params.len());
+        if let Some(tag) = self.method.text_tag() {
+            let _ = write!(out, " method={tag}");
+        }
+        out.push('\n');
         for p in &self.params {
             match *p {
                 ColumnParams::MinMax {
@@ -505,14 +543,18 @@ impl FittedNormalizer {
 
     /// Parses the format produced by [`to_text`](Self::to_text).
     ///
-    /// The reconstructed normalizer reports [`Normalization::zscore_paper`]
-    /// as its method when the parameters are z-score-shaped (the method
-    /// enum is advisory; transform/inverse behaviour is fully determined by
-    /// the per-column parameters).
+    /// Headers carrying a `method=` field restore the advisory
+    /// [`method`](Self::method) tag exactly. Headers written before that
+    /// field existed (plain `rbt-normalizer v1 cols=N`) still parse; the
+    /// reconstructed normalizer then reports
+    /// [`Normalization::zscore_paper`] when the parameters are
+    /// z-score-shaped (transform/inverse behaviour is fully determined by
+    /// the per-column parameters either way).
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Parse`] for malformed input.
+    /// Returns [`Error::Parse`] for malformed input, including an unknown
+    /// `method=` tag.
     pub fn from_text(text: &str) -> Result<Self> {
         let mut lines = text
             .lines()
@@ -522,14 +564,26 @@ impl FittedNormalizer {
             line: 1,
             message: "empty normalizer".into(),
         })?;
-        let cols = header
+        let bad_header = || Error::Parse {
+            line: 1,
+            message: format!("bad header {header:?}"),
+        };
+        let rest = header
             .trim()
             .strip_prefix("rbt-normalizer v1 cols=")
-            .and_then(|rest| rest.parse::<usize>().ok())
-            .ok_or(Error::Parse {
-                line: 1,
-                message: format!("bad header {header:?}"),
-            })?;
+            .ok_or_else(bad_header)?;
+        let mut fields = rest.split_whitespace();
+        let cols = fields
+            .next()
+            .and_then(|f| f.parse::<usize>().ok())
+            .ok_or_else(bad_header)?;
+        let method_tag = match fields.next() {
+            None => None,
+            Some(f) => Some(f.strip_prefix("method=").ok_or_else(bad_header)?),
+        };
+        if fields.next().is_some() {
+            return Err(bad_header());
+        }
         let mut params = Vec::with_capacity(cols);
         let mut method = Normalization::zscore_paper();
         for (idx, line) in lines {
@@ -592,6 +646,24 @@ impl FittedNormalizer {
                 message: format!("header declares {cols} columns, found {}", params.len()),
             });
         }
+        // An explicit header tag overrides the params-derived guess — this
+        // is what distinguishes sample/population/robust z-score fits,
+        // whose per-column parameters all look alike.
+        let method = match method_tag {
+            // minmax/decimal params fully determine the method already.
+            None | Some("minmax") | Some("decimal") => method,
+            Some("zscore-sample") => Normalization::zscore_paper(),
+            Some("zscore-population") => Normalization::ZScore {
+                mode: VarianceMode::Population,
+            },
+            Some("robust") => Normalization::RobustZScore,
+            Some(other) => {
+                return Err(Error::Parse {
+                    line: 1,
+                    message: format!("unknown method tag {other:?}"),
+                })
+            }
+        };
         Ok(FittedNormalizer { method, params })
     }
 }
@@ -782,13 +854,82 @@ mod tests {
         ] {
             let (fitted, t) = method.fit_transform(raw.matrix()).unwrap();
             let text = fitted.to_text();
-            assert!(text.starts_with("rbt-normalizer v1 cols=3\n"));
+            assert!(text.starts_with("rbt-normalizer v1 cols=3"));
             let parsed = FittedNormalizer::from_text(&text).unwrap();
             // Parsed normalizer behaves identically.
             let t2 = parsed.transform(raw.matrix()).unwrap();
             assert!(t.approx_eq(&t2, 1e-12), "{method:?}");
             let back = parsed.inverse_transform(&t).unwrap();
             assert!(back.approx_eq(raw.matrix(), 1e-9), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn text_round_trip_preserves_advisory_method_tag() {
+        // The binary codec always round-tripped the advisory method; the
+        // text form used to lose it for the z-score-shaped fits. The
+        // method= header field closes that gap for every shipped method.
+        let raw = crate::datasets::arrhythmia_sample();
+        for method in [
+            Normalization::zscore_paper(),
+            Normalization::ZScore {
+                mode: VarianceMode::Population,
+            },
+            Normalization::min_max_unit(),
+            Normalization::MinMax {
+                new_min: -1.5,
+                new_max: 4.25,
+            },
+            Normalization::DecimalScaling,
+            Normalization::RobustZScore,
+        ] {
+            let (fitted, _) = method.fit_transform(raw.matrix()).unwrap();
+            let parsed = FittedNormalizer::from_text(&fitted.to_text()).unwrap();
+            assert_eq!(parsed.method(), method, "tag lost in text round trip");
+            assert_eq!(parsed, fitted, "params changed in text round trip");
+        }
+    }
+
+    #[test]
+    fn from_text_accepts_pre_method_tag_headers() {
+        // Files written before the method= field existed (and the session
+        // format's reconstructed headers) must keep parsing.
+        let legacy = "rbt-normalizer v1 cols=2\nzscore 1.0 2.0\nzscore 0.5 1.5\n";
+        let parsed = FittedNormalizer::from_text(legacy).unwrap();
+        assert_eq!(parsed.n_cols(), 2);
+        assert_eq!(parsed.method(), Normalization::zscore_paper());
+        // Unknown tags and malformed trailing fields are rejected.
+        assert!(FittedNormalizer::from_text(
+            "rbt-normalizer v1 cols=1 method=wavelet\nzscore 1.0 2.0\n"
+        )
+        .is_err());
+        assert!(FittedNormalizer::from_text(
+            "rbt-normalizer v1 cols=1 method=robust junk\nzscore 1.0 2.0\n"
+        )
+        .is_err());
+        assert!(
+            FittedNormalizer::from_text("rbt-normalizer v1 cols=1 robust\nzscore 1.0 2.0\n")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn fit_rejects_non_finite_values() {
+        // Library error path: NaN/∞ must surface as a typed error, never a
+        // panic (the robust fit used to panic in its median sort).
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let m = Matrix::from_columns(&[&[1.0, bad, 3.0]]).unwrap();
+            for method in [
+                Normalization::zscore_paper(),
+                Normalization::min_max_unit(),
+                Normalization::DecimalScaling,
+                Normalization::RobustZScore,
+            ] {
+                assert!(
+                    matches!(method.fit(&m), Err(Error::InvalidArgument(_))),
+                    "{method:?} with {bad}"
+                );
+            }
         }
     }
 

@@ -346,6 +346,9 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] if `self.cols != rhs.rows`.
+    // The indexed `k` loop mirrors the naive kernel exactly; an iterator
+    // chain here would obscure the accumulation-order argument above.
+    #[allow(clippy::needless_range_loop)]
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(Error::DimensionMismatch {
@@ -693,7 +696,7 @@ impl Matrix {
 /// Debug-asserts `i`/`j` in range and distinct; release builds index out of
 /// bounds (and panic) for invalid column indices, so validate upstream.
 pub fn rotate_pair_in_rows(rows: &mut [f64], n_cols: usize, i: usize, j: usize, c: f64, s: f64) {
-    debug_assert!(n_cols > 0 && rows.len() % n_cols == 0);
+    debug_assert!(n_cols > 0 && rows.len().is_multiple_of(n_cols));
     debug_assert!(i < n_cols && j < n_cols && i != j);
     for row in rows.chunks_exact_mut(n_cols) {
         let x = row[i];

@@ -170,8 +170,8 @@ proptest! {
         for metric in [Metric::Euclidean, Metric::SquaredEuclidean, Metric::Manhattan] {
             let mut out = vec![0.0; m.rows()];
             kernels::distances_to_block(metric, &query, m.as_slice(), m.cols(), &mut out);
-            for r in 0..m.rows() {
-                prop_assert_eq!(out[r], kernels::distance(metric, &query, m.row(r)));
+            for (r, &d) in out.iter().enumerate() {
+                prop_assert_eq!(d, kernels::distance(metric, &query, m.row(r)));
             }
         }
     }

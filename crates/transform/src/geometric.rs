@@ -175,6 +175,16 @@ impl HybridPerturbation {
             scale_hi,
         })
     }
+
+    /// The per-attribute translation shift magnitude.
+    pub fn translation_magnitude(&self) -> f64 {
+        self.translation_magnitude
+    }
+
+    /// The scaling factor bounds `(lo, hi)`.
+    pub fn scale_bounds(&self) -> (f64, f64) {
+        (self.scale_lo, self.scale_hi)
+    }
 }
 
 impl Perturbation for HybridPerturbation {

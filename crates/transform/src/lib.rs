@@ -47,6 +47,10 @@ pub enum Error {
     Linalg(rbt_linalg::Error),
     /// A parameter was invalid.
     InvalidParameter(String),
+    /// The input data itself was unusable (NaN/infinite values where a
+    /// method needs finite ones) — distinct from [`Error::InvalidParameter`]
+    /// so callers can blame the data, not the configuration.
+    InvalidData(String),
 }
 
 impl fmt::Display for Error {
@@ -54,6 +58,7 @@ impl fmt::Display for Error {
         match self {
             Error::Linalg(e) => write!(f, "linear algebra error: {e}"),
             Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::InvalidData(msg) => write!(f, "invalid data: {msg}"),
         }
     }
 }

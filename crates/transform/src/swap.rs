@@ -46,6 +46,11 @@ impl Perturbation for RankSwap {
     }
 
     fn perturb<R: Rng + ?Sized>(&self, data: &Matrix, rng: &mut R) -> Result<Matrix> {
+        if data.has_non_finite() {
+            return Err(Error::InvalidData(
+                "rank swap needs finite attribute values (input has NaN or infinities)".into(),
+            ));
+        }
         let m = data.rows();
         let mut out = data.clone();
         if m < 2 {
@@ -57,11 +62,9 @@ impl Perturbation for RankSwap {
             data.column_into(j, &mut column);
             // Sort indices by value: order[r] = row holding rank r.
             let mut order: Vec<usize> = (0..m).collect();
-            order.sort_by(|&a, &b| {
-                column[a]
-                    .partial_cmp(&column[b])
-                    .expect("finite attribute values")
-            });
+            // Finiteness is checked on entry; total_cmp keeps the sort
+            // panic-free even so.
+            order.sort_by(|&a, &b| column[a].total_cmp(&column[b]));
             // Walk ranks; swap each unswapped rank with a random partner
             // within the window.
             let mut swapped = vec![false; m];
@@ -146,6 +149,15 @@ mod tests {
             .unwrap();
         let max_disp = p.max_abs_diff(&d).unwrap();
         assert!(max_disp <= 2.0 + 1e-12, "displacement {max_disp}");
+    }
+
+    #[test]
+    fn non_finite_input_is_a_typed_error() {
+        let d = Matrix::from_rows(&[&[1.0, f64::NAN], &[2.0, 3.0]]).unwrap();
+        assert!(matches!(
+            RankSwap::new(0.5).unwrap().perturb(&d, &mut rng(0)),
+            Err(Error::InvalidData(_))
+        ));
     }
 
     #[test]

@@ -359,6 +359,9 @@ macro_rules! prop_assume {
 ///     }
 /// }
 /// ```
+// The doctest deliberately shows the `#[test]` functions users write inside
+// the macro invocation; the macro itself is what turns them into tests.
+#[allow(clippy::test_attr_in_doctest)]
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -448,7 +451,8 @@ mod tests {
 
         #[test]
         fn any_bool_generates(b in any::<bool>()) {
-            prop_assert!(b || !b);
+            // The draw itself is the test; just touch the value.
+            prop_assert_eq!(b as u8 <= 1, true);
         }
     }
 

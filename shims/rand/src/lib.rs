@@ -2,9 +2,13 @@
 //!
 //! The build environment for this workspace has no access to the crates.io
 //! registry, so the workspace vendors the *subset* of the `rand` 0.9 API its
-//! code actually uses: the [`Rng`] / [`RngExt`] / [`SeedableRng`] traits, a
-//! deterministic [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64), the
-//! [`rng()`] convenience constructor, and [`seq::SliceRandom::shuffle`].
+//! code actually uses: the [`RngCore`] / [`Rng`] / [`RngExt`] /
+//! [`SeedableRng`] traits, a deterministic [`rngs::StdRng`] (xoshiro256++
+//! seeded via SplitMix64), the [`rng()`] convenience constructor, and
+//! [`seq::SliceRandom::shuffle`]. As in the real crate, [`RngCore`] is the
+//! dyn-compatible raw source (`&mut dyn RngCore` works as a trait object)
+//! and [`Rng`] is blanket-implemented on top of it with the generic sampling
+//! helpers.
 //!
 //! Determinism contract: `StdRng::seed_from_u64(s)` yields an identical
 //! stream on every platform and every run — all experiment seeds in the
@@ -15,9 +19,13 @@
 
 use std::ops::{Range, RangeInclusive};
 
-/// A source of randomness: a stream of uniformly distributed `u64`s, plus
-/// provided sampling helpers built on top of it.
-pub trait Rng {
+/// A raw source of randomness: a stream of uniformly distributed `u64`s.
+///
+/// This trait is **dyn-compatible** — APIs that must stay object-safe (the
+/// `PrivacyTransform` release layer, for instance) take `&mut dyn RngCore`
+/// and still reach every generic [`Rng`] helper through the blanket
+/// implementation.
+pub trait RngCore {
     /// Returns the next uniformly distributed 64-bit value from the stream.
     fn next_u64(&mut self) -> u64;
 
@@ -25,7 +33,21 @@ pub trait Rng {
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
+}
 
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Generic sampling helpers over any [`RngCore`], blanket-implemented so
+/// every raw source (including `&mut dyn RngCore`) gets them for free.
+pub trait Rng: RngCore {
     /// Samples a value of type `T` from its standard distribution
     /// (full range for integers, `[0, 1)` for floats, fair coin for `bool`).
     fn random<T: Standard>(&mut self) -> T {
@@ -57,11 +79,7 @@ pub trait Rng {
     }
 }
 
-impl<R: Rng + ?Sized> Rng for &mut R {
-    fn next_u64(&mut self) -> u64 {
-        (**self).next_u64()
-    }
-}
+impl<R: RngCore + ?Sized> Rng for R {}
 
 /// Extension marker for [`Rng`]; implemented for every `Rng` so bounds like
 /// `R: Rng + RngExt` (mirroring `rand` 0.9's split between `RngCore` and
@@ -224,7 +242,7 @@ impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
 
 /// Concrete generator types.
 pub mod rngs {
-    use super::{Rng, SampleRange, SampleUniform, SeedableRng, Standard};
+    use super::{Rng, RngCore, SampleRange, SampleUniform, SeedableRng, Standard};
 
     /// The workspace's standard deterministic generator: xoshiro256++,
     /// seeded from a `u64` via SplitMix64 state expansion.
@@ -268,7 +286,7 @@ pub mod rngs {
         }
     }
 
-    impl Rng for StdRng {
+    impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256++ (Blackman & Vigna).
             let result = self.s[0]
@@ -346,7 +364,7 @@ pub mod seq {
 mod tests {
     use super::rngs::StdRng;
     use super::seq::SliceRandom;
-    use super::{Rng, SeedableRng};
+    use super::{Rng, RngCore, SeedableRng};
 
     #[test]
     fn deterministic_streams() {
@@ -392,6 +410,24 @@ mod tests {
             seen[r.random_range(0..5usize)] = true;
         }
         assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn dyn_rng_core_reaches_generic_helpers() {
+        // The raw source works as a trait object, and the blanket `Rng`
+        // impl gives the object every generic sampling helper.
+        let mut concrete = StdRng::seed_from_u64(11);
+        let erased: &mut dyn RngCore = &mut concrete;
+        let x: f64 = erased.random_range(0.0..1.0);
+        assert!((0.0..1.0).contains(&x));
+        let _coin: bool = erased.random();
+        // Identical stream to the un-erased generator.
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let dyn_b: &mut dyn RngCore = &mut b;
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), dyn_b.next_u64());
+        }
     }
 
     #[test]

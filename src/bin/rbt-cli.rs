@@ -1,11 +1,15 @@
-//! `rbt-cli` — command-line front end for the RBT release workflow.
+//! `rbt-cli` — command-line front end for the privacy-preserving release
+//! workflow.
 //!
 //! ```text
+//! rbt-cli methods
 //! rbt-cli release --input data.csv --output released.csv \
 //!         --key key.txt --params norm.txt [--rho 0.3] [--seed N]
 //!         [--normalization zscore|minmax|decimal|robust] [--keep-ids]
 //! rbt-cli recover --input released.csv --key key.txt --params norm.txt \
 //!         --output recovered.csv
+//! rbt-cli keygen --input data.csv --key session.rbt [--method rbt]
+//! rbt-cli transform/invert --key session.rbt --input b.csv --output o.csv
 //! rbt-cli inspect-key --key key.txt
 //! rbt-cli audit --original data.csv --released released.csv
 //! ```
@@ -13,15 +17,71 @@
 //! `release` normalizes, rotates, and writes three artifacts: the shareable
 //! CSV, the secret rotation key, and the secret normalization parameters.
 //! `recover` is the owner-side inverse. `audit` verifies the isometry and
-//! reports per-attribute security levels.
+//! reports per-attribute security levels. `keygen` fits any registered
+//! method (`rbt-cli methods` lists them) and persists the fitted state;
+//! `transform`/`invert` apply/undo it batch by batch.
+//!
+//! Failures exit with a distinct code per family (see
+//! [`RbtError::exit_code`]): 2 usage/config, 3 input data, 4 corrupt key
+//! files, 5 shape mismatches, 6 infeasible thresholds, 7 method
+//! capability.
 
 use rand::SeedableRng;
+use rbt::api::{decode_fitted, FittedRbt, FittedTransform, Method, RbtError};
 use rbt::core::{Pipeline, RbtConfig, ReleaseSession, TransformationKey};
 use rbt::data::{csv, FittedNormalizer, Normalization};
+use rbt::prelude::Release;
 use rbt::{PairwiseSecurityThreshold, VarianceMode};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// A CLI failure: what went wrong plus the exit code family it belongs to.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    /// A usage/config error (exit code 2).
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            code: 2,
+            message: message.into(),
+        }
+    }
+
+    /// A file-system error (exit code 3, same family as unreadable data).
+    fn io(message: impl Into<String>) -> Self {
+        CliError {
+            code: 3,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<RbtError> for CliError {
+    fn from(e: RbtError) -> Self {
+        CliError {
+            code: e.exit_code(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<rbt::core::Error> for CliError {
+    fn from(e: rbt::core::Error) -> Self {
+        RbtError::from(e).into()
+    }
+}
+
+impl From<rbt::data::Error> for CliError {
+    fn from(e: rbt::data::Error) -> Self {
+        RbtError::from(e).into()
+    }
+}
+
+type CliResult<T> = Result<T, CliError>;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +90,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let result = match command.as_str() {
+        "methods" => cmd_methods(rest),
         "release" => cmd_release(rest),
         "recover" => cmd_recover(rest),
         "keygen" => cmd_keygen(rest),
@@ -41,13 +102,15 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+        other => Err(CliError::usage(format!(
+            "unknown command {other:?}\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }
@@ -55,70 +118,84 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 rbt-cli — privacy-preserving data release via Rotation-Based Transformation
 
-USAGE — one-shot release (Figure 1):
+USAGE — the method registry:
+  rbt-cli methods                 list every registered release method
+
+One-shot RBT release (Figure 1):
   rbt-cli release --input <csv> --output <csv> --key <file> --params <file>
           [--rho <f64, default 0.3>] [--seed <u64, default random>]
           [--normalization zscore|minmax|decimal|robust] [--keep-ids]
   rbt-cli recover --input <csv> --key <file> --params <file> --output <csv>
 
-Streaming release sessions (persisted secrets, batch after batch):
-  rbt-cli keygen --input <csv> --key <file> [--released <csv>]
-          [--rho <f64, default 0.3>] [--seed <u64, default random>]
+Fitted release sessions (any method; persisted secrets, batch after batch):
+  rbt-cli keygen --input <csv> --key <file> [--method <name, default rbt>]
+          [--released <csv>] [--rho <f64, default 0.3>]
+          [--seed <u64, default random>]
           [--normalization zscore|minmax|decimal|robust] [--keep-ids]
-          [--format text|binary, default text]
+          [--format text|binary, default text (rbt); binary only otherwise]
   rbt-cli transform --key <file> --input <csv> --output <csv>
   rbt-cli invert --key <file> --input <csv> --output <csv>
 
 Inspection:
   rbt-cli inspect-key --key <file>
-  rbt-cli audit --original <csv> --released <csv>";
+  rbt-cli audit --original <csv> --released <csv>
+
+Exit codes: 0 ok · 2 usage/config · 3 input data · 4 corrupt key file ·
+5 shape mismatch · 6 infeasible threshold · 7 method capability · 1 other";
 
 /// Minimal `--flag value` / `--switch` parser.
-fn parse_flags(args: &[String], switches: &[&str]) -> Result<HashMap<String, String>, String> {
+fn parse_flags(args: &[String], switches: &[&str]) -> CliResult<HashMap<String, String>> {
     let mut out = HashMap::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let Some(name) = arg.strip_prefix("--") else {
-            return Err(format!("unexpected argument {arg:?}"));
+            return Err(CliError::usage(format!("unexpected argument {arg:?}")));
         };
         if switches.contains(&name) {
             out.insert(name.to_string(), "true".to_string());
         } else {
             let value = it
                 .next()
-                .ok_or_else(|| format!("--{name} requires a value"))?;
+                .ok_or_else(|| CliError::usage(format!("--{name} requires a value")))?;
             out.insert(name.to_string(), value.clone());
         }
     }
     Ok(out)
 }
 
-fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> CliResult<&'a str> {
     flags
         .get(name)
         .map(String::as_str)
-        .ok_or_else(|| format!("missing required flag --{name}"))
+        .ok_or_else(|| CliError::usage(format!("missing required flag --{name}")))
 }
 
-fn write_file(path: &Path, contents: &str) -> Result<(), String> {
-    std::fs::write(path, contents).map_err(|e| format!("writing {}: {e}", path.display()))
+fn write_file(path: &Path, contents: &str) -> CliResult<()> {
+    std::fs::write(path, contents)
+        .map_err(|e| CliError::io(format!("writing {}: {e}", path.display())))
 }
 
-fn read_file(path: &Path) -> Result<String, String> {
-    std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))
+fn read_file(path: &Path) -> CliResult<String> {
+    std::fs::read_to_string(path)
+        .map_err(|e| CliError::io(format!("reading {}: {e}", path.display())))
 }
 
-fn parse_rho(flags: &HashMap<String, String>) -> Result<f64, String> {
+fn parse_rho(flags: &HashMap<String, String>) -> CliResult<f64> {
     flags
         .get("rho")
-        .map(|v| v.parse().map_err(|e| format!("bad --rho: {e}")))
+        .map(|v| {
+            v.parse()
+                .map_err(|e| CliError::usage(format!("bad --rho: {e}")))
+        })
         .transpose()
         .map(|v| v.unwrap_or(0.3))
 }
 
-fn parse_seed(flags: &HashMap<String, String>) -> Result<u64, String> {
+fn parse_seed(flags: &HashMap<String, String>) -> CliResult<u64> {
     match flags.get("seed") {
-        Some(v) => v.parse().map_err(|e| format!("bad --seed: {e}")),
+        Some(v) => v
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad --seed: {e}"))),
         None => {
             // No seed given: derive one from the OS entropy source.
             Ok(rand::rng().random())
@@ -126,17 +203,38 @@ fn parse_seed(flags: &HashMap<String, String>) -> Result<u64, String> {
     }
 }
 
-fn parse_normalization(flags: &HashMap<String, String>) -> Result<Normalization, String> {
+fn parse_normalization(flags: &HashMap<String, String>) -> CliResult<Normalization> {
     match flags.get("normalization").map(String::as_str) {
         None | Some("zscore") => Ok(Normalization::zscore_paper()),
         Some("minmax") => Ok(Normalization::min_max_unit()),
         Some("decimal") => Ok(Normalization::DecimalScaling),
         Some("robust") => Ok(Normalization::RobustZScore),
-        Some(other) => Err(format!("unknown normalization {other:?}")),
+        Some(other) => Err(CliError::usage(format!("unknown normalization {other:?}"))),
     }
 }
 
-fn cmd_release(args: &[String]) -> Result<(), String> {
+fn read_csv(path: &Path) -> CliResult<rbt::Dataset> {
+    Ok(csv::read_file(path)?)
+}
+
+fn write_csv(ds: &rbt::Dataset, path: &Path) -> CliResult<()> {
+    Ok(csv::write_file(ds, path)?)
+}
+
+fn cmd_methods(args: &[String]) -> CliResult<()> {
+    parse_flags(args, &[])?;
+    println!("registered release methods:");
+    for m in Method::ALL {
+        let t = m.default_transform();
+        let p = t.properties();
+        println!("  {:<16} {}", m.name(), m.description());
+        println!("  {:<16}   {p}", "");
+    }
+    println!("\nselect one with `rbt-cli keygen --method <name>`");
+    Ok(())
+}
+
+fn cmd_release(args: &[String]) -> CliResult<()> {
     let flags = parse_flags(args, &["keep-ids"])?;
     let input = PathBuf::from(required(&flags, "input")?);
     let output = PathBuf::from(required(&flags, "output")?);
@@ -146,15 +244,16 @@ fn cmd_release(args: &[String]) -> Result<(), String> {
     let seed = parse_seed(&flags)?;
     let normalization = parse_normalization(&flags)?;
 
-    let data = csv::read_file(&input).map_err(|e| e.to_string())?;
-    let pst = PairwiseSecurityThreshold::uniform(rho).map_err(|e| e.to_string())?;
+    let data = read_csv(&input)?;
+    let pst = PairwiseSecurityThreshold::uniform(rho)
+        .map_err(|e| CliError::usage(format!("bad --rho: {e}")))?;
     let pipeline = Pipeline::new(RbtConfig::uniform(pst))
         .with_normalization(normalization)
         .with_id_suppression(!flags.contains_key("keep-ids"));
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let out = pipeline.run(&data, &mut rng).map_err(|e| e.to_string())?;
+    let out = pipeline.run(&data, &mut rng)?;
 
-    csv::write_file(&out.released, &output).map_err(|e| e.to_string())?;
+    write_csv(&out.released, &output)?;
     write_file(&key_path, &out.key.to_string())?;
     write_file(&params_path, &out.normalizer.to_text())?;
 
@@ -176,28 +275,32 @@ fn cmd_release(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_recover(args: &[String]) -> Result<(), String> {
+fn cmd_recover(args: &[String]) -> CliResult<()> {
     let flags = parse_flags(args, &[])?;
     let input = PathBuf::from(required(&flags, "input")?);
     let key_path = PathBuf::from(required(&flags, "key")?);
     let params_path = PathBuf::from(required(&flags, "params")?);
     let output = PathBuf::from(required(&flags, "output")?);
 
-    let released = csv::read_file(&input).map_err(|e| e.to_string())?;
-    let key: TransformationKey = read_file(&key_path)?
-        .parse()
-        .map_err(|e: rbt::core::Error| e.to_string())?;
+    let released = read_csv(&input)?;
+    let key = read_file(&key_path)?
+        .parse::<TransformationKey>()
+        .map_err(CliError::from)?;
+    // A params file that fails to parse is a corrupt secret artifact —
+    // the same failure family as a corrupt key file (exit 4), not bad
+    // input data (which is what its rbt_data parse error would map to).
     let normalizer =
-        FittedNormalizer::from_text(&read_file(&params_path)?).map_err(|e| e.to_string())?;
+        FittedNormalizer::from_text(&read_file(&params_path)?).map_err(|e| CliError {
+            code: 4,
+            message: format!("params file {}: {e}", params_path.display()),
+        })?;
 
-    let normalized = key.invert(released.matrix()).map_err(|e| e.to_string())?;
-    let raw = normalizer
-        .inverse_transform(&normalized)
-        .map_err(|e| e.to_string())?;
+    let normalized = key.invert(released.matrix())?;
+    let raw = normalizer.inverse_transform(&normalized)?;
 
     let mut recovered = released.clone();
-    recovered.replace_matrix(raw).map_err(|e| e.to_string())?;
-    csv::write_file(&recovered, &output).map_err(|e| e.to_string())?;
+    recovered.replace_matrix(raw)?;
+    write_csv(&recovered, &output)?;
     println!(
         "recovered {} rows x {} attributes -> {}",
         recovered.n_rows(),
@@ -207,10 +310,11 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_keygen(args: &[String]) -> Result<(), String> {
+fn cmd_keygen(args: &[String]) -> CliResult<()> {
     let flags = parse_flags(args, &["keep-ids"])?;
     let input = PathBuf::from(required(&flags, "input")?);
     let key_path = PathBuf::from(required(&flags, "key")?);
+    let method = Method::from_name(flags.get("method").map_or("rbt", String::as_str))?;
     let rho = parse_rho(&flags)?;
     let seed = parse_seed(&flags)?;
     let normalization = parse_normalization(&flags)?;
@@ -218,44 +322,93 @@ fn cmd_keygen(args: &[String]) -> Result<(), String> {
     let binary = match flags.get("format").map(String::as_str) {
         None | Some("text") => false,
         Some("binary") => true,
-        Some(other) => return Err(format!("unknown key format {other:?}")),
+        Some(other) => return Err(CliError::usage(format!("unknown key format {other:?}"))),
     };
 
-    let data = csv::read_file(&input).map_err(|e| e.to_string())?;
-    let pst = PairwiseSecurityThreshold::uniform(rho).map_err(|e| e.to_string())?;
-    let config = RbtConfig::uniform(pst);
-    let pipeline = Pipeline::new(config.clone())
-        .with_normalization(normalization)
-        .with_id_suppression(suppress_ids);
+    let data = read_csv(&input)?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let out = pipeline.run(&data, &mut rng).map_err(|e| e.to_string())?;
 
-    let session = ReleaseSession::from_pipeline_output(&out)
-        .map_err(|e| e.to_string())?
-        .with_config(config)
-        .with_id_suppression(suppress_ids);
-    if binary {
-        std::fs::write(&key_path, session.to_bytes())
-            .map_err(|e| format!("writing {}: {e}", key_path.display()))?;
-    } else {
-        write_file(&key_path, &session.to_text().map_err(|e| e.to_string())?)?;
-    }
+    if method == Method::Rbt {
+        // The RBT path keeps emitting the session record (text or binary),
+        // byte-compatible with every existing key file.
+        let pst = PairwiseSecurityThreshold::uniform(rho)
+            .map_err(|e| CliError::usage(format!("bad --rho: {e}")))?;
+        let config = RbtConfig::uniform(pst);
+        let pipeline = Pipeline::new(config.clone())
+            .with_normalization(normalization)
+            .with_id_suppression(suppress_ids);
+        let out = pipeline.run(&data, &mut rng)?;
 
-    if let Some(released_path) = flags.get("released").map(PathBuf::from) {
-        csv::write_file(&out.released, &released_path).map_err(|e| e.to_string())?;
+        let session = ReleaseSession::from_pipeline_output(&out)?
+            .with_config(config)
+            .with_id_suppression(suppress_ids);
+        if binary {
+            std::fs::write(&key_path, session.to_bytes())
+                .map_err(|e| CliError::io(format!("writing {}: {e}", key_path.display())))?;
+        } else {
+            write_file(&key_path, &session.to_text()?)?;
+        }
+
+        if let Some(released_path) = flags.get("released").map(PathBuf::from) {
+            write_csv(&out.released, &released_path)?;
+            println!(
+                "initial release: {} rows -> {}",
+                out.released.n_rows(),
+                released_path.display()
+            );
+        }
         println!(
-            "initial release: {} rows -> {}",
-            out.released.n_rows(),
-            released_path.display()
+            "session key for {} attributes ({} rotation steps, {} key file) -> {}",
+            out.key.n_attributes(),
+            out.key.steps().len(),
+            if binary { "binary" } else { "text" },
+            key_path.display()
+        );
+    } else {
+        if flags.contains_key("format") && !binary {
+            return Err(CliError::usage(format!(
+                "method {:?} has no text key-file form; use --format binary or omit --format",
+                method.name()
+            )));
+        }
+        let mut builder = Release::of(&data)
+            .with_method(method)
+            .with_id_suppression(suppress_ids);
+        // Baselines take no thresholds/normalization; forward the flags
+        // only where they mean something so the error message names the
+        // actual mistake.
+        if method == Method::HybridIsometry {
+            let pst = PairwiseSecurityThreshold::uniform(rho)
+                .map_err(|e| CliError::usage(format!("bad --rho: {e}")))?;
+            builder = builder
+                .with_thresholds(pst)
+                .with_normalization(normalization);
+        } else if flags.contains_key("rho") || flags.contains_key("normalization") {
+            return Err(CliError::usage(format!(
+                "method {:?} takes no --rho/--normalization (it perturbs raw values); \
+                 see `rbt-cli methods`",
+                method.name()
+            )));
+        }
+        let fitted = builder.fit(&mut rng)?;
+        std::fs::write(&key_path, fitted.to_bytes()?)
+            .map_err(|e| CliError::io(format!("writing {}: {e}", key_path.display())))?;
+        if let Some(released_path) = flags.get("released").map(PathBuf::from) {
+            write_csv(fitted.released(), &released_path)?;
+            println!(
+                "initial release: {} rows -> {}",
+                fitted.released().n_rows(),
+                released_path.display()
+            );
+        }
+        println!(
+            "fitted {} state for {} attributes ({}) -> {}",
+            fitted.method_name(),
+            fitted.n_attributes(),
+            fitted.properties(),
+            key_path.display()
         );
     }
-    println!(
-        "session key for {} attributes ({} rotation steps, {} key file) -> {}",
-        out.key.n_attributes(),
-        out.key.steps().len(),
-        if binary { "binary" } else { "text" },
-        key_path.display()
-    );
     println!(
         "fitted on {} records; keep the key file private",
         data.n_rows()
@@ -264,52 +417,70 @@ fn cmd_keygen(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn load_session(key_path: &Path) -> Result<ReleaseSession, String> {
-    let bytes =
-        std::fs::read(key_path).map_err(|e| format!("reading {}: {e}", key_path.display()))?;
-    ReleaseSession::decode(&bytes).map_err(|e| e.to_string())
+fn load_fitted(key_path: &Path) -> CliResult<Box<dyn FittedTransform>> {
+    let bytes = std::fs::read(key_path)
+        .map_err(|e| CliError::io(format!("reading {}: {e}", key_path.display())))?;
+    Ok(decode_fitted(&bytes)?)
 }
 
-fn cmd_transform(args: &[String]) -> Result<(), String> {
+fn cmd_transform(args: &[String]) -> CliResult<()> {
     let flags = parse_flags(args, &[])?;
     let key_path = PathBuf::from(required(&flags, "key")?);
     let input = PathBuf::from(required(&flags, "input")?);
     let output = PathBuf::from(required(&flags, "output")?);
 
-    let mut session = load_session(&key_path)?;
-    let data = csv::read_file(&input).map_err(|e| e.to_string())?;
-    let batch = session.transform_batch(&data).map_err(|e| e.to_string())?;
-    csv::write_file(&batch.released, &output).map_err(|e| e.to_string())?;
+    let mut fitted = load_fitted(&key_path)?;
+    let data = read_csv(&input)?;
 
-    println!(
-        "transformed {} rows x {} attributes -> {}",
-        batch.released.n_rows(),
-        batch.released.n_cols(),
-        output.display()
-    );
-    if batch.out_of_range_rows > 0 {
+    // RBT sessions report drift; other methods transform generically.
+    if let Some(session) = fitted
+        .as_any()
+        .downcast_ref::<FittedRbt>()
+        .map(FittedRbt::session)
+    {
+        let mut session = session.clone();
+        let batch = session.transform_batch(&data)?;
+        write_csv(&batch.released, &output)?;
         println!(
-            "warning: {} of {} records fall outside the fitted normalization \
-             range — consider re-fitting the session",
-            batch.out_of_range_rows,
-            data.n_rows()
+            "transformed {} rows x {} attributes -> {}",
+            batch.released.n_rows(),
+            batch.released.n_cols(),
+            output.display()
         );
+        if batch.out_of_range_rows > 0 {
+            println!(
+                "warning: {} of {} records fall outside the fitted normalization \
+                 range — consider re-fitting the session",
+                batch.out_of_range_rows,
+                data.n_rows()
+            );
+        } else {
+            println!("drift: 0 records outside the fitted range");
+        }
     } else {
-        println!("drift: 0 records outside the fitted range");
+        let released = fitted.transform_batch(&data)?;
+        write_csv(&released, &output)?;
+        println!(
+            "transformed {} rows x {} attributes ({}) -> {}",
+            released.n_rows(),
+            released.n_cols(),
+            fitted.method_name(),
+            output.display()
+        );
     }
     Ok(())
 }
 
-fn cmd_invert(args: &[String]) -> Result<(), String> {
+fn cmd_invert(args: &[String]) -> CliResult<()> {
     let flags = parse_flags(args, &[])?;
     let key_path = PathBuf::from(required(&flags, "key")?);
     let input = PathBuf::from(required(&flags, "input")?);
     let output = PathBuf::from(required(&flags, "output")?);
 
-    let session = load_session(&key_path)?;
-    let data = csv::read_file(&input).map_err(|e| e.to_string())?;
-    let recovered = session.invert_batch(&data).map_err(|e| e.to_string())?;
-    csv::write_file(&recovered, &output).map_err(|e| e.to_string())?;
+    let fitted = load_fitted(&key_path)?;
+    let data = read_csv(&input)?;
+    let recovered = fitted.invert_batch(&data)?;
+    write_csv(&recovered, &output)?;
     println!(
         "recovered {} rows x {} attributes -> {}",
         recovered.n_rows(),
@@ -319,11 +490,11 @@ fn cmd_invert(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_inspect_key(args: &[String]) -> Result<(), String> {
+fn cmd_inspect_key(args: &[String]) -> CliResult<()> {
     let flags = parse_flags(args, &[])?;
     let key_path = PathBuf::from(required(&flags, "key")?);
-    let bytes =
-        std::fs::read(&key_path).map_err(|e| format!("reading {}: {e}", key_path.display()))?;
+    let bytes = std::fs::read(&key_path)
+        .map_err(|e| CliError::io(format!("reading {}: {e}", key_path.display())))?;
     // Session key files (binary or text) carry more than the key. Only
     // files that do not *look like* sessions fall through to the legacy
     // bare-key text parser — a corrupted session file must surface its
@@ -332,7 +503,21 @@ fn cmd_inspect_key(args: &[String]) -> Result<(), String> {
     let looks_like_session = bytes.starts_with(&rbt::core::codec::MAGIC)
         || std::str::from_utf8(&bytes).is_ok_and(|t| t.trim_start().starts_with("rbt-session"));
     let key: TransformationKey = if looks_like_session {
-        let session = ReleaseSession::decode(&bytes).map_err(|e| e.to_string())?;
+        let fitted = decode_fitted(&bytes)?;
+        let Some(session) = fitted
+            .as_any()
+            .downcast_ref::<FittedRbt>()
+            .map(FittedRbt::session)
+        else {
+            // A fitted non-RBT method: report its descriptor and stop.
+            println!(
+                "fitted {} state for {} attributes: {}",
+                fitted.method_name(),
+                fitted.n_attributes(),
+                fitted.properties()
+            );
+            return Ok(());
+        };
         println!(
             "session key file: normalizer for {} columns, drift bounds {}, \
              config {}, id suppression {}",
@@ -356,8 +541,8 @@ fn cmd_inspect_key(args: &[String]) -> Result<(), String> {
         session.key().clone()
     } else {
         String::from_utf8_lossy(&bytes)
-            .parse()
-            .map_err(|e: rbt::core::Error| e.to_string())?
+            .parse::<TransformationKey>()
+            .map_err(CliError::from)?
     };
     println!(
         "key for {} attributes, {} rotation steps:",
@@ -370,7 +555,7 @@ fn cmd_inspect_key(args: &[String]) -> Result<(), String> {
             step.i, step.j, step.theta_degrees, step.achieved_var1, step.achieved_var2
         );
     }
-    let composite = key.composite_matrix().map_err(|e| e.to_string())?;
+    let composite = key.composite_matrix()?;
     println!(
         "composite rotation is orthogonal: {}",
         rbt::linalg::rotation::is_orthogonal(&composite, 1e-9)
@@ -378,24 +563,23 @@ fn cmd_inspect_key(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_audit(args: &[String]) -> Result<(), String> {
+fn cmd_audit(args: &[String]) -> CliResult<()> {
     let flags = parse_flags(args, &[])?;
     let original_path = PathBuf::from(required(&flags, "original")?);
     let released_path = PathBuf::from(required(&flags, "released")?);
-    let original = csv::read_file(&original_path).map_err(|e| e.to_string())?;
-    let released = csv::read_file(&released_path).map_err(|e| e.to_string())?;
+    let original = read_csv(&original_path)?;
+    let released = read_csv(&released_path)?;
     if original.n_rows() != released.n_rows() {
-        return Err(format!(
+        return Err(RbtError::DimensionMismatch(format!(
             "row count mismatch: {} vs {}",
             original.n_rows(),
             released.n_rows()
-        ));
+        ))
+        .into());
     }
 
     // The release should be an isometric image of the *normalized* original.
-    let (_, normalized) = Normalization::zscore_paper()
-        .fit_transform(original.matrix())
-        .map_err(|e| e.to_string())?;
+    let (_, normalized) = Normalization::zscore_paper().fit_transform(original.matrix())?;
     let drift = rbt::core::isometry::dissimilarity_drift(&normalized, released.matrix());
     println!("distance drift vs z-scored original: {drift:.3e}");
     println!("isometric (tolerance 1e-6): {}", drift < 1e-6);
@@ -406,8 +590,7 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             &normalized.column(j),
             &released.matrix().column(j),
             VarianceMode::Sample,
-        )
-        .map_err(|e| e.to_string())?;
+        )?;
         println!("  {:<16} {sec:.4}", original.columns()[j]);
     }
     Ok(())

@@ -12,12 +12,30 @@
 //! | [`core`] | `rbt-core` | the RBT method itself (the paper's contribution) |
 //! | [`transform`] | `rbt-transform` | baseline perturbation methods |
 //! | [`attack`] | `rbt-attack` | attacks on rotation perturbation |
+//! | [`api`] | `rbt-api` | the release API: `PrivacyTransform`, `Release` builder, method registry, `RbtError` |
 //!
 //! ## Quickstart
 //!
-//! See `examples/quickstart.rs` for the end-to-end pipeline of the paper's
-//! Figure 1: normalize → rotate pairwise under security thresholds → share →
-//! cluster, with identical clusters before and after.
+//! The blessed entry point is the [`prelude`]'s typed-state [`Release`]
+//! builder:
+//!
+//! ```
+//! use rbt::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let patients = rbt::data::datasets::arrhythmia_sample();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+//! let fitted = Release::of(&patients)
+//!     .with_method(Method::Rbt)
+//!     .with_thresholds(PairwiseSecurityThreshold::uniform(0.3).unwrap())
+//!     .fit(&mut rng)
+//!     .unwrap();
+//! assert!(fitted.properties().isometric);
+//! ```
+//!
+//! See `examples/quickstart.rs` for the full Figure 1 workflow: normalize →
+//! rotate pairwise under security thresholds → share → cluster, with
+//! identical clusters before and after.
 //!
 //! For streaming workloads — the same persisted secrets applied to batch
 //! after batch of arriving records — see [`ReleaseSession`] and
@@ -26,6 +44,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use rbt_api as api;
 pub use rbt_attack as attack;
 pub use rbt_cluster as cluster;
 pub use rbt_core as core;
@@ -34,8 +53,27 @@ pub use rbt_linalg as linalg;
 pub use rbt_transform as transform;
 
 // Most-used types at the top level for ergonomic imports.
+pub use rbt_api::{Method, RbtError, Release};
 pub use rbt_core::{
     DriftBounds, PairwiseSecurityThreshold, RbtConfig, RbtTransformer, ReleaseSession, SessionBatch,
 };
 pub use rbt_data::dataset::Dataset;
 pub use rbt_linalg::{Matrix, Rotation2, VarianceMode};
+
+/// The one-import surface for release workflows: the typed-state
+/// [`Release`] builder, the [`Method`] registry, the
+/// [`PrivacyTransform`](rbt_api::PrivacyTransform) traits, the
+/// [`RbtError`] taxonomy, and the legacy entry points
+/// ([`Pipeline`](rbt_core::Pipeline), [`ReleaseSession`]) they wrap.
+pub mod prelude {
+    pub use rbt_api::{
+        decode_fitted, FitOutput, FittedRelease, FittedTransform, Method, MethodProperties,
+        PrivacyTransform, RbtError, Release, ReleaseBuilder,
+    };
+    pub use rbt_core::{
+        DriftBounds, PairingStrategy, PairwiseSecurityThreshold, Pipeline, RbtConfig,
+        ReleaseSession, SessionBatch, ThresholdPolicy,
+    };
+    pub use rbt_data::{Dataset, FittedNormalizer, Normalization};
+    pub use rbt_linalg::Matrix;
+}

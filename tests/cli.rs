@@ -359,6 +359,279 @@ fn corrupted_session_key_files_are_refused() {
 }
 
 #[test]
+fn methods_command_lists_the_registry() {
+    let out = cli().arg("methods").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["rbt", "hybrid-isometry", "noise", "swap", "geometric"] {
+        assert!(text.contains(name), "registry missing {name}: {text}");
+    }
+    assert!(text.contains("isometric=true"));
+    assert!(text.contains("isometric=false"));
+}
+
+#[test]
+fn keygen_selects_methods_by_name() {
+    let dir = temp_dir("method-select");
+    let input = dir.join("data.csv");
+    std::fs::write(&input, SAMPLE).unwrap();
+
+    // hybrid-isometry: fits, transforms, and inverts back to the raw data.
+    let key = dir.join("hybrid.key");
+    let transformed = dir.join("hybrid-t.csv");
+    let recovered = dir.join("hybrid-r.csv");
+    let out = cli()
+        .args(["keygen", "--method", "hybrid-isometry", "--input"])
+        .arg(&input)
+        .args(["--key"])
+        .arg(&key)
+        .args(["--rho", "0.25", "--seed", "77"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("hybrid-isometry"));
+    assert_eq!(&std::fs::read(&key).unwrap()[..4], b"RBTS");
+
+    let out = cli()
+        .args(["transform", "--key"])
+        .arg(&key)
+        .args(["--input"])
+        .arg(&input)
+        .args(["--output"])
+        .arg(&transformed)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = cli()
+        .args(["invert", "--key"])
+        .arg(&key)
+        .args(["--input"])
+        .arg(&transformed)
+        .args(["--output"])
+        .arg(&recovered)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let recovered_ds = rbt::data::csv::read_file(&recovered).unwrap();
+    let original = rbt::data::csv::from_csv(SAMPLE).unwrap();
+    let err = recovered_ds
+        .matrix()
+        .max_abs_diff(original.matrix())
+        .unwrap();
+    assert!(err < 1e-9, "hybrid recovery off by {err}");
+
+    // inspect-key understands fitted non-RBT states.
+    let out = cli()
+        .args(["inspect-key", "--key"])
+        .arg(&key)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("hybrid-isometry"));
+
+    // noise: fits and transforms, but --rho is a usage error and inversion
+    // is a capability error (exit 7).
+    let noise_key = dir.join("noise.key");
+    let out = cli()
+        .args(["keygen", "--method", "noise", "--input"])
+        .arg(&input)
+        .args(["--key"])
+        .arg(&noise_key)
+        .args(["--rho", "0.25"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "noise takes no --rho");
+    let out = cli()
+        .args(["keygen", "--method", "noise", "--input"])
+        .arg(&input)
+        .args(["--key"])
+        .arg(&noise_key)
+        .args(["--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let noise_out = dir.join("noise-t.csv");
+    let out = cli()
+        .args(["transform", "--key"])
+        .arg(&noise_key)
+        .args(["--input"])
+        .arg(&input)
+        .args(["--output"])
+        .arg(&noise_out)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = cli()
+        .args(["invert", "--key"])
+        .arg(&noise_key)
+        .args(["--input"])
+        .arg(&noise_out)
+        .args(["--output"])
+        .arg(dir.join("noise-r.csv"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(7), "baseline inversion is exit 7");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not invertible"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exit_codes_distinguish_failure_families() {
+    let dir = temp_dir("exit-codes");
+    let input = dir.join("data.csv");
+    std::fs::write(&input, SAMPLE).unwrap();
+    let key = dir.join("session.rbt");
+
+    // Unknown method → usage (2), naming the registry.
+    let out = cli()
+        .args(["keygen", "--method", "wavelet", "--input"])
+        .arg(&input)
+        .args(["--key"])
+        .arg(&key)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown method"));
+
+    // Malformed CSV → input data (3), with the line number.
+    let bad_csv = dir.join("bad.csv");
+    std::fs::write(&bad_csv, "age,weight\n1.0,2.0\n3.0,banana\n").unwrap();
+    let out = cli()
+        .args(["release", "--input"])
+        .arg(&bad_csv)
+        .args(["--output"])
+        .arg(dir.join("x.csv"))
+        .args(["--key"])
+        .arg(dir.join("k.txt"))
+        .args(["--params"])
+        .arg(dir.join("p.txt"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 3"));
+
+    // Missing input file → I/O (3), naming the path.
+    let out = cli()
+        .args(["transform", "--key", "/nonexistent/key.rbt", "--input"])
+        .arg(&input)
+        .args(["--output"])
+        .arg(dir.join("x.csv"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("/nonexistent/key.rbt"));
+
+    // Infeasible threshold → 6, reporting what was achievable.
+    let out = cli()
+        .args(["release", "--input"])
+        .arg(&input)
+        .args(["--output"])
+        .arg(dir.join("x.csv"))
+        .args(["--key"])
+        .arg(dir.join("k.txt"))
+        .args(["--params"])
+        .arg(dir.join("p.txt"))
+        .args(["--rho", "1e6", "--seed", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(6));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("maximum achievable"));
+
+    // Corrupt key file → 4; shape-mismatched batch → 5.
+    let out = cli()
+        .args(["keygen", "--input"])
+        .arg(&input)
+        .args(["--key"])
+        .arg(&key)
+        .args(["--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&key).unwrap();
+    std::fs::write(&key, text.replacen("rotate 0", "rotate 1", 1)).unwrap();
+    let out = cli()
+        .args(["transform", "--key"])
+        .arg(&key)
+        .args(["--input"])
+        .arg(&input)
+        .args(["--output"])
+        .arg(dir.join("x.csv"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    std::fs::write(&key, text).unwrap();
+
+    // Corrupt params file on recover → 4 (secret artifact, not input data).
+    let p_key = dir.join("pk.txt");
+    let p_params = dir.join("pp.txt");
+    let p_rel = dir.join("prel.csv");
+    let out = cli()
+        .args(["release", "--input"])
+        .arg(&input)
+        .args(["--output"])
+        .arg(&p_rel)
+        .args(["--key"])
+        .arg(&p_key)
+        .args(["--params"])
+        .arg(&p_params)
+        .args(["--seed", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::write(&p_params, "rbt-normalizer v1 cols=3\ngarbage\n").unwrap();
+    let out = cli()
+        .args(["recover", "--input"])
+        .arg(&p_rel)
+        .args(["--key"])
+        .arg(&p_key)
+        .args(["--params"])
+        .arg(&p_params)
+        .args(["--output"])
+        .arg(dir.join("x.csv"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("params file"));
+
+    let narrow = dir.join("narrow.csv");
+    std::fs::write(&narrow, "age,weight\n1.0,2.0\n").unwrap();
+    let out = cli()
+        .args(["transform", "--key"])
+        .arg(&key)
+        .args(["--input"])
+        .arg(&narrow)
+        .args(["--output"])
+        .arg(dir.join("x.csv"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("dimension mismatch"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_invocations_fail_cleanly() {
     // Unknown command.
     let out = cli().arg("frobnicate").output().unwrap();

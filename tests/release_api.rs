@@ -1,0 +1,355 @@
+//! Conformance battery for the release API: all five registered methods
+//! behind one `PrivacyTransform` boundary, with the RBT path pinned
+//! bit-identical to the legacy `Pipeline`/`ReleaseSession` entry points.
+
+use rand::SeedableRng;
+use rbt::data::datasets;
+use rbt::prelude::*;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn sample() -> Dataset {
+    datasets::arrhythmia_sample()
+}
+
+#[test]
+fn every_registered_method_fits_and_transforms() {
+    let data = sample();
+    for method in Method::ALL {
+        let mut fitted = Release::of(&data)
+            .with_method(method)
+            .fit(&mut rng(7))
+            .unwrap_or_else(|e| panic!("{}: {e:?}", method.name()));
+        assert_eq!(fitted.method_name(), method.name());
+        assert_eq!(fitted.n_attributes(), data.n_cols());
+        // The initial release keeps the column layout and strips IDs.
+        assert_eq!(fitted.released().n_cols(), data.n_cols());
+        assert_eq!(fitted.released().n_rows(), data.n_rows());
+        assert_eq!(fitted.released().columns(), data.columns());
+        assert!(fitted.released().ids().is_none(), "{}", method.name());
+        // Values actually move.
+        assert!(
+            fitted
+                .released()
+                .matrix()
+                .max_abs_diff(data.matrix())
+                .unwrap()
+                > 1e-6,
+            "{} released data unchanged",
+            method.name()
+        );
+        // Out-of-sample batches transform without error and keep shape.
+        let batch = fitted
+            .transform_batch(&data)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", method.name()));
+        assert_eq!(batch.n_rows(), data.n_rows());
+        assert_eq!(batch.n_cols(), data.n_cols());
+    }
+}
+
+#[test]
+fn properties_match_the_paper_taxonomy() {
+    let data = sample();
+    for method in Method::ALL {
+        let fitted = Release::of(&data)
+            .with_method(method)
+            .fit(&mut rng(3))
+            .unwrap();
+        let p = fitted.properties();
+        let isometric = matches!(method, Method::Rbt | Method::HybridIsometry);
+        assert_eq!(p.isometric, isometric, "{}", method.name());
+        assert_eq!(p.invertible, isometric, "{}", method.name());
+        assert_eq!(p.tunable_thresholds, isometric, "{}", method.name());
+        if isometric {
+            // 3 attributes → 2 steps; each angle worth log2(grid) bits.
+            let bits = p.keyspace_bits.expect("keyed methods estimate bits");
+            assert!(bits > 20.0, "{}: {bits}", method.name());
+            // Releases really are isometric…
+            let drift = rbt::core::isometry::dissimilarity_drift(
+                &Normalization::zscore_paper()
+                    .fit_transform(data.matrix())
+                    .unwrap()
+                    .1,
+                fitted.released().matrix(),
+            );
+            assert!(drift < 1e-9, "{}: drift {drift}", method.name());
+        } else {
+            assert!(p.keyspace_bits.is_none(), "{}", method.name());
+        }
+    }
+    // The hybrid isometry's coin adds one bit per step over RBT under the
+    // same configuration.
+    let rbt_bits = Release::of(&data)
+        .with_method(Method::Rbt)
+        .fit(&mut rng(5))
+        .unwrap()
+        .properties()
+        .keyspace_bits
+        .unwrap();
+    let hybrid_bits = Release::of(&data)
+        .with_method(Method::HybridIsometry)
+        .fit(&mut rng(5))
+        .unwrap()
+        .properties()
+        .keyspace_bits
+        .unwrap();
+    assert!((hybrid_bits - rbt_bits - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn rbt_through_the_builder_is_bit_identical_to_the_pipeline() {
+    let data = sample();
+    let pst = PairwiseSecurityThreshold::uniform(0.3).unwrap();
+
+    // Legacy path.
+    let out = Pipeline::new(RbtConfig::uniform(pst))
+        .run(&data, &mut rng(2024))
+        .unwrap();
+    let mut legacy_session = ReleaseSession::from_pipeline_output(&out).unwrap();
+
+    // Blessed path, same RNG stream.
+    let mut fitted = Release::of(&data)
+        .with_method(Method::Rbt)
+        .with_thresholds(pst)
+        .fit(&mut rng(2024))
+        .unwrap();
+
+    assert!(
+        fitted
+            .released()
+            .matrix()
+            .approx_eq(out.released.matrix(), 0.0),
+        "builder release differs from Pipeline::run"
+    );
+    // Batch transforms agree bitwise too.
+    let via_builder = fitted.transform_batch(&data).unwrap();
+    let via_session = legacy_session.transform_batch(&data).unwrap().released;
+    assert!(via_builder.matrix().approx_eq(via_session.matrix(), 0.0));
+    // And the builder exposes the session (same key) for session-level
+    // workflows.
+    let session = fitted.session().expect("rbt exposes its session");
+    assert_eq!(session.key(), legacy_session.key());
+    assert_eq!(session.normalizer(), legacy_session.normalizer());
+    // Non-RBT methods do not.
+    let hybrid = Release::of(&data)
+        .with_method(Method::HybridIsometry)
+        .fit(&mut rng(1))
+        .unwrap();
+    assert!(hybrid.session().is_none());
+}
+
+#[test]
+fn invertible_methods_round_trip_and_baselines_refuse() {
+    let data = sample();
+    for method in Method::ALL {
+        let mut fitted = Release::of(&data)
+            .with_method(method)
+            .fit(&mut rng(11))
+            .unwrap();
+        let released = fitted.transform_batch(&data).unwrap();
+        match fitted.invert_batch(&released) {
+            Ok(recovered) => {
+                assert!(fitted.properties().invertible);
+                assert!(
+                    recovered.matrix().approx_eq(data.matrix(), 1e-8),
+                    "{} recovery off",
+                    method.name()
+                );
+            }
+            Err(RbtError::NotInvertible { method: name }) => {
+                assert!(!fitted.properties().invertible);
+                assert_eq!(name, method.name());
+            }
+            Err(other) => panic!("{}: unexpected error {other:?}", method.name()),
+        }
+    }
+}
+
+#[test]
+fn fitted_states_persist_through_the_sealed_envelope() {
+    let data = sample();
+    for method in Method::ALL {
+        let mut fitted = Release::of(&data)
+            .with_method(method)
+            .fit(&mut rng(23))
+            .unwrap();
+        let bytes = fitted.to_bytes().unwrap();
+        assert_eq!(&bytes[..4], b"RBTS", "{}", method.name());
+        let mut back = decode_fitted(&bytes).unwrap_or_else(|e| panic!("{}: {e:?}", method.name()));
+        assert_eq!(back.method_name(), method.name());
+        assert_eq!(back.n_attributes(), data.n_cols());
+        assert_eq!(back.properties(), fitted.properties());
+
+        match method {
+            // Deterministic states: the decoded transform reproduces the
+            // original bitwise on any batch.
+            Method::Rbt | Method::HybridIsometry => {
+                let a = fitted.transform_batch(&data).unwrap();
+                let b = back.transform_batch(&data).unwrap();
+                assert!(a.matrix().approx_eq(b.matrix(), 0.0), "{}", method.name());
+            }
+            // Baselines replay from the fit-time seed: the decoded state's
+            // first batch equals the fit-time release of the same data.
+            _ => {
+                let replay = back.transform_batch(&data).unwrap();
+                assert!(
+                    replay.matrix().approx_eq(fitted.released().matrix(), 0.0),
+                    "{} seed replay diverged",
+                    method.name()
+                );
+            }
+        }
+
+        // Corruption is rejected with a typed codec error, never a panic.
+        for idx in [4usize, bytes.len() / 2, bytes.len() - 1] {
+            let mut corrupt = bytes.clone();
+            corrupt[idx] ^= 0x01;
+            assert!(
+                matches!(decode_fitted(&corrupt), Err(RbtError::Codec(_))),
+                "{} flip at {idx}",
+                method.name()
+            );
+        }
+        for cut in [0usize, 3, 10, bytes.len() - 1] {
+            assert!(
+                matches!(decode_fitted(&bytes[..cut]), Err(RbtError::Codec(_))),
+                "{} cut at {cut}",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_batches_never_reuse_perturbation_draws() {
+    // Baseline per-batch streams are derived from (fit seed, batch
+    // content): distinct batches must get independent draws — reusing the
+    // noise/swap pattern across batches would let a known-sample attacker
+    // subtract it off — while a decoded state must perturb exactly like
+    // the live one, including across repeated decodes (the CLI decodes
+    // afresh per invocation).
+    let data = sample();
+    let other = {
+        let mut d = sample();
+        for v in d.matrix_mut().as_mut_slice() {
+            *v += 1.0;
+        }
+        d
+    };
+    for method in [Method::Noise, Method::Geometric] {
+        let mut fitted = Release::of(&data)
+            .with_method(method)
+            .fit(&mut rng(31))
+            .unwrap();
+        let bytes = fitted.to_bytes().unwrap();
+        let a = fitted.transform_batch(&data).unwrap();
+        let b = fitted.transform_batch(&other).unwrap();
+        // The perturbation applied to `other` differs from the one applied
+        // to `data` (not just shifted by the +1.0 offset).
+        let reused = a
+            .matrix()
+            .as_slice()
+            .iter()
+            .zip(b.matrix().as_slice())
+            .zip(
+                data.matrix()
+                    .as_slice()
+                    .iter()
+                    .zip(other.matrix().as_slice()),
+            )
+            .all(|((ra, rb), (xa, xb))| ((ra - xa) - (rb - xb)).abs() < 1e-12);
+        assert!(!reused, "{} reused draws across batches", method.name());
+        // Two independent decodes perturb identically to the live state.
+        let mut d1 = decode_fitted(&bytes).unwrap();
+        let mut d2 = decode_fitted(&bytes).unwrap();
+        for batch in [&data, &other] {
+            let live = fitted.transform_batch(batch).unwrap();
+            assert!(live
+                .matrix()
+                .approx_eq(d1.transform_batch(batch).unwrap().matrix(), 0.0));
+            assert!(live
+                .matrix()
+                .approx_eq(d2.transform_batch(batch).unwrap().matrix(), 0.0));
+        }
+    }
+}
+
+#[test]
+fn decode_fitted_reads_legacy_session_files() {
+    // The text and binary session key files the CLI has always written
+    // decode straight into a fitted RBT transform.
+    let data = sample();
+    let out = Pipeline::new(RbtConfig::uniform(
+        PairwiseSecurityThreshold::uniform(0.25).unwrap(),
+    ))
+    .run(&data, &mut rng(9))
+    .unwrap();
+    let session = ReleaseSession::from_pipeline_output(&out).unwrap();
+
+    for bytes in [session.to_bytes(), session.to_text().unwrap().into_bytes()] {
+        let mut fitted = decode_fitted(&bytes).unwrap();
+        assert_eq!(fitted.method_name(), "rbt");
+        let batch = fitted.transform_batch(&data).unwrap();
+        assert!(batch.matrix().approx_eq(
+            session
+                .clone()
+                .transform_batch(&data)
+                .unwrap()
+                .released
+                .matrix(),
+            0.0
+        ));
+    }
+}
+
+#[test]
+fn builder_rejects_knobs_the_method_cannot_take() {
+    let data = sample();
+    // Thresholds on a baseline are a typed configuration error.
+    let err = Release::of(&data)
+        .with_method(Method::Noise)
+        .with_thresholds(PairwiseSecurityThreshold::uniform(0.3).unwrap())
+        .fit(&mut rng(0))
+        .unwrap_err();
+    assert!(matches!(err, RbtError::InvalidConfig(_)), "{err:?}");
+    assert_eq!(err.exit_code(), 2);
+    // Same for normalization on a baseline…
+    let err = Release::of(&data)
+        .with_method(Method::Swap)
+        .with_normalization(Normalization::min_max_unit())
+        .fit(&mut rng(0))
+        .unwrap_err();
+    assert!(matches!(err, RbtError::InvalidConfig(_)));
+    // …and any method knob on a custom transform.
+    let custom = Method::Geometric.default_transform();
+    let err = Release::of(&data)
+        .with_transform(custom)
+        .with_thresholds(PairwiseSecurityThreshold::uniform(0.3).unwrap())
+        .fit(&mut rng(0))
+        .unwrap_err();
+    assert!(matches!(err, RbtError::InvalidConfig(_)));
+    // ID suppression, by contrast, applies to every registry method.
+    let fitted = Release::of(&data)
+        .with_method(Method::Noise)
+        .with_id_suppression(false)
+        .fit(&mut rng(4))
+        .unwrap();
+    assert_eq!(fitted.released().ids(), data.ids());
+}
+
+#[test]
+fn custom_transforms_ride_the_same_builder() {
+    let data = sample();
+    // A pre-configured transform (higher noise than the registry default).
+    let custom = Box::new(rbt::api::NoiseMethod::new(
+        rbt::transform::AdditiveNoise::gaussian(2.0).unwrap(),
+    ));
+    let fitted = Release::of(&data)
+        .with_transform(custom)
+        .fit(&mut rng(8))
+        .unwrap();
+    assert_eq!(fitted.method_name(), "noise");
+    assert!(!fitted.properties().isometric);
+}
