@@ -1,0 +1,222 @@
+//! A blocking client for the `RBTW` protocol: one request, one response,
+//! in order, over a plain `TcpStream`.
+
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use rbt_data::Dataset;
+
+use crate::metrics::ServerStats;
+use crate::wire::{self, Request, Response, WireError};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The wire layer rejected something (or the stream failed).
+    Wire(WireError),
+    /// The server answered with a typed `Error` frame.
+    Server {
+        /// Error-family code (matches the CLI exit-code taxonomy).
+        code: u8,
+        /// Server-side detail.
+        message: String,
+    },
+    /// The server closed the connection before answering.
+    Disconnected,
+    /// The server answered with a response of the wrong kind for the
+    /// request — a protocol bug, not an I/O failure.
+    Unexpected {
+        /// What the caller was waiting for.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error (code {code}): {message}")
+            }
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Unexpected { expected } => {
+                write!(f, "unexpected response kind, wanted {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Client result alias.
+pub type ClientResult<T> = std::result::Result<T, ClientError>;
+
+/// A blocking connection to an [`rbt-server`](crate) daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] wrapping the connect failure.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr).map_err(WireError::from)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request frame without waiting for the answer — the
+    /// pipelining half of [`call`](Client::call), used by the bench load
+    /// generator and the backpressure tests.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] on stream failure.
+    pub fn send(&mut self, request: &Request) -> ClientResult<()> {
+        wire::write_frame(&mut self.stream, &request.to_frame())?;
+        Ok(())
+    }
+
+    /// Receives the next response frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Disconnected`] when the server closed the stream;
+    /// [`ClientError::Server`] for typed `Error` frames;
+    /// [`ClientError::Wire`] for anything malformed.
+    pub fn receive(&mut self) -> ClientResult<Response> {
+        match wire::read_frame(&mut self.stream)? {
+            Some(frame) => match Response::from_frame(&frame)? {
+                Response::Error { code, message } => Err(ClientError::Server { code, message }),
+                response => Ok(response),
+            },
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// One request, one response.
+    ///
+    /// # Errors
+    ///
+    /// See [`send`](Client::send) and [`receive`](Client::receive).
+    pub fn call(&mut self, request: &Request) -> ClientResult<Response> {
+        self.send(request)?;
+        self.receive()
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Any transport or server failure.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected { expected: "Pong" }),
+        }
+    }
+
+    /// Registers `tenant`'s sealed key bytes; returns the decoded method
+    /// name and attribute count.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with code 4 for undecodable keys.
+    pub fn load_key(&mut self, tenant: &str, key_bytes: Vec<u8>) -> ClientResult<(String, u64)> {
+        let request = Request::LoadKey {
+            tenant: tenant.to_string(),
+            key_bytes,
+        };
+        match self.call(&request)? {
+            Response::Loaded {
+                method,
+                n_attributes,
+            } => Ok((method, n_attributes)),
+            _ => Err(ClientError::Unexpected { expected: "Loaded" }),
+        }
+    }
+
+    /// Transforms a batch under `tenant`'s session; returns the released
+    /// batch and its out-of-range (drift) row count.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with code 2 for unknown tenants, 5 for
+    /// shape mismatches.
+    pub fn transform(&mut self, tenant: &str, batch: &Dataset) -> ClientResult<(Dataset, u64)> {
+        let request = Request::Transform {
+            tenant: tenant.to_string(),
+            batch: batch.clone(),
+        };
+        match self.call(&request)? {
+            Response::Transformed {
+                released,
+                out_of_range_rows,
+            } => Ok((released, out_of_range_rows)),
+            _ => Err(ClientError::Unexpected {
+                expected: "Transformed",
+            }),
+        }
+    }
+
+    /// Owner-side inverse of a released batch.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with code 7 for non-invertible methods.
+    pub fn invert(&mut self, tenant: &str, batch: &Dataset) -> ClientResult<Dataset> {
+        let request = Request::Invert {
+            tenant: tenant.to_string(),
+            batch: batch.clone(),
+        };
+        match self.call(&request)? {
+            Response::Inverted { recovered } => Ok(recovered),
+            _ => Err(ClientError::Unexpected {
+                expected: "Inverted",
+            }),
+        }
+    }
+
+    /// The server's stats snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Any transport failure.
+    pub fn stats(&mut self) -> ClientResult<ServerStats> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            _ => Err(ClientError::Unexpected { expected: "Stats" }),
+        }
+    }
+
+    /// Drops a tenant server-side; returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Any transport failure.
+    pub fn evict(&mut self, tenant: &str) -> ClientResult<bool> {
+        let request = Request::EvictTenant {
+            tenant: tenant.to_string(),
+        };
+        match self.call(&request)? {
+            Response::Evicted { existed } => Ok(existed),
+            _ => Err(ClientError::Unexpected {
+                expected: "Evicted",
+            }),
+        }
+    }
+
+    /// The raw stream — the escape hatch the fault-injection tests use to
+    /// write malformed or partial frames.
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

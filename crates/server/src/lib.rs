@@ -1,0 +1,42 @@
+//! # rbt-server — the multi-tenant release daemon
+//!
+//! The paper's trust model has a data owner releasing transformed data to
+//! an untrusted party; ROADMAP item 1 turns the one-shot CLI workflow into
+//! a long-lived serving layer. This crate is that layer:
+//!
+//! * [`wire`] — the `RBTW` length-prefixed frame protocol (magic, version,
+//!   opcode, u32 body length, CRC-32 trailer), built on
+//!   [`rbt_linalg::codec`]'s typed, non-panicking primitives;
+//! * [`SessionRegistry`] — sealed key bytes per tenant as the source of
+//!   truth, an LRU-bounded cache of decoded live sessions (any method in
+//!   the [`rbt_api`] registry, via
+//!   [`decode_fitted`](rbt_api::decode_fitted)), and per-tenant counters
+//!   (requests, rows, drift rows, evictions, p50/p99 service time) that
+//!   survive eviction;
+//! * [`Server`] — a blocking TCP daemon, one reader + one worker thread
+//!   per connection with a bounded in-flight window for backpressure;
+//! * [`Client`] — the blocking client the CLI, the bench load generator,
+//!   and the integration battery drive the daemon with.
+//!
+//! The conformance contract, pinned by `tests/server_integration.rs` at
+//! the workspace root: a batch transformed through the server is
+//! **bit-identical** to the same batch transformed by an in-process
+//! [`Pipeline`](rbt_core::Pipeline)/`ReleaseSession`, for every tenant,
+//! under concurrency, before and after LRU eviction; and every malformed
+//! frame or mid-frame disconnect is rejected with a typed error while the
+//! server keeps serving.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, ClientResult};
+pub use metrics::{LatencyHistogram, ServerStats, TenantMetrics, TenantStats};
+pub use registry::{ServerError, ServerResult, SessionRegistry};
+pub use server::Server;
+pub use wire::{Frame, Opcode, Request, Response, WireError, WireResult};

@@ -1,0 +1,284 @@
+//! Per-tenant service counters and the stats snapshot the `Stats` opcode
+//! returns.
+//!
+//! Latency is tracked in a fixed-size log₂-bucketed histogram (power-of-two
+//! microsecond buckets), so recording is O(1), the registry lock is held
+//! only briefly, and the quantiles survive millions of requests without
+//! allocation. Quantile reads report the *upper bound* of the matching
+//! bucket — at most 2× the true value, which is plenty for spotting a
+//! tenant whose p99 has fallen off a cliff. (The bench harness computes
+//! exact client-side percentiles from raw samples; this histogram is the
+//! always-on server-side view.)
+
+use rbt_linalg::codec::{ByteReader, ByteWriter, DecodeError};
+
+/// Number of log₂ buckets: bucket `i` holds latencies in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 holds 0–1 µs). The last bucket
+/// absorbs everything from ~2^38 µs (~3 days) up.
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram over microseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+
+    fn bucket(us: u64) -> usize {
+        ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one service time, in microseconds.
+    pub fn record(&mut self, us: u64) {
+        self.counts[Self::bucket(us)] += 1;
+        self.total += 1;
+    }
+
+    /// Samples recorded so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The upper bound (in microseconds) of the bucket containing the
+    /// `q`-quantile, or 0 when nothing has been recorded. `q` is clamped
+    /// to `[0, 1]`.
+    pub fn quantile_upper_us(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket i covers [2^(i-1), 2^i); report the upper bound.
+                return if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Counters for one tenant, kept by the registry *outside* the live
+/// session so they survive capacity (LRU) eviction and reload.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantMetrics {
+    /// Transform + invert requests served.
+    pub requests: u64,
+    /// Rows transformed (drift is only counted on the transform path).
+    pub rows: u64,
+    /// Rows that fell outside the fitted normalization range.
+    pub drift_rows: u64,
+    /// Times this tenant's live session was evicted to make room.
+    pub evictions: u64,
+    /// Service-time distribution.
+    pub latency: LatencyHistogram,
+}
+
+/// A per-tenant stats row, as returned by the `Stats` opcode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant identifier.
+    pub tenant: String,
+    /// Whether a decoded session is currently resident.
+    pub live: bool,
+    /// Transform + invert requests served.
+    pub requests: u64,
+    /// Rows transformed.
+    pub rows: u64,
+    /// Rows that fell outside the fitted normalization range.
+    pub drift_rows: u64,
+    /// Times this tenant's live session was LRU-evicted.
+    pub evictions: u64,
+    /// Median service time (bucket upper bound), microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile service time (bucket upper bound), microseconds.
+    pub p99_us: u64,
+}
+
+/// The full stats snapshot: server-level gauges plus one row per tenant,
+/// sorted by tenant id for deterministic output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Maximum number of resident (decoded) sessions.
+    pub capacity: u64,
+    /// Currently resident sessions.
+    pub live_sessions: u64,
+    /// Registered tenants (resident or not).
+    pub known_tenants: u64,
+    /// LRU evictions since the server started.
+    pub total_evictions: u64,
+    /// Per-tenant rows.
+    pub tenants: Vec<TenantStats>,
+}
+
+impl ServerStats {
+    /// Appends the snapshot to a wire body.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u64(self.capacity);
+        w.put_u64(self.live_sessions);
+        w.put_u64(self.known_tenants);
+        w.put_u64(self.total_evictions);
+        w.put_usize(self.tenants.len());
+        for t in &self.tenants {
+            w.put_str(&t.tenant);
+            w.put_bool(t.live);
+            w.put_u64(t.requests);
+            w.put_u64(t.rows);
+            w.put_u64(t.drift_rows);
+            w.put_u64(t.evictions);
+            w.put_u64(t.p50_us);
+            w.put_u64(t.p99_us);
+        }
+    }
+
+    /// Reads a snapshot written by [`ServerStats::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`DecodeError`] on truncated or malformed
+    /// input, including a tenant count that exceeds the remaining bytes.
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<ServerStats, DecodeError> {
+        let capacity = r.take_u64()?;
+        let live_sessions = r.take_u64()?;
+        let known_tenants = r.take_u64()?;
+        let total_evictions = r.take_u64()?;
+        let n = r.take_usize()?;
+        // Each row is at least 53 bytes (4-byte name prefix + flag + 6 u64s).
+        if n.checked_mul(53)
+            .map(|need| need > r.remaining())
+            .unwrap_or(true)
+        {
+            return Err(DecodeError::Malformed {
+                offset: r.position(),
+                message: format!("tenant count {n} exceeds the remaining input"),
+            });
+        }
+        let mut tenants = Vec::with_capacity(n);
+        for _ in 0..n {
+            tenants.push(TenantStats {
+                tenant: r.take_str()?.to_string(),
+                live: r.take_bool()?,
+                requests: r.take_u64()?,
+                rows: r.take_u64()?,
+                drift_rows: r.take_u64()?,
+                evictions: r.take_u64()?,
+                p50_us: r.take_u64()?,
+                p99_us: r.take_u64()?,
+            });
+        }
+        Ok(ServerStats {
+            capacity,
+            live_sessions,
+            known_tenants,
+            total_evictions,
+            tenants,
+        })
+    }
+
+    /// A small fixed snapshot for codec tests.
+    #[cfg(test)]
+    pub(crate) fn sample_for_tests() -> ServerStats {
+        ServerStats {
+            capacity: 4,
+            live_sessions: 2,
+            known_tenants: 3,
+            total_evictions: 5,
+            tenants: vec![
+                TenantStats {
+                    tenant: "hospital-a".to_string(),
+                    live: true,
+                    requests: 10,
+                    rows: 1000,
+                    drift_rows: 7,
+                    evictions: 2,
+                    p50_us: 127,
+                    p99_us: 511,
+                },
+                TenantStats {
+                    tenant: "hospital-b".to_string(),
+                    live: false,
+                    requests: 1,
+                    rows: 5,
+                    drift_rows: 0,
+                    evictions: 3,
+                    p50_us: 63,
+                    p99_us: 63,
+                },
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_quantiles_bound_the_samples() {
+        let mut h = LatencyHistogram::new();
+        for us in [0u64, 1, 2, 3, 10, 100, 1000, 10_000, 100_000] {
+            h.record(us);
+        }
+        assert_eq!(h.total(), 9);
+        // p100 upper bound must cover the largest sample.
+        assert!(h.quantile_upper_us(1.0) >= 100_000);
+        // p50 of this set sits at sample 10 → bucket upper bound 15.
+        assert_eq!(h.quantile_upper_us(0.5), 15);
+        // Empty histogram reports 0.
+        assert_eq!(LatencyHistogram::new().quantile_upper_us(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_upper_bound_is_within_2x() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(300);
+        }
+        let p99 = h.quantile_upper_us(0.99);
+        assert!((300..=600).contains(&p99), "p99 {p99} not within 2x of 300");
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let stats = ServerStats::sample_for_tests();
+        let mut w = ByteWriter::new();
+        stats.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = ServerStats::decode_from(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn stats_oversized_tenant_count_is_rejected() {
+        let stats = ServerStats::sample_for_tests();
+        let mut w = ByteWriter::new();
+        stats.encode_into(&mut w);
+        let mut bytes = w.into_bytes();
+        // The tenant count lives at offset 32; inflate it.
+        bytes[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            ServerStats::decode_from(&mut r),
+            Err(DecodeError::Malformed { .. })
+        ));
+    }
+}

@@ -1,0 +1,212 @@
+//! The blocking TCP server: one accept loop, one reader + one worker
+//! thread per connection, a bounded in-flight window between them.
+//!
+//! Fault containment is the design center, mirroring the codec's
+//! reject-don't-crash contract at the connection level:
+//!
+//! * a **malformed frame** (bad magic, checksum mismatch, oversized
+//!   length…) desynchronizes the byte stream, so the server sends one
+//!   typed `Error` frame and closes *that connection* — the listener and
+//!   every other connection keep serving;
+//! * a **well-framed but undecodable body** does not desynchronize
+//!   framing, so the server answers with an `Error` response and keeps the
+//!   connection open;
+//! * a **disconnect** mid-frame or mid-response just ends the connection's
+//!   threads; the registry (a non-poisoning lock) is untouched.
+//!
+//! Backpressure: the reader thread parses frames and hands them to the
+//! worker over a `sync_channel` whose depth is the per-connection
+//! *in-flight window*. A client that pipelines more requests than the
+//! window eventually blocks in the kernel's TCP buffers — memory on the
+//! server stays bounded per connection.
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+use crate::registry::{ServerError, SessionRegistry};
+use crate::wire::{self, Frame, Request, Response, WireError};
+
+/// How the server answers a failed request.
+fn error_response(e: &ServerError) -> Response {
+    Response::Error {
+        code: e.code(),
+        message: e.to_string(),
+    }
+}
+
+/// Decodes and serves one well-framed request.
+fn process_frame(registry: &SessionRegistry, frame: &Frame) -> Response {
+    let request = match Request::from_frame(frame) {
+        Ok(request) => request,
+        // A valid frame with an undecodable body: framing is intact, so
+        // answer and keep the connection.
+        Err(e) => {
+            return Response::Error {
+                code: 4,
+                message: format!("bad request body: {e}"),
+            }
+        }
+    };
+    match request {
+        Request::LoadKey { tenant, key_bytes } => match registry.load_key(&tenant, key_bytes) {
+            Ok((method, n_attributes)) => Response::Loaded {
+                method,
+                n_attributes: n_attributes as u64,
+            },
+            Err(e) => error_response(&e),
+        },
+        Request::Transform { tenant, batch } => match registry.transform(&tenant, &batch) {
+            Ok((released, out_of_range_rows)) => Response::Transformed {
+                released,
+                out_of_range_rows,
+            },
+            Err(e) => error_response(&e),
+        },
+        Request::Invert { tenant, batch } => match registry.invert(&tenant, &batch) {
+            Ok(recovered) => Response::Inverted { recovered },
+            Err(e) => error_response(&e),
+        },
+        Request::Stats => Response::Stats(registry.stats()),
+        Request::EvictTenant { tenant } => Response::Evicted {
+            existed: registry.evict(&tenant),
+        },
+        Request::Ping => Response::Pong,
+    }
+}
+
+fn handle_connection(stream: TcpStream, registry: Arc<SessionRegistry>, window: usize) {
+    let Ok(mut read_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::sync_channel::<Result<Frame, WireError>>(window.max(1));
+    let reader = thread::spawn(move || loop {
+        match wire::read_frame(&mut read_half) {
+            Ok(Some(frame)) => {
+                if tx.send(Ok(frame)).is_err() {
+                    return; // worker gone
+                }
+            }
+            Ok(None) => return, // clean disconnect between frames
+            Err(e) => {
+                let _ = tx.send(Err(e));
+                return; // the stream is desynchronized; stop reading
+            }
+        }
+    });
+    let mut write_half = stream;
+    for item in rx {
+        match item {
+            Ok(frame) => {
+                let response = process_frame(&registry, &frame);
+                if wire::write_frame(&mut write_half, &response.to_frame()).is_err() {
+                    break; // client went away mid-response
+                }
+            }
+            Err(e) => {
+                // Malformed frame: answer with the typed rejection
+                // (best-effort) and drop the connection.
+                let response = Response::Error {
+                    code: 4,
+                    message: format!("malformed frame: {e}"),
+                };
+                let _ = wire::write_frame(&mut write_half, &response.to_frame());
+                break;
+            }
+        }
+    }
+    // Unblock the reader if it is still parked in a socket read, then
+    // reap it.
+    let _ = write_half.shutdown(Shutdown::Both);
+    let _ = reader.join();
+}
+
+/// A running release server. Dropping (or calling
+/// [`shutdown`](Server::shutdown) on) the handle stops the accept loop;
+/// connections already open run until their clients disconnect.
+pub struct Server {
+    addr: SocketAddr,
+    registry: Arc<SessionRegistry>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections, `window` requests in flight per
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(
+        addr: &str,
+        registry: Arc<SessionRegistry>,
+        window: usize,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept_registry = Arc::clone(&registry);
+        let accept_thread = thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let registry = Arc::clone(&accept_registry);
+                thread::spawn(move || handle_connection(stream, registry, window));
+            }
+        });
+        Ok(Server {
+            addr: local,
+            registry,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when spawned on
+    /// port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared registry this server serves from.
+    pub fn registry(&self) -> &Arc<SessionRegistry> {
+        &self.registry
+    }
+
+    /// Blocks until the accept loop exits (i.e. until another thread calls
+    /// nothing — the loop runs until the process ends). Used by
+    /// `rbt-cli serve`.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting new connections and reaps the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_accepting();
+        }
+    }
+}

@@ -1,0 +1,979 @@
+//! The `RBTW` length-prefixed wire protocol.
+//!
+//! Every message on the socket is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"RBTW"
+//! 4       2     protocol version (u16 LE, currently 1)
+//! 6       1     opcode
+//! 7       4     body length n (u32 LE)
+//! 11      n     body (opcode-specific, ByteWriter/ByteReader encoded)
+//! 11+n    4     CRC-32 (u32 LE) over bytes [0, 11+n)
+//! ```
+//!
+//! The framing layer reuses [`rbt_linalg::codec`]'s primitives and inherits
+//! its contract: malformed input is *rejected with a typed error*, never
+//! panicked on. Streaming validation order is magic → length (bounded by
+//! [`MAX_BODY_LEN`] **before** any allocation) → CRC over header+body →
+//! version → opcode, so a frame with a valid checksum but an unknown
+//! version is reported as [`WireError::UnsupportedVersion`] rather than as
+//! corruption, while any flipped byte anywhere in the frame trips the CRC.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use rbt_data::Dataset;
+use rbt_linalg::codec::{crc32, ByteReader, ByteWriter, DecodeError};
+use rbt_linalg::Matrix;
+
+use crate::metrics::ServerStats;
+
+/// Frame magic: "RBT wire".
+pub const MAGIC: [u8; 4] = *b"RBTW";
+/// Current protocol version.
+pub const WIRE_VERSION: u16 = 1;
+/// Fixed header size: magic + version + opcode + body length.
+pub const HEADER_LEN: usize = 11;
+/// CRC-32 trailer size.
+pub const TRAILER_LEN: usize = 4;
+/// Upper bound on a frame body (64 MiB). Checked against the declared
+/// length *before* the body is allocated, so a corrupted or hostile length
+/// field cannot drive the server out of memory.
+pub const MAX_BODY_LEN: u32 = 64 * 1024 * 1024;
+
+/// Frame opcodes. Responses reuse the opcode of the request they answer;
+/// failures use [`Opcode::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Register (or replace) a tenant's sealed key file.
+    LoadKey = 1,
+    /// Transform an out-of-sample batch under a tenant's session.
+    Transform = 2,
+    /// Owner-side inverse of [`Opcode::Transform`].
+    Invert = 3,
+    /// Server and per-tenant counters.
+    Stats = 4,
+    /// Drop a tenant: key bytes, live session, and counters.
+    EvictTenant = 5,
+    /// Liveness check.
+    Ping = 6,
+    /// Error response (never a request).
+    Error = 15,
+}
+
+impl Opcode {
+    fn from_u8(v: u8) -> Option<Opcode> {
+        match v {
+            1 => Some(Opcode::LoadKey),
+            2 => Some(Opcode::Transform),
+            3 => Some(Opcode::Invert),
+            4 => Some(Opcode::Stats),
+            5 => Some(Opcode::EvictTenant),
+            6 => Some(Opcode::Ping),
+            15 => Some(Opcode::Error),
+            _ => None,
+        }
+    }
+}
+
+/// Errors produced while reading or decoding frames. Every variant is a
+/// *rejection* — the framing layer never panics on wire input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The first four bytes were not `RBTW`.
+    BadMagic {
+        /// What was found instead.
+        found: [u8; 4],
+    },
+    /// The frame checksummed correctly but declares a version this build
+    /// does not speak.
+    UnsupportedVersion {
+        /// The declared version.
+        found: u16,
+    },
+    /// The frame checksummed correctly but carries an unknown opcode.
+    UnknownOpcode {
+        /// The declared opcode byte.
+        found: u8,
+    },
+    /// The declared body length exceeds [`MAX_BODY_LEN`]. Raised before
+    /// any allocation.
+    Oversized {
+        /// The declared body length.
+        length: u32,
+        /// The configured cap.
+        limit: u32,
+    },
+    /// The CRC-32 trailer does not match the header + body.
+    ChecksumMismatch {
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC computed over the received bytes.
+        computed: u32,
+    },
+    /// A frame body (or a buffered frame) failed byte-level decoding.
+    Byte(DecodeError),
+    /// The underlying stream failed (including EOF in the middle of a
+    /// frame — a client that disconnected mid-send).
+    Io {
+        /// The I/O error kind.
+        kind: std::io::ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:02x?}, expected \"RBTW\"")
+            }
+            WireError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported wire version {found} (this build speaks {WIRE_VERSION})"
+                )
+            }
+            WireError::UnknownOpcode { found } => write!(f, "unknown opcode {found:#04x}"),
+            WireError::Oversized { length, limit } => {
+                write!(
+                    f,
+                    "declared body length {length} exceeds the {limit}-byte cap"
+                )
+            }
+            WireError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            WireError::Byte(e) => write!(f, "frame body: {e}"),
+            WireError::Io { kind, message } => write!(f, "wire i/o ({kind:?}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        WireError::Byte(e)
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Wire result alias.
+pub type WireResult<T> = std::result::Result<T, WireError>;
+
+fn malformed(offset: usize, message: impl Into<String>) -> WireError {
+    WireError::Byte(DecodeError::Malformed {
+        offset,
+        message: message.into(),
+    })
+}
+
+/// A decoded frame: opcode plus raw body bytes. The body is interpreted by
+/// [`Request::from_frame`] / [`Response::from_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame opcode.
+    pub opcode: Opcode,
+    /// The opcode-specific body.
+    pub body: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame with the given opcode and body.
+    pub fn new(opcode: Opcode, body: Vec<u8>) -> Frame {
+        Frame { opcode, body }
+    }
+}
+
+/// Encodes a frame into a self-contained byte buffer (header + body +
+/// CRC-32 trailer).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(&MAGIC);
+    w.put_u16(WIRE_VERSION);
+    w.put_u8(frame.opcode as u8);
+    w.put_u32(frame.body.len() as u32);
+    w.put_bytes(&frame.body);
+    let crc = crc32(w.as_bytes());
+    w.put_u32(crc);
+    w.into_bytes()
+}
+
+/// Decodes one frame from a buffer that must contain exactly one frame.
+///
+/// # Errors
+///
+/// Any deviation from the format — short input, bad magic, oversized or
+/// inconsistent length, checksum mismatch, unknown version or opcode,
+/// trailing bytes — returns the corresponding typed [`WireError`].
+pub fn decode_frame(bytes: &[u8]) -> WireResult<Frame> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Byte(DecodeError::Truncated {
+            offset: 0,
+            needed: HEADER_LEN,
+            available: bytes.len(),
+        }));
+    }
+    let mut r = ByteReader::new(bytes);
+    let magic = r.take_bytes(4)?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic {
+            found: [magic[0], magic[1], magic[2], magic[3]],
+        });
+    }
+    let version = r.take_u16()?;
+    let opcode_byte = r.take_u8()?;
+    let body_len = r.take_u32()?;
+    if body_len > MAX_BODY_LEN {
+        return Err(WireError::Oversized {
+            length: body_len,
+            limit: MAX_BODY_LEN,
+        });
+    }
+    let total = HEADER_LEN + body_len as usize + TRAILER_LEN;
+    if bytes.len() < total {
+        return Err(WireError::Byte(DecodeError::Truncated {
+            offset: bytes.len(),
+            needed: total,
+            available: bytes.len(),
+        }));
+    }
+    if bytes.len() > total {
+        return Err(malformed(
+            total,
+            format!("{} trailing bytes after the frame", bytes.len() - total),
+        ));
+    }
+    let body = r.take_bytes(body_len as usize)?.to_vec();
+    let stored = r.take_u32()?;
+    let computed = crc32(&bytes[..HEADER_LEN + body_len as usize]);
+    if stored != computed {
+        return Err(WireError::ChecksumMismatch { stored, computed });
+    }
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion { found: version });
+    }
+    let opcode =
+        Opcode::from_u8(opcode_byte).ok_or(WireError::UnknownOpcode { found: opcode_byte })?;
+    Ok(Frame { opcode, body })
+}
+
+/// Reads the next frame from a stream.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
+/// frames); EOF in the *middle* of a frame is a disconnect and reported as
+/// [`WireError::Io`] with [`std::io::ErrorKind::UnexpectedEof`]. The
+/// declared body length is validated against [`MAX_BODY_LEN`] before the
+/// body buffer is allocated.
+///
+/// # Errors
+///
+/// Typed [`WireError`] for every malformed frame or stream failure.
+pub fn read_frame<R: Read>(stream: &mut R) -> WireResult<Option<Frame>> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        let n = stream.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None); // clean EOF between frames
+            }
+            return Err(WireError::Io {
+                kind: std::io::ErrorKind::UnexpectedEof,
+                message: format!("peer closed after {filled} of {HEADER_LEN} header bytes"),
+            });
+        }
+        filled += n;
+    }
+    let mut r = ByteReader::new(&header);
+    let magic = r.take_bytes(4)?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic {
+            found: [magic[0], magic[1], magic[2], magic[3]],
+        });
+    }
+    let version = r.take_u16()?;
+    let opcode_byte = r.take_u8()?;
+    let body_len = r.take_u32()?;
+    if body_len > MAX_BODY_LEN {
+        return Err(WireError::Oversized {
+            length: body_len,
+            limit: MAX_BODY_LEN,
+        });
+    }
+    let mut rest = vec![0u8; body_len as usize + TRAILER_LEN];
+    stream.read_exact(&mut rest).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Io {
+                kind: std::io::ErrorKind::UnexpectedEof,
+                message: "peer closed mid-frame".to_string(),
+            }
+        } else {
+            WireError::from(e)
+        }
+    })?;
+    let body = rest[..body_len as usize].to_vec();
+    let stored = u32::from_le_bytes([
+        rest[body_len as usize],
+        rest[body_len as usize + 1],
+        rest[body_len as usize + 2],
+        rest[body_len as usize + 3],
+    ]);
+    let mut crc_input = Vec::with_capacity(HEADER_LEN + body.len());
+    crc_input.extend_from_slice(&header);
+    crc_input.extend_from_slice(&body);
+    let computed = crc32(&crc_input);
+    if stored != computed {
+        return Err(WireError::ChecksumMismatch { stored, computed });
+    }
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion { found: version });
+    }
+    let opcode =
+        Opcode::from_u8(opcode_byte).ok_or(WireError::UnknownOpcode { found: opcode_byte })?;
+    Ok(Some(Frame { opcode, body }))
+}
+
+/// Writes one encoded frame to a stream and flushes it.
+///
+/// # Errors
+///
+/// Propagates stream failures as [`WireError::Io`].
+pub fn write_frame<W: Write>(stream: &mut W, frame: &Frame) -> WireResult<()> {
+    stream.write_all(&encode_frame(frame))?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Guards a decoded element count against the bytes actually remaining, so
+/// a corrupted count is rejected before it can drive an allocation.
+fn guard_count(
+    r: &ByteReader<'_>,
+    count: usize,
+    min_elem_bytes: usize,
+    what: &str,
+) -> WireResult<()> {
+    match count.checked_mul(min_elem_bytes) {
+        Some(need) if need <= r.remaining() => Ok(()),
+        _ => Err(malformed(
+            r.position(),
+            format!(
+                "{what} count {count} exceeds the remaining {} bytes",
+                r.remaining()
+            ),
+        )),
+    }
+}
+
+/// Appends a dataset to the writer: row/column counts, column names,
+/// optional record IDs, then the matrix as raw `f64` bit patterns —
+/// lossless, which is what makes the server's responses bit-comparable to
+/// the in-process `Pipeline` output.
+pub fn encode_dataset(w: &mut ByteWriter, ds: &Dataset) {
+    w.put_usize(ds.n_rows());
+    w.put_usize(ds.n_cols());
+    for name in ds.columns() {
+        w.put_str(name);
+    }
+    match ds.ids() {
+        Some(ids) => {
+            w.put_bool(true);
+            for &id in ids {
+                w.put_u64(id);
+            }
+        }
+        None => w.put_bool(false),
+    }
+    for &v in ds.matrix().as_slice() {
+        w.put_f64(v);
+    }
+}
+
+/// Reads a dataset written by [`encode_dataset`].
+///
+/// # Errors
+///
+/// Typed [`WireError`] on truncation, oversized counts, or inconsistent
+/// shape.
+pub fn decode_dataset(r: &mut ByteReader<'_>) -> WireResult<Dataset> {
+    let shape_offset = r.position();
+    let rows = r.take_usize()?;
+    let cols = r.take_usize()?;
+    guard_count(r, cols, 4, "column")?;
+    let mut columns = Vec::with_capacity(cols);
+    for _ in 0..cols {
+        columns.push(r.take_str()?.to_string());
+    }
+    let has_ids = r.take_bool()?;
+    let ids = if has_ids {
+        guard_count(r, rows, 8, "record id")?;
+        let mut ids = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            ids.push(r.take_u64()?);
+        }
+        Some(ids)
+    } else {
+        None
+    };
+    let cells = rows.checked_mul(cols).ok_or_else(|| {
+        malformed(
+            shape_offset,
+            format!("dataset shape {rows}x{cols} overflows"),
+        )
+    })?;
+    guard_count(r, cells, 8, "cell")?;
+    let mut data = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        data.push(r.take_f64()?);
+    }
+    let matrix =
+        Matrix::from_vec(rows, cols, data).map_err(|e| malformed(shape_offset, e.to_string()))?;
+    let ds = Dataset::new(matrix, columns).map_err(|e| malformed(shape_offset, e.to_string()))?;
+    match ids {
+        Some(ids) => ds
+            .with_ids(ids)
+            .map_err(|e| malformed(shape_offset, e.to_string())),
+        None => Ok(ds),
+    }
+}
+
+/// A client request, one per frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register (or replace) `tenant`'s sealed key file.
+    LoadKey {
+        /// Tenant identifier.
+        tenant: String,
+        /// The sealed `RBTS` key bytes, exactly as persisted on disk.
+        key_bytes: Vec<u8>,
+    },
+    /// Transform a batch under `tenant`'s fitted session.
+    Transform {
+        /// Tenant identifier.
+        tenant: String,
+        /// The out-of-sample batch.
+        batch: Dataset,
+    },
+    /// Owner-side inverse of a released batch.
+    Invert {
+        /// Tenant identifier.
+        tenant: String,
+        /// A previously released batch.
+        batch: Dataset,
+    },
+    /// Server and per-tenant counters.
+    Stats,
+    /// Drop a tenant entirely.
+    EvictTenant {
+        /// Tenant identifier.
+        tenant: String,
+    },
+    /// Liveness check.
+    Ping,
+}
+
+impl Request {
+    /// The opcode this request travels under.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::LoadKey { .. } => Opcode::LoadKey,
+            Request::Transform { .. } => Opcode::Transform,
+            Request::Invert { .. } => Opcode::Invert,
+            Request::Stats => Opcode::Stats,
+            Request::EvictTenant { .. } => Opcode::EvictTenant,
+            Request::Ping => Opcode::Ping,
+        }
+    }
+
+    /// Encodes the request into a frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut w = ByteWriter::new();
+        match self {
+            Request::LoadKey { tenant, key_bytes } => {
+                w.put_str(tenant);
+                w.put_usize(key_bytes.len());
+                w.put_bytes(key_bytes);
+            }
+            Request::Transform { tenant, batch } | Request::Invert { tenant, batch } => {
+                w.put_str(tenant);
+                encode_dataset(&mut w, batch);
+            }
+            Request::EvictTenant { tenant } => w.put_str(tenant),
+            Request::Stats | Request::Ping => {}
+        }
+        Frame::new(self.opcode(), w.into_bytes())
+    }
+
+    /// Decodes a request from a frame.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`] when the body does not parse for the frame's
+    /// opcode, or the opcode is [`Opcode::Error`] (not a request).
+    pub fn from_frame(frame: &Frame) -> WireResult<Request> {
+        let mut r = ByteReader::new(&frame.body);
+        let req = match frame.opcode {
+            Opcode::LoadKey => {
+                let tenant = r.take_str()?.to_string();
+                let len = r.take_usize()?;
+                let key_bytes = r.take_bytes(len)?.to_vec();
+                Request::LoadKey { tenant, key_bytes }
+            }
+            Opcode::Transform => Request::Transform {
+                tenant: r.take_str()?.to_string(),
+                batch: decode_dataset(&mut r)?,
+            },
+            Opcode::Invert => Request::Invert {
+                tenant: r.take_str()?.to_string(),
+                batch: decode_dataset(&mut r)?,
+            },
+            Opcode::Stats => Request::Stats,
+            Opcode::EvictTenant => Request::EvictTenant {
+                tenant: r.take_str()?.to_string(),
+            },
+            Opcode::Ping => Request::Ping,
+            Opcode::Error => return Err(malformed(0, "Error frames are responses, not requests")),
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+/// A server response, one per frame. Success responses reuse the opcode of
+/// the request they answer; failures use [`Opcode::Error`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The key decoded and the session is registered.
+    Loaded {
+        /// The release method the key encodes (`rbt`, `noise`, …).
+        method: String,
+        /// Attribute count the session was fitted on.
+        n_attributes: u64,
+    },
+    /// A transformed batch.
+    Transformed {
+        /// The released (transformed) batch, IDs suppressed.
+        released: Dataset,
+        /// Rows of the request batch that fell outside the fitted
+        /// normalization range (drift).
+        out_of_range_rows: u64,
+    },
+    /// A recovered batch.
+    Inverted {
+        /// The owner-side recovered batch.
+        recovered: Dataset,
+    },
+    /// Server and per-tenant counters.
+    Stats(ServerStats),
+    /// Tenant eviction outcome.
+    Evicted {
+        /// Whether the tenant existed.
+        existed: bool,
+    },
+    /// Liveness reply.
+    Pong,
+    /// The request failed.
+    Error {
+        /// Error family, matching the CLI exit-code taxonomy (2 usage,
+        /// 3 data, 4 codec/wire, 5 shape, 6 threshold, 7 capability).
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The opcode this response travels under.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Response::Loaded { .. } => Opcode::LoadKey,
+            Response::Transformed { .. } => Opcode::Transform,
+            Response::Inverted { .. } => Opcode::Invert,
+            Response::Stats(_) => Opcode::Stats,
+            Response::Evicted { .. } => Opcode::EvictTenant,
+            Response::Pong => Opcode::Ping,
+            Response::Error { .. } => Opcode::Error,
+        }
+    }
+
+    /// Encodes the response into a frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut w = ByteWriter::new();
+        match self {
+            Response::Loaded {
+                method,
+                n_attributes,
+            } => {
+                w.put_str(method);
+                w.put_u64(*n_attributes);
+            }
+            Response::Transformed {
+                released,
+                out_of_range_rows,
+            } => {
+                encode_dataset(&mut w, released);
+                w.put_u64(*out_of_range_rows);
+            }
+            Response::Inverted { recovered } => encode_dataset(&mut w, recovered),
+            Response::Stats(stats) => stats.encode_into(&mut w),
+            Response::Evicted { existed } => w.put_bool(*existed),
+            Response::Pong => {}
+            Response::Error { code, message } => {
+                w.put_u8(*code);
+                w.put_str(message);
+            }
+        }
+        Frame::new(self.opcode(), w.into_bytes())
+    }
+
+    /// Decodes a response from a frame.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`] when the body does not parse for the frame's
+    /// opcode.
+    pub fn from_frame(frame: &Frame) -> WireResult<Response> {
+        let mut r = ByteReader::new(&frame.body);
+        let resp = match frame.opcode {
+            Opcode::LoadKey => Response::Loaded {
+                method: r.take_str()?.to_string(),
+                n_attributes: r.take_u64()?,
+            },
+            Opcode::Transform => Response::Transformed {
+                released: decode_dataset(&mut r)?,
+                out_of_range_rows: r.take_u64()?,
+            },
+            Opcode::Invert => Response::Inverted {
+                recovered: decode_dataset(&mut r)?,
+            },
+            Opcode::Stats => Response::Stats(ServerStats::decode_from(&mut r)?),
+            Opcode::EvictTenant => Response::Evicted {
+                existed: r.take_bool()?,
+            },
+            Opcode::Ping => Response::Pong,
+            Opcode::Error => Response::Error {
+                code: r.take_u8()?,
+                message: r.take_str()?.to_string(),
+            },
+        };
+        r.expect_end()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_dataset(rows: usize, with_ids: bool) -> Dataset {
+        let cols = 3;
+        let data: Vec<f64> = (0..rows * cols).map(|i| (i as f64) * 1.25 - 7.0).collect();
+        let m = Matrix::from_vec(rows, cols, data).unwrap();
+        let ds = Dataset::new(
+            m,
+            vec![
+                "age".to_string(),
+                "weight".to_string(),
+                "h_rate".to_string(),
+            ],
+        )
+        .unwrap();
+        if with_ids {
+            ds.with_ids((0..rows as u64).map(|i| 9000 + i).collect())
+                .unwrap()
+        } else {
+            ds
+        }
+    }
+
+    fn assert_datasets_bitwise(a: &Dataset, b: &Dataset) {
+        assert_eq!(a.columns(), b.columns());
+        assert_eq!(a.ids(), b.ids());
+        assert_eq!(a.n_rows(), b.n_rows());
+        assert_eq!(a.n_cols(), b.n_cols());
+        let (xs, ys) = (a.matrix().as_slice(), b.matrix().as_slice());
+        assert_eq!(xs.len(), ys.len());
+        for (x, y) in xs.iter().zip(ys) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        let requests = vec![
+            Request::LoadKey {
+                tenant: "hospital-a".to_string(),
+                key_bytes: vec![0, 1, 2, 254, 255],
+            },
+            Request::Transform {
+                tenant: "hospital-b".to_string(),
+                batch: sample_dataset(4, true),
+            },
+            Request::Invert {
+                tenant: "naïve-tenant".to_string(),
+                batch: sample_dataset(2, false),
+            },
+            Request::Stats,
+            Request::EvictTenant {
+                tenant: "x".to_string(),
+            },
+            Request::Ping,
+        ];
+        for req in requests {
+            let frame = req.to_frame();
+            let bytes = encode_frame(&frame);
+            let decoded_frame = decode_frame(&bytes).unwrap();
+            assert_eq!(decoded_frame, frame);
+            let decoded = Request::from_frame(&decoded_frame).unwrap();
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        let responses = vec![
+            Response::Loaded {
+                method: "rbt".to_string(),
+                n_attributes: 7,
+            },
+            Response::Transformed {
+                released: sample_dataset(5, false),
+                out_of_range_rows: 3,
+            },
+            Response::Inverted {
+                recovered: sample_dataset(1, true),
+            },
+            Response::Stats(ServerStats::sample_for_tests()),
+            Response::Evicted { existed: true },
+            Response::Pong,
+            Response::Error {
+                code: 4,
+                message: "checksum mismatch".to_string(),
+            },
+        ];
+        for resp in responses {
+            let frame = resp.to_frame();
+            let decoded = Response::from_frame(&decode_frame(&encode_frame(&frame)).unwrap());
+            assert_eq!(decoded.unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn dataset_payload_is_bitwise_lossless() {
+        let m = Matrix::from_vec(
+            2,
+            2,
+            vec![
+                -0.0,
+                f64::MIN_POSITIVE,
+                f64::from_bits(0x7FF8_0000_0000_1234),
+                1e308,
+            ],
+        )
+        .unwrap();
+        let ds = Dataset::new(m, vec!["a".to_string(), "b".to_string()]).unwrap();
+        let mut w = ByteWriter::new();
+        encode_dataset(&mut w, &ds);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_dataset(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_datasets_bitwise(&ds, &back);
+    }
+
+    /// The PR-3-style battery: every single-bit corruption of a valid frame
+    /// is rejected with a typed error, never a panic or a silent success.
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let frame = Request::Transform {
+            tenant: "t".to_string(),
+            batch: sample_dataset(2, true),
+        }
+        .to_frame();
+        let bytes = encode_frame(&frame);
+        for idx in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupted = bytes.clone();
+                corrupted[idx] ^= 1 << bit;
+                assert!(
+                    decode_frame(&corrupted).is_err(),
+                    "flip at byte {idx} bit {bit} was not rejected"
+                );
+            }
+        }
+    }
+
+    /// Every proper prefix of a valid frame is rejected as truncated.
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = encode_frame(&Request::Ping.to_frame());
+        for len in 0..bytes.len() {
+            let err = decode_frame(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Byte(DecodeError::Truncated { .. })),
+                "prefix of {len} bytes: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_frame(&Request::Ping.to_frame());
+        bytes.push(0);
+        assert!(matches!(
+            decode_frame(&bytes).unwrap_err(),
+            WireError::Byte(DecodeError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut bytes = encode_frame(&Request::Ping.to_frame());
+        bytes[7..11].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_frame(&bytes).unwrap_err(),
+            WireError::Oversized {
+                length: u32::MAX,
+                limit: MAX_BODY_LEN
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_version_with_valid_checksum_is_a_version_error() {
+        // Re-seal the CRC so the *only* defect is the version field.
+        let frame = Request::Ping.to_frame();
+        let mut bytes = encode_frame(&frame);
+        bytes[4..6].copy_from_slice(&99u16.to_le_bytes());
+        let crc = crc32(&bytes[..bytes.len() - TRAILER_LEN]);
+        let crc_at = bytes.len() - TRAILER_LEN;
+        bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_frame(&bytes).unwrap_err(),
+            WireError::UnsupportedVersion { found: 99 }
+        );
+    }
+
+    #[test]
+    fn unknown_opcode_with_valid_checksum_is_an_opcode_error() {
+        let frame = Request::Ping.to_frame();
+        let mut bytes = encode_frame(&frame);
+        bytes[6] = 0xEE;
+        let crc = crc32(&bytes[..bytes.len() - TRAILER_LEN]);
+        let crc_at = bytes.len() - TRAILER_LEN;
+        bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_frame(&bytes).unwrap_err(),
+            WireError::UnknownOpcode { found: 0xEE }
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_frame(&Request::Ping.to_frame());
+        bytes[..4].copy_from_slice(b"RBTS");
+        assert_eq!(
+            decode_frame(&bytes).unwrap_err(),
+            WireError::BadMagic { found: *b"RBTS" }
+        );
+    }
+
+    #[test]
+    fn stream_reader_yields_frames_then_clean_eof() {
+        let mut buf = Vec::new();
+        let ping = Request::Ping.to_frame();
+        let stats = Request::Stats.to_frame();
+        buf.extend_from_slice(&encode_frame(&ping));
+        buf.extend_from_slice(&encode_frame(&stats));
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(ping));
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(stats));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn stream_eof_mid_frame_is_a_disconnect() {
+        let bytes = encode_frame(&Request::Ping.to_frame());
+        // Cut inside the header and inside the trailer.
+        for cut in [1, HEADER_LEN - 1, bytes.len() - 1] {
+            let mut cursor = std::io::Cursor::new(bytes[..cut].to_vec());
+            let err = read_frame(&mut cursor).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    WireError::Io {
+                        kind: std::io::ErrorKind::UnexpectedEof,
+                        ..
+                    }
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_reader_rejects_oversized_without_allocating() {
+        let mut bytes = encode_frame(&Request::Ping.to_frame());
+        bytes[7..11].copy_from_slice(&(MAX_BODY_LEN + 1).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err(),
+            WireError::Oversized {
+                length: MAX_BODY_LEN + 1,
+                limit: MAX_BODY_LEN
+            }
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        // Arbitrary bodies round-trip bit-identically through the frame
+        // codec, for every opcode.
+        #[test]
+        fn arbitrary_bodies_round_trip(
+            body in prop::collection::vec(0usize..256, 0..96),
+            opcode_pick in 0usize..7,
+        ) {
+            let opcodes = [
+                Opcode::LoadKey, Opcode::Transform, Opcode::Invert,
+                Opcode::Stats, Opcode::EvictTenant, Opcode::Ping, Opcode::Error,
+            ];
+            let body: Vec<u8> = body.into_iter().map(|b| b as u8).collect();
+            let frame = Frame::new(opcodes[opcode_pick], body);
+            let bytes = encode_frame(&frame);
+            prop_assert_eq!(decode_frame(&bytes).unwrap(), frame.clone());
+            let mut cursor = std::io::Cursor::new(bytes);
+            prop_assert_eq!(read_frame(&mut cursor).unwrap(), Some(frame));
+        }
+
+        // Single-byte corruption at an arbitrary position is rejected.
+        #[test]
+        fn random_corruption_is_rejected(
+            body in prop::collection::vec(0usize..256, 0..64),
+            pos_frac in 0.0..1.0f64,
+            flip in 1usize..256,
+        ) {
+            let body: Vec<u8> = body.into_iter().map(|b| b as u8).collect();
+            let mut bytes = encode_frame(&Frame::new(Opcode::Transform, body));
+            let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+            bytes[pos] ^= flip as u8;
+            prop_assert!(decode_frame(&bytes).is_err());
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! rbt-cli transform/invert --key session.rbt --input b.csv --output o.csv
 //! rbt-cli inspect-key --key key.txt
 //! rbt-cli audit --original data.csv --released released.csv
+//! rbt-cli serve --keys <dir> [--addr host:port] [--capacity N] [--window W]
+//! rbt-cli bench-serve [--tenants N] [--rows N] [--batches N] [--quick-smoke]
 //! ```
 //!
 //! `release` normalizes, rotates, and writes three artifacts: the shareable
@@ -27,14 +29,18 @@
 //! capability.
 
 use rand::SeedableRng;
-use rbt::api::{decode_fitted, FittedRbt, FittedTransform, Method, RbtError};
+use rbt::api::{decode_fitted, FittedRbt, FittedTransform, Method, PrivacyTransform, RbtError};
 use rbt::core::{Pipeline, RbtConfig, ReleaseSession, TransformationKey};
 use rbt::data::{csv, FittedNormalizer, Normalization};
 use rbt::prelude::Release;
-use rbt::{PairwiseSecurityThreshold, VarianceMode};
+use rbt::server::{Client, Server, ServerError, SessionRegistry};
+use rbt::{Dataset, Matrix, PairwiseSecurityThreshold, VarianceMode};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A CLI failure: what went wrong plus the exit code family it belongs to.
 struct CliError {
@@ -81,6 +87,15 @@ impl From<rbt::data::Error> for CliError {
     }
 }
 
+impl From<ServerError> for CliError {
+    fn from(e: ServerError) -> Self {
+        CliError {
+            code: e.code(),
+            message: e.to_string(),
+        }
+    }
+}
+
 type CliResult<T> = Result<T, CliError>;
 
 fn main() -> ExitCode {
@@ -98,6 +113,8 @@ fn main() -> ExitCode {
         "invert" => cmd_invert(rest),
         "inspect-key" => cmd_inspect_key(rest),
         "audit" => cmd_audit(rest),
+        "serve" => cmd_serve(rest),
+        "bench-serve" => cmd_bench_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -139,6 +156,13 @@ Fitted release sessions (any method; persisted secrets, batch after batch):
 Inspection:
   rbt-cli inspect-key --key <file>
   rbt-cli audit --original <csv> --released <csv>
+
+Serving (the multi-tenant release daemon; see ARCHITECTURE.md \"Serving layer\"):
+  rbt-cli serve --keys <dir> [--addr <host:port, default 127.0.0.1:7533>]
+          [--capacity <live sessions, default 64>]
+          [--window <in-flight requests per connection, default 8>]
+  rbt-cli bench-serve [--tenants <N, default 8>] [--rows <per batch>]
+          [--batches <per tenant>] [--out <json path>] [--quick-smoke]
 
 Exit codes: 0 ok · 2 usage/config · 3 input data · 4 corrupt key file ·
 5 shape mismatch · 6 infeasible threshold · 7 method capability · 1 other";
@@ -593,5 +617,205 @@ fn cmd_audit(args: &[String]) -> CliResult<()> {
         )?;
         println!("  {:<16} {sec:.4}", original.columns()[j]);
     }
+    Ok(())
+}
+
+fn parse_flag_usize(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: usize,
+) -> CliResult<usize> {
+    match flags.get(name) {
+        Some(v) => v
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad --{name}: {e}"))),
+        None => Ok(default),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> CliResult<()> {
+    let flags = parse_flags(args, &[])?;
+    let keys_dir = PathBuf::from(required(&flags, "keys")?);
+    let addr = flags
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:7533");
+    let capacity = parse_flag_usize(&flags, "capacity", 64)?;
+    let window = parse_flag_usize(&flags, "window", 8)?;
+
+    let registry = Arc::new(SessionRegistry::new(capacity));
+    // A corrupt key directory refuses to serve (codec family, exit 4)
+    // rather than silently serving a subset of tenants.
+    let loaded = registry.load_dir(&keys_dir)?;
+    let server = Server::spawn(addr, registry, window)
+        .map_err(|e| CliError::io(format!("binding {addr}: {e}")))?;
+    println!(
+        "serving {loaded} tenants on {} (capacity {capacity} live sessions, \
+         window {window} in-flight per connection)",
+        server.local_addr()
+    );
+    server.wait();
+    Ok(())
+}
+
+/// Deterministic per-tenant fitting data for the load generator.
+fn bench_tenant_data(tenant: usize, rows: usize, cols: usize, spread: f64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xB0A7 + tenant as u64);
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.random::<f64>() * spread - spread / 2.0)
+        .collect();
+    Dataset::new(
+        Matrix::from_vec(rows, cols, data).unwrap(),
+        (0..cols).map(|j| format!("attr{j}")).collect(),
+    )
+    .unwrap()
+}
+
+fn cmd_bench_serve(args: &[String]) -> CliResult<()> {
+    let flags = parse_flags(args, &["quick-smoke"])?;
+    let quick = flags.contains_key("quick-smoke");
+    let tenants = parse_flag_usize(&flags, "tenants", 8)?.max(1);
+    let rows = parse_flag_usize(&flags, "rows", if quick { 64 } else { 2000 })?.max(1);
+    let batches = parse_flag_usize(&flags, "batches", if quick { 4 } else { 50 })?.max(1);
+    let out_path = flags.get("out").map(PathBuf::from).unwrap_or_else(|| {
+        PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_server.json"))
+    });
+    let cols = 4;
+
+    // Fit one RBT session per tenant on its own data. Random draws can
+    // make a pairwise threshold infeasible; retry with fresh seeds (still
+    // deterministic) until every tenant fits.
+    let method = rbt::api::RbtMethod::new(RbtConfig::uniform(
+        PairwiseSecurityThreshold::uniform(0.05).map_err(|e| CliError::usage(e.to_string()))?,
+    ));
+    let mut keys: Vec<Vec<u8>> = Vec::with_capacity(tenants);
+    for t in 0..tenants {
+        let fit_data = bench_tenant_data(t, 256, cols, 100.0);
+        let fitted = (0..20)
+            .find_map(|attempt| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(7919 * (t as u64 + 1) + attempt);
+                method.fit(&fit_data, &mut rng).ok()
+            })
+            .ok_or_else(|| CliError::usage(format!("tenant {t}: no feasible key in 20 draws")))?;
+        keys.push(fitted.fitted.to_bytes()?);
+    }
+
+    let registry = Arc::new(SessionRegistry::new(tenants));
+    let server = Server::spawn("127.0.0.1:0", Arc::clone(&registry), 8)
+        .map_err(|e| CliError::io(format!("binding bench server: {e}")))?;
+    let addr = server.local_addr();
+
+    let as_client_err = |e: rbt::server::ClientError| CliError {
+        code: 4,
+        message: format!("bench client: {e}"),
+    };
+    {
+        let mut loader = Client::connect(addr).map_err(as_client_err)?;
+        for (t, key) in keys.iter().enumerate() {
+            loader
+                .load_key(&format!("tenant-{t:02}"), key.clone())
+                .map_err(as_client_err)?;
+        }
+    }
+
+    // The measured phase: `tenants` concurrent connections, each pushing
+    // `batches` transform requests of `rows` rows. Batch values are drawn
+    // wider than the fitting data so some rows drift out of range and the
+    // drift counters stay honest.
+    let started = Instant::now();
+    let workers: Vec<_> = (0..tenants)
+        .map(|t| {
+            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let tenant = format!("tenant-{t:02}");
+                let batch = bench_tenant_data(t + 10_000, rows, cols, 130.0);
+                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                let mut latencies_us = Vec::with_capacity(batches);
+                for _ in 0..batches {
+                    let t0 = Instant::now();
+                    let (released, _) = client
+                        .transform(&tenant, &batch)
+                        .map_err(|e| e.to_string())?;
+                    latencies_us.push(t0.elapsed().as_micros() as u64);
+                    if released.n_rows() != batch.n_rows() {
+                        return Err(format!("tenant {t}: row count mismatch"));
+                    }
+                }
+                Ok(latencies_us)
+            })
+        })
+        .collect();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(tenants * batches);
+    for worker in workers {
+        let worker_latencies = worker
+            .join()
+            .map_err(|_| CliError::io("bench worker panicked"))?
+            .map_err(CliError::io)?;
+        latencies_us.extend(worker_latencies);
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    let stats = registry.stats();
+    server.shutdown();
+
+    latencies_us.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        let idx = ((latencies_us.len() - 1) as f64 * q).round() as usize;
+        latencies_us[idx]
+    };
+    let total_rows = tenants * batches * rows;
+    let rows_per_sec = total_rows as f64 / wall;
+    let drift_total: u64 = stats.tenants.iter().map(|t| t.drift_rows).sum();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"generated_by\": \"cargo run --release --bin rbt-cli -- bench-serve{}\",",
+        if quick { " --quick-smoke" } else { "" }
+    );
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick-smoke" } else { "full" }
+    );
+    let _ = writeln!(
+        json,
+        "  \"host_threads\": {},",
+        rbt::linalg::pool::default_threads()
+    );
+    let _ = writeln!(json, "  \"tenants\": {tenants},");
+    let _ = writeln!(json, "  \"rows_per_batch\": {rows},");
+    let _ = writeln!(json, "  \"batches_per_tenant\": {batches},");
+    let _ = writeln!(json, "  \"total_rows\": {total_rows},");
+    let _ = writeln!(json, "  \"wall_seconds\": {wall:.6},");
+    let _ = writeln!(json, "  \"sustained_rows_per_sec\": {rows_per_sec:.1},");
+    let _ = writeln!(
+        json,
+        "  \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},",
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        latencies_us[latencies_us.len() - 1]
+    );
+    let _ = writeln!(
+        json,
+        "  \"server\": {{\"capacity\": {}, \"live_sessions\": {}, \"total_evictions\": {}, \
+         \"drift_rows_total\": {drift_total}}}",
+        stats.capacity, stats.live_sessions, stats.total_evictions
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json)
+        .map_err(|e| CliError::io(format!("writing {}: {e}", out_path.display())))?;
+
+    println!(
+        "bench-serve: {tenants} tenants x {batches} batches x {rows} rows \
+         = {total_rows} rows in {wall:.2}s"
+    );
+    println!(
+        "  sustained {rows_per_sec:.0} rows/sec; latency p50 {} us, p99 {} us; \
+         drift rows {drift_total}",
+        pct(0.50),
+        pct(0.99)
+    );
+    println!("  perf record -> {}", out_path.display());
     Ok(())
 }

@@ -13,6 +13,7 @@
 //! | [`transform`] | `rbt-transform` | baseline perturbation methods |
 //! | [`attack`] | `rbt-attack` | attacks on rotation perturbation |
 //! | [`api`] | `rbt-api` | the release API: `PrivacyTransform`, `Release` builder, method registry, `RbtError` |
+//! | [`server`] | `rbt-server` | the multi-tenant release daemon: `RBTW` wire protocol, LRU session registry, blocking client |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use rbt_cluster as cluster;
 pub use rbt_core as core;
 pub use rbt_data as data;
 pub use rbt_linalg as linalg;
+pub use rbt_server as server;
 pub use rbt_transform as transform;
 
 // Most-used types at the top level for ergonomic imports.

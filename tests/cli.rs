@@ -688,3 +688,86 @@ fn bad_invocations_fail_cleanly() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
 }
+
+#[test]
+fn serve_refuses_a_corrupt_key_directory_with_the_codec_code() {
+    let dir = temp_dir("serve-corrupt");
+    let keys = dir.join("keys");
+    std::fs::create_dir_all(&keys).unwrap();
+
+    // One valid key...
+    let input = dir.join("data.csv");
+    std::fs::write(&input, SAMPLE).unwrap();
+    let good_key = keys.join("tenant-good.rbt");
+    let out = cli()
+        .args(["keygen", "--input"])
+        .arg(&input)
+        .arg("--key")
+        .arg(&good_key)
+        .args(["--seed", "7", "--format", "binary"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // ...and one corrupted copy next to it.
+    let mut bytes = std::fs::read(&good_key).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(keys.join("tenant-bad.rbt"), &bytes).unwrap();
+
+    // serve must refuse the whole directory with the codec exit code (4)
+    // rather than serving only the tenants that decoded.
+    let out = cli()
+        .args(["serve", "--keys"])
+        .arg(&keys)
+        .args(["--addr", "127.0.0.1:0"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A directory that does not exist is an I/O failure (3), not codec.
+    let out = cli()
+        .args([
+            "serve",
+            "--keys",
+            "/nonexistent/keys",
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn bench_serve_quick_smoke_runs_green_and_writes_the_perf_record() {
+    let dir = temp_dir("bench-serve");
+    let out_json = dir.join("BENCH_server.json");
+    let out = cli()
+        .args(["bench-serve", "--quick-smoke", "--tenants", "8", "--out"])
+        .arg(&out_json)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sustained"), "{stdout}");
+
+    let json = std::fs::read_to_string(&out_json).unwrap();
+    assert!(json.contains("\"mode\": \"quick-smoke\""));
+    assert!(json.contains("\"tenants\": 8"));
+    assert!(json.contains("\"sustained_rows_per_sec\""));
+    assert!(json.contains("\"p99\""));
+}

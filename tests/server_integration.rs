@@ -1,0 +1,460 @@
+//! The serving-layer battery: the multi-tenant daemon must be
+//! *conformant* (server responses bit-identical to the in-process
+//! one-shot `Pipeline` / `ReleaseSession` path, per tenant, under
+//! concurrency, before and after LRU eviction) and *fault-contained*
+//! (every malformed frame and every disconnect is a typed rejection that
+//! leaves the server serving everyone else).
+//!
+//! Everything here runs under both threading modes: CI executes the suite
+//! once with default threads and once with `RBT_THREADS=1` (the pool reads
+//! the variable at call time, so no per-test plumbing is needed).
+
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use rbt::core::{Pipeline, PipelineOutput, RbtConfig, ReleaseSession};
+use rbt::server::{wire, Client, ClientError, Server, SessionRegistry};
+use rbt::{Dataset, Matrix, PairwiseSecurityThreshold};
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// Deterministic synthetic data, distinct per seed.
+fn dataset(seed: u64, rows: usize, cols: usize, spread: f64) -> Dataset {
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|i| {
+            let x = (seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64 * 1442695041))
+                >> 11;
+            ((x % 100_000) as f64 / 100_000.0) * spread - spread / 2.0
+        })
+        .collect();
+    Dataset::new(
+        Matrix::from_vec(rows, cols, data).unwrap(),
+        (0..cols).map(|j| format!("c{j}")).collect(),
+    )
+    .unwrap()
+}
+
+/// Fits one tenant: the one-shot pipeline output (the conformance
+/// reference), the fitting data, and the sealed session key bytes the
+/// server will decode. Retries seeds until the 0.05 threshold is feasible.
+fn fit_tenant(seed: u64) -> (PipelineOutput, Dataset, Vec<u8>) {
+    let fit_data = dataset(seed, 24, 3, 90.0);
+    let pipeline = Pipeline::new(RbtConfig::uniform(
+        PairwiseSecurityThreshold::uniform(0.05).unwrap(),
+    ));
+    let out = (0..50)
+        .find_map(|attempt| {
+            pipeline
+                .run(&fit_data, &mut rng(seed + 1000 * attempt))
+                .ok()
+        })
+        .expect("a feasible key within 50 draws");
+    let key_bytes = ReleaseSession::from_pipeline_output(&out)
+        .unwrap()
+        .to_bytes();
+    (out, fit_data, key_bytes)
+}
+
+fn assert_bitwise(a: &Dataset, b: &Dataset, what: &str) {
+    assert_eq!(a.n_rows(), b.n_rows(), "{what}: row count");
+    assert_eq!(a.n_cols(), b.n_cols(), "{what}: col count");
+    for (x, y) in a
+        .matrix()
+        .as_slice()
+        .iter()
+        .zip(b.matrix().as_slice().iter())
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: cell bits differ");
+    }
+}
+
+fn spawn_server(capacity: usize) -> Server {
+    Server::spawn("127.0.0.1:0", Arc::new(SessionRegistry::new(capacity)), 8).unwrap()
+}
+
+/// (a) Concurrent multi-tenant transforms are bit-identical to the
+/// one-shot `Pipeline` release per tenant, and the inverse path matches
+/// the in-process session inverse, all while six tenants hammer the same
+/// server from six connections.
+#[test]
+fn concurrent_tenants_match_one_shot_pipeline_bitwise() {
+    const TENANTS: u64 = 6;
+    const ROUNDS: usize = 5;
+
+    let fitted: Vec<_> = (0..TENANTS).map(fit_tenant).collect();
+    let server = spawn_server(TENANTS as usize);
+    let addr = server.local_addr();
+
+    let mut loader = Client::connect(addr).unwrap();
+    for (t, (_, _, key_bytes)) in fitted.iter().enumerate() {
+        let (method, n_attributes) = loader
+            .load_key(&format!("tenant-{t}"), key_bytes.clone())
+            .unwrap();
+        assert_eq!(method, "rbt");
+        assert_eq!(n_attributes, 3);
+    }
+
+    let handles: Vec<_> = fitted
+        .into_iter()
+        .enumerate()
+        .map(|(t, (out, fit_data, _))| {
+            std::thread::spawn(move || {
+                let tenant = format!("tenant-{t}");
+                let mut client = Client::connect(addr).unwrap();
+                // The in-process references: one-shot release of the
+                // fitting data, and the session path for an out-of-sample
+                // batch.
+                let mut reference = ReleaseSession::from_pipeline_output(&out).unwrap();
+                let oos = dataset(900 + t as u64, 17, 3, 120.0);
+                let expected_oos = reference.transform_batch(&oos).unwrap();
+
+                for _ in 0..ROUNDS {
+                    let (released, drift) = client.transform(&tenant, &fit_data).unwrap();
+                    assert_bitwise(&released, &out.released, "fit-data release");
+                    assert_eq!(drift, 0, "fitting data never drifts out of range");
+
+                    let (released_oos, drift_oos) = client.transform(&tenant, &oos).unwrap();
+                    assert_bitwise(&released_oos, &expected_oos.released, "oos release");
+                    assert_eq!(drift_oos, expected_oos.out_of_range_rows as u64);
+
+                    let recovered = client.invert(&tenant, &released_oos).unwrap();
+                    let expected_rec = reference.invert_batch(&released_oos).unwrap();
+                    assert_bitwise(&recovered, &expected_rec, "inverse");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = Client::connect(addr).unwrap().stats().unwrap();
+    assert_eq!(stats.known_tenants, TENANTS);
+    assert_eq!(stats.live_sessions, TENANTS);
+    // 3 requests per round per tenant (2 transforms + 1 invert).
+    for row in &stats.tenants {
+        assert_eq!(row.requests, 3 * ROUNDS as u64);
+        assert_eq!(row.rows, ROUNDS as u64 * (24 + 17));
+    }
+    server.shutdown();
+}
+
+/// Sends raw bytes on a fresh connection and returns the server's answer
+/// frames (usually one `Error`) until the connection closes.
+fn send_raw(addr: std::net::SocketAddr, bytes: &[u8]) -> Vec<wire::Response> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(bytes).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut responses = Vec::new();
+    while let Ok(Some(frame)) = wire::read_frame(&mut stream) {
+        responses.push(wire::Response::from_frame(&frame).unwrap());
+    }
+    responses
+}
+
+fn assert_wire_error(responses: &[wire::Response], what: &str) {
+    assert_eq!(responses.len(), 1, "{what}: expected exactly one answer");
+    match &responses[0] {
+        wire::Response::Error { code, .. } => {
+            assert_eq!(*code, 4, "{what}: wire corruption is the codec family")
+        }
+        other => panic!("{what}: expected an Error frame, got {other:?}"),
+    }
+}
+
+/// (b) Every truncated / byte-flipped / oversized / wrong-version frame is
+/// rejected with a typed error and the server keeps serving.
+#[test]
+fn malformed_frames_are_rejected_and_the_server_survives() {
+    let (out, fit_data, key_bytes) = fit_tenant(77);
+    let server = spawn_server(4);
+    let addr = server.local_addr();
+    Client::connect(addr)
+        .unwrap()
+        .load_key("t", key_bytes)
+        .unwrap();
+
+    let valid = wire::encode_frame(
+        &wire::Request::Transform {
+            tenant: "t".to_string(),
+            batch: fit_data.clone(),
+        }
+        .to_frame(),
+    );
+
+    // Byte-flipped: CRC mismatch.
+    let mut flipped = valid.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    assert_wire_error(&send_raw(addr, &flipped), "byte flip");
+
+    // Truncated: the peer closes mid-frame.
+    let truncated = send_raw(addr, &valid[..valid.len() - 3]);
+    assert_wire_error(&truncated, "truncation");
+
+    // Oversized declared length, rejected before allocation.
+    let mut oversized = valid.clone();
+    oversized[7..11].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_wire_error(&send_raw(addr, &oversized), "oversized");
+
+    // Wrong version with a re-sealed (valid) checksum.
+    let mut wrong_version = valid.clone();
+    wrong_version[4..6].copy_from_slice(&9u16.to_le_bytes());
+    let crc_at = wrong_version.len() - 4;
+    let crc = rbt::linalg::codec::crc32(&wrong_version[..crc_at]);
+    wrong_version[crc_at..].copy_from_slice(&crc.to_le_bytes());
+    assert_wire_error(&send_raw(addr, &wrong_version), "wrong version");
+
+    // Bad magic.
+    let mut bad_magic = valid.clone();
+    bad_magic[..4].copy_from_slice(b"HTTP");
+    assert_wire_error(&send_raw(addr, &bad_magic), "bad magic");
+
+    // A well-framed but undecodable body must NOT drop the connection:
+    // framing is still synchronized.
+    let mut client = Client::connect(addr).unwrap();
+    let garbage_body = wire::Frame::new(wire::Opcode::Transform, vec![0xAB; 7]);
+    wire::write_frame(client.stream_mut(), &garbage_body).unwrap();
+    let answer = wire::read_frame(client.stream_mut()).unwrap().unwrap();
+    match wire::Response::from_frame(&answer).unwrap() {
+        wire::Response::Error { code, .. } => assert_eq!(code, 4),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    client
+        .ping()
+        .expect("connection must stay open after a body error");
+
+    // After all injections the server still transforms correctly.
+    let (released, _) = client.transform("t", &fit_data).unwrap();
+    assert_bitwise(&released, &out.released, "post-fault release");
+    server.shutdown();
+}
+
+/// (d, satellite) Client disconnects mid-frame and mid-response: the
+/// connection dies, the registry is not poisoned, and a follow-up request
+/// from *another tenant* succeeds.
+#[test]
+fn disconnects_do_not_poison_the_registry() {
+    let (out_a, fit_a, key_a) = fit_tenant(31);
+    let (_, fit_b, key_b) = fit_tenant(32);
+    let server = spawn_server(4);
+    let addr = server.local_addr();
+    {
+        let mut loader = Client::connect(addr).unwrap();
+        loader.load_key("a", key_a).unwrap();
+        loader.load_key("b", key_b).unwrap();
+    }
+
+    // Mid-frame disconnect: half a header, then drop the socket.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&wire::MAGIC[..2]).unwrap();
+        drop(stream);
+    }
+    // Mid-response disconnect: send a full transform request, close both
+    // directions without reading the answer.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let frame = wire::Request::Transform {
+            tenant: "b".to_string(),
+            batch: fit_b.clone(),
+        }
+        .to_frame();
+        stream.write_all(&wire::encode_frame(&frame)).unwrap();
+        stream.shutdown(Shutdown::Both).unwrap();
+        drop(stream);
+    }
+
+    // Another tenant must be completely unaffected.
+    let mut client = Client::connect(addr).unwrap();
+    let (released, _) = client.transform("a", &fit_a).unwrap();
+    assert_bitwise(&released, &out_a.released, "post-disconnect release");
+    server.shutdown();
+}
+
+/// (c) LRU eviction + key reload round-trips exactly: with capacity 1,
+/// alternating tenants evict each other every request, and every response
+/// stays bit-identical to the one-shot reference.
+#[test]
+fn lru_eviction_and_reload_round_trip_bitwise() {
+    let (out_a, fit_a, key_a) = fit_tenant(51);
+    let (out_b, fit_b, key_b) = fit_tenant(52);
+    let server = spawn_server(1);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.load_key("a", key_a).unwrap();
+    client.load_key("b", key_b).unwrap();
+
+    for _ in 0..4 {
+        let (ra, _) = client.transform("a", &fit_a).unwrap();
+        assert_bitwise(&ra, &out_a.released, "tenant a after eviction");
+        let (rb, _) = client.transform("b", &fit_b).unwrap();
+        assert_bitwise(&rb, &out_b.released, "tenant b after eviction");
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.capacity, 1);
+    assert_eq!(stats.known_tenants, 2);
+    assert_eq!(stats.live_sessions, 1);
+    // Each alternation evicts: load(b) evicts a, then every a-request
+    // evicts b and vice versa → at least 8 evictions.
+    assert!(
+        stats.total_evictions >= 8,
+        "expected churn, saw {} evictions",
+        stats.total_evictions
+    );
+    for row in &stats.tenants {
+        assert_eq!(row.requests, 4, "counters must survive eviction");
+        assert!(row.evictions >= 4);
+    }
+    server.shutdown();
+}
+
+/// (satellite) Drift accounting across interleaved tenants: per-tenant
+/// counters match a standalone `ReleaseSession` fed the same batches, with
+/// no cross-tenant bleed.
+#[test]
+fn drift_counters_are_per_tenant_with_no_bleed() {
+    let (out_a, _, key_a) = fit_tenant(61);
+    let (out_b, _, key_b) = fit_tenant(62);
+    // Batches drawn wider than the fitting spread so some rows drift.
+    let batch_a = dataset(611, 19, 3, 200.0);
+    let batch_b = dataset(622, 23, 3, 200.0);
+    const ROUNDS: usize = 6;
+
+    // The single-session reference, same accounting as
+    // tests/session_equivalence.rs: records_out_of_range accumulates over
+    // batches.
+    let mut ref_a = ReleaseSession::from_pipeline_output(&out_a).unwrap();
+    let mut ref_b = ReleaseSession::from_pipeline_output(&out_b).unwrap();
+    for _ in 0..ROUNDS {
+        ref_a.transform_batch(&batch_a).unwrap();
+        ref_b.transform_batch(&batch_b).unwrap();
+    }
+    let expected_a = ref_a.records_out_of_range();
+    let expected_b = ref_b.records_out_of_range();
+    assert_ne!(
+        expected_a, expected_b,
+        "test needs distinguishable drift counts to detect bleed"
+    );
+
+    let server = spawn_server(2);
+    let addr = server.local_addr();
+    {
+        let mut loader = Client::connect(addr).unwrap();
+        loader.load_key("a", key_a).unwrap();
+        loader.load_key("b", key_b).unwrap();
+    }
+    // Interleave from two threads.
+    let ha = std::thread::spawn({
+        let batch = batch_a.clone();
+        move || {
+            let mut c = Client::connect(addr).unwrap();
+            for _ in 0..ROUNDS {
+                c.transform("a", &batch).unwrap();
+            }
+        }
+    });
+    let hb = std::thread::spawn({
+        let batch = batch_b.clone();
+        move || {
+            let mut c = Client::connect(addr).unwrap();
+            for _ in 0..ROUNDS {
+                c.transform("b", &batch).unwrap();
+            }
+        }
+    });
+    ha.join().unwrap();
+    hb.join().unwrap();
+
+    let stats = Client::connect(addr).unwrap().stats().unwrap();
+    let row = |name: &str| {
+        stats
+            .tenants
+            .iter()
+            .find(|t| t.tenant == name)
+            .unwrap()
+            .clone()
+    };
+    assert_eq!(row("a").drift_rows, expected_a);
+    assert_eq!(row("b").drift_rows, expected_b);
+    assert_eq!(row("a").rows, ROUNDS as u64 * 19);
+    assert_eq!(row("b").rows, ROUNDS as u64 * 23);
+    server.shutdown();
+}
+
+/// Unknown tenants and non-invertible methods come back as typed server
+/// errors with the right family codes, not dropped connections.
+#[test]
+fn server_errors_carry_the_family_codes() {
+    let (_, fit_data, key_bytes) = fit_tenant(71);
+    let server = spawn_server(2);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    match client.transform("ghost", &fit_data) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, 2, "unknown tenant is usage"),
+        other => panic!("expected a typed server error, got {other:?}"),
+    }
+
+    // Corrupt key upload: codec family, connection stays usable.
+    let mut corrupt = key_bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xFF;
+    match client.load_key("t", corrupt) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, 4),
+        other => panic!("expected a codec error, got {other:?}"),
+    }
+
+    client.load_key("t", key_bytes).unwrap();
+    // A shape mismatch (wrong column count) is the shape family.
+    let skinny = dataset(99, 4, 2, 10.0);
+    match client.transform("t", &skinny) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, 5),
+        other => panic!("expected a shape error, got {other:?}"),
+    }
+
+    assert!(client.evict("t").unwrap());
+    assert!(!client.evict("t").unwrap());
+    server.shutdown();
+}
+
+/// The per-connection in-flight window: a client that pipelines many
+/// requests without reading still gets every answer, in order.
+#[test]
+fn pipelined_requests_drain_in_order_through_the_window() {
+    let (out, fit_data, key_bytes) = fit_tenant(81);
+    let server = spawn_server(2);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.load_key("t", key_bytes).unwrap();
+
+    const PIPELINED: usize = 24; // 3x the default window of 8
+    let request = wire::Request::Transform {
+        tenant: "t".to_string(),
+        batch: fit_data.clone(),
+    };
+    let mut reader = TcpStream::connect(addr).unwrap();
+    let mut writer = reader.try_clone().unwrap();
+    let bytes = wire::encode_frame(&request.to_frame());
+    for _ in 0..PIPELINED {
+        writer.write_all(&bytes).unwrap();
+    }
+    writer.flush().unwrap();
+    for i in 0..PIPELINED {
+        let frame = wire::read_frame(&mut reader).unwrap().unwrap();
+        match wire::Response::from_frame(&frame).unwrap() {
+            wire::Response::Transformed { released, .. } => {
+                assert_bitwise(&released, &out.released, "pipelined response")
+            }
+            other => panic!("response {i}: expected Transformed, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
