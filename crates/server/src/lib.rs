@@ -14,29 +14,49 @@
 //!   (requests, rows, drift rows, evictions, p50/p99 service time) that
 //!   survive eviction;
 //! * [`Server`] — a blocking TCP daemon, one reader + one worker thread
-//!   per connection with a bounded in-flight window for backpressure;
+//!   per connection with a bounded in-flight window for backpressure,
+//!   deadline enforcement (idle reaper, stall budgets, per-opcode queue
+//!   deadlines), a connection cap, and graceful drain that answers every
+//!   in-flight request before saying `GoingAway`;
 //! * [`Client`] — the blocking client the CLI, the bench load generator,
-//!   and the integration battery drive the daemon with.
+//!   and the integration battery drive the daemon with — now with
+//!   reconnect + exponential backoff, idempotent retry keyed by echoed
+//!   request ids, and a circuit breaker;
+//! * [`KeyStore`] — crash-safe key persistence: atomic
+//!   temp-fsync-rename writes behind an intent journal replayed on open,
+//!   quarantine (never abort) for corrupt entries, hot reload into the
+//!   registry;
+//! * [`faults`] — a seeded, deterministic fault-injection harness
+//!   ([`FaultPlan`]) the chaos battery wraps around the wire to prove the
+//!   conformance contract holds under stalls, torn writes, and mid-frame
+//!   disconnects.
 //!
-//! The conformance contract, pinned by `tests/server_integration.rs` at
-//! the workspace root: a batch transformed through the server is
-//! **bit-identical** to the same batch transformed by an in-process
-//! [`Pipeline`](rbt_core::Pipeline)/`ReleaseSession`, for every tenant,
-//! under concurrency, before and after LRU eviction; and every malformed
-//! frame or mid-frame disconnect is rejected with a typed error while the
-//! server keeps serving.
+//! The conformance contract, pinned by `tests/server_integration.rs` and
+//! `tests/server_chaos.rs` at the workspace root: a batch transformed
+//! through the server is **bit-identical** to the same batch transformed
+//! by an in-process [`Pipeline`](rbt_core::Pipeline)/`ReleaseSession`,
+//! for every tenant, under concurrency, before and after LRU eviction,
+//! and under injected faults; and every malformed frame or mid-frame
+//! disconnect is rejected with a typed error while the server keeps
+//! serving.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod faults;
+pub mod keystore;
 pub mod metrics;
 pub mod registry;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError, ClientResult};
-pub use metrics::{LatencyHistogram, ServerStats, TenantMetrics, TenantStats};
+pub use client::{Client, ClientError, ClientResult, RetryPolicy};
+pub use faults::{FaultPlan, FaultyStream};
+pub use keystore::{KeyStore, ReloadReport, ReplayReport};
+pub use metrics::{
+    LatencyHistogram, RuntimeCounters, RuntimeSnapshot, ServerStats, TenantMetrics, TenantStats,
+};
 pub use registry::{ServerError, ServerResult, SessionRegistry};
-pub use server::Server;
-pub use wire::{Frame, Opcode, Request, Response, WireError, WireResult};
+pub use server::{DrainReport, Server, ServerConfig};
+pub use wire::{Frame, FrameEvent, Opcode, Request, Response, WireError, WireResult};

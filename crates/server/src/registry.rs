@@ -35,7 +35,7 @@ use rbt_api::{decode_fitted, FittedRbt, FittedTransform, RbtError};
 use rbt_core::ReleaseSession;
 use rbt_data::Dataset;
 
-use crate::metrics::{ServerStats, TenantMetrics, TenantStats};
+use crate::metrics::{RuntimeCounters, ServerStats, TenantMetrics, TenantStats};
 
 /// Errors from registry operations, mapped onto the workspace error
 /// taxonomy for wire `Error` responses and CLI exit codes.
@@ -174,6 +174,7 @@ impl Inner {
 pub struct SessionRegistry {
     capacity: usize,
     inner: Mutex<Inner>,
+    runtime: RuntimeCounters,
 }
 
 impl SessionRegistry {
@@ -187,12 +188,19 @@ impl SessionRegistry {
                 clock: 0,
                 total_evictions: 0,
             }),
+            runtime: RuntimeCounters::new(),
         }
     }
 
     /// The configured live-session capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The server-wide resilience counters, shared with the accept loop
+    /// and every connection thread (lock-free increments).
+    pub fn runtime(&self) -> &RuntimeCounters {
+        &self.runtime
     }
 
     /// Registers (or replaces) a tenant's sealed key bytes. The key is
@@ -208,11 +216,12 @@ impl SessionRegistry {
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let clock = inner.clock;
-        let metrics = inner
-            .tenants
-            .remove(tenant)
-            .map(|old| old.metrics)
-            .unwrap_or_default();
+        // Re-registering a known tenant (key replacement, keystore reload)
+        // folds its history forward instead of resetting it.
+        let mut metrics = TenantMetrics::default();
+        if let Some(old) = inner.tenants.remove(tenant) {
+            metrics.merge(&old.metrics);
+        }
         inner.tenants.insert(
             tenant.to_string(),
             TenantEntry {
@@ -370,6 +379,7 @@ impl SessionRegistry {
             live_sessions: tenants.iter().filter(|t| t.live).count() as u64,
             known_tenants: tenants.len() as u64,
             total_evictions: inner.total_evictions,
+            runtime: self.runtime.snapshot(),
             tenants,
         }
     }

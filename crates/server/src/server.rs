@@ -1,5 +1,7 @@
 //! The blocking TCP server: one accept loop, one reader + one worker
-//! thread per connection, a bounded in-flight window between them.
+//! thread per connection, a bounded in-flight window between them — plus
+//! the fault-tolerance layer: deadlines, an idle reaper, a connection cap,
+//! and graceful drain.
 //!
 //! Fault containment is the design center, mirroring the codec's
 //! reject-don't-crash contract at the connection level:
@@ -12,7 +14,25 @@
 //!   framing, so the server answers with an `Error` response and keeps the
 //!   connection open;
 //! * a **disconnect** mid-frame or mid-response just ends the connection's
-//!   threads; the registry (a non-poisoning lock) is untouched.
+//!   threads; the registry (a non-poisoning lock) is untouched;
+//! * an **idle connection** is reaped after
+//!   [`ServerConfig::idle_timeout`]; a peer that goes silent *mid-frame*
+//!   is cut after [`ServerConfig::stall_budget`] — no reader thread is
+//!   ever parked forever;
+//! * a request that waits in the window past its per-opcode deadline is
+//!   **shed** with a typed `Deadline` frame instead of being served stale;
+//! * past [`ServerConfig::max_conns`] active connections, new arrivals are
+//!   refused with a typed `Error` (code 8, unavailable) frame instead of
+//!   spawning threads without bound.
+//!
+//! Graceful drain ([`Server::shutdown`]): the listener stops accepting,
+//! each reader finishes sweeping the frames already buffered on its socket
+//! and stops at the first idle tick, each worker answers everything in its
+//! window, sends a final `GoingAway` frame, and exits. Connections that
+//! outlive [`ServerConfig::drain_deadline`] are force-severed. Every
+//! connection thread is then joined, so the returned [`DrainReport`] can
+//! account for every thread ever spawned — the chaos battery asserts
+//! `spawned == joined` to prove no thread leaks.
 //!
 //! Backpressure: the reader thread parses frames and hands them to the
 //! worker over a `sync_channel` whose depth is the per-connection
@@ -20,13 +40,106 @@
 //! window eventually blocks in the kernel's TCP buffers — memory on the
 //! server stays bounded per connection.
 
+use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
+use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
+
+use crate::keystore::KeyStore;
 use crate::registry::{ServerError, SessionRegistry};
-use crate::wire::{self, Frame, Request, Response, WireError};
+use crate::wire::{
+    self, Frame, FrameEvent, Opcode, Request, Response, WireError, CODE_UNAVAILABLE,
+};
+
+/// Tuning for the serving core's fault-tolerance layer. The defaults are
+/// production-shaped; tests shrink them to make timeouts observable.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Per-connection in-flight window (requests buffered between reader
+    /// and worker).
+    pub window: usize,
+    /// Socket read timeout, which doubles as the polling tick for the
+    /// idle reaper and the stall detector.
+    pub read_tick: Duration,
+    /// Reap a connection after this long with no new frame.
+    pub idle_timeout: Duration,
+    /// Cut a peer that has been silent *mid-frame* for this long.
+    pub stall_budget: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// How long [`Server::shutdown`] waits for in-flight connections
+    /// before force-severing them.
+    pub drain_deadline: Duration,
+    /// Maximum concurrent connections; arrivals past the cap are refused
+    /// with a typed `Error` (code 8) frame.
+    pub max_conns: usize,
+    /// Queue-wait budget for data-plane requests (`LoadKey`, `Transform`,
+    /// `Invert`, `ReloadKeys`).
+    pub data_deadline: Duration,
+    /// Queue-wait budget for control-plane requests (`Ping`, `Stats`,
+    /// `EvictTenant`).
+    pub control_deadline: Duration,
+    /// Key store backing the `ReloadKeys` opcode; without one the opcode
+    /// answers with a capability error.
+    pub keystore: Option<Arc<KeyStore>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            window: 8,
+            read_tick: Duration::from_millis(50),
+            idle_timeout: Duration::from_secs(60),
+            stall_budget: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
+            max_conns: 256,
+            data_deadline: Duration::from_secs(30),
+            control_deadline: Duration::from_secs(10),
+            keystore: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The queue-wait budget for a request opcode.
+    pub fn deadline_for(&self, opcode: Opcode) -> Duration {
+        match opcode {
+            Opcode::LoadKey | Opcode::Transform | Opcode::Invert | Opcode::ReloadKeys => {
+                self.data_deadline
+            }
+            _ => self.control_deadline,
+        }
+    }
+}
+
+/// What a completed [`Server::shutdown`] drain did, for leak accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Connection handler threads spawned over the server's lifetime.
+    pub spawned: u64,
+    /// Handler threads joined by the drain — the chaos battery asserts
+    /// this equals `spawned` (no thread leaks).
+    pub joined: u64,
+    /// Connections force-severed at the drain deadline.
+    pub forced: u64,
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    registry: Arc<SessionRegistry>,
+    config: ServerConfig,
+    draining: AtomicBool,
+    /// Clones of every live connection's stream, for force-severing at
+    /// the drain deadline. Keyed by connection id.
+    live_conns: Mutex<HashMap<u64, TcpStream>>,
+    spawned: AtomicU64,
+    finished: AtomicU64,
+}
 
 /// How the server answers a failed request.
 fn error_response(e: &ServerError) -> Response {
@@ -36,19 +149,9 @@ fn error_response(e: &ServerError) -> Response {
     }
 }
 
-/// Decodes and serves one well-framed request.
-fn process_frame(registry: &SessionRegistry, frame: &Frame) -> Response {
-    let request = match Request::from_frame(frame) {
-        Ok(request) => request,
-        // A valid frame with an undecodable body: framing is intact, so
-        // answer and keep the connection.
-        Err(e) => {
-            return Response::Error {
-                code: 4,
-                message: format!("bad request body: {e}"),
-            }
-        }
-    };
+/// Serves one decoded request.
+fn process_request(shared: &Shared, request: Request) -> Response {
+    let registry = &shared.registry;
     match request {
         Request::LoadKey { tenant, key_bytes } => match registry.load_key(&tenant, key_bytes) {
             Ok((method, n_attributes)) => Response::Loaded {
@@ -73,40 +176,159 @@ fn process_frame(registry: &SessionRegistry, frame: &Frame) -> Response {
             existed: registry.evict(&tenant),
         },
         Request::Ping => Response::Pong,
+        Request::ReloadKeys => match &shared.config.keystore {
+            Some(store) => match store.load_into(registry) {
+                Ok(report) => {
+                    registry.runtime().reloads.fetch_add(1, Ordering::Relaxed);
+                    Response::Reloaded {
+                        loaded: report.loaded,
+                        quarantined: report.quarantined,
+                    }
+                }
+                Err(e) => Response::Error {
+                    code: 3,
+                    message: format!("key directory reload failed: {e}"),
+                },
+            },
+            None => Response::Error {
+                code: 7,
+                message: "this server was not started with a key store".to_string(),
+            },
+        },
+        // Goodbye is intercepted by the worker loop before this point.
+        Request::Goodbye => Response::GoingAway {
+            message: "goodbye".to_string(),
+        },
     }
 }
 
-fn handle_connection(stream: TcpStream, registry: Arc<SessionRegistry>, window: usize) {
-    let Ok(mut read_half) = stream.try_clone() else {
-        return;
-    };
-    let (tx, rx) = mpsc::sync_channel::<Result<Frame, WireError>>(window.max(1));
-    let reader = thread::spawn(move || loop {
-        match wire::read_frame(&mut read_half) {
-            Ok(Some(frame)) => {
-                if tx.send(Ok(frame)).is_err() {
+/// What the reader hands the worker per frame: arrival time (for the
+/// queue-wait deadline) and the parse outcome.
+type ReaderItem = (Instant, Result<Frame, WireError>);
+
+fn run_reader(mut read_half: TcpStream, tx: mpsc::SyncSender<ReaderItem>, shared: &Shared) {
+    let runtime = shared.registry.runtime();
+    let tick = shared.config.read_tick;
+    let mut idle = Duration::ZERO;
+    loop {
+        match wire::read_frame_patient(&mut read_half, shared.config.stall_budget) {
+            Ok(FrameEvent::Frame(frame)) => {
+                idle = Duration::ZERO;
+                if tx.send((Instant::now(), Ok(frame))).is_err() {
                     return; // worker gone
                 }
             }
-            Ok(None) => return, // clean disconnect between frames
+            Ok(FrameEvent::Idle) => {
+                // During a drain this is the signal that the final sweep
+                // is done: every frame the client managed to send before
+                // the drain began has been handed to the worker.
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                idle += tick;
+                if idle >= shared.config.idle_timeout {
+                    runtime.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Ok(FrameEvent::CleanEof) => {
+                runtime.disconnects.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Ok(FrameEvent::Stalled) => {
+                runtime.stalled.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send((
+                    Instant::now(),
+                    Err(WireError::Io {
+                        kind: std::io::ErrorKind::TimedOut,
+                        message: format!(
+                            "peer stalled mid-frame past the {:?} budget",
+                            shared.config.stall_budget
+                        ),
+                    }),
+                ));
+                return;
+            }
             Err(e) => {
-                let _ = tx.send(Err(e));
+                if matches!(&e, WireError::Io { kind, .. } if *kind == std::io::ErrorKind::UnexpectedEof)
+                {
+                    runtime.disconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = tx.send((Instant::now(), Err(e)));
                 return; // the stream is desynchronized; stop reading
             }
         }
-    });
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
+    let runtime_ok = stream
+        .set_read_timeout(Some(shared.config.read_tick))
+        .and_then(|_| stream.set_write_timeout(Some(shared.config.write_timeout)))
+        .and_then(|_| stream.set_nodelay(true))
+        .is_ok();
+    let read_half = stream.try_clone();
+    let (Ok(read_half), true) = (read_half, runtime_ok) else {
+        shared.live_conns.lock().remove(&conn_id);
+        shared.finished.fetch_add(1, Ordering::SeqCst);
+        return;
+    };
+
+    let (tx, rx) = mpsc::sync_channel::<ReaderItem>(shared.config.window.max(1));
+    let reader_shared = Arc::clone(&shared);
+    let reader = thread::spawn(move || run_reader(read_half, tx, &reader_shared));
+
+    let runtime = shared.registry.runtime();
     let mut write_half = stream;
-    for item in rx {
+    let mut said_goodbye = false;
+    for (arrival, item) in rx {
         match item {
             Ok(frame) => {
-                let response = process_frame(&registry, &frame);
-                if wire::write_frame(&mut write_half, &response.to_frame()).is_err() {
+                let request_id = frame.request_id;
+                let request = match Request::from_frame(&frame) {
+                    Ok(request) => request,
+                    // A valid frame with an undecodable body: framing is
+                    // intact, so answer and keep the connection.
+                    Err(e) => {
+                        let response = Response::Error {
+                            code: 4,
+                            message: format!("bad request body: {e}"),
+                        };
+                        let frame = response.to_frame().with_request_id(request_id);
+                        if wire::write_frame(&mut write_half, &frame).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                };
+                if matches!(request, Request::Goodbye) {
+                    // A clean departure: no response owed, no error frame.
+                    runtime.disconnects.fetch_add(1, Ordering::Relaxed);
+                    said_goodbye = true;
+                    break;
+                }
+                let waited = arrival.elapsed();
+                let budget = shared.config.deadline_for(frame.opcode);
+                let response = if waited > budget {
+                    // Shed rather than serve stale: the client has either
+                    // timed out already or would rather retry elsewhere.
+                    runtime.deadlines_shed.fetch_add(1, Ordering::Relaxed);
+                    Response::Deadline {
+                        waited_ms: waited.as_millis().min(u128::from(u64::MAX)) as u64,
+                        budget_ms: budget.as_millis().min(u128::from(u64::MAX)) as u64,
+                    }
+                } else {
+                    process_request(&shared, request)
+                };
+                let frame = response.to_frame().with_request_id(request_id);
+                if wire::write_frame(&mut write_half, &frame).is_err() {
                     break; // client went away mid-response
                 }
             }
             Err(e) => {
-                // Malformed frame: answer with the typed rejection
-                // (best-effort) and drop the connection.
+                // Malformed frame or mid-frame stall: answer with the
+                // typed rejection (best-effort) and drop the connection.
+                runtime.malformed.fetch_add(1, Ordering::Relaxed);
                 let response = Response::Error {
                     code: 4,
                     message: format!("malformed frame: {e}"),
@@ -116,26 +338,49 @@ fn handle_connection(stream: TcpStream, registry: Arc<SessionRegistry>, window: 
             }
         }
     }
+    // The reader swept everything the client had sent and the worker
+    // answered it all. On a drain, say GoingAway so the client knows this
+    // connection is done rather than dead.
+    if shared.draining.load(Ordering::SeqCst) && !said_goodbye {
+        let farewell = Response::GoingAway {
+            message: "server draining".to_string(),
+        };
+        if wire::write_frame(&mut write_half, &farewell.to_frame()).is_ok() {
+            runtime.drained.fetch_add(1, Ordering::Relaxed);
+        }
+    }
     // Unblock the reader if it is still parked in a socket read, then
     // reap it.
     let _ = write_half.shutdown(Shutdown::Both);
     let _ = reader.join();
+    shared.live_conns.lock().remove(&conn_id);
+    shared.finished.fetch_add(1, Ordering::SeqCst);
 }
 
-/// A running release server. Dropping (or calling
-/// [`shutdown`](Server::shutdown) on) the handle stops the accept loop;
-/// connections already open run until their clients disconnect.
+/// Writes a best-effort refusal frame on a connection that will not be
+/// served, then closes it.
+fn refuse(mut stream: TcpStream, response: Response, write_timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let _ = stream.set_nodelay(true);
+    let _ = wire::write_frame(&mut stream, &response.to_frame());
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// A running release server. [`shutdown`](Server::shutdown) drains
+/// gracefully; dropping the handle just stops the accept loop and lets
+/// open connections run on detached threads.
 pub struct Server {
     addr: SocketAddr,
-    registry: Arc<SessionRegistry>,
+    shared: Arc<Shared>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<thread::JoinHandle<()>>,
+    handles: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts accepting connections, `window` requests in flight per
-    /// connection.
+    /// Binds `addr` and starts accepting with default tuning and the
+    /// given per-connection in-flight `window`. See
+    /// [`spawn_with`](Server::spawn_with) for full control.
     ///
     /// # Errors
     ///
@@ -145,26 +390,97 @@ impl Server {
         registry: Arc<SessionRegistry>,
         window: usize,
     ) -> std::io::Result<Server> {
+        Server::spawn_with(
+            addr,
+            registry,
+            ServerConfig {
+                window,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn_with(
+        addr: &str,
+        registry: Arc<SessionRegistry>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            registry,
+            config,
+            draining: AtomicBool::new(false),
+            live_conns: Mutex::new(HashMap::new()),
+            spawned: AtomicU64::new(0),
+            finished: AtomicU64::new(0),
+        });
+        let handles = Arc::new(Mutex::new(Vec::new()));
+
         let stop_flag = Arc::clone(&stop);
-        let accept_registry = Arc::clone(&registry);
+        let accept_shared = Arc::clone(&shared);
+        let accept_handles = Arc::clone(&handles);
         let accept_thread = thread::spawn(move || {
+            let mut next_conn_id = 0u64;
             for conn in listener.incoming() {
                 if stop_flag.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                let registry = Arc::clone(&accept_registry);
-                thread::spawn(move || handle_connection(stream, registry, window));
+                let runtime = accept_shared.registry.runtime();
+                if accept_shared.draining.load(Ordering::SeqCst) {
+                    runtime.refused.fetch_add(1, Ordering::Relaxed);
+                    refuse(
+                        stream,
+                        Response::GoingAway {
+                            message: "server draining".to_string(),
+                        },
+                        accept_shared.config.write_timeout,
+                    );
+                    continue;
+                }
+                let active = accept_shared.spawned.load(Ordering::SeqCst)
+                    - accept_shared.finished.load(Ordering::SeqCst);
+                if active >= accept_shared.config.max_conns as u64 {
+                    runtime.refused.fetch_add(1, Ordering::Relaxed);
+                    refuse(
+                        stream,
+                        Response::Error {
+                            code: CODE_UNAVAILABLE,
+                            message: format!(
+                                "server at capacity ({} connections)",
+                                accept_shared.config.max_conns
+                            ),
+                        },
+                        accept_shared.config.write_timeout,
+                    );
+                    continue;
+                }
+                runtime.accepted.fetch_add(1, Ordering::Relaxed);
+                let conn_id = next_conn_id;
+                next_conn_id += 1;
+                if let Ok(clone) = stream.try_clone() {
+                    accept_shared.live_conns.lock().insert(conn_id, clone);
+                }
+                accept_shared.spawned.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&accept_shared);
+                let handle = thread::spawn(move || handle_connection(stream, conn_shared, conn_id));
+                accept_handles.lock().push(handle);
             }
         });
         Ok(Server {
             addr: local,
-            registry,
+            shared,
             stop,
             accept_thread: Some(accept_thread),
+            handles,
         })
     }
 
@@ -176,29 +492,70 @@ impl Server {
 
     /// The shared registry this server serves from.
     pub fn registry(&self) -> &Arc<SessionRegistry> {
-        &self.registry
+        &self.shared.registry
     }
 
-    /// Blocks until the accept loop exits (i.e. until another thread calls
-    /// nothing — the loop runs until the process ends). Used by
-    /// `rbt-cli serve`.
+    /// Blocks until the accept loop exits. Used by `rbt-cli serve`.
     pub fn wait(mut self) {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
     }
 
-    /// Stops accepting new connections and reaps the accept thread.
-    pub fn shutdown(mut self) {
-        self.stop_accepting();
-    }
-
     fn stop_accepting(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the accept loop with a throwaway connection.
+        // The accept loop only re-checks the flag after a connection
+        // lands, so wake it with one.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
+        }
+    }
+
+    /// Gracefully drains the server: stops accepting, lets every
+    /// in-flight request in the bounded window complete (up to
+    /// [`ServerConfig::drain_deadline`]), sends each surviving client a
+    /// `GoingAway` frame, force-severs stragglers at the deadline, and
+    /// joins every connection thread. The report accounts for every
+    /// thread spawned, so callers can assert nothing leaked.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.stop_accepting();
+
+        let deadline = Instant::now() + self.shared.config.drain_deadline;
+        let mut forced = 0u64;
+        loop {
+            let active = self.shared.spawned.load(Ordering::SeqCst)
+                - self.shared.finished.load(Ordering::SeqCst);
+            if active == 0 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                // Out of patience: cut the remaining sockets. Their
+                // threads observe the reset and exit; responses past this
+                // point are lost by design, bounded by the deadline.
+                let conns = self.shared.live_conns.lock();
+                forced = conns.len() as u64;
+                for stream in conns.values() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                drop(conns);
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+
+        let handles: Vec<_> = std::mem::take(&mut *self.handles.lock());
+        let mut joined = 0u64;
+        for handle in handles {
+            if handle.join().is_ok() {
+                joined += 1;
+            }
+        }
+        DrainReport {
+            spawned: self.shared.spawned.load(Ordering::SeqCst),
+            joined,
+            forced,
         }
     }
 }

@@ -5,12 +5,19 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"RBTW"
-//! 4       2     protocol version (u16 LE, currently 1)
+//! 4       2     protocol version (u16 LE, currently 2)
 //! 6       1     opcode
 //! 7       4     body length n (u32 LE)
 //! 11      n     body (opcode-specific, ByteWriter/ByteReader encoded)
 //! 11+n    4     CRC-32 (u32 LE) over bytes [0, 11+n)
 //! ```
+//!
+//! **Version 2** prefixes every body with a `u64` *request id*: responses
+//! echo the id of the request they answer, which is what makes the
+//! client's reconnect-and-retry loop safe — a response can be matched to
+//! its request even after the stream it originally travelled on has died.
+//! Version 1 frames (no id prefix) are still decoded, with id 0, so
+//! pre-resilience peers keep working against this build.
 //!
 //! The framing layer reuses [`rbt_linalg::codec`]'s primitives and inherits
 //! its contract: malformed input is *rejected with a typed error*, never
@@ -22,6 +29,7 @@
 
 use std::fmt;
 use std::io::{Read, Write};
+use std::time::{Duration, Instant};
 
 use rbt_data::Dataset;
 use rbt_linalg::codec::{crc32, ByteReader, ByteWriter, DecodeError};
@@ -31,12 +39,16 @@ use crate::metrics::ServerStats;
 
 /// Frame magic: "RBT wire".
 pub const MAGIC: [u8; 4] = *b"RBTW";
-/// Current protocol version.
-pub const WIRE_VERSION: u16 = 1;
+/// Current protocol version (2: request-id prefix in every body).
+pub const WIRE_VERSION: u16 = 2;
+/// Oldest protocol version this build still decodes.
+pub const MIN_WIRE_VERSION: u16 = 1;
 /// Fixed header size: magic + version + opcode + body length.
 pub const HEADER_LEN: usize = 11;
 /// CRC-32 trailer size.
 pub const TRAILER_LEN: usize = 4;
+/// Size of the version-2 request-id prefix inside the body.
+pub const REQUEST_ID_LEN: usize = 8;
 /// Upper bound on a frame body (64 MiB). Checked against the declared
 /// length *before* the body is allocated, so a corrupted or hostile length
 /// field cannot drive the server out of memory.
@@ -59,6 +71,15 @@ pub enum Opcode {
     EvictTenant = 5,
     /// Liveness check.
     Ping = 6,
+    /// Either direction announcing a clean departure: the server sends it
+    /// as its final frame while draining, the client as a goodbye before
+    /// closing its socket.
+    GoingAway = 7,
+    /// Re-scan the key directory into the registry (hot reload).
+    ReloadKeys = 8,
+    /// The request was shed because its deadline expired before the
+    /// server could start it (never a request).
+    Deadline = 9,
     /// Error response (never a request).
     Error = 15,
 }
@@ -72,6 +93,9 @@ impl Opcode {
             4 => Some(Opcode::Stats),
             5 => Some(Opcode::EvictTenant),
             6 => Some(Opcode::Ping),
+            7 => Some(Opcode::GoingAway),
+            8 => Some(Opcode::ReloadKeys),
+            9 => Some(Opcode::Deadline),
             15 => Some(Opcode::Error),
             _ => None,
         }
@@ -135,7 +159,7 @@ impl fmt::Display for WireError {
             WireError::UnsupportedVersion { found } => {
                 write!(
                     f,
-                    "unsupported wire version {found} (this build speaks {WIRE_VERSION})"
+                    "unsupported wire version {found} (this build speaks {MIN_WIRE_VERSION}..={WIRE_VERSION})"
                 )
             }
             WireError::UnknownOpcode { found } => write!(f, "unknown opcode {found:#04x}"),
@@ -182,35 +206,128 @@ fn malformed(offset: usize, message: impl Into<String>) -> WireError {
     })
 }
 
-/// A decoded frame: opcode plus raw body bytes. The body is interpreted by
-/// [`Request::from_frame`] / [`Response::from_frame`].
+/// A decoded frame: opcode, request id, and raw body bytes. The body is
+/// interpreted by [`Request::from_frame`] / [`Response::from_frame`]; the
+/// request id is echoed by the server so clients can match a response to
+/// its request across reconnects.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// The frame opcode.
     pub opcode: Opcode,
-    /// The opcode-specific body.
+    /// The request id (0 for version-1 peers and unsolicited frames).
+    pub request_id: u64,
+    /// The opcode-specific body (request-id prefix already stripped).
     pub body: Vec<u8>,
 }
 
 impl Frame {
-    /// A frame with the given opcode and body.
+    /// A frame with the given opcode and body, request id 0.
     pub fn new(opcode: Opcode, body: Vec<u8>) -> Frame {
-        Frame { opcode, body }
+        Frame {
+            opcode,
+            request_id: 0,
+            body,
+        }
+    }
+
+    /// The same frame carrying `id` as its request id.
+    pub fn with_request_id(mut self, id: u64) -> Frame {
+        self.request_id = id;
+        self
     }
 }
 
-/// Encodes a frame into a self-contained byte buffer (header + body +
-/// CRC-32 trailer).
+/// Encodes a frame into a self-contained byte buffer (header + request-id
+/// prefix + body + CRC-32 trailer), always at [`WIRE_VERSION`].
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_bytes(&MAGIC);
     w.put_u16(WIRE_VERSION);
     w.put_u8(frame.opcode as u8);
-    w.put_u32(frame.body.len() as u32);
+    w.put_u32((REQUEST_ID_LEN + frame.body.len()) as u32);
+    w.put_u64(frame.request_id);
     w.put_bytes(&frame.body);
     let crc = crc32(w.as_bytes());
     w.put_u32(crc);
     w.into_bytes()
+}
+
+/// Header fields once magic and the length bound have been validated.
+struct RawHeader {
+    version: u16,
+    opcode_byte: u8,
+    body_len: usize,
+}
+
+fn parse_header(header: &[u8; HEADER_LEN]) -> WireResult<RawHeader> {
+    let mut r = ByteReader::new(header);
+    let magic = r.take_bytes(4)?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic {
+            found: [magic[0], magic[1], magic[2], magic[3]],
+        });
+    }
+    let version = r.take_u16()?;
+    let opcode_byte = r.take_u8()?;
+    let body_len = r.take_u32()?;
+    if body_len > MAX_BODY_LEN {
+        return Err(WireError::Oversized {
+            length: body_len,
+            limit: MAX_BODY_LEN,
+        });
+    }
+    Ok(RawHeader {
+        version,
+        opcode_byte,
+        body_len: body_len as usize,
+    })
+}
+
+/// Validates CRC/version/opcode and splits the request-id prefix. `body`
+/// excludes the trailer; `stored` is the trailer CRC.
+fn finish_frame(
+    header: &[u8; HEADER_LEN],
+    raw: RawHeader,
+    body: Vec<u8>,
+    stored: u32,
+) -> WireResult<Frame> {
+    let mut crc_input = Vec::with_capacity(HEADER_LEN + body.len());
+    crc_input.extend_from_slice(header);
+    crc_input.extend_from_slice(&body);
+    let computed = crc32(&crc_input);
+    if stored != computed {
+        return Err(WireError::ChecksumMismatch { stored, computed });
+    }
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&raw.version) {
+        return Err(WireError::UnsupportedVersion { found: raw.version });
+    }
+    let opcode = Opcode::from_u8(raw.opcode_byte).ok_or(WireError::UnknownOpcode {
+        found: raw.opcode_byte,
+    })?;
+    if raw.version >= 2 {
+        if body.len() < REQUEST_ID_LEN {
+            return Err(malformed(
+                HEADER_LEN,
+                format!(
+                    "version-2 body of {} bytes cannot hold the request id",
+                    body.len()
+                ),
+            ));
+        }
+        let mut id_bytes = [0u8; REQUEST_ID_LEN];
+        id_bytes.copy_from_slice(&body[..REQUEST_ID_LEN]);
+        Ok(Frame {
+            opcode,
+            request_id: u64::from_le_bytes(id_bytes),
+            body: body[REQUEST_ID_LEN..].to_vec(),
+        })
+    } else {
+        Ok(Frame {
+            opcode,
+            request_id: 0,
+            body,
+        })
+    }
 }
 
 /// Decodes one frame from a buffer that must contain exactly one frame.
@@ -228,23 +345,10 @@ pub fn decode_frame(bytes: &[u8]) -> WireResult<Frame> {
             available: bytes.len(),
         }));
     }
-    let mut r = ByteReader::new(bytes);
-    let magic = r.take_bytes(4)?;
-    if magic != MAGIC {
-        return Err(WireError::BadMagic {
-            found: [magic[0], magic[1], magic[2], magic[3]],
-        });
-    }
-    let version = r.take_u16()?;
-    let opcode_byte = r.take_u8()?;
-    let body_len = r.take_u32()?;
-    if body_len > MAX_BODY_LEN {
-        return Err(WireError::Oversized {
-            length: body_len,
-            limit: MAX_BODY_LEN,
-        });
-    }
-    let total = HEADER_LEN + body_len as usize + TRAILER_LEN;
+    let mut header = [0u8; HEADER_LEN];
+    header.copy_from_slice(&bytes[..HEADER_LEN]);
+    let raw = parse_header(&header)?;
+    let total = HEADER_LEN + raw.body_len + TRAILER_LEN;
     if bytes.len() < total {
         return Err(WireError::Byte(DecodeError::Truncated {
             offset: bytes.len(),
@@ -258,18 +362,14 @@ pub fn decode_frame(bytes: &[u8]) -> WireResult<Frame> {
             format!("{} trailing bytes after the frame", bytes.len() - total),
         ));
     }
-    let body = r.take_bytes(body_len as usize)?.to_vec();
-    let stored = r.take_u32()?;
-    let computed = crc32(&bytes[..HEADER_LEN + body_len as usize]);
-    if stored != computed {
-        return Err(WireError::ChecksumMismatch { stored, computed });
-    }
-    if version != WIRE_VERSION {
-        return Err(WireError::UnsupportedVersion { found: version });
-    }
-    let opcode =
-        Opcode::from_u8(opcode_byte).ok_or(WireError::UnknownOpcode { found: opcode_byte })?;
-    Ok(Frame { opcode, body })
+    let body = bytes[HEADER_LEN..HEADER_LEN + raw.body_len].to_vec();
+    let stored = u32::from_le_bytes([
+        bytes[total - 4],
+        bytes[total - 3],
+        bytes[total - 2],
+        bytes[total - 1],
+    ]);
+    finish_frame(&header, raw, body, stored)
 }
 
 /// Reads the next frame from a stream.
@@ -299,23 +399,8 @@ pub fn read_frame<R: Read>(stream: &mut R) -> WireResult<Option<Frame>> {
         }
         filled += n;
     }
-    let mut r = ByteReader::new(&header);
-    let magic = r.take_bytes(4)?;
-    if magic != MAGIC {
-        return Err(WireError::BadMagic {
-            found: [magic[0], magic[1], magic[2], magic[3]],
-        });
-    }
-    let version = r.take_u16()?;
-    let opcode_byte = r.take_u8()?;
-    let body_len = r.take_u32()?;
-    if body_len > MAX_BODY_LEN {
-        return Err(WireError::Oversized {
-            length: body_len,
-            limit: MAX_BODY_LEN,
-        });
-    }
-    let mut rest = vec![0u8; body_len as usize + TRAILER_LEN];
+    let raw = parse_header(&header)?;
+    let mut rest = vec![0u8; raw.body_len + TRAILER_LEN];
     stream.read_exact(&mut rest).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
             WireError::Io {
@@ -326,26 +411,121 @@ pub fn read_frame<R: Read>(stream: &mut R) -> WireResult<Option<Frame>> {
             WireError::from(e)
         }
     })?;
-    let body = rest[..body_len as usize].to_vec();
     let stored = u32::from_le_bytes([
-        rest[body_len as usize],
-        rest[body_len as usize + 1],
-        rest[body_len as usize + 2],
-        rest[body_len as usize + 3],
+        rest[raw.body_len],
+        rest[raw.body_len + 1],
+        rest[raw.body_len + 2],
+        rest[raw.body_len + 3],
     ]);
-    let mut crc_input = Vec::with_capacity(HEADER_LEN + body.len());
-    crc_input.extend_from_slice(&header);
-    crc_input.extend_from_slice(&body);
-    let computed = crc32(&crc_input);
-    if stored != computed {
-        return Err(WireError::ChecksumMismatch { stored, computed });
+    rest.truncate(raw.body_len);
+    finish_frame(&header, raw, rest, stored).map(Some)
+}
+
+/// What [`read_frame_patient`] observed on a stream whose socket read
+/// timeout acts as the polling tick.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete, validated frame.
+    Frame(Frame),
+    /// The peer closed cleanly between frames.
+    CleanEof,
+    /// One tick elapsed with no byte of a new frame — the connection is
+    /// idle. No stream state was consumed; the caller decides whether to
+    /// keep waiting or reap the connection.
+    Idle,
+    /// The peer went silent *mid-frame* for longer than the stall budget —
+    /// a wedged or malicious sender. The stream is desynchronized.
+    Stalled,
+}
+
+fn is_tick(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads the next frame from a stream that has a socket read timeout set
+/// (the *tick*), distinguishing an idle connection from a peer that
+/// stalled mid-frame.
+///
+/// A timeout before the first byte of a frame returns
+/// [`FrameEvent::Idle`] after one tick; once a frame has started, reads
+/// are retried until the peer has been silent for `stall_budget` in
+/// total, then [`FrameEvent::Stalled`] is returned. This is what lets the
+/// server run an idle-connection reaper and a stalled-peer deadline off
+/// plain blocking sockets, with no reader thread ever parked forever.
+///
+/// # Errors
+///
+/// Typed [`WireError`] for malformed frames and non-timeout stream
+/// failures.
+pub fn read_frame_patient<R: Read>(
+    stream: &mut R,
+    stall_budget: Duration,
+) -> WireResult<FrameEvent> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0usize;
+    let mut silent_since: Option<Instant> = None;
+    while filled < HEADER_LEN {
+        match stream.read(&mut header[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(FrameEvent::CleanEof);
+                }
+                return Err(WireError::Io {
+                    kind: std::io::ErrorKind::UnexpectedEof,
+                    message: format!("peer closed after {filled} of {HEADER_LEN} header bytes"),
+                });
+            }
+            Ok(n) => {
+                filled += n;
+                silent_since = None;
+            }
+            Err(e) if is_tick(&e) => {
+                if filled == 0 {
+                    return Ok(FrameEvent::Idle);
+                }
+                let since = silent_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= stall_budget {
+                    return Ok(FrameEvent::Stalled);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
     }
-    if version != WIRE_VERSION {
-        return Err(WireError::UnsupportedVersion { found: version });
+    let raw = parse_header(&header)?;
+    let mut rest = vec![0u8; raw.body_len + TRAILER_LEN];
+    let mut got = 0usize;
+    while got < rest.len() {
+        match stream.read(&mut rest[got..]) {
+            Ok(0) => {
+                return Err(WireError::Io {
+                    kind: std::io::ErrorKind::UnexpectedEof,
+                    message: "peer closed mid-frame".to_string(),
+                });
+            }
+            Ok(n) => {
+                got += n;
+                silent_since = None;
+            }
+            Err(e) if is_tick(&e) => {
+                let since = silent_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= stall_budget {
+                    return Ok(FrameEvent::Stalled);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
     }
-    let opcode =
-        Opcode::from_u8(opcode_byte).ok_or(WireError::UnknownOpcode { found: opcode_byte })?;
-    Ok(Some(Frame { opcode, body }))
+    let stored = u32::from_le_bytes([
+        rest[raw.body_len],
+        rest[raw.body_len + 1],
+        rest[raw.body_len + 2],
+        rest[raw.body_len + 3],
+    ]);
+    rest.truncate(raw.body_len);
+    finish_frame(&header, raw, rest, stored).map(FrameEvent::Frame)
 }
 
 /// Writes one encoded frame to a stream and flushes it.
@@ -484,6 +664,12 @@ pub enum Request {
     },
     /// Liveness check.
     Ping,
+    /// Re-scan the server's key directory into the registry (hot reload).
+    /// Served only when the server was started with a key store.
+    ReloadKeys,
+    /// A clean goodbye: the client is closing this connection and expects
+    /// no response. Replaces the bare RST a dropped socket would send.
+    Goodbye,
 }
 
 impl Request {
@@ -496,10 +682,13 @@ impl Request {
             Request::Stats => Opcode::Stats,
             Request::EvictTenant { .. } => Opcode::EvictTenant,
             Request::Ping => Opcode::Ping,
+            Request::ReloadKeys => Opcode::ReloadKeys,
+            Request::Goodbye => Opcode::GoingAway,
         }
     }
 
-    /// Encodes the request into a frame.
+    /// Encodes the request into a frame (request id 0; use
+    /// [`Frame::with_request_id`] to tag it).
     pub fn to_frame(&self) -> Frame {
         let mut w = ByteWriter::new();
         match self {
@@ -513,7 +702,7 @@ impl Request {
                 encode_dataset(&mut w, batch);
             }
             Request::EvictTenant { tenant } => w.put_str(tenant),
-            Request::Stats | Request::Ping => {}
+            Request::Stats | Request::Ping | Request::ReloadKeys | Request::Goodbye => {}
         }
         Frame::new(self.opcode(), w.into_bytes())
     }
@@ -523,7 +712,8 @@ impl Request {
     /// # Errors
     ///
     /// Typed [`WireError`] when the body does not parse for the frame's
-    /// opcode, or the opcode is [`Opcode::Error`] (not a request).
+    /// opcode, or the opcode is response-only ([`Opcode::Error`],
+    /// [`Opcode::Deadline`]).
     pub fn from_frame(frame: &Frame) -> WireResult<Request> {
         let mut r = ByteReader::new(&frame.body);
         let req = match frame.opcode {
@@ -546,15 +736,30 @@ impl Request {
                 tenant: r.take_str()?.to_string(),
             },
             Opcode::Ping => Request::Ping,
+            Opcode::ReloadKeys => Request::ReloadKeys,
+            Opcode::GoingAway => Request::Goodbye,
+            Opcode::Deadline => {
+                return Err(malformed(0, "Deadline frames are responses, not requests"))
+            }
             Opcode::Error => return Err(malformed(0, "Error frames are responses, not requests")),
         };
         r.expect_end()?;
         Ok(req)
     }
+
+    /// Whether a retry of this request is safe after a transport failure
+    /// whose outcome is unknown. Transforms are pure given a loaded key,
+    /// `LoadKey` overwrites with identical bytes, and the control requests
+    /// are reads — only `EvictTenant` (whose `existed` answer changes on
+    /// replay) and `Goodbye` are excluded.
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(self, Request::EvictTenant { .. } | Request::Goodbye)
+    }
 }
 
 /// A server response, one per frame. Success responses reuse the opcode of
-/// the request they answer; failures use [`Opcode::Error`].
+/// the request they answer and echo its request id; failures use
+/// [`Opcode::Error`] or [`Opcode::Deadline`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// The key decoded and the session is registered.
@@ -586,15 +791,42 @@ pub enum Response {
     },
     /// Liveness reply.
     Pong,
+    /// Key-directory hot-reload outcome.
+    Reloaded {
+        /// Tenants (re)registered from the key directory.
+        loaded: u64,
+        /// Corrupt entries moved to quarantine instead of being served.
+        quarantined: u64,
+    },
+    /// The server is draining: this is the last frame on the connection.
+    /// Every request read before the drain began has been answered;
+    /// anything unanswered should be retried against a fresh connection.
+    GoingAway {
+        /// Human-readable reason (e.g. "shutting down").
+        message: String,
+    },
+    /// The request was shed because it waited past its per-opcode
+    /// deadline before the server could start it.
+    Deadline {
+        /// How long the request had waited, in milliseconds.
+        waited_ms: u64,
+        /// The per-opcode budget it exceeded, in milliseconds.
+        budget_ms: u64,
+    },
     /// The request failed.
     Error {
         /// Error family, matching the CLI exit-code taxonomy (2 usage,
-        /// 3 data, 4 codec/wire, 5 shape, 6 threshold, 7 capability).
+        /// 3 data, 4 codec/wire, 5 shape, 6 threshold, 7 capability,
+        /// 8 unavailable — the server refused the connection or request
+        /// because it is at capacity or draining).
         code: u8,
         /// Human-readable detail.
         message: String,
     },
 }
+
+/// The `Error` code family for "server at capacity / draining" refusals.
+pub const CODE_UNAVAILABLE: u8 = 8;
 
 impl Response {
     /// The opcode this response travels under.
@@ -606,11 +838,15 @@ impl Response {
             Response::Stats(_) => Opcode::Stats,
             Response::Evicted { .. } => Opcode::EvictTenant,
             Response::Pong => Opcode::Ping,
+            Response::Reloaded { .. } => Opcode::ReloadKeys,
+            Response::GoingAway { .. } => Opcode::GoingAway,
+            Response::Deadline { .. } => Opcode::Deadline,
             Response::Error { .. } => Opcode::Error,
         }
     }
 
-    /// Encodes the response into a frame.
+    /// Encodes the response into a frame (request id 0; use
+    /// [`Frame::with_request_id`] to echo the request's id).
     pub fn to_frame(&self) -> Frame {
         let mut w = ByteWriter::new();
         match self {
@@ -632,6 +868,21 @@ impl Response {
             Response::Stats(stats) => stats.encode_into(&mut w),
             Response::Evicted { existed } => w.put_bool(*existed),
             Response::Pong => {}
+            Response::Reloaded {
+                loaded,
+                quarantined,
+            } => {
+                w.put_u64(*loaded);
+                w.put_u64(*quarantined);
+            }
+            Response::GoingAway { message } => w.put_str(message),
+            Response::Deadline {
+                waited_ms,
+                budget_ms,
+            } => {
+                w.put_u64(*waited_ms);
+                w.put_u64(*budget_ms);
+            }
             Response::Error { code, message } => {
                 w.put_u8(*code);
                 w.put_str(message);
@@ -665,6 +916,17 @@ impl Response {
                 existed: r.take_bool()?,
             },
             Opcode::Ping => Response::Pong,
+            Opcode::ReloadKeys => Response::Reloaded {
+                loaded: r.take_u64()?,
+                quarantined: r.take_u64()?,
+            },
+            Opcode::GoingAway => Response::GoingAway {
+                message: r.take_str()?.to_string(),
+            },
+            Opcode::Deadline => Response::Deadline {
+                waited_ms: r.take_u64()?,
+                budget_ms: r.take_u64()?,
+            },
             Opcode::Error => Response::Error {
                 code: r.take_u8()?,
                 message: r.take_str()?.to_string(),
@@ -733,6 +995,8 @@ mod tests {
                 tenant: "x".to_string(),
             },
             Request::Ping,
+            Request::ReloadKeys,
+            Request::Goodbye,
         ];
         for req in requests {
             let frame = req.to_frame();
@@ -761,6 +1025,17 @@ mod tests {
             Response::Stats(ServerStats::sample_for_tests()),
             Response::Evicted { existed: true },
             Response::Pong,
+            Response::Reloaded {
+                loaded: 5,
+                quarantined: 2,
+            },
+            Response::GoingAway {
+                message: "shutting down".to_string(),
+            },
+            Response::Deadline {
+                waited_ms: 5200,
+                budget_ms: 5000,
+            },
             Response::Error {
                 code: 4,
                 message: "checksum mismatch".to_string(),
@@ -771,6 +1046,62 @@ mod tests {
             let decoded = Response::from_frame(&decode_frame(&encode_frame(&frame)).unwrap());
             assert_eq!(decoded.unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn request_ids_echo_through_the_codec() {
+        for id in [0u64, 1, 42, u64::MAX] {
+            let frame = Request::Ping.to_frame().with_request_id(id);
+            let bytes = encode_frame(&frame);
+            let back = decode_frame(&bytes).unwrap();
+            assert_eq!(back.request_id, id);
+            assert_eq!(back, frame);
+            let mut cursor = std::io::Cursor::new(bytes);
+            assert_eq!(read_frame(&mut cursor).unwrap(), Some(frame));
+        }
+    }
+
+    #[test]
+    fn version_1_frames_still_decode_with_id_zero() {
+        // Hand-roll a v1 frame: no request-id prefix in the body.
+        let body = Response::Error {
+            code: 2,
+            message: "old peer".to_string(),
+        }
+        .to_frame()
+        .body;
+        let mut w = ByteWriter::new();
+        w.put_bytes(&MAGIC);
+        w.put_u16(1);
+        w.put_u8(Opcode::Error as u8);
+        w.put_u32(body.len() as u32);
+        w.put_bytes(&body);
+        let crc = crc32(w.as_bytes());
+        w.put_u32(crc);
+        let bytes = w.into_bytes();
+
+        let frame = decode_frame(&bytes).unwrap();
+        assert_eq!(frame.request_id, 0);
+        assert_eq!(frame.opcode, Opcode::Error);
+        let resp = Response::from_frame(&frame).unwrap();
+        assert!(matches!(resp, Response::Error { code: 2, .. }));
+    }
+
+    #[test]
+    fn version_2_body_too_short_for_the_id_is_malformed() {
+        // A v2 frame whose declared body cannot hold the 8-byte id.
+        let mut w = ByteWriter::new();
+        w.put_bytes(&MAGIC);
+        w.put_u16(WIRE_VERSION);
+        w.put_u8(Opcode::Ping as u8);
+        w.put_u32(3);
+        w.put_bytes(&[1, 2, 3]);
+        let crc = crc32(w.as_bytes());
+        w.put_u32(crc);
+        assert!(matches!(
+            decode_frame(&w.into_bytes()).unwrap_err(),
+            WireError::Byte(DecodeError::Malformed { .. })
+        ));
     }
 
     #[test]
@@ -804,7 +1135,8 @@ mod tests {
             tenant: "t".to_string(),
             batch: sample_dataset(2, true),
         }
-        .to_frame();
+        .to_frame()
+        .with_request_id(77);
         let bytes = encode_frame(&frame);
         for idx in 0..bytes.len() {
             for bit in 0..8 {
@@ -940,22 +1272,109 @@ mod tests {
         );
     }
 
+    /// A reader that yields timeout errors between scripted chunks, the
+    /// shape of a socket with a read timeout set.
+    struct TickingReader {
+        chunks: Vec<Option<Vec<u8>>>, // None = one timeout tick
+        at: usize,
+    }
+
+    impl Read for TickingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.at >= self.chunks.len() {
+                return Ok(0);
+            }
+            match &self.chunks[self.at] {
+                None => {
+                    self.at += 1;
+                    Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "tick"))
+                }
+                Some(bytes) => {
+                    let n = bytes.len().min(buf.len());
+                    buf[..n].copy_from_slice(&bytes[..n]);
+                    let rest = bytes[n..].to_vec();
+                    if rest.is_empty() {
+                        self.at += 1;
+                    } else {
+                        self.chunks[self.at] = Some(rest);
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patient_reader_reports_idle_before_a_frame_and_rides_out_mid_frame_ticks() {
+        let bytes = encode_frame(&Request::Ping.to_frame());
+        // Tick, then the frame split across chunks with ticks inside.
+        let mut stream = TickingReader {
+            chunks: vec![
+                None,
+                Some(bytes[..5].to_vec()),
+                None,
+                Some(bytes[5..HEADER_LEN + 2].to_vec()),
+                None,
+                Some(bytes[HEADER_LEN + 2..].to_vec()),
+            ],
+            at: 0,
+        };
+        let budget = Duration::from_secs(30);
+        assert!(matches!(
+            read_frame_patient(&mut stream, budget).unwrap(),
+            FrameEvent::Idle
+        ));
+        match read_frame_patient(&mut stream, budget).unwrap() {
+            FrameEvent::Frame(f) => assert_eq!(f.opcode, Opcode::Ping),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        assert!(matches!(
+            read_frame_patient(&mut stream, budget).unwrap(),
+            FrameEvent::CleanEof
+        ));
+    }
+
+    #[test]
+    fn patient_reader_reports_a_stall_once_the_budget_is_burned() {
+        let bytes = encode_frame(&Request::Ping.to_frame());
+        // Three header bytes, then silence forever.
+        let mut stream = TickingReader {
+            chunks: vec![
+                Some(bytes[..3].to_vec()),
+                None,
+                None,
+                None,
+                None,
+                None,
+                None,
+            ],
+            at: 0,
+        };
+        assert!(matches!(
+            read_frame_patient(&mut stream, Duration::ZERO).unwrap(),
+            FrameEvent::Stalled
+        ));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(128))]
 
         // Arbitrary bodies round-trip bit-identically through the frame
-        // codec, for every opcode.
+        // codec, for every opcode and arbitrary request ids.
         #[test]
         fn arbitrary_bodies_round_trip(
             body in prop::collection::vec(0usize..256, 0..96),
-            opcode_pick in 0usize..7,
+            opcode_pick in 0usize..10,
+            request_id in 0u64..u64::MAX,
         ) {
             let opcodes = [
                 Opcode::LoadKey, Opcode::Transform, Opcode::Invert,
-                Opcode::Stats, Opcode::EvictTenant, Opcode::Ping, Opcode::Error,
+                Opcode::Stats, Opcode::EvictTenant, Opcode::Ping,
+                Opcode::GoingAway, Opcode::ReloadKeys, Opcode::Deadline,
+                Opcode::Error,
             ];
             let body: Vec<u8> = body.into_iter().map(|b| b as u8).collect();
-            let frame = Frame::new(opcodes[opcode_pick], body);
+            let frame = Frame::new(opcodes[opcode_pick], body).with_request_id(request_id);
             let bytes = encode_frame(&frame);
             prop_assert_eq!(decode_frame(&bytes).unwrap(), frame.clone());
             let mut cursor = std::io::Cursor::new(bytes);

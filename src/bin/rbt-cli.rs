@@ -13,7 +13,9 @@
 //! rbt-cli inspect-key --key key.txt
 //! rbt-cli audit --original data.csv --released released.csv
 //! rbt-cli serve --keys <dir> [--addr host:port] [--capacity N] [--window W]
+//!         [--max-conns N] [--read-timeout ms] [--drain-timeout ms]
 //! rbt-cli bench-serve [--tenants N] [--rows N] [--batches N] [--quick-smoke]
+//!         [--restart-mid-run]
 //! ```
 //!
 //! `release` normalizes, rotates, and writes three artifacts: the shareable
@@ -33,14 +35,17 @@ use rbt::api::{decode_fitted, FittedRbt, FittedTransform, Method, PrivacyTransfo
 use rbt::core::{Pipeline, RbtConfig, ReleaseSession, TransformationKey};
 use rbt::data::{csv, FittedNormalizer, Normalization};
 use rbt::prelude::Release;
-use rbt::server::{Client, Server, ServerError, SessionRegistry};
+use rbt::server::{
+    Client, KeyStore, RetryPolicy, Server, ServerConfig, ServerError, SessionRegistry,
+};
 use rbt::{Dataset, Matrix, PairwiseSecurityThreshold, VarianceMode};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A CLI failure: what went wrong plus the exit code family it belongs to.
 struct CliError {
@@ -161,8 +166,12 @@ Serving (the multi-tenant release daemon; see ARCHITECTURE.md \"Serving layer\")
   rbt-cli serve --keys <dir> [--addr <host:port, default 127.0.0.1:7533>]
           [--capacity <live sessions, default 64>]
           [--window <in-flight requests per connection, default 8>]
+          [--max-conns <connection cap, default 256>]
+          [--read-timeout <ms before an idle/stalled peer is reaped, default 60000>]
+          [--drain-timeout <ms shutdown waits for in-flight work, default 5000>]
   rbt-cli bench-serve [--tenants <N, default 8>] [--rows <per batch>]
           [--batches <per tenant>] [--out <json path>] [--quick-smoke]
+          [--restart-mid-run]
 
 Exit codes: 0 ok · 2 usage/config · 3 input data · 4 corrupt key file ·
 5 shape mismatch · 6 infeasible threshold · 7 method capability · 1 other";
@@ -633,6 +642,20 @@ fn parse_flag_usize(
     }
 }
 
+fn parse_flag_ms(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default_ms: u64,
+) -> CliResult<Duration> {
+    match flags.get(name) {
+        Some(v) => v
+            .parse()
+            .map(Duration::from_millis)
+            .map_err(|e| CliError::usage(format!("bad --{name}: {e}"))),
+        None => Ok(Duration::from_millis(default_ms)),
+    }
+}
+
 fn cmd_serve(args: &[String]) -> CliResult<()> {
     let flags = parse_flags(args, &[])?;
     let keys_dir = PathBuf::from(required(&flags, "keys")?);
@@ -642,18 +665,58 @@ fn cmd_serve(args: &[String]) -> CliResult<()> {
         .unwrap_or("127.0.0.1:7533");
     let capacity = parse_flag_usize(&flags, "capacity", 64)?;
     let window = parse_flag_usize(&flags, "window", 8)?;
+    let max_conns = parse_flag_usize(&flags, "max-conns", 256)?;
+    let read_timeout = parse_flag_ms(&flags, "read-timeout", 60_000)?;
+    let drain_timeout = parse_flag_ms(&flags, "drain-timeout", 5_000)?;
 
+    if !keys_dir.is_dir() {
+        return Err(CliError::io(format!(
+            "key directory {} does not exist",
+            keys_dir.display()
+        )));
+    }
+
+    // The crash-safe key store replays any interrupted writes, then
+    // registers every key. A corrupt key file is quarantined (moved to
+    // .quarantine/ and logged), never fatal — one torn key must not take
+    // down every healthy tenant.
+    let store = Arc::new(
+        KeyStore::open(&keys_dir)
+            .map_err(|e| CliError::io(format!("opening key store {}: {e}", keys_dir.display())))?,
+    );
+    let replay = store.replay_report();
+    if replay.completed + replay.discarded > 0 {
+        println!(
+            "key store journal replay: {} interrupted writes completed, {} discarded",
+            replay.completed, replay.discarded
+        );
+    }
     let registry = Arc::new(SessionRegistry::new(capacity));
-    // A corrupt key directory refuses to serve (codec family, exit 4)
-    // rather than silently serving a subset of tenants.
-    let loaded = registry.load_dir(&keys_dir)?;
-    let server = Server::spawn(addr, registry, window)
+    let report = store
+        .load_into(&registry)
+        .map_err(|e| CliError::io(format!("loading keys: {e}")))?;
+
+    let config = ServerConfig {
+        window,
+        max_conns,
+        idle_timeout: read_timeout,
+        stall_budget: read_timeout,
+        drain_deadline: drain_timeout,
+        keystore: Some(Arc::clone(&store)),
+        ..ServerConfig::default()
+    };
+    let server = Server::spawn_with(addr, registry, config)
         .map_err(|e| CliError::io(format!("binding {addr}: {e}")))?;
     println!(
-        "serving {loaded} tenants on {} (capacity {capacity} live sessions, \
-         window {window} in-flight per connection)",
-        server.local_addr()
+        "serving {} tenants on {} ({} quarantined; capacity {capacity} live sessions, \
+         window {window} in-flight per connection, max {max_conns} connections)",
+        report.loaded,
+        server.local_addr(),
+        report.quarantined
     );
+    // serve is often driven through a pipe (tests, supervisors); make the
+    // banner visible before blocking in the accept loop.
+    let _ = std::io::stdout().flush();
     server.wait();
     Ok(())
 }
@@ -672,8 +735,9 @@ fn bench_tenant_data(tenant: usize, rows: usize, cols: usize, spread: f64) -> Da
 }
 
 fn cmd_bench_serve(args: &[String]) -> CliResult<()> {
-    let flags = parse_flags(args, &["quick-smoke"])?;
+    let flags = parse_flags(args, &["quick-smoke", "restart-mid-run"])?;
     let quick = flags.contains_key("quick-smoke");
+    let restart = flags.contains_key("restart-mid-run");
     let tenants = parse_flag_usize(&flags, "tenants", 8)?.max(1);
     let rows = parse_flag_usize(&flags, "rows", if quick { 64 } else { 2000 })?.max(1);
     let batches = parse_flag_usize(&flags, "batches", if quick { 4 } else { 50 })?.max(1);
@@ -704,6 +768,9 @@ fn cmd_bench_serve(args: &[String]) -> CliResult<()> {
     let server = Server::spawn("127.0.0.1:0", Arc::clone(&registry), 8)
         .map_err(|e| CliError::io(format!("binding bench server: {e}")))?;
     let addr = server.local_addr();
+    // Where the live server is *right now* — updated by the mid-run
+    // restart so retrying clients find the replacement.
+    let current_addr = Arc::new(Mutex::new(addr));
 
     let as_client_err = |e: rbt::server::ClientError| CliError {
         code: 4,
@@ -718,6 +785,37 @@ fn cmd_bench_serve(args: &[String]) -> CliResult<()> {
         }
     }
 
+    // With --restart-mid-run, a saboteur thread drains the server under
+    // load and brings up a replacement on a fresh port (sharing the
+    // registry); the workers' retry/reconnect machinery must carry every
+    // batch across the restart for the bench to pass.
+    let mut server = Some(server);
+    let completed_batches = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let restart_handle = if restart {
+        let old = server.take().expect("bench server present");
+        let restart_registry = Arc::clone(&registry);
+        let addr_slot = Arc::clone(&current_addr);
+        let progress = Arc::clone(&completed_batches);
+        let quarter = (tenants * batches / 4).max(1);
+        Some(std::thread::spawn(move || -> Result<Server, String> {
+            // Yank the server once the run is demonstrably under way
+            // (a quarter of the batches done), so the restart always
+            // lands mid-run no matter how fast the machine is.
+            while progress.load(std::sync::atomic::Ordering::Relaxed) < quarter {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let replacement = Server::spawn("127.0.0.1:0", restart_registry, 8)
+                .map_err(|e| format!("binding replacement server: {e}"))?;
+            *addr_slot.lock().unwrap() = replacement.local_addr();
+            // Graceful drain: in-flight requests complete, clients get
+            // GoingAway, retry, and land on the replacement.
+            old.shutdown();
+            Ok(replacement)
+        }))
+    } else {
+        None
+    };
+
     // The measured phase: `tenants` concurrent connections, each pushing
     // `batches` transform requests of `rows` rows. Batch values are drawn
     // wider than the fitting data so some rows drift out of range and the
@@ -725,10 +823,14 @@ fn cmd_bench_serve(args: &[String]) -> CliResult<()> {
     let started = Instant::now();
     let workers: Vec<_> = (0..tenants)
         .map(|t| {
+            let addr_slot = Arc::clone(&current_addr);
+            let progress = Arc::clone(&completed_batches);
             std::thread::spawn(move || -> Result<Vec<u64>, String> {
                 let tenant = format!("tenant-{t:02}");
                 let batch = bench_tenant_data(t + 10_000, rows, cols, 130.0);
-                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                let mut client =
+                    Client::connect_via(move || *addr_slot.lock().unwrap(), RetryPolicy::default())
+                        .map_err(|e| e.to_string())?;
                 let mut latencies_us = Vec::with_capacity(batches);
                 for _ in 0..batches {
                     let t0 = Instant::now();
@@ -736,6 +838,7 @@ fn cmd_bench_serve(args: &[String]) -> CliResult<()> {
                         .transform(&tenant, &batch)
                         .map_err(|e| e.to_string())?;
                     latencies_us.push(t0.elapsed().as_micros() as u64);
+                    progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if released.n_rows() != batch.n_rows() {
                         return Err(format!("tenant {t}: row count mismatch"));
                     }
@@ -754,8 +857,17 @@ fn cmd_bench_serve(args: &[String]) -> CliResult<()> {
     }
     let wall = started.elapsed().as_secs_f64();
 
+    if let Some(handle) = restart_handle {
+        let replacement = handle
+            .join()
+            .map_err(|_| CliError::io("restart thread panicked"))?
+            .map_err(CliError::io)?;
+        server = Some(replacement);
+    }
     let stats = registry.stats();
-    server.shutdown();
+    if let Some(server) = server.take() {
+        server.shutdown();
+    }
 
     latencies_us.sort_unstable();
     let pct = |q: f64| -> u64 {
@@ -777,6 +889,7 @@ fn cmd_bench_serve(args: &[String]) -> CliResult<()> {
         "  \"mode\": \"{}\",",
         if quick { "quick-smoke" } else { "full" }
     );
+    let _ = writeln!(json, "  \"restarted_mid_run\": {restart},");
     let _ = writeln!(
         json,
         "  \"host_threads\": {},",

@@ -690,7 +690,7 @@ fn bad_invocations_fail_cleanly() {
 }
 
 #[test]
-fn serve_refuses_a_corrupt_key_directory_with_the_codec_code() {
+fn serve_quarantines_a_corrupt_key_and_keeps_serving_the_rest() {
     let dir = temp_dir("serve-corrupt");
     let keys = dir.join("keys");
     std::fs::create_dir_all(&keys).unwrap();
@@ -719,20 +719,43 @@ fn serve_refuses_a_corrupt_key_directory_with_the_codec_code() {
     bytes[mid] ^= 0xFF;
     std::fs::write(keys.join("tenant-bad.rbt"), &bytes).unwrap();
 
-    // serve must refuse the whole directory with the codec exit code (4)
-    // rather than serving only the tenants that decoded.
-    let out = cli()
+    // serve must quarantine the torn key and come up serving the tenants
+    // that decoded, rather than aborting the whole directory.
+    let mut child = cli()
         .args(["serve", "--keys"])
         .arg(&keys)
         .args(["--addr", "127.0.0.1:0"])
-        .output()
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
         .unwrap();
-    assert_eq!(
-        out.status.code(),
-        Some(4),
-        "{}",
-        String::from_utf8_lossy(&out.stderr)
+    let mut banner = String::new();
+    {
+        use std::io::BufRead;
+        let stdout = child.stdout.as_mut().unwrap();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut banner)
+            .unwrap();
+    }
+    child.kill().unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        banner.contains("serving 1 tenants") && banner.contains("1 quarantined"),
+        "unexpected serve banner: {banner:?}"
     );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("quarantined") && stderr.contains("tenant-bad"),
+        "quarantine was not logged: {stderr}"
+    );
+    let quarantine = keys.join(".quarantine");
+    let moved: Vec<_> = std::fs::read_dir(&quarantine)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert_eq!(moved, vec!["tenant-bad.rbt.0".to_string()]);
+    assert!(!keys.join("tenant-bad.rbt").exists());
+    assert!(good_key.exists());
 
     // A directory that does not exist is an I/O failure (3), not codec.
     let out = cli()
