@@ -18,14 +18,47 @@ use rand::SeedableRng;
 use rbt_api::{Method, Release};
 use rbt_bench::{workload, WorkloadSpec};
 use rbt_core::key::{RotationStep, TransformationKey};
+use rbt_core::{DriftBounds, ReleaseSession};
+use rbt_data::{Dataset, Normalization};
 use rbt_linalg::dissimilarity::DissimilarityMatrix;
 use rbt_linalg::distance::Metric;
+use rbt_linalg::matrix::rotate_pair_in_rows;
 use rbt_linalg::pool::{self, even_chunks, Pool};
 use rbt_linalg::rotation::givens;
 use rbt_linalg::{kernels, Matrix, Rotation2};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Counting wrapper around the system allocator so the streaming section
+/// can *pin* steady-state allocation behaviour: with reused output
+/// buffers, per-batch allocation must stay negligible next to the batch
+/// payload itself. Only the two counters are touched on the hot path.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Best (minimum) seconds per iteration for each of the competing
 /// implementations, measured in **alternating rounds**: scalar, fast,
@@ -70,6 +103,53 @@ impl Entry {
     fn speedup_parallel(&self) -> Option<f64> {
         self.parallel_s.map(|p| self.scalar_s / p)
     }
+}
+
+/// One point of the end-to-end streaming scaling record: sustained
+/// rows/sec through fit → transform (→ invert) at row count `m`, with the
+/// session pinned to `threads` pool threads.
+struct StreamEntry {
+    m: usize,
+    cols: usize,
+    batch_rows: usize,
+    threads: usize,
+    fit_seconds: f64,
+    baseline_rows_per_sec: f64,
+    transform_rows_per_sec: f64,
+    roundtrip_rows_per_sec: f64,
+    allocs_per_batch: f64,
+    alloc_bytes_per_batch: f64,
+    memcpy_gbps: f64,
+}
+
+impl StreamEntry {
+    fn speedup(&self) -> f64 {
+        self.transform_rows_per_sec / self.baseline_rows_per_sec
+    }
+    /// Approximate memory traffic of the transform pass: copy-in (r+w),
+    /// normalize in place (r+w), drift scan (r), fused sweep (r+w) — seven
+    /// batch-sized streams per batch.
+    fn transform_gbps(&self) -> f64 {
+        self.transform_rows_per_sec * (self.cols * 8) as f64 * 7.0 / 1e9
+    }
+}
+
+/// Sustained throughput: repeat `pass` (one sweep over all `total_rows`)
+/// until the budget elapses, after one warm-up, and report rows/sec over
+/// the whole timed span (throughput, unlike the min-latency
+/// `time_competitors`, is what a streaming deployment experiences).
+fn sustained_rows_per_sec(budget_s: f64, total_rows: usize, pass: &mut dyn FnMut()) -> f64 {
+    pass(); // warm-up: fault in buffers, settle allocator reuse
+    let t = Instant::now();
+    let mut rows = 0usize;
+    loop {
+        pass();
+        rows += total_rows;
+        if t.elapsed().as_secs_f64() >= budget_s {
+            break;
+        }
+    }
+    rows as f64 / t.elapsed().as_secs_f64()
 }
 
 // ---- pre-PR scalar replicas ------------------------------------------------
@@ -433,6 +513,184 @@ fn main() {
         });
     }
 
+    // 7. End-to-end streaming at scale: fit on a bounded subsample, then
+    //    stream the full row count through transform (and invert) in
+    //    8192-row batches with reused output buffers — the shape a
+    //    long-running release deployment actually has. The baseline is a
+    //    replica of the pre-zero-copy batch path: clone the batch, then
+    //    one whole-chunk pass per rotation step.
+    let mut streaming: Vec<StreamEntry> = Vec::new();
+    {
+        const STREAM_COLS: usize = 16;
+        const BATCH_ROWS: usize = 8192;
+        let sizes: &[usize] = if quick {
+            &[20_000]
+        } else {
+            &[100_000, 1_000_000]
+        };
+        let thread_sweep: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+        for &m in sizes {
+            let w = workload(WorkloadSpec {
+                rows: m,
+                cols: STREAM_COLS,
+                k: 4,
+                seed: 981,
+            });
+
+            // Fit: normalizer + drift bounds from the first shipment only
+            // (the full stream is never resident at fit time), plus the
+            // synthetic rotation key.
+            let fit_rows = m.min(20_000);
+            let t_fit = Instant::now();
+            let sub = w
+                .matrix
+                .select_rows(&(0..fit_rows).collect::<Vec<_>>())
+                .unwrap();
+            let (normalizer, normalized) =
+                Normalization::zscore_paper().fit_transform(&sub).unwrap();
+            let bounds = DriftBounds::from_normalized(&normalized).unwrap();
+            let key = synthetic_key(STREAM_COLS, STREAM_COLS);
+            let session0 = ReleaseSession::new(key.clone(), normalizer.clone())
+                .unwrap()
+                .with_drift_bounds(bounds.clone())
+                .unwrap();
+            let fit_seconds = t_fit.elapsed().as_secs_f64();
+            drop((sub, normalized));
+
+            // Pre-split the stream into batch datasets outside the timed
+            // region — arrival, not batching, is what we model.
+            let batches: Vec<Dataset> = (0..m)
+                .step_by(BATCH_ROWS)
+                .map(|start| {
+                    let rows: Vec<usize> = (start..(start + BATCH_ROWS).min(m)).collect();
+                    Dataset::from_matrix(w.matrix.select_rows(&rows).unwrap())
+                })
+                .collect();
+
+            // Straight memcpy over the same footprint: the hard ceiling
+            // for any one-pass row transform on this host.
+            let memcpy_gbps = {
+                let src = w.matrix.as_slice();
+                let mut dst = vec![0.0f64; src.len()];
+                let mut best = f64::INFINITY;
+                for _ in 0..3 {
+                    let t = Instant::now();
+                    dst.copy_from_slice(src);
+                    best = best.min(t.elapsed().as_secs_f64());
+                }
+                black_box(&dst);
+                // read + write
+                (src.len() * 8) as f64 * 2.0 / best / 1e9
+            };
+
+            // Pre-zero-copy baseline replica (serial, like PR-6's
+            // single-allocation path with per-step whole-chunk sweeps).
+            let fwd = key.forward_sweep();
+            let mut baseline_pass = || {
+                for b in &batches {
+                    let mut out = b.matrix().clone();
+                    normalizer
+                        .transform_rows_in_place(out.as_mut_slice())
+                        .unwrap();
+                    let oor = out
+                        .as_slice()
+                        .chunks_exact(STREAM_COLS)
+                        .filter(|row| !bounds.row_in_range(row))
+                        .count();
+                    black_box(oor);
+                    for &(i, j, c, s) in &fwd {
+                        rotate_pair_in_rows(out.as_mut_slice(), STREAM_COLS, i, j, c, s);
+                    }
+                    black_box(out.as_slice().as_ptr());
+                }
+            };
+            let baseline_rows_per_sec = sustained_rows_per_sec(budget, m, &mut baseline_pass);
+
+            for &threads in thread_sweep {
+                let mut session = session0.clone().with_threads(threads);
+
+                // Sanity: the zero-copy path is bitwise the baseline.
+                {
+                    let mut out = Matrix::zeros(0, 0);
+                    session.transform_batch_into(&batches[0], &mut out).unwrap();
+                    let mut reference = batches[0].matrix().clone();
+                    normalizer
+                        .transform_rows_in_place(reference.as_mut_slice())
+                        .unwrap();
+                    for &(i, j, c, s) in &fwd {
+                        rotate_pair_in_rows(reference.as_mut_slice(), STREAM_COLS, i, j, c, s);
+                    }
+                    assert!(
+                        out.approx_eq(&reference, 0.0),
+                        "zero-copy transform drifted from the cloning path"
+                    );
+                }
+
+                let mut out = Matrix::zeros(0, 0);
+                let mut session_t = session.clone();
+                let mut transform_pass = || {
+                    for b in &batches {
+                        session_t.transform_batch_into(b, &mut out).unwrap();
+                        black_box(out.as_slice().as_ptr());
+                    }
+                };
+                let transform_rows_per_sec = sustained_rows_per_sec(budget, m, &mut transform_pass);
+
+                // Steady-state allocation pin (meaningful once buffers are
+                // warm): per batch, the library may allocate only the
+                // step/boundary scratch vectors — a fixed few hundred
+                // bytes against the ~1 MiB batch payload.
+                let (allocs_per_batch, alloc_bytes_per_batch) = {
+                    transform_pass();
+                    let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
+                    let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+                    transform_pass();
+                    let calls = (ALLOC_CALLS.load(Ordering::Relaxed) - calls0) as f64
+                        / batches.len() as f64;
+                    let bytes = (ALLOC_BYTES.load(Ordering::Relaxed) - bytes0) as f64
+                        / batches.len() as f64;
+                    assert!(
+                        bytes < 16_384.0,
+                        "steady-state allocation regressed: {bytes:.0} B/batch"
+                    );
+                    assert!(
+                        calls < 32.0,
+                        "steady-state allocation regressed: {calls:.1} allocs/batch"
+                    );
+                    (calls, bytes)
+                };
+
+                let mut inv = Matrix::zeros(0, 0);
+                let mut session_rt = session.clone();
+                let mut roundtrip_pass = || {
+                    for b in &batches {
+                        session_rt.transform_batch_into(b, &mut out).unwrap();
+                        let released =
+                            Dataset::from_matrix(std::mem::replace(&mut out, Matrix::zeros(0, 0)));
+                        session_rt.invert_batch_into(&released, &mut inv).unwrap();
+                        out = released.into_matrix();
+                        black_box(inv.as_slice().as_ptr());
+                    }
+                };
+                let roundtrip_rows_per_sec = sustained_rows_per_sec(budget, m, &mut roundtrip_pass);
+
+                streaming.push(StreamEntry {
+                    m,
+                    cols: STREAM_COLS,
+                    batch_rows: BATCH_ROWS,
+                    threads,
+                    fit_seconds,
+                    baseline_rows_per_sec,
+                    transform_rows_per_sec,
+                    roundtrip_rows_per_sec,
+                    allocs_per_batch,
+                    alloc_bytes_per_batch,
+                    memcpy_gbps,
+                });
+            }
+        }
+    }
+
     // ---- report ------------------------------------------------------------
 
     println!(
@@ -454,6 +712,41 @@ fn main() {
             e.speedup(),
             e.speedup_parallel()
                 .map_or("-".into(), |s| format!("{s:.2}x")),
+        );
+    }
+
+    println!(
+        "\nstreaming fit→transform→invert (rows/sec sustained; \
+         baseline = pre-zero-copy clone + per-step sweeps)"
+    );
+    println!(
+        "{:>9} {:>8} {:>14} {:>14} {:>14} {:>8} {:>11} {:>10}",
+        "m",
+        "threads",
+        "baseline r/s",
+        "transform r/s",
+        "roundtrip r/s",
+        "speedup",
+        "B/batch",
+        "~GB/s"
+    );
+    for e in &streaming {
+        println!(
+            "{:>9} {:>8} {:>14.0} {:>14.0} {:>14.0} {:>7.2}x {:>11.0} {:>10.2}",
+            e.m,
+            e.threads,
+            e.baseline_rows_per_sec,
+            e.transform_rows_per_sec,
+            e.roundtrip_rows_per_sec,
+            e.speedup(),
+            e.alloc_bytes_per_batch,
+            e.transform_gbps(),
+        );
+    }
+    if let Some(e) = streaming.first() {
+        println!(
+            "memcpy ceiling on this host: {:.2} GB/s (r+w); transform traffic ≈ 7 streams/batch",
+            e.memcpy_gbps
         );
     }
 
@@ -489,6 +782,58 @@ fn main() {
             json,
             "    }}{}",
             if idx + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"streaming\": [");
+    for (idx, e) in streaming.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(
+            json,
+            "      \"params\": {{\"m\": {}, \"cols\": {}, \"batch_rows\": {}, \"threads\": {}}},",
+            e.m, e.cols, e.batch_rows, e.threads
+        );
+        let _ = writeln!(json, "      \"fit_seconds\": {:.6},", e.fit_seconds);
+        let _ = writeln!(
+            json,
+            "      \"baseline_rows_per_sec\": {:.0},",
+            e.baseline_rows_per_sec
+        );
+        let _ = writeln!(
+            json,
+            "      \"transform_rows_per_sec\": {:.0},",
+            e.transform_rows_per_sec
+        );
+        let _ = writeln!(
+            json,
+            "      \"roundtrip_rows_per_sec\": {:.0},",
+            e.roundtrip_rows_per_sec
+        );
+        let _ = writeln!(
+            json,
+            "      \"speedup_transform_vs_baseline\": {:.3},",
+            e.speedup()
+        );
+        let _ = writeln!(
+            json,
+            "      \"allocs_per_batch\": {:.1},",
+            e.allocs_per_batch
+        );
+        let _ = writeln!(
+            json,
+            "      \"alloc_bytes_per_batch\": {:.0},",
+            e.alloc_bytes_per_batch
+        );
+        let _ = writeln!(
+            json,
+            "      \"transform_traffic_gbps\": {:.3},",
+            e.transform_gbps()
+        );
+        let _ = writeln!(json, "      \"memcpy_gbps\": {:.3}", e.memcpy_gbps);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if idx + 1 < streaming.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "  ]");

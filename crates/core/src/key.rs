@@ -9,6 +9,7 @@
 //! (`Display`/`FromStr`) to stay within the approved dependency set.
 
 use crate::{Error, Result};
+use rbt_linalg::matrix::apply_steps_in_rows;
 use rbt_linalg::{Matrix, Rotation2};
 use std::fmt;
 use std::str::FromStr;
@@ -73,15 +74,49 @@ impl TransformationKey {
         self.n_attributes
     }
 
+    /// Precomputed `(i, j, cos θ, sin θ)` tuples for every step, in
+    /// application order — the form the fused row sweep
+    /// ([`apply_steps_in_rows`]) consumes. The release session precomputes
+    /// this once per batch instead of re-deriving angles per step.
+    pub fn forward_sweep(&self) -> Vec<(usize, usize, f64, f64)> {
+        self.steps
+            .iter()
+            .map(|st| {
+                let (s, c) = Rotation2::from_degrees(st.theta_degrees)
+                    .radians()
+                    .sin_cos();
+                (st.i, st.j, c, s)
+            })
+            .collect()
+    }
+
+    /// Precomputed `(i, j, cos θ, sin θ)` tuples of the *inverse* rotations
+    /// in reverse order — the sweep that undoes [`apply`](Self::apply).
+    pub fn inverse_sweep(&self) -> Vec<(usize, usize, f64, f64)> {
+        self.steps
+            .iter()
+            .rev()
+            .map(|st| {
+                let (s, c) = Rotation2::from_degrees(st.theta_degrees)
+                    .inverse()
+                    .radians()
+                    .sin_cos();
+                (st.i, st.j, c, s)
+            })
+            .collect()
+    }
+
     /// Applies the key's rotations, in order, to a matrix with the same
     /// attribute layout (e.g. fresh rows arriving after the initial
     /// release). The matrix must already be normalized with the same
     /// parameters as the original fit.
     ///
-    /// Each step is one allocation-free fused column sweep
-    /// ([`Matrix::rotate_column_pair`]), so a `p`-step key costs `O(p·m)`
-    /// with no intermediate buffers. The arithmetic matches the
-    /// extract–rotate–write-back path bit-for-bit.
+    /// All steps are applied per block of rows in one fused sweep
+    /// ([`apply_steps_in_rows`]): a `p`-step key costs one trip through the
+    /// matrix, not `p`. Each `(row, step)` update is row-local and keeps
+    /// its per-row order, so the result is bit-identical to `p` successive
+    /// whole-matrix [`Matrix::rotate_column_pair`] sweeps — which in turn
+    /// match the extract–rotate–write-back path bit-for-bit.
     ///
     /// # Errors
     ///
@@ -89,18 +124,16 @@ impl TransformationKey {
     pub fn apply(&self, normalized: &Matrix) -> Result<Matrix> {
         self.check(normalized)?;
         let mut out = normalized.clone();
-        for step in &self.steps {
-            let (s, c) = Rotation2::from_degrees(step.theta_degrees)
-                .radians()
-                .sin_cos();
-            out.rotate_column_pair(step.i, step.j, c, s)
-                .map_err(|e| Error::KeyMismatch(e.to_string()))?;
+        let steps = self.forward_sweep();
+        if !steps.is_empty() {
+            let n_cols = out.cols();
+            apply_steps_in_rows(out.as_mut_slice(), n_cols, &steps);
         }
         Ok(out)
     }
 
     /// Undoes the transformation (owner-side): applies the inverse rotations
-    /// in reverse order, as fused column sweeps like [`apply`](Self::apply).
+    /// in reverse order, as one fused sweep like [`apply`](Self::apply).
     ///
     /// # Errors
     ///
@@ -108,13 +141,10 @@ impl TransformationKey {
     pub fn invert(&self, transformed: &Matrix) -> Result<Matrix> {
         self.check(transformed)?;
         let mut out = transformed.clone();
-        for step in self.steps.iter().rev() {
-            let (s, c) = Rotation2::from_degrees(step.theta_degrees)
-                .inverse()
-                .radians()
-                .sin_cos();
-            out.rotate_column_pair(step.i, step.j, c, s)
-                .map_err(|e| Error::KeyMismatch(e.to_string()))?;
+        let steps = self.inverse_sweep();
+        if !steps.is_empty() {
+            let n_cols = out.cols();
+            apply_steps_in_rows(out.as_mut_slice(), n_cols, &steps);
         }
         Ok(out)
     }

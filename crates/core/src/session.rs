@@ -10,12 +10,19 @@
 //! * it wraps the fitted secrets (key + normalizer) with
 //!   [`transform_batch`](ReleaseSession::transform_batch) /
 //!   [`invert_batch`](ReleaseSession::invert_batch) for out-of-sample
-//!   records,
+//!   records — and with the zero-copy
+//!   [`transform_batch_into`](ReleaseSession::transform_batch_into) /
+//!   [`invert_batch_into`](ReleaseSession::invert_batch_into) variants
+//!   that fill a caller-reusable output matrix so a steady-state stream
+//!   allocates nothing per batch (plus an opt-in f32 release,
+//!   [`transform_batch_f32_into`](ReleaseSession::transform_batch_f32_into)),
 //! * batches are processed in bounded row chunks fanned out over the
-//!   shared [`rbt_linalg::pool`] — both normalization and every rotation
-//!   step are row-local, so any chunk size and thread count produces
-//!   output **bit-identical** to running the one-shot [`crate::Pipeline`]
-//!   on the concatenated data (pinned by the conformance battery),
+//!   shared [`rbt_linalg::pool`]; all rotation steps are applied to each
+//!   chunk in one fused sweep ([`apply_steps_in_rows`]) — normalization
+//!   and every rotation step are row-local and keep their per-row order,
+//!   so any chunk size and thread count produces output **bit-identical**
+//!   to running the one-shot [`crate::Pipeline`] on the concatenated data
+//!   (pinned by the conformance battery),
 //! * it counts **drift**: records whose normalized values fall outside the
 //!   per-column min–max range observed on the fitting data, the first
 //!   sign that the fitted normalization no longer represents the stream,
@@ -31,10 +38,10 @@ use crate::pipeline::PipelineOutput;
 use crate::{Error, Result};
 use rbt_data::{Dataset, FittedNormalizer, Normalization};
 use rbt_linalg::codec::{crc32, ByteReader, ByteWriter};
-use rbt_linalg::matrix::rotate_pair_in_rows;
+use rbt_linalg::matrix::apply_steps_in_rows;
 use rbt_linalg::pool::{self, Pool};
-use rbt_linalg::stats::{self, VarianceMode};
-use rbt_linalg::{Matrix, Rotation2};
+use rbt_linalg::stats::VarianceMode;
+use rbt_linalg::Matrix;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -50,23 +57,34 @@ pub struct DriftBounds {
 }
 
 impl DriftBounds {
-    /// Computes the bounds from a normalized fitting matrix.
+    /// Computes the bounds from a normalized fitting matrix, in a single
+    /// row-major pass: every column's accumulator folds its elements in
+    /// row order with the same `f64::min`/`f64::max` as
+    /// [`rbt_linalg::stats::min_max_of`] over
+    /// [`Matrix::column_iter`], so the bounds are bit-identical to the
+    /// strided per-column scan this replaces — without re-streaming the
+    /// matrix once per column.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Linalg`] for an empty matrix.
+    /// Returns [`Error::Linalg`] for a matrix with no rows and
+    /// [`Error::InvalidParameter`] for one with no columns.
     pub fn from_normalized(normalized: &Matrix) -> Result<Self> {
-        let mut mins = Vec::with_capacity(normalized.cols());
-        let mut maxs = Vec::with_capacity(normalized.cols());
-        for j in 0..normalized.cols() {
-            let (lo, hi) = stats::min_max_of(normalized.column_iter(j))?;
-            mins.push(lo);
-            maxs.push(hi);
-        }
-        if mins.is_empty() {
+        if normalized.cols() == 0 {
             return Err(Error::InvalidParameter(
                 "drift bounds need at least one column".into(),
             ));
+        }
+        if normalized.rows() == 0 {
+            return Err(rbt_linalg::Error::Empty.into());
+        }
+        let mut mins = vec![f64::INFINITY; normalized.cols()];
+        let mut maxs = vec![f64::NEG_INFINITY; normalized.cols()];
+        for row in normalized.row_iter() {
+            for ((lo, hi), &x) in mins.iter_mut().zip(maxs.iter_mut()).zip(row) {
+                *lo = lo.min(x);
+                *hi = hi.max(x);
+            }
         }
         Ok(DriftBounds { mins, maxs })
     }
@@ -298,9 +316,8 @@ impl ReleaseSession {
     /// Returns [`Error::KeyMismatch`] when the batch's column count
     /// disagrees with the session.
     pub fn transform_batch(&mut self, batch: &Dataset) -> Result<SessionBatch> {
-        let (matrix, out_of_range_rows) = self.transform_matrix(batch.matrix())?;
-        self.records_seen += batch.n_rows() as u64;
-        self.records_out_of_range += out_of_range_rows as u64;
+        let mut matrix = Matrix::zeros(0, 0);
+        let out_of_range_rows = self.transform_batch_into(batch, &mut matrix)?;
         // Build the released dataset around the transformed matrix directly
         // — cloning the input dataset just to replace its matrix would copy
         // the batch a second time on the streaming hot path.
@@ -325,7 +342,8 @@ impl ReleaseSession {
     /// Returns [`Error::KeyMismatch`] when the batch's column count
     /// disagrees with the session.
     pub fn invert_batch(&self, released: &Dataset) -> Result<Dataset> {
-        let matrix = self.invert_matrix(released.matrix())?;
+        let mut matrix = Matrix::zeros(0, 0);
+        self.invert_batch_into(released, &mut matrix)?;
         let mut recovered =
             Dataset::new(matrix, released.columns().to_vec()).map_err(Error::Data)?;
         if let Some(ids) = released.ids() {
@@ -334,29 +352,91 @@ impl ReleaseSession {
         Ok(recovered)
     }
 
-    /// The matrix-level forward transform plus the batch's out-of-range
-    /// row count.
-    fn transform_matrix(&self, m: &Matrix) -> Result<(Matrix, usize)> {
-        self.check_cols(m)?;
-        let mut out = m.clone();
-        let n_cols = m.cols();
-        if m.rows() == 0 {
-            return Ok((out, 0));
+    /// Zero-copy variant of [`transform_batch`](Self::transform_batch):
+    /// writes the released matrix into `out`, reusing its backing buffer
+    /// when it is already large enough, and returns the batch's
+    /// out-of-range row count. A steady-state stream that feeds the same
+    /// `out` back in allocates **nothing** per batch. Values are
+    /// bit-identical to `transform_batch(batch).released.matrix()`; the
+    /// session counters are updated the same way.
+    ///
+    /// Column metadata and IDs are the caller's concern here — this is
+    /// the raw matrix path for high-throughput streaming.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::KeyMismatch`] when the batch's column count
+    /// disagrees with the session.
+    pub fn transform_batch_into(&mut self, batch: &Dataset, out: &mut Matrix) -> Result<usize> {
+        self.check_cols(batch.matrix())?;
+        out.copy_from(batch.matrix());
+        let out_of_range_rows = self.forward_in_place(out);
+        self.records_seen += batch.n_rows() as u64;
+        self.records_out_of_range += out_of_range_rows as u64;
+        Ok(out_of_range_rows)
+    }
+
+    /// Zero-copy variant of [`invert_batch`](Self::invert_batch): writes
+    /// the recovered raw-scale matrix into `out`, reusing its backing
+    /// buffer when it is already large enough. Values are bit-identical
+    /// to `invert_batch(released)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::KeyMismatch`] when the batch's column count
+    /// disagrees with the session.
+    pub fn invert_batch_into(&self, released: &Dataset, out: &mut Matrix) -> Result<()> {
+        self.check_cols(released.matrix())?;
+        out.copy_from(released.matrix());
+        self.inverse_in_place(out);
+        Ok(())
+    }
+
+    /// Single-precision release: runs the exact f64 forward transform of
+    /// [`transform_batch_into`](Self::transform_batch_into) in `scratch`,
+    /// then quantizes into `out` (cleared and refilled; row-major, same
+    /// shape as the batch). Returns the out-of-range row count and
+    /// updates the session counters.
+    ///
+    /// # Tolerance contract
+    ///
+    /// Every element of `out` is **bitwise** equal to the corresponding
+    /// f64 release value converted with `as f32` (IEEE 754
+    /// round-to-nearest-even). The relative quantization error versus the
+    /// f64 release is therefore at most 2⁻²⁴ (≈ 6.0 × 10⁻⁸) per value,
+    /// plus flush-to-minimum effects below `f32::MIN_POSITIVE` — far
+    /// inside the distance-preservation slack of the transform itself.
+    /// Owner-side inversion should use the f64 path; the f32 release
+    /// exists to halve the wire/storage footprint for receivers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::KeyMismatch`] when the batch's column count
+    /// disagrees with the session.
+    pub fn transform_batch_f32_into(
+        &mut self,
+        batch: &Dataset,
+        scratch: &mut Matrix,
+        out: &mut Vec<f32>,
+    ) -> Result<usize> {
+        let out_of_range_rows = self.transform_batch_into(batch, scratch)?;
+        out.clear();
+        out.extend(scratch.as_slice().iter().map(|&x| x as f32));
+        Ok(out_of_range_rows)
+    }
+
+    /// Forward transform of `out` in place (normalize → drift count →
+    /// fused rotation sweep); assumes the column count was checked.
+    /// Returns the out-of-range row count.
+    fn forward_in_place(&self, out: &mut Matrix) -> usize {
+        let n_cols = out.cols();
+        if out.rows() == 0 {
+            return 0;
         }
-        // Precompute each step's (cos, sin) exactly as the one-shot paths
-        // do, so the chunked sweeps are the same arithmetic.
-        let steps: Vec<(usize, usize, f64, f64)> = self
-            .key
-            .steps()
-            .iter()
-            .map(|st| {
-                let (s, c) = Rotation2::from_degrees(st.theta_degrees)
-                    .radians()
-                    .sin_cos();
-                (st.i, st.j, c, s)
-            })
-            .collect();
-        let bounds = self.element_bounds(m.rows(), n_cols);
+        // The key's own (cos, sin) per step — the same values the one-shot
+        // paths use, applied as one fused per-row sweep.
+        let steps = self.key.forward_sweep();
+        let bounds = self.element_bounds(out.rows(), n_cols);
         let out_of_range = AtomicUsize::new(0);
         let normalizer = &self.normalizer;
         let drift = self.drift.as_ref();
@@ -373,47 +453,29 @@ impl ReleaseSession {
                     out_of_range.fetch_add(n, Ordering::Relaxed);
                 }
             }
-            for &(i, j, c, s) in &steps {
-                rotate_pair_in_rows(chunk, n_cols, i, j, c, s);
-            }
+            apply_steps_in_rows(chunk, n_cols, &steps);
         });
-        Ok((out, out_of_range.load(Ordering::Relaxed)))
+        out_of_range.load(Ordering::Relaxed)
     }
 
-    /// The matrix-level inverse transform.
-    fn invert_matrix(&self, m: &Matrix) -> Result<Matrix> {
-        self.check_cols(m)?;
-        let mut out = m.clone();
-        let n_cols = m.cols();
-        if m.rows() == 0 {
-            return Ok(out);
+    /// Inverse transform of `out` in place (fused inverse sweep →
+    /// denormalize); assumes the column count was checked.
+    fn inverse_in_place(&self, out: &mut Matrix) {
+        let n_cols = out.cols();
+        if out.rows() == 0 {
+            return;
         }
         // Inverse rotations in reverse order — the same (cos, sin) the
         // whole-matrix `TransformationKey::invert` uses.
-        let steps: Vec<(usize, usize, f64, f64)> = self
-            .key
-            .steps()
-            .iter()
-            .rev()
-            .map(|st| {
-                let (s, c) = Rotation2::from_degrees(st.theta_degrees)
-                    .inverse()
-                    .radians()
-                    .sin_cos();
-                (st.i, st.j, c, s)
-            })
-            .collect();
-        let bounds = self.element_bounds(m.rows(), n_cols);
+        let steps = self.key.inverse_sweep();
+        let bounds = self.element_bounds(out.rows(), n_cols);
         let normalizer = &self.normalizer;
         Pool::new(self.threads).for_each_chunk_mut(out.as_mut_slice(), &bounds, |_, _, chunk| {
-            for &(i, j, c, s) in &steps {
-                rotate_pair_in_rows(chunk, n_cols, i, j, c, s);
-            }
+            apply_steps_in_rows(chunk, n_cols, &steps);
             normalizer
                 .invert_rows_in_place(chunk)
                 .expect("chunk boundaries are whole rows of the checked width");
         });
-        Ok(out)
     }
 
     /// Row-aligned element boundaries with at most
@@ -990,6 +1052,89 @@ mod tests {
         let batch = session.transform_batch(&raw).unwrap();
         let recovered = session.invert_batch(&batch.released).unwrap();
         assert!(recovered.matrix().approx_eq(raw.matrix(), 1e-9));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths_bitwise() {
+        let (session, _) = fitted_session();
+        let raw = datasets::arrhythmia_sample();
+        for chunk_rows in [1, 2, 5, 100] {
+            for threads in [1, 3] {
+                let mut a = session
+                    .clone()
+                    .with_chunk_rows(chunk_rows)
+                    .with_threads(threads);
+                let mut b = a.clone();
+                let batch = a.transform_batch(&raw).unwrap();
+                let mut out = Matrix::zeros(0, 0);
+                let oor = b.transform_batch_into(&raw, &mut out).unwrap();
+                assert!(
+                    out.approx_eq(batch.released.matrix(), 0.0),
+                    "chunk_rows={chunk_rows} threads={threads}"
+                );
+                assert_eq!(oor, batch.out_of_range_rows);
+                assert_eq!(a.records_seen(), b.records_seen());
+                assert_eq!(a.records_out_of_range(), b.records_out_of_range());
+
+                let recovered = a.invert_batch(&batch.released).unwrap();
+                let mut inv = Matrix::zeros(0, 0);
+                b.invert_batch_into(&batch.released, &mut inv).unwrap();
+                assert!(inv.approx_eq(recovered.matrix(), 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn into_buffers_are_reused_across_batches() {
+        let (mut session, _) = fitted_session();
+        let raw = datasets::arrhythmia_sample();
+        let mut out = Matrix::zeros(0, 0);
+        session.transform_batch_into(&raw, &mut out).unwrap();
+        let ptr = out.as_slice().as_ptr();
+        for _ in 0..3 {
+            session.transform_batch_into(&raw, &mut out).unwrap();
+            assert_eq!(
+                out.as_slice().as_ptr(),
+                ptr,
+                "same-shape batches must reuse the output allocation"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_release_is_the_f64_release_rounded_once() {
+        let (session, _) = fitted_session();
+        let raw = datasets::arrhythmia_sample();
+        let mut a = session.clone();
+        let f64_batch = a.transform_batch(&raw).unwrap();
+        let mut b = session;
+        let mut scratch = Matrix::zeros(0, 0);
+        let mut out32 = Vec::new();
+        let oor = b
+            .transform_batch_f32_into(&raw, &mut scratch, &mut out32)
+            .unwrap();
+        assert_eq!(oor, f64_batch.out_of_range_rows);
+        assert_eq!(out32.len(), raw.n_rows() * raw.n_cols());
+        for (&q, &x) in out32.iter().zip(f64_batch.released.matrix().as_slice()) {
+            assert_eq!(q.to_bits(), (x as f32).to_bits());
+        }
+        assert_eq!(b.records_seen(), a.records_seen());
+    }
+
+    #[test]
+    fn degenerate_columns_never_signal_drift() {
+        // A constant column normalizes to a single value v, so the fitted
+        // bounds collapse to [v, v]. Rows carrying exactly v must stay in
+        // range — a degenerate column can never flag drift on its own.
+        let normalized = Matrix::from_rows(&[&[0.0, -1.0], &[0.0, 0.5], &[0.0, 1.0]]).unwrap();
+        let bounds = DriftBounds::from_normalized(&normalized).unwrap();
+        for row in normalized.row_iter() {
+            assert!(bounds.row_in_range(row));
+        }
+        // Drift in the non-degenerate column is still caught, and any
+        // deviation in the degenerate one is too.
+        assert!(!bounds.row_in_range(&[0.0, 2.0]));
+        assert!(!bounds.row_in_range(&[1e-300, 0.0]));
     }
 
     #[test]

@@ -15,7 +15,9 @@
 
 use crate::{Error, Result};
 use rbt_linalg::codec::{ByteReader, ByteWriter, DecodeError, DecodeResult};
-use rbt_linalg::stats::{self, VarianceMode};
+#[cfg(test)]
+use rbt_linalg::stats;
+use rbt_linalg::stats::VarianceMode;
 use rbt_linalg::Matrix;
 
 /// A normalization method (unfitted).
@@ -114,10 +116,12 @@ impl Normalization {
                 )));
             }
         }
-        let mut params = Vec::with_capacity(m.cols());
-        for j in 0..m.cols() {
-            params.push(self.fit_column(m, j)?);
-        }
+        let params = match *self {
+            Normalization::MinMax { new_min, new_max } => fit_min_max(m, new_min, new_max),
+            Normalization::ZScore { mode } => fit_zscore(m, mode),
+            Normalization::DecimalScaling => fit_decimal(m),
+            Normalization::RobustZScore => fit_robust(m),
+        };
         Ok(FittedNormalizer {
             method: *self,
             params,
@@ -134,47 +138,117 @@ impl Normalization {
         let out = fitted.transform(m)?;
         Ok((fitted, out))
     }
+}
 
-    /// Fits column `j` by streaming [`Matrix::column_iter`] — no per-column
-    /// `Vec` except for the robust variant, which must sort for medians.
-    fn fit_column(&self, m: &Matrix, j: usize) -> Result<ColumnParams> {
-        Ok(match *self {
-            Normalization::MinMax { new_min, new_max } => {
-                let (min, max) = stats::min_max_of(m.column_iter(j))?;
-                ColumnParams::MinMax {
-                    min,
-                    max,
-                    new_min,
-                    new_max,
-                }
+/// Column-chunk width for the streaming fitters below: each pass keeps at
+/// most this many per-column accumulators live (a few cache lines) while
+/// the matrix itself is read contiguously, row-major — instead of one
+/// strided [`Matrix::column_iter`] walk per column, which re-streams the
+/// whole matrix `cols` times.
+///
+/// Each column's elements are still folded in ascending-row order with the
+/// same expressions as [`rbt_linalg::stats`] (`mean_of` / `variance_of` /
+/// `min_max_of`), so the fitted parameters are **bit-identical** to the
+/// per-column scan this replaces.
+const FIT_CHUNK_COLS: usize = 64;
+
+fn fit_min_max(m: &Matrix, new_min: f64, new_max: f64) -> Vec<ColumnParams> {
+    let mut params = Vec::with_capacity(m.cols());
+    for chunk in m.column_chunks(FIT_CHUNK_COLS) {
+        let mut lo = vec![f64::INFINITY; chunk.width()];
+        let mut hi = vec![f64::NEG_INFINITY; chunk.width()];
+        for seg in chunk.row_segments() {
+            for ((l, h), &x) in lo.iter_mut().zip(hi.iter_mut()).zip(seg) {
+                *l = l.min(x);
+                *h = h.max(x);
             }
-            Normalization::ZScore { mode } => {
-                let mean = stats::mean_of(m.column_iter(j))?;
-                let std = stats::variance_of(m.column_iter(j), mode)?.sqrt();
-                ColumnParams::ZScore { mean, std }
-            }
-            Normalization::DecimalScaling => {
-                let max_abs = m.column_iter(j).fold(0.0f64, |a, x| a.max(x.abs()));
-                let mut factor = 1.0;
-                while max_abs / factor >= 1.0 {
-                    factor *= 10.0;
-                }
-                ColumnParams::DecimalScaling { factor }
-            }
-            Normalization::RobustZScore => {
-                let col: Vec<f64> = m.column_iter(j).collect();
-                let med = median(&col);
-                let deviations: Vec<f64> = col.iter().map(|x| (x - med).abs()).collect();
-                // 1.4826 makes the MAD a consistent sigma estimator under
-                // normality.
-                let scale = 1.4826 * median(&deviations);
-                ColumnParams::ZScore {
-                    mean: med,
-                    std: scale,
-                }
-            }
-        })
+        }
+        params.extend(lo.iter().zip(&hi).map(|(&min, &max)| ColumnParams::MinMax {
+            min,
+            max,
+            new_min,
+            new_max,
+        }));
     }
+    params
+}
+
+fn fit_zscore(m: &Matrix, mode: VarianceMode) -> Vec<ColumnParams> {
+    let n = m.rows();
+    let mut params = Vec::with_capacity(m.cols());
+    for chunk in m.column_chunks(FIT_CHUNK_COLS) {
+        // Two passes, like `stats::variance_of`: sums → means, then the
+        // squared deviations against the exact means.
+        let mut sums = vec![0.0f64; chunk.width()];
+        for seg in chunk.row_segments() {
+            for (s, &x) in sums.iter_mut().zip(seg) {
+                *s += x;
+            }
+        }
+        let means: Vec<f64> = sums.iter().map(|s| s / n as f64).collect();
+        let mut ss = vec![0.0f64; chunk.width()];
+        for seg in chunk.row_segments() {
+            for ((q, &mean), &x) in ss.iter_mut().zip(&means).zip(seg) {
+                *q += (x - mean) * (x - mean);
+            }
+        }
+        params.extend(
+            means
+                .iter()
+                .zip(&ss)
+                .map(|(&mean, &q)| ColumnParams::ZScore {
+                    mean,
+                    std: (q / mode.divisor(n)).sqrt(),
+                }),
+        );
+    }
+    params
+}
+
+fn fit_decimal(m: &Matrix) -> Vec<ColumnParams> {
+    let mut params = Vec::with_capacity(m.cols());
+    for chunk in m.column_chunks(FIT_CHUNK_COLS) {
+        let mut max_abs = vec![0.0f64; chunk.width()];
+        for seg in chunk.row_segments() {
+            for (a, &x) in max_abs.iter_mut().zip(seg) {
+                *a = a.max(x.abs());
+            }
+        }
+        params.extend(max_abs.iter().map(|&ma| {
+            let mut factor = 1.0;
+            while ma / factor >= 1.0 {
+                factor *= 10.0;
+            }
+            ColumnParams::DecimalScaling { factor }
+        }));
+    }
+    params
+}
+
+fn fit_robust(m: &Matrix) -> Vec<ColumnParams> {
+    let mut params = Vec::with_capacity(m.cols());
+    for chunk in m.column_chunks(FIT_CHUNK_COLS) {
+        // The robust fit must sort per column; gather the chunk's columns
+        // in one contiguous pass instead of one strided walk per column.
+        let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(m.rows()); chunk.width()];
+        for seg in chunk.row_segments() {
+            for (col, &x) in cols.iter_mut().zip(seg) {
+                col.push(x);
+            }
+        }
+        for col in &cols {
+            let med = median(col);
+            let deviations: Vec<f64> = col.iter().map(|x| (x - med).abs()).collect();
+            // 1.4826 makes the MAD a consistent sigma estimator under
+            // normality.
+            let scale = 1.4826 * median(&deviations);
+            params.push(ColumnParams::ZScore {
+                mean: med,
+                std: scale,
+            });
+        }
+    }
+    params
 }
 
 /// Median of a non-empty slice (average of the two middle order statistics
@@ -911,6 +985,73 @@ mod tests {
             FittedNormalizer::from_text("rbt-normalizer v1 cols=1 robust\nzscore 1.0 2.0\n")
                 .is_err()
         );
+    }
+
+    #[test]
+    fn columnar_fit_is_bitwise_identical_to_per_column_scan() {
+        // The chunked, row-streaming fitters must reproduce the strided
+        // per-column stats walk bit for bit — including across a chunk
+        // boundary (cols > FIT_CHUNK_COLS).
+        let rows = 7;
+        let cols = FIT_CHUNK_COLS * 2 + 3;
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut x = 0.5f64;
+        for _ in 0..rows * cols {
+            // Deterministic, well-spread values (logistic map).
+            x = 3.99 * x * (1.0 - x);
+            data.push(200.0 * x - 100.0);
+        }
+        let m = Matrix::from_vec(rows, cols, data).unwrap();
+
+        for method in [
+            Normalization::zscore_paper(),
+            Normalization::ZScore {
+                mode: VarianceMode::Population,
+            },
+            Normalization::MinMax {
+                new_min: -1.0,
+                new_max: 3.0,
+            },
+            Normalization::DecimalScaling,
+            Normalization::RobustZScore,
+        ] {
+            let fitted = method.fit(&m).unwrap();
+            for j in 0..cols {
+                let expected = match method {
+                    Normalization::MinMax { new_min, new_max } => {
+                        let (min, max) = stats::min_max_of(m.column_iter(j)).unwrap();
+                        ColumnParams::MinMax {
+                            min,
+                            max,
+                            new_min,
+                            new_max,
+                        }
+                    }
+                    Normalization::ZScore { mode } => ColumnParams::ZScore {
+                        mean: stats::mean_of(m.column_iter(j)).unwrap(),
+                        std: stats::variance_of(m.column_iter(j), mode).unwrap().sqrt(),
+                    },
+                    Normalization::DecimalScaling => {
+                        let max_abs = m.column_iter(j).fold(0.0f64, |a, v| a.max(v.abs()));
+                        let mut factor = 1.0;
+                        while max_abs / factor >= 1.0 {
+                            factor *= 10.0;
+                        }
+                        ColumnParams::DecimalScaling { factor }
+                    }
+                    Normalization::RobustZScore => {
+                        let col: Vec<f64> = m.column_iter(j).collect();
+                        let med = median(&col);
+                        let deviations: Vec<f64> = col.iter().map(|v| (v - med).abs()).collect();
+                        ColumnParams::ZScore {
+                            mean: med,
+                            std: 1.4826 * median(&deviations),
+                        }
+                    }
+                };
+                assert_eq!(fitted.params[j], expected, "{method:?} column {j}");
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,9 @@ const MAX_SWEEPS: usize = 100;
 ///
 /// * [`Error::NotSquare`] / [`Error::NotSymmetric`] for malformed input
 ///   (symmetry is checked to a `1e-8 · ‖a‖` tolerance),
+/// * [`Error::InvalidArgument`] for NaN or infinite entries — these slip
+///   through the symmetry check (`NaN > tol` is false) and used to panic in
+///   the final eigenvalue sort,
 /// * [`Error::NoConvergence`] if the off-diagonal mass does not vanish in
 ///   `MAX_SWEEPS` (100) sweeps (does not happen for well-posed symmetric input).
 pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
@@ -40,6 +43,11 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen> {
     let n = a.rows();
     if n == 0 {
         return Err(Error::Empty);
+    }
+    if a.has_non_finite() {
+        return Err(Error::InvalidArgument(
+            "eigendecomposition requires finite entries".into(),
+        ));
     }
     let scale = a.frobenius_norm().max(1.0);
     if !a.is_symmetric(1e-8 * scale) {
@@ -112,7 +120,10 @@ fn finish(m: Matrix, v: Matrix) -> SymmetricEigen {
     let n = m.rows();
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("finite eigenvalues"));
+    // Input is validated finite, but `total_cmp` keeps the sort panic-free
+    // regardless (it orders like `partial_cmp` for finite values, so the
+    // ordering — and the decomposition — is unchanged).
+    order.sort_by(|&a, &b| diag[b].total_cmp(&diag[a]));
 
     let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let mut eigenvectors = Matrix::zeros(n, n);

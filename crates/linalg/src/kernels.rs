@@ -5,7 +5,8 @@
 //! addition is not associative, so the compiler cannot reorder them). The
 //! kernels here instead:
 //!
-//! * keep **four** independent accumulators per row, breaking the add
+//! * keep **eight** independent accumulators per row — one full AVX-512
+//!   register of f64 lanes, two AVX2 registers — breaking the add
 //!   dependency chain so the CPU can overlap the adds and the optimiser can
 //!   use SIMD lanes,
 //! * contract `d·d + acc` into a fused multiply-add **when the build
@@ -14,7 +15,7 @@
 //!   `mul_add` falls back to a slow libm call,
 //! * fuse "one query row against a block of rows" loops that interleave
 //!   two target rows per pass, so the query stays in registers and the
-//!   eight accumulator chains saturate the FP units.
+//!   sixteen accumulator chains saturate the FP units.
 //!
 //! Reordering (and fusing) a sum changes the result in the last few ulps,
 //! so kernel distances agree with the scalar [`Metric::distance`] reference
@@ -42,30 +43,26 @@ fn fmadd(a: f64, b: f64, c: f64) -> f64 {
     }
 }
 
-/// Squared Euclidean distance with four independent accumulator chains.
+/// Squared Euclidean distance with eight independent accumulator chains.
 #[inline]
 pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "distance between unequal-length points");
     let len = a.len().min(b.len());
     let (a, b) = (&a[..len], &b[..len]);
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    let mut ca = a.chunks_exact(4);
-    let mut cb = b.chunks_exact(4);
+    let mut s = [0.0f64; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
     for (x, y) in (&mut ca).zip(&mut cb) {
-        let d0 = x[0] - y[0];
-        let d1 = x[1] - y[1];
-        let d2 = x[2] - y[2];
-        let d3 = x[3] - y[3];
-        s0 = fmadd(d0, d0, s0);
-        s1 = fmadd(d1, d1, s1);
-        s2 = fmadd(d2, d2, s2);
-        s3 = fmadd(d3, d3, s3);
+        for l in 0..8 {
+            let d = x[l] - y[l];
+            s[l] = fmadd(d, d, s[l]);
+        }
     }
     for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
         let d = x - y;
-        s0 = fmadd(d, d, s0);
+        s[0] = fmadd(d, d, s[0]);
     }
-    (s0 + s1) + (s2 + s3)
+    ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]))
 }
 
 /// Euclidean distance via [`squared_euclidean`].
@@ -74,66 +71,60 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     squared_euclidean(a, b).sqrt()
 }
 
-/// Manhattan (L1) distance with four independent accumulator chains.
+/// Manhattan (L1) distance with eight independent accumulator chains.
 #[inline]
 pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "distance between unequal-length points");
     let len = a.len().min(b.len());
     let (a, b) = (&a[..len], &b[..len]);
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    let mut ca = a.chunks_exact(4);
-    let mut cb = b.chunks_exact(4);
+    let mut s = [0.0f64; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
     for (x, y) in (&mut ca).zip(&mut cb) {
-        s0 += (x[0] - y[0]).abs();
-        s1 += (x[1] - y[1]).abs();
-        s2 += (x[2] - y[2]).abs();
-        s3 += (x[3] - y[3]).abs();
+        for l in 0..8 {
+            s[l] += (x[l] - y[l]).abs();
+        }
     }
     for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        s0 += (x - y).abs();
+        s[0] += (x - y).abs();
     }
-    (s0 + s1) + (s2 + s3)
+    ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]))
 }
 
 /// Squared Euclidean distances from `q` to two rows at once. Each row's
 /// accumulation has exactly the structure of [`squared_euclidean`], so the
 /// results are bit-identical to two separate calls — the interleave only
-/// buys instruction-level parallelism (eight independent FMA chains) and
+/// buys instruction-level parallelism (sixteen independent FMA chains) and
 /// one pass over `q`.
 #[inline]
 fn squared_two_rows(q: &[f64], ra: &[f64], rb: &[f64]) -> (f64, f64) {
-    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    let (mut b0, mut b1, mut b2, mut b3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    let mut cq = q.chunks_exact(4);
-    let mut c1 = ra.chunks_exact(4);
-    let mut c2 = rb.chunks_exact(4);
+    let mut sa = [0.0f64; 8];
+    let mut sb = [0.0f64; 8];
+    let mut cq = q.chunks_exact(8);
+    let mut c1 = ra.chunks_exact(8);
+    let mut c2 = rb.chunks_exact(8);
     while let (Some(x), Some(ya), Some(yb)) = (cq.next(), c1.next(), c2.next()) {
-        let d0 = x[0] - ya[0];
-        let d1 = x[1] - ya[1];
-        let d2 = x[2] - ya[2];
-        let d3 = x[3] - ya[3];
-        let e0 = x[0] - yb[0];
-        let e1 = x[1] - yb[1];
-        let e2 = x[2] - yb[2];
-        let e3 = x[3] - yb[3];
-        a0 = fmadd(d0, d0, a0);
-        a1 = fmadd(d1, d1, a1);
-        a2 = fmadd(d2, d2, a2);
-        a3 = fmadd(d3, d3, a3);
-        b0 = fmadd(e0, e0, b0);
-        b1 = fmadd(e1, e1, b1);
-        b2 = fmadd(e2, e2, b2);
-        b3 = fmadd(e3, e3, b3);
+        for l in 0..8 {
+            let d = x[l] - ya[l];
+            sa[l] = fmadd(d, d, sa[l]);
+        }
+        for l in 0..8 {
+            let e = x[l] - yb[l];
+            sb[l] = fmadd(e, e, sb[l]);
+        }
     }
     let rem = cq.remainder();
     let base = q.len() - rem.len();
     for (k, x) in rem.iter().enumerate() {
         let d = x - ra[base + k];
-        a0 = fmadd(d, d, a0);
+        sa[0] = fmadd(d, d, sa[0]);
         let e = x - rb[base + k];
-        b0 = fmadd(e, e, b0);
+        sb[0] = fmadd(e, e, sb[0]);
     }
-    ((a0 + a1) + (a2 + a3), (b0 + b1) + (b2 + b3))
+    (
+        ((sa[0] + sa[1]) + (sa[2] + sa[3])) + ((sa[4] + sa[5]) + (sa[6] + sa[7])),
+        ((sb[0] + sb[1]) + (sb[2] + sb[3])) + ((sb[4] + sb[5]) + (sb[6] + sb[7])),
+    )
 }
 
 /// Distance from `query` to a single row under `metric`, using the unrolled
@@ -155,7 +146,7 @@ pub fn distance(metric: Metric, query: &[f64], row: &[f64]) -> f64 {
 /// `block` holds `out.len()` rows of `cols` values each (a sub-slice of a
 /// [`Matrix`](crate::Matrix) buffer); `out[r]` receives
 /// `metric(query, block_row_r)`. For the Euclidean metrics, pairs of
-/// target rows are interleaved (eight independent accumulator chains) —
+/// target rows are interleaved (sixteen independent accumulator chains) —
 /// bit-identical to per-pair kernel calls, roughly 1.5× faster.
 ///
 /// # Panics

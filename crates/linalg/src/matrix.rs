@@ -323,31 +323,51 @@ impl Matrix {
         out
     }
 
-    /// Cache-block edge length used by [`matmul`](Self::matmul). One 64×64
-    /// f64 tile is 32 KiB — the `rhs` and output tiles of a block step
-    /// together fit in a typical L1d/L2, and the `i-k-j` order streams both
-    /// contiguously.
-    const MATMUL_BLOCK: usize = 64;
+    /// Rows of the left operand processed per outer panel of
+    /// [`matmul`](Self::matmul); a 128-row × 512-col f64 panel is 512 KiB,
+    /// comfortably L2-resident alongside the `rhs` column panel it is
+    /// multiplied against.
+    const MATMUL_ROW_PANEL: usize = 128;
+    /// Register-tile height of the matmul micro-kernel (rows of output
+    /// accumulated in locals per pass).
+    const MATMUL_MR: usize = 4;
+    /// Register-tile width of the matmul micro-kernel — 8 f64 is one full
+    /// AVX-512 register (two AVX2 registers), so a 4×8 tile keeps the
+    /// accumulators and the broadcast `a` values entirely in registers.
+    const MATMUL_NR: usize = 8;
 
     /// Matrix product `self * rhs`.
     ///
-    /// Cache-blocked `i-k-j` loops over 64×64 tiles of all three operands:
-    /// within a `(kk, jj)` step the same `rhs` tile is re-used for every
-    /// row of the `i` block and the output tile stays hot, so large
-    /// products touch memory per tile instead of per element (measured
-    /// ~1.5× over the straight loops at n ≥ 768). For each output element
-    /// `k` still increases monotonically (the `jj` split never reorders
-    /// `k`), so the accumulation order — and therefore every bit of the
-    /// result — is identical to [`matmul_naive`](Self::matmul_naive); the
-    /// property suite pins that. Operands that fit in cache skip the tile
-    /// bookkeeping and take the straight loops, which is safe precisely
-    /// because the two paths agree bit-for-bit.
+    /// Register-blocked: the output is computed in 4×8 tiles, each held in
+    /// local accumulators for the whole `k` loop, so every multiply-add
+    /// hits registers instead of the output buffer and the 8-wide rows
+    /// auto-vectorize. Each `rhs` column panel is packed into a contiguous
+    /// scratch buffer before its tiles run — the panel's rows sit one full
+    /// matrix row apart, and at power-of-two widths that stride aliases a
+    /// handful of cache sets, which is exactly the size class this path
+    /// exists for. An outer 128-row panel over `self` keeps the re-walked
+    /// left operand L2-resident.
+    ///
+    /// For each output element `k` increases monotonically and the tile
+    /// accumulator starts from the same `0.0` the zeroed output buffer
+    /// provides, so the operation sequence per element is exactly that of
+    /// [`matmul_naive`](Self::matmul_naive) — with one deliberate
+    /// difference: the micro-kernel accumulates every term, including
+    /// products with a zero left operand that the naive loop skips. For
+    /// finite operands that cannot change a single bit: a `±0.0` product
+    /// added to an accumulator leaves it unchanged, because a sum that
+    /// starts at `+0.0` can never become `-0.0` (IEEE-754 round-to-nearest
+    /// gives `x + (−x) = +0.0` and `+0.0 + −0.0 = +0.0`). The property
+    /// suite pins blocked ≡ naive bit-for-bit on zero-laden inputs.
+    /// Operands that fit in cache skip the tile bookkeeping and take the
+    /// straight loops, which is safe precisely because the two paths agree
+    /// bit-for-bit.
     ///
     /// # Errors
     ///
     /// Returns [`Error::DimensionMismatch`] if `self.cols != rhs.rows`.
-    // The indexed `k` loop mirrors the naive kernel exactly; an iterator
-    // chain here would obscure the accumulation-order argument above.
+    // Indexed loops mirror the naive kernel; iterator chains here would
+    // obscure the accumulation-order argument above.
     #[allow(clippy::needless_range_loop)]
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
@@ -359,26 +379,66 @@ impl Matrix {
         if self.rows.max(self.cols).max(rhs.cols) <= 512 {
             return self.matmul_naive(rhs);
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let block = Self::MATMUL_BLOCK;
-        for ii in (0..self.rows).step_by(block) {
-            let i_end = (ii + block).min(self.rows);
-            for jj in (0..rhs.cols).step_by(block) {
-                let j_end = (jj + block).min(rhs.cols);
-                for kk in (0..self.cols).step_by(block) {
-                    let k_end = (kk + block).min(self.cols);
-                    for i in ii..i_end {
-                        let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                        let out_row = &mut out.data[i * rhs.cols + jj..i * rhs.cols + j_end];
-                        for k in kk..k_end {
-                            let a = a_row[k];
-                            if a == 0.0 {
-                                continue;
-                            }
-                            let rhs_row = &rhs.data[k * rhs.cols + jj..k * rhs.cols + j_end];
-                            for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+        let (n, rc) = (self.cols, rhs.cols);
+        let mut out = Matrix::zeros(self.rows, rc);
+        const MR: usize = Matrix::MATMUL_MR;
+        const NR: usize = Matrix::MATMUL_NR;
+        let mut packed = vec![0.0f64; n * NR];
+        for ii0 in (0..self.rows).step_by(Self::MATMUL_ROW_PANEL) {
+            let i_hi = (ii0 + Self::MATMUL_ROW_PANEL).min(self.rows);
+            let mut jj = 0usize;
+            while jj + NR <= rc {
+                // Pack the column panel: bit-identical values, contiguous
+                // layout (see the cache-aliasing note above).
+                for k in 0..n {
+                    packed[k * NR..k * NR + NR]
+                        .copy_from_slice(&rhs.data[k * rc + jj..k * rc + jj + NR]);
+                }
+                let mut ii = ii0;
+                while ii + MR <= i_hi {
+                    let mut acc = [[0.0f64; NR]; MR];
+                    for k in 0..n {
+                        let brow = &packed[k * NR..k * NR + NR];
+                        for (r, accr) in acc.iter_mut().enumerate() {
+                            let a = self.data[(ii + r) * n + k];
+                            for (o, &b) in accr.iter_mut().zip(brow) {
                                 *o += a * b;
                             }
+                        }
+                    }
+                    for (r, accr) in acc.iter().enumerate() {
+                        let dst = (ii + r) * rc + jj;
+                        out.data[dst..dst + NR].copy_from_slice(accr);
+                    }
+                    ii += MR;
+                }
+                // Panel rows left over below the MR tile height: 1×8 tiles.
+                for i in ii..i_hi {
+                    let mut acc = [0.0f64; NR];
+                    for k in 0..n {
+                        let a = self.data[i * n + k];
+                        let brow = &packed[k * NR..k * NR + NR];
+                        for (o, &b) in acc.iter_mut().zip(brow) {
+                            *o += a * b;
+                        }
+                    }
+                    let dst = i * rc + jj;
+                    out.data[dst..dst + NR].copy_from_slice(&acc);
+                }
+                jj += NR;
+            }
+            // Columns left over below the NR tile width: straight i-k-j
+            // accumulation into the (already zeroed) output — same per-
+            // element operation sequence again.
+            if jj < rc {
+                for i in ii0..i_hi {
+                    let a_row = &self.data[i * n..(i + 1) * n];
+                    for k in 0..n {
+                        let a = a_row[k];
+                        let brow = &rhs.data[k * rc + jj..(k + 1) * rc];
+                        let out_row = &mut out.data[i * rc + jj..(i + 1) * rc];
+                        for (o, &b) in out_row.iter_mut().zip(brow) {
+                            *o += a * b;
                         }
                     }
                 }
@@ -676,6 +736,85 @@ impl Matrix {
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|x| !x.is_finite())
     }
+
+    /// Overwrites `self` with the shape and contents of `src`, reusing the
+    /// existing buffer when it has capacity.
+    ///
+    /// This is the allocation-free analogue of `*self = src.clone()`: after
+    /// the first fill a caller-owned output matrix absorbs batch after
+    /// batch without touching the allocator, which is what the
+    /// release-session `*_into` streaming APIs lean on.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Splits the columns into bands of at most `max_width` columns and
+    /// yields a streaming [`ColumnChunk`] view of each (a `max_width` of 0
+    /// is treated as 1).
+    ///
+    /// Row-major storage scatters one column across the whole buffer, so
+    /// per-column passes ([`column_iter`](Self::column_iter)) re-stream the
+    /// entire matrix once per column. Walking a column *band* row by row
+    /// instead touches every cache line exactly once per pass, while each
+    /// column still sees its elements in row order — bit-identical
+    /// accumulation, contiguous memory. Normalizer fits and drift-bound
+    /// scans in the higher layers stream through this view.
+    pub fn column_chunks(&self, max_width: usize) -> impl Iterator<Item = ColumnChunk<'_>> {
+        let max_width = max_width.max(1);
+        let (data, n_cols) = (self.data.as_slice(), self.cols);
+        (0..n_cols)
+            .step_by(max_width)
+            .map(move |start| ColumnChunk {
+                data,
+                n_cols,
+                start,
+                end: (start + max_width).min(n_cols),
+            })
+    }
+}
+
+/// A contiguous band of columns `[start, end)` of a row-major matrix,
+/// yielded by [`Matrix::column_chunks`].
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnChunk<'a> {
+    data: &'a [f64],
+    n_cols: usize,
+    start: usize,
+    end: usize,
+}
+
+impl<'a> ColumnChunk<'a> {
+    /// First column (inclusive) of the band.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the last column of the band.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Number of columns in the band.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Iterator over each row's contiguous `[start, end)` segment, in row
+    /// order. Per column this visits exactly the elements of
+    /// [`Matrix::column_iter`] in the same order, so chunked per-column
+    /// statistics match strided ones bit-for-bit.
+    pub fn row_segments(&self) -> impl ExactSizeIterator<Item = &'a [f64]> + Clone {
+        let (start, end) = (self.start, self.end);
+        self.data
+            .chunks_exact(self.n_cols)
+            .map(move |row| &row[start..end])
+    }
 }
 
 /// Applies the plane rotation `[c s; -s c]` to columns `i` and `j` of a
@@ -699,11 +838,66 @@ pub fn rotate_pair_in_rows(rows: &mut [f64], n_cols: usize, i: usize, j: usize, 
     debug_assert!(n_cols > 0 && rows.len().is_multiple_of(n_cols));
     debug_assert!(i < n_cols && j < n_cols && i != j);
     for row in rows.chunks_exact_mut(n_cols) {
-        let x = row[i];
-        let y = row[j];
-        row[i] = x * c + y * s;
-        row[j] = -x * s + y * c;
+        rotate_in_row(row, i, j, c, s);
     }
+}
+
+/// Applies a whole sequence of plane-rotation steps `(i, j, c, s)` — the
+/// precomputed `(column i, column j, cos θ, sin θ)` of a transformation
+/// key — to every row of a row-major slice of complete rows.
+///
+/// Instead of one whole-slice pass per step (`steps.len()` trips through
+/// memory), rows are processed in blocks of four and each block receives
+/// *all* steps while it is hot in registers/L1: one trip through memory no
+/// matter how many rotation steps the key holds. Every `(row, step)` update
+/// touches only that row's elements `i` and `j` via `rotate_in_row`'s
+/// shared expression, and the per-row step order is unchanged, so the
+/// result is bit-identical to looping [`rotate_pair_in_rows`] over `steps`
+/// — the property suite pins that. This is the transform hot path of the
+/// release session and of `TransformationKey::{apply, invert}`.
+///
+/// Rows whose tail does not fill a complete `n_cols` stride are ignored;
+/// callers are expected to pass `rows.len() % n_cols == 0` (debug-asserted).
+///
+/// # Panics
+///
+/// Debug-asserts every step's columns in range and distinct; release
+/// builds index out of bounds (and panic) for invalid indices, so validate
+/// upstream.
+pub fn apply_steps_in_rows(rows: &mut [f64], n_cols: usize, steps: &[(usize, usize, f64, f64)]) {
+    debug_assert!(n_cols > 0 && rows.len().is_multiple_of(n_cols));
+    debug_assert!(steps
+        .iter()
+        .all(|&(i, j, _, _)| i < n_cols && j < n_cols && i != j));
+    let mut quads = rows.chunks_exact_mut(4 * n_cols);
+    for quad in &mut quads {
+        let (r0, rest) = quad.split_at_mut(n_cols);
+        let (r1, rest) = rest.split_at_mut(n_cols);
+        let (r2, r3) = rest.split_at_mut(n_cols);
+        for &(i, j, c, s) in steps {
+            rotate_in_row(r0, i, j, c, s);
+            rotate_in_row(r1, i, j, c, s);
+            rotate_in_row(r2, i, j, c, s);
+            rotate_in_row(r3, i, j, c, s);
+        }
+    }
+    for row in quads.into_remainder().chunks_exact_mut(n_cols) {
+        for &(i, j, c, s) in steps {
+            rotate_in_row(row, i, j, c, s);
+        }
+    }
+}
+
+/// The single-row plane-rotation update shared by [`rotate_pair_in_rows`]
+/// and [`apply_steps_in_rows`]: `(rowᵢ, rowⱼ) ← (c·rowᵢ + s·rowⱼ,
+/// −s·rowᵢ + c·rowⱼ)`. One arithmetic expression for every rotation path
+/// in the workspace is what makes them bit-identical by construction.
+#[inline(always)]
+fn rotate_in_row(row: &mut [f64], i: usize, j: usize, c: f64, s: f64) {
+    let x = row[i];
+    let y = row[j];
+    row[i] = x * c + y * s;
+    row[j] = -x * s + y * c;
 }
 
 impl Index<(usize, usize)> for Matrix {
@@ -959,9 +1153,10 @@ mod tests {
     #[test]
     fn blocked_matmul_bitwise_equals_naive() {
         // At least one dimension above the 512 dispatch threshold (so the
-        // tiled path really runs), straddling the 64-wide tile boundary in
-        // each position, plus zeros to hit the skip path. Small shapes
-        // cover the dispatch-to-naive case.
+        // register-blocked path really runs), straddling the 4×8 tile and
+        // 128-row panel boundaries in each position, plus zeros so naive's
+        // zero-skip is exercised against the micro-kernel's explicit
+        // accumulate. Small shapes cover the dispatch-to-naive case.
         for (r, k, c) in [
             (3, 5, 4),
             (65, 70, 67),
@@ -995,6 +1190,73 @@ mod tests {
             assert_eq!(blocked, naive, "{r}x{k} * {k}x{c}");
         }
         assert!(sample().matmul_naive(&sample()).is_err());
+    }
+
+    #[test]
+    fn copy_from_reuses_buffer_and_matches_clone() {
+        let src = sample();
+        let mut dst = Matrix::zeros(7, 5); // larger: capacity covers src
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        let ptr_before = dst.as_slice().as_ptr();
+        let bigger = Matrix::from_vec(2, 2, vec![9.0; 4]).unwrap();
+        dst.copy_from(&bigger);
+        assert_eq!(dst, bigger);
+        assert_eq!(ptr_before, dst.as_slice().as_ptr(), "refill reallocated");
+        // Degenerate source shapes round-trip too.
+        dst.copy_from(&Matrix::zeros(0, 3));
+        assert_eq!(dst.shape(), (0, 3));
+        assert!(dst.is_empty());
+    }
+
+    #[test]
+    fn column_chunks_cover_all_columns_in_column_iter_order() {
+        let m = Matrix::from_vec(5, 7, (0..35).map(|t| t as f64 * 1.3 - 8.0).collect()).unwrap();
+        for width in [1usize, 2, 3, 7, 100] {
+            let mut seen = Vec::new();
+            for chunk in m.column_chunks(width) {
+                assert!(chunk.width() >= 1 && chunk.width() <= width);
+                assert_eq!(chunk.end() - chunk.start(), chunk.width());
+                for (local, j) in (chunk.start()..chunk.end()).enumerate() {
+                    let streamed: Vec<f64> = chunk.row_segments().map(|seg| seg[local]).collect();
+                    let strided: Vec<f64> = m.column_iter(j).collect();
+                    assert_eq!(streamed, strided, "width {width} column {j}");
+                }
+                seen.extend(chunk.start()..chunk.end());
+            }
+            assert_eq!(seen, (0..m.cols()).collect::<Vec<_>>(), "width {width}");
+        }
+        // Degenerate shapes: no columns → no chunks; no rows → empty segments.
+        assert_eq!(Matrix::zeros(3, 0).column_chunks(4).count(), 0);
+        let empty_rows = Matrix::zeros(0, 3);
+        let chunks: Vec<_> = empty_rows.column_chunks(2).collect();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].row_segments().len(), 0);
+        // A max_width of 0 is clamped to 1 instead of looping forever.
+        assert_eq!(m.column_chunks(0).count(), m.cols());
+    }
+
+    #[test]
+    fn fused_steps_sweep_bitwise_equals_sequential_rotations() {
+        // Row counts around the 4-row block (remainder tail), multiple
+        // steps re-using columns so later steps see earlier steps' output.
+        let steps = [
+            (0usize, 2usize, 0.8f64, -0.6f64),
+            (1, 3, 0.28, 0.96),
+            (2, 1, -0.6, 0.8),
+        ];
+        for rows in [0usize, 1, 3, 4, 5, 8, 11] {
+            let data: Vec<f64> = (0..rows * 4).map(|t| ((t as f64) * 0.83).sin()).collect();
+            let mut fused = data.clone();
+            apply_steps_in_rows(&mut fused, 4, &steps);
+            let mut reference = data;
+            for &(i, j, c, s) in &steps {
+                rotate_pair_in_rows(&mut reference, 4, i, j, c, s);
+            }
+            let fused_bits: Vec<u64> = fused.iter().map(|x| x.to_bits()).collect();
+            let ref_bits: Vec<u64> = reference.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(fused_bits, ref_bits, "rows {rows}");
+        }
     }
 
     #[test]

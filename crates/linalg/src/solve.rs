@@ -14,7 +14,8 @@ use crate::{Error, Matrix, Result};
 ///
 /// * [`Error::NotSquare`] if `a` is rectangular,
 /// * [`Error::DimensionMismatch`] if `b.len() != a.rows()`,
-/// * [`Error::Singular`] if a pivot underflows.
+/// * [`Error::Singular`] if a pivot underflows,
+/// * [`Error::InvalidArgument`] if `a` has NaN or infinite entries.
 pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let x = solve_multi(a, &Matrix::from_columns(&[b])?)?;
     Ok(x.column(0))
@@ -24,7 +25,10 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 ///
 /// # Errors
 ///
-/// Same conditions as [`solve`].
+/// Same conditions as [`solve`], plus [`Error::InvalidArgument`] when the
+/// coefficient matrix contains NaN or infinite entries — partial pivoting
+/// compares magnitudes, which is meaningless (and used to panic) on
+/// non-finite input.
 pub fn solve_multi(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     if !a.is_square() {
         return Err(Error::NotSquare {
@@ -42,21 +46,30 @@ pub fn solve_multi(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     if n == 0 {
         return Err(Error::Empty);
     }
+    if a.has_non_finite() {
+        return Err(Error::InvalidArgument(
+            "linear solve requires finite coefficients".into(),
+        ));
+    }
 
     let mut aug = a.clone();
     let mut rhs = b.clone();
     let m = rhs.cols();
 
     for col in 0..n {
-        // Partial pivot: largest |entry| in the remaining column.
-        let (pivot_row, pivot_val) = (col..n)
-            .map(|r| (r, aug[(r, col)]))
-            .max_by(|x, y| {
-                x.1.abs()
-                    .partial_cmp(&y.1.abs())
-                    .expect("finite matrix entries")
-            })
-            .expect("non-empty range");
+        // Partial pivot: largest |entry| in the remaining column, keeping
+        // the last row on ties (what `Iterator::max_by` did before this
+        // loop replaced it, so pivot choices — and every downstream bit —
+        // are unchanged). Entries are finite (checked above); `total_cmp`
+        // keeps this panic-free even so.
+        let mut pivot_row = col;
+        let mut pivot_val = aug[(col, col)];
+        for r in (col + 1)..n {
+            if aug[(r, col)].abs().total_cmp(&pivot_val.abs()).is_ge() {
+                pivot_row = r;
+                pivot_val = aug[(r, col)];
+            }
+        }
         if pivot_val.abs() < 1e-12 {
             return Err(Error::Singular);
         }

@@ -9,6 +9,7 @@ use rbt_linalg::dissimilarity::DissimilarityMatrix;
 use rbt_linalg::distance::Metric;
 use rbt_linalg::eigen::symmetric_eigen;
 use rbt_linalg::kernels;
+use rbt_linalg::matrix::{apply_steps_in_rows, rotate_pair_in_rows};
 use rbt_linalg::rotation::{givens, is_orthogonal};
 use rbt_linalg::solve::{invert, solve};
 use rbt_linalg::stats::{covariance, mean, variance, variance_of_difference};
@@ -226,6 +227,37 @@ proptest! {
             for j in 0..m.rows() {
                 prop_assert_eq!(dense[(i, j)], dm.get(i, j));
             }
+        }
+    }
+
+    #[test]
+    fn fused_sweep_is_bitwise_sequential(
+        m in small_matrix(16, 8),
+        raw_steps in prop::collection::vec((0usize..64, 0usize..64, -360.0..360.0f64), 0..12),
+    ) {
+        // One fused pass applying every step per row must match applying
+        // the steps one whole-matrix sweep at a time, bit for bit — the
+        // rotations are row-local and the per-row step order is preserved.
+        let n_cols = m.cols();
+        let steps: Vec<(usize, usize, f64, f64)> = raw_steps
+            .iter()
+            .filter_map(|&(a, b, theta)| {
+                let (i, j) = (a % n_cols, b % n_cols);
+                if i == j {
+                    return None;
+                }
+                let (s, c) = theta.to_radians().sin_cos();
+                Some((i, j, c, s))
+            })
+            .collect();
+        let mut fused = m.as_slice().to_vec();
+        apply_steps_in_rows(&mut fused, n_cols, &steps);
+        let mut seq = m.as_slice().to_vec();
+        for &(i, j, c, s) in &steps {
+            rotate_pair_in_rows(&mut seq, n_cols, i, j, c, s);
+        }
+        for (a, b) in fused.iter().zip(&seq) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -132,6 +132,81 @@ proptest! {
 }
 
 #[test]
+fn linalg_rejects_non_finite_input_with_typed_errors() {
+    // The Gaussian-elimination pivot search and the Jacobi eigen sort used
+    // to panic on NaN (via `partial_cmp().expect()`); both now refuse with
+    // a typed error before touching the data.
+    use rbt::linalg::{eigen::symmetric_eigen, solve, Error as LinalgError};
+
+    let mut a = Matrix::identity(3);
+    a[(1, 1)] = f64::NAN;
+    assert!(matches!(
+        solve::solve(&a, &[1.0, 2.0, 3.0]),
+        Err(LinalgError::InvalidArgument(_))
+    ));
+    assert!(matches!(
+        solve::invert(&a),
+        Err(LinalgError::InvalidArgument(_))
+    ));
+    // NaN slips through the symmetry gate (`NaN > tol` is false), so the
+    // eigendecomposition needs its own finiteness check.
+    assert!(matches!(
+        symmetric_eigen(&a),
+        Err(LinalgError::InvalidArgument(_))
+    ));
+    let mut inf = Matrix::identity(2);
+    inf[(0, 1)] = f64::INFINITY;
+    inf[(1, 0)] = f64::INFINITY;
+    assert!(matches!(
+        symmetric_eigen(&inf),
+        Err(LinalgError::InvalidArgument(_))
+    ));
+}
+
+#[test]
+fn degenerate_shapes_are_typed_not_panics() {
+    // Empty matrices, one-row datasets, and constant columns: every one
+    // must come back as a typed error or a well-defined release — never a
+    // panic — under whichever RBT_THREADS mode CI pinned.
+    use rbt::linalg::{eigen::symmetric_eigen, solve, Error as LinalgError};
+
+    assert!(matches!(
+        solve::solve(&Matrix::zeros(0, 0), &[]),
+        Err(LinalgError::Empty)
+    ));
+    assert!(matches!(
+        symmetric_eigen(&Matrix::zeros(0, 0)),
+        Err(LinalgError::Empty)
+    ));
+
+    // A 1-row dataset has no pairwise variance to protect: the fit must
+    // refuse (infeasible/degenerate), not panic in the normalizer.
+    let one_row = Dataset::from_matrix(Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap());
+    for method in [Method::Rbt, Method::HybridIsometry] {
+        let result = Release::of(&one_row).with_method(method).fit(&mut rng(1));
+        assert!(result.is_err(), "{}: {result:?}", method.name());
+    }
+
+    // Constant columns normalize to a degenerate (zero-variance) axis;
+    // whether the threshold search succeeds or refuses, it must be typed.
+    let constant = Dataset::from_matrix(
+        Matrix::from_rows(&[&[5.0, 1.0, 9.0], &[5.0, 2.0, 7.0], &[5.0, 3.0, 2.0]]).unwrap(),
+    );
+    for method in [Method::Rbt, Method::HybridIsometry] {
+        match Release::of(&constant).with_method(method).fit(&mut rng(2)) {
+            Ok(mut fitted) => {
+                let batch = fitted.transform_batch(&constant).unwrap();
+                assert_eq!(batch.n_rows(), 3);
+            }
+            Err(err) => {
+                // Typed refusal is acceptable; a panic is not.
+                let _ = err.exit_code();
+            }
+        }
+    }
+}
+
+#[test]
 fn threshold_errors_match_between_builder_and_legacy_path() {
     // The builder's InfeasibleThreshold carries the same diagnostics the
     // legacy EmptySecurityRange did.
