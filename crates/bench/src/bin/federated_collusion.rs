@@ -1,0 +1,197 @@
+//! Experiment E-F1: what a colluding owner can do with a federated release.
+//!
+//! A federated RBT session gives every owner something no outsider has:
+//! the shared normalization fit, its own block's row provenance, and — under
+//! [`KeyPolicy::Shared`] — the joint transformation key itself. This binary
+//! measures the re-identification surface a single colluding owner (owner 0)
+//! has against a victim owner's block (owner 2), under both key policies:
+//!
+//! * **inversion** — decrypt the victim's released block outright with the
+//!   colluder's key (total under a shared key, garbage under per-owner keys);
+//! * **linkage** — re-identify known individuals inside the victim's block
+//!   through preserved mutual distances (`rbt-attack`'s
+//!   `distance_profile_linkage`), which *no* key policy prevents because
+//!   each block stays isometric to its normalized source;
+//! * **utility** — the price of the safer policy: per-owner keys break
+//!   cross-block isometry, so the receiver's joint clustering drifts from
+//!   the pooled baseline.
+//!
+//! Run: `cargo run -p rbt-bench --release --bin federated_collusion`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbt_attack::linkage::distance_profile_linkage;
+use rbt_attack::reconstruction::evaluate;
+use rbt_bench::format_table;
+use rbt_core::{PairwiseSecurityThreshold, RbtConfig};
+use rbt_data::synth::GaussianMixture;
+use rbt_data::Normalization;
+use rbt_linalg::Matrix;
+use rbt_protocol::{FederationConfig, FederationRun, InProcessFederation, KeyPolicy};
+
+const OWNERS: usize = 3;
+const ROWS_PER_OWNER: usize = 200;
+const COLS: usize = 5;
+const COLLUDER: usize = 0;
+const VICTIM: usize = 2;
+/// Victim individuals the colluder already knows (e.g. shared customers),
+/// indexed within the victim's block.
+const KNOWN_IN_VICTIM_BLOCK: [usize; 4] = [3, 57, 111, 190];
+
+fn federation_config(key_policy: KeyPolicy) -> FederationConfig {
+    FederationConfig {
+        session: 77,
+        n_cols: COLS,
+        owners: OWNERS as u16,
+        normalization: Normalization::zscore_paper(),
+        rbt: RbtConfig::uniform(PairwiseSecurityThreshold::uniform(0.25).unwrap()),
+        key_policy,
+        seed: 1234,
+        kmeans_k: 3,
+        kmeans_max_iters: 128,
+    }
+}
+
+fn run_federation(key_policy: KeyPolicy, partitions: &[Matrix]) -> FederationRun {
+    InProcessFederation::new(federation_config(key_policy), partitions.to_vec())
+        .expect("federation construction")
+        .run()
+        .expect("clean federation run")
+}
+
+fn main() {
+    // Horizontally partitioned population: three owners, contiguous blocks
+    // in announced (pooled concatenation) order.
+    let mut rng = StdRng::seed_from_u64(11);
+    let mixture = GaussianMixture::well_separated(3, COLS, 8.0, 1.0).unwrap();
+    let pooled_raw = mixture.sample(OWNERS * ROWS_PER_OWNER, &mut rng).matrix;
+    let partitions: Vec<Matrix> = (0..OWNERS)
+        .map(|o| {
+            let rows: Vec<usize> = (o * ROWS_PER_OWNER..(o + 1) * ROWS_PER_OWNER).collect();
+            pooled_raw.select_rows(&rows).unwrap()
+        })
+        .collect();
+
+    // The colluder's side knowledge. Every owner receives the shared
+    // normalization fit during the protocol, and the federated fit is
+    // bit-identical to the pooled one — so fitting on the pool reproduces
+    // exactly what owner 0 holds.
+    let (_, pooled_normalized) = Normalization::zscore_paper()
+        .fit_transform(&pooled_raw)
+        .unwrap();
+    let victim_rows: Vec<usize> =
+        (VICTIM * ROWS_PER_OWNER..(VICTIM + 1) * ROWS_PER_OWNER).collect();
+    let victim_truth = pooled_normalized.select_rows(&victim_rows).unwrap();
+    let known_truth = victim_truth.select_rows(&KNOWN_IN_VICTIM_BLOCK).unwrap();
+
+    println!(
+        "== colluding-owner attack surface: {OWNERS} owners x {ROWS_PER_OWNER} rows x \
+         {COLS} attributes, owner {COLLUDER} attacks owner {VICTIM} ==\n"
+    );
+
+    let shared = run_federation(KeyPolicy::Shared, &partitions);
+    let per_owner = run_federation(KeyPolicy::PerOwner, &partitions);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (label, run) in [("shared", &shared), ("per-owner", &per_owner)] {
+        let victim_range = run.result.owner_ranges[VICTIM].clone();
+        let victim_block = run
+            .result
+            .matrix
+            .select_rows(&victim_range.collect::<Vec<_>>())
+            .unwrap();
+
+        // Inversion: decrypt the victim's block with the colluder's key.
+        let colluder_key = run.owners[COLLUDER]
+            .key()
+            .expect("released owner keeps key");
+        let inverted = colluder_key.invert(&victim_block).unwrap();
+        let recon = evaluate(&victim_truth, &inverted, 0.01).unwrap();
+
+        // Linkage: locate the known individuals inside the victim's block
+        // by mutual-distance matching. Works under either policy — the
+        // victim's block is isometric to its normalized source regardless
+        // of who holds the key.
+        let linked = distance_profile_linkage(&known_truth, &victim_block, 1e-6).unwrap();
+        let correct = linked.assignment == KNOWN_IN_VICTIM_BLOCK;
+
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}%", 100.0 * recon.fraction_recovered),
+            format!("{:.3}", recon.rmse),
+            format!(
+                "{}/{}",
+                if correct {
+                    KNOWN_IN_VICTIM_BLOCK.len()
+                } else {
+                    0
+                },
+                KNOWN_IN_VICTIM_BLOCK.len()
+            ),
+            format!("{}", linked.states_explored),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "key policy",
+                "inverted (tol 1%)",
+                "inversion rmse",
+                "re-identified",
+                "linkage states"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "A shared key hands every owner a master key: owner {COLLUDER} decrypts owner \
+         {VICTIM}'s block outright. Per-owner keys reduce the colluder to linkage —\n\
+         but linkage still re-identifies every known individual, because rotation \
+         preserves the distances the attack matches on.\n"
+    );
+
+    println!("== the utility price of per-owner keys ==\n");
+    let agree = shared
+        .result
+        .labels
+        .iter()
+        .zip(&per_owner.result.labels)
+        .filter(|(a, b)| a == b)
+        .count();
+    let total = shared.result.labels.len();
+    let rows = vec![
+        vec![
+            "shared".to_string(),
+            format!("{:.6}", shared.result.inertia),
+            format!("{}", shared.result.iterations),
+            "bit-identical to pooled pipeline".to_string(),
+        ],
+        vec![
+            "per-owner".to_string(),
+            format!("{:.6}", per_owner.result.inertia),
+            format!("{}", per_owner.result.iterations),
+            format!(
+                "{agree}/{total} labels agree with shared ({:.1}%)",
+                100.0 * agree as f64 / total as f64
+            ),
+        ],
+    ];
+    println!(
+        "{}",
+        format_table(
+            &[
+                "key policy",
+                "joint inertia",
+                "iterations",
+                "joint clustering"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Per-owner keys rotate each block differently, so cross-block distances —\n\
+         and with them the joint clustering — are approximate. The policy choice is\n\
+         a collusion/utility trade, not a free privacy upgrade."
+    );
+}

@@ -57,7 +57,7 @@ pub use key::{RotationStep, TransformationKey};
 pub use method::{RbtConfig, RbtOutput, RbtTransformer, ThresholdPolicy};
 pub use pairing::PairingStrategy;
 pub use pipeline::{Pipeline, PipelineOutput};
-pub use security::{PairVarianceProfile, PairwiseSecurityThreshold, SecurityRange};
+pub use security::{PairMoments, PairVarianceProfile, PairwiseSecurityThreshold, SecurityRange};
 pub use session::{DriftBounds, ReleaseSession, SessionBatch};
 
 use std::fmt;

@@ -126,6 +126,264 @@ impl PairVarianceProfile {
     }
 }
 
+/// Fold phase of a [`PairMoments`] accumulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PairPhase {
+    /// Pass 1: running sums of both columns.
+    Sums {
+        /// Running `Σ x`.
+        sum_x: f64,
+        /// Running `Σ y`.
+        sum_y: f64,
+    },
+    /// Pass 2: exact means plus running centred second moments.
+    Centered {
+        /// Exact pooled mean of the first column.
+        mean_x: f64,
+        /// Exact pooled mean of the second column.
+        mean_y: f64,
+        /// Running `Σ (x − mean_x)²`.
+        ss_x: f64,
+        /// Running `Σ (y − mean_y)²`.
+        ss_y: f64,
+        /// Running `Σ (x − mean_x)(y − mean_y)`.
+        ss_xy: f64,
+        /// Rows folded in this pass.
+        count2: usize,
+    },
+}
+
+/// Chained two-pass accumulator for a [`PairVarianceProfile`] over
+/// horizontally partitioned columns.
+///
+/// The pooled profile ([`PairVarianceProfile::from_columns`]) is built from
+/// plain sequential left folds (sum → mean, then centred sums of
+/// squares/products), so carrying this accumulator across partition
+/// boundaries — folding each partition's rows **in concatenation order**,
+/// one pass for the sums and one for the centred moments — produces the
+/// **bit-identical** profile without any party revealing its rows. This is
+/// the statistic the federated release protocol chains through the data
+/// owners to fit one joint rotation key that matches the pooled
+/// single-owner fit exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairMoments {
+    count: usize,
+    phase: PairPhase,
+}
+
+impl Default for PairMoments {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PairMoments {
+    /// A fresh accumulator at the start of pass 1.
+    pub fn new() -> Self {
+        PairMoments {
+            count: 0,
+            phase: PairPhase::Sums {
+                sum_x: 0.0,
+                sum_y: 0.0,
+            },
+        }
+    }
+
+    /// Rows folded so far in the current pass.
+    pub fn rows_folded(&self) -> usize {
+        match self.phase {
+            PairPhase::Sums { .. } => self.count,
+            PairPhase::Centered { count2, .. } => count2,
+        }
+    }
+
+    /// Folds one partition's pair columns. Update expressions and row order
+    /// match [`rbt_linalg::stats`]'s sequential folds exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for mismatched column lengths or
+    /// non-finite values.
+    pub fn fold(&mut self, x: &[f64], y: &[f64]) -> Result<()> {
+        if x.len() != y.len() {
+            return Err(Error::InvalidParameter(format!(
+                "pair columns of different lengths ({} vs {})",
+                x.len(),
+                y.len()
+            )));
+        }
+        if x.iter().chain(y).any(|v| !v.is_finite()) {
+            return Err(Error::InvalidParameter(
+                "pair columns contain NaN or infinite values".into(),
+            ));
+        }
+        match &mut self.phase {
+            PairPhase::Sums { sum_x, sum_y } => {
+                for &v in x {
+                    *sum_x += v;
+                }
+                for &v in y {
+                    *sum_y += v;
+                }
+                self.count += x.len();
+            }
+            PairPhase::Centered {
+                mean_x,
+                mean_y,
+                ss_x,
+                ss_y,
+                ss_xy,
+                count2,
+            } => {
+                for &v in x {
+                    *ss_x += (v - *mean_x) * (v - *mean_x);
+                }
+                for &v in y {
+                    *ss_y += (v - *mean_y) * (v - *mean_y);
+                }
+                for (&xv, &yv) in x.iter().zip(y) {
+                    *ss_xy += (xv - *mean_x) * (yv - *mean_y);
+                }
+                *count2 += x.len();
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` while the centred pass is still ahead.
+    pub fn needs_second_pass(&self) -> bool {
+        matches!(self.phase, PairPhase::Sums { .. })
+    }
+
+    /// Fixes the exact pooled means (`sum / n`, the same expression
+    /// [`rbt_linalg::stats::mean`] uses) and transitions to the centred
+    /// pass; fold every partition again, in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the centred pass already
+    /// started or no rows were folded.
+    pub fn begin_second_pass(&mut self) -> Result<()> {
+        let PairPhase::Sums { sum_x, sum_y } = self.phase else {
+            return Err(Error::InvalidParameter(
+                "centred pass already begun for this pair".into(),
+            ));
+        };
+        if self.count == 0 {
+            return Err(Error::InvalidParameter(
+                "cannot compute pair means over zero rows".into(),
+            ));
+        }
+        let n = self.count as f64;
+        self.phase = PairPhase::Centered {
+            mean_x: sum_x / n,
+            mean_y: sum_y / n,
+            ss_x: 0.0,
+            ss_y: 0.0,
+            ss_xy: 0.0,
+            count2: 0,
+        };
+        Ok(())
+    }
+
+    /// Finalizes into the profile — bit-identical to
+    /// [`PairVarianceProfile::from_columns`] on the pooled columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the centred pass never ran or
+    /// the two passes folded different row counts.
+    pub fn finish(self, mode: VarianceMode) -> Result<PairVarianceProfile> {
+        let PairPhase::Centered {
+            ss_x,
+            ss_y,
+            ss_xy,
+            count2,
+            ..
+        } = self.phase
+        else {
+            return Err(Error::InvalidParameter(
+                "pair profile still needs its centred pass".into(),
+            ));
+        };
+        if count2 != self.count {
+            return Err(Error::InvalidParameter(format!(
+                "centred pass folded {count2} rows, sum pass folded {}",
+                self.count
+            )));
+        }
+        let div = mode.divisor(self.count);
+        Ok(PairVarianceProfile {
+            var_x: ss_x / div,
+            var_y: ss_y / div,
+            cov_xy: ss_xy / div,
+        })
+    }
+
+    /// Serializes the accumulator (pass, counts, every float bit-exact) so
+    /// it can be carried between partition holders.
+    pub fn encode_into(&self, w: &mut rbt_linalg::codec::ByteWriter) {
+        w.put_usize(self.count);
+        match self.phase {
+            PairPhase::Sums { sum_x, sum_y } => {
+                w.put_u8(0);
+                w.put_f64(sum_x);
+                w.put_f64(sum_y);
+            }
+            PairPhase::Centered {
+                mean_x,
+                mean_y,
+                ss_x,
+                ss_y,
+                ss_xy,
+                count2,
+            } => {
+                w.put_u8(1);
+                w.put_f64(mean_x);
+                w.put_f64(mean_y);
+                w.put_f64(ss_x);
+                w.put_f64(ss_y);
+                w.put_f64(ss_xy);
+                w.put_usize(count2);
+            }
+        }
+    }
+
+    /// Decodes the record written by [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`rbt_linalg::codec::DecodeError`] for truncation or
+    /// an unknown phase tag.
+    pub fn decode_from(
+        r: &mut rbt_linalg::codec::ByteReader<'_>,
+    ) -> rbt_linalg::codec::DecodeResult<Self> {
+        let count = r.take_usize()?;
+        let tag_offset = r.position();
+        let phase = match r.take_u8()? {
+            0 => PairPhase::Sums {
+                sum_x: r.take_f64()?,
+                sum_y: r.take_f64()?,
+            },
+            1 => PairPhase::Centered {
+                mean_x: r.take_f64()?,
+                mean_y: r.take_f64()?,
+                ss_x: r.take_f64()?,
+                ss_y: r.take_f64()?,
+                ss_xy: r.take_f64()?,
+                count2: r.take_usize()?,
+            },
+            other => {
+                return Err(rbt_linalg::codec::DecodeError::Malformed {
+                    offset: tag_offset,
+                    message: format!("unknown pair-moments phase tag {other}"),
+                })
+            }
+        };
+        Ok(PairMoments { count, phase })
+    }
+}
+
 /// The *security range* (§4.3, step 2c): the set of rotation angles that
 /// satisfy a pairwise-security threshold, as a union of disjoint closed
 /// arcs within `[0°, 360°)`.
@@ -608,6 +866,76 @@ mod tests {
         // Identity transform: all-zero security.
         let secs = end_to_end_security(&z, &z, VarianceMode::Sample).unwrap();
         assert!(secs.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn chained_pair_moments_bitwise_match_from_columns() {
+        // Long irrational-ish columns so float addition order matters.
+        let x: Vec<f64> = (0..97).map(|i| ((i * 3 + 1) as f64).sin() * 1.7).collect();
+        let y: Vec<f64> = (0..97).map(|i| ((i * 5 + 2) as f64).cos() - 0.4).collect();
+        for mode in [VarianceMode::Sample, VarianceMode::Population] {
+            let pooled = PairVarianceProfile::from_columns(&x, &y, mode).unwrap();
+            for cuts in [vec![], vec![1], vec![48], vec![13, 14, 96], vec![32, 64]] {
+                let mut edges = vec![0usize];
+                edges.extend(&cuts);
+                edges.push(x.len());
+                let mut acc = PairMoments::new();
+                for w in edges.windows(2) {
+                    acc.fold(&x[w[0]..w[1]], &y[w[0]..w[1]]).unwrap();
+                }
+                acc.begin_second_pass().unwrap();
+                for w in edges.windows(2) {
+                    acc.fold(&x[w[0]..w[1]], &y[w[0]..w[1]]).unwrap();
+                }
+                let merged = acc.finish(mode).unwrap();
+                assert_eq!(merged.var_x.to_bits(), pooled.var_x.to_bits(), "{cuts:?}");
+                assert_eq!(merged.var_y.to_bits(), pooled.var_y.to_bits(), "{cuts:?}");
+                assert_eq!(merged.cov_xy.to_bits(), pooled.cov_xy.to_bits(), "{cuts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_moments_serialization_round_trips_mid_chain() {
+        let x = [1.5, -0.3, 2.2, 0.9];
+        let y = [0.1, 1.1, -2.0, 0.4];
+        let mut acc = PairMoments::new();
+        acc.fold(&x[..2], &y[..2]).unwrap();
+        let mut w = rbt_linalg::codec::ByteWriter::new();
+        acc.encode_into(&mut w);
+        let mut r = rbt_linalg::codec::ByteReader::new(w.as_bytes());
+        let mut acc2 = PairMoments::decode_from(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(acc, acc2);
+        acc2.fold(&x[2..], &y[2..]).unwrap();
+        acc2.begin_second_pass().unwrap();
+        acc2.fold(&x, &y).unwrap();
+        let merged = acc2.finish(VarianceMode::Sample).unwrap();
+        let pooled = PairVarianceProfile::from_columns(&x, &y, VarianceMode::Sample).unwrap();
+        assert_eq!(merged, pooled);
+        // Unknown phase tag is a typed decode error.
+        let mut bad = rbt_linalg::codec::ByteWriter::new();
+        bad.put_usize(4);
+        bad.put_u8(7);
+        let mut r = rbt_linalg::codec::ByteReader::new(bad.as_bytes());
+        assert!(PairMoments::decode_from(&mut r).is_err());
+    }
+
+    #[test]
+    fn pair_moments_misuse_is_typed() {
+        let mut acc = PairMoments::new();
+        // Mismatched lengths and non-finite values are rejected.
+        assert!(acc.fold(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(acc.fold(&[f64::NAN], &[1.0]).is_err());
+        // Cannot finish or restart passes out of order.
+        assert!(acc.finish(VarianceMode::Sample).is_err());
+        assert!(PairMoments::new().begin_second_pass().is_err()); // zero rows
+        acc.fold(&[1.0, 2.0], &[3.0, 4.0]).unwrap();
+        acc.begin_second_pass().unwrap();
+        assert!(acc.begin_second_pass().is_err());
+        // Centred pass must re-fold exactly the pass-1 rows.
+        acc.fold(&[1.0], &[3.0]).unwrap();
+        assert!(acc.finish(VarianceMode::Sample).is_err());
     }
 
     #[test]

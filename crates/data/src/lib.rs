@@ -28,7 +28,7 @@ pub mod rng;
 pub mod synth;
 
 pub use dataset::Dataset;
-pub use normalize::{FittedNormalizer, Normalization};
+pub use normalize::{FittedNormalizer, Normalization, PartialFit};
 
 use std::fmt;
 

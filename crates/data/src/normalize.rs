@@ -138,6 +138,71 @@ impl Normalization {
         let out = fitted.transform(m)?;
         Ok((fitted, out))
     }
+
+    /// Begins a **chained partitioned fit**: an accumulator that several
+    /// horizontally partitioned holders fold their row blocks into, one
+    /// after another, producing a normalizer **bit-identical** to
+    /// [`fit`](Self::fit) on the row-wise concatenation of all blocks.
+    ///
+    /// Every per-column statistic the fitters compute is a plain sequential
+    /// left fold over rows (`min`/`max`, `sum`, centred sum of squares), so
+    /// carrying the fold state across partition boundaries — in
+    /// concatenation order — splits the pooled fold without changing a
+    /// single intermediate. This is what lets multiple data owners agree on
+    /// a shared normalization without pooling raw rows: only the aggregate
+    /// state travels.
+    ///
+    /// Z-score fits are two-pass (exact means first, then centred sums);
+    /// drive the accumulator with
+    /// [`PartialFit::needs_second_pass`] / [`PartialFit::begin_second_pass`]
+    /// and fold every block again, in the same order, before
+    /// [`PartialFit::finish`].
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidArgument`] for [`Normalization::RobustZScore`]
+    ///   (median/MAD need the full sorted column — there is no chainable
+    ///   sufficient statistic), for a min–max target with
+    ///   `new_min >= new_max`, or `n_cols == 0`.
+    pub fn begin_partial_fit(&self, n_cols: usize) -> Result<PartialFit> {
+        if n_cols == 0 {
+            return Err(Error::InvalidArgument(
+                "cannot fit a normalizer for zero columns".into(),
+            ));
+        }
+        let state = match *self {
+            Normalization::MinMax { new_min, new_max } => {
+                if new_min >= new_max {
+                    return Err(Error::InvalidArgument(format!(
+                        "min-max target range [{new_min}, {new_max}] is empty"
+                    )));
+                }
+                PartialState::MinMax {
+                    lo: vec![f64::INFINITY; n_cols],
+                    hi: vec![f64::NEG_INFINITY; n_cols],
+                }
+            }
+            Normalization::ZScore { .. } => PartialState::ZScoreSums {
+                sums: vec![0.0; n_cols],
+            },
+            Normalization::DecimalScaling => PartialState::Decimal {
+                max_abs: vec![0.0; n_cols],
+            },
+            Normalization::RobustZScore => {
+                return Err(Error::InvalidArgument(
+                    "robust z-score needs full sorted columns and cannot be \
+                     fitted from chained partition statistics"
+                        .into(),
+                ))
+            }
+        };
+        Ok(PartialFit {
+            method: *self,
+            state,
+            rows: 0,
+            rows_pass2: 0,
+        })
+    }
 }
 
 /// Column-chunk width for the streaming fitters below: each pass keeps at
@@ -742,6 +807,380 @@ impl FittedNormalizer {
     }
 }
 
+/// Fold state of a chained partitioned fit — see
+/// [`Normalization::begin_partial_fit`].
+#[derive(Debug, Clone, PartialEq)]
+enum PartialState {
+    /// Running per-column minima/maxima (min–max fits, single pass).
+    MinMax { lo: Vec<f64>, hi: Vec<f64> },
+    /// Pass 1 of a z-score fit: running per-column sums.
+    ZScoreSums { sums: Vec<f64> },
+    /// Pass 2 of a z-score fit: exact means plus running centred sums of
+    /// squares.
+    ZScoreCentered { means: Vec<f64>, ss: Vec<f64> },
+    /// Running per-column `max |x|` (decimal scaling, single pass).
+    Decimal { max_abs: Vec<f64> },
+}
+
+/// A chained accumulator for fitting a normalizer over horizontally
+/// partitioned data, created by [`Normalization::begin_partial_fit`].
+///
+/// Fold partitions **in concatenation order**; the finished normalizer is
+/// bit-identical to [`Normalization::fit`] on the pooled matrix. The
+/// accumulator serializes ([`encode_into`](Self::encode_into) /
+/// [`decode_from`](Self::decode_from)) so it can travel between data
+/// owners — only aggregate statistics are carried, never rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialFit {
+    method: Normalization,
+    state: PartialState,
+    rows: usize,
+    rows_pass2: usize,
+}
+
+impl PartialFit {
+    /// The method this accumulator fits.
+    pub fn method(&self) -> Normalization {
+        self.method
+    }
+
+    /// Number of columns being fitted.
+    pub fn n_cols(&self) -> usize {
+        match &self.state {
+            PartialState::MinMax { lo, .. } => lo.len(),
+            PartialState::ZScoreSums { sums } => sums.len(),
+            PartialState::ZScoreCentered { means, .. } => means.len(),
+            PartialState::Decimal { max_abs } => max_abs.len(),
+        }
+    }
+
+    /// Rows folded so far (current pass).
+    pub fn rows_folded(&self) -> usize {
+        if matches!(self.state, PartialState::ZScoreCentered { .. }) {
+            self.rows_pass2
+        } else {
+            self.rows
+        }
+    }
+
+    /// Folds one partition's rows into the accumulator. The per-column
+    /// update expressions and row order match the pooled fitters exactly,
+    /// so splitting the fold at any row boundary changes nothing.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Shape`] if `m.cols()` differs from the fitted width,
+    /// * [`Error::InvalidArgument`] for NaN or infinite values.
+    pub fn fold(&mut self, m: &Matrix) -> Result<()> {
+        if m.cols() != self.n_cols() {
+            return Err(Error::Shape(format!(
+                "partial fit expects {} columns, partition has {}",
+                self.n_cols(),
+                m.cols()
+            )));
+        }
+        if m.has_non_finite() {
+            return Err(Error::InvalidArgument(
+                "cannot fit a normalizer to NaN or infinite values".into(),
+            ));
+        }
+        match &mut self.state {
+            PartialState::MinMax { lo, hi } => {
+                for row in m.row_iter() {
+                    for ((l, h), &x) in lo.iter_mut().zip(hi.iter_mut()).zip(row) {
+                        *l = l.min(x);
+                        *h = h.max(x);
+                    }
+                }
+                self.rows += m.rows();
+            }
+            PartialState::ZScoreSums { sums } => {
+                for row in m.row_iter() {
+                    for (s, &x) in sums.iter_mut().zip(row) {
+                        *s += x;
+                    }
+                }
+                self.rows += m.rows();
+            }
+            PartialState::ZScoreCentered { means, ss } => {
+                for row in m.row_iter() {
+                    for ((q, &mean), &x) in ss.iter_mut().zip(means.iter()).zip(row) {
+                        *q += (x - mean) * (x - mean);
+                    }
+                }
+                self.rows_pass2 += m.rows();
+            }
+            PartialState::Decimal { max_abs } => {
+                for row in m.row_iter() {
+                    for (a, &x) in max_abs.iter_mut().zip(row) {
+                        *a = a.max(x.abs());
+                    }
+                }
+                self.rows += m.rows();
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` while the accumulator still needs another chained pass over
+    /// every partition before it can [`finish`](Self::finish) (z-score
+    /// fits: the centred pass against the exact pooled means).
+    pub fn needs_second_pass(&self) -> bool {
+        matches!(self.state, PartialState::ZScoreSums { .. })
+    }
+
+    /// Transitions a two-pass fit from the sum pass to the centred pass.
+    /// The exact means are fixed here (`sum / n`, the pooled fitters'
+    /// expression); fold every partition again, in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] if no second pass is pending or
+    /// no rows were folded.
+    pub fn begin_second_pass(&mut self) -> Result<()> {
+        let PartialState::ZScoreSums { sums } = &self.state else {
+            return Err(Error::InvalidArgument(
+                "no second pass pending for this accumulator".into(),
+            ));
+        };
+        if self.rows == 0 {
+            return Err(Error::InvalidArgument(
+                "cannot compute means over zero rows".into(),
+            ));
+        }
+        let n = self.rows as f64;
+        let means: Vec<f64> = sums.iter().map(|s| s / n).collect();
+        let ss = vec![0.0; means.len()];
+        self.state = PartialState::ZScoreCentered { means, ss };
+        Ok(())
+    }
+
+    /// Finalizes the accumulator into a [`FittedNormalizer`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidArgument`] if no rows were folded, a second
+    /// pass is still pending, or the two passes saw different row counts.
+    pub fn finish(self) -> Result<FittedNormalizer> {
+        if self.rows == 0 {
+            return Err(Error::InvalidArgument(
+                "cannot finish a partial fit over zero rows".into(),
+            ));
+        }
+        let params = match self.state {
+            PartialState::MinMax { lo, hi } => {
+                let Normalization::MinMax { new_min, new_max } = self.method else {
+                    return Err(Error::InvalidArgument(
+                        "min-max state under a non-min-max method".into(),
+                    ));
+                };
+                lo.iter()
+                    .zip(&hi)
+                    .map(|(&min, &max)| ColumnParams::MinMax {
+                        min,
+                        max,
+                        new_min,
+                        new_max,
+                    })
+                    .collect()
+            }
+            PartialState::ZScoreSums { .. } => {
+                return Err(Error::InvalidArgument(
+                    "z-score fit still needs its centred pass \
+                     (begin_second_pass + fold every partition again)"
+                        .into(),
+                ))
+            }
+            PartialState::ZScoreCentered { means, ss } => {
+                if self.rows_pass2 != self.rows {
+                    return Err(Error::InvalidArgument(format!(
+                        "centred pass folded {} rows, sum pass folded {}",
+                        self.rows_pass2, self.rows
+                    )));
+                }
+                let Normalization::ZScore { mode } = self.method else {
+                    return Err(Error::InvalidArgument(
+                        "z-score state under a non-z-score method".into(),
+                    ));
+                };
+                means
+                    .iter()
+                    .zip(&ss)
+                    .map(|(&mean, &q)| ColumnParams::ZScore {
+                        mean,
+                        std: (q / mode.divisor(self.rows)).sqrt(),
+                    })
+                    .collect()
+            }
+            PartialState::Decimal { max_abs } => max_abs
+                .iter()
+                .map(|&ma| {
+                    let mut factor = 1.0;
+                    while ma / factor >= 1.0 {
+                        factor *= 10.0;
+                    }
+                    ColumnParams::DecimalScaling { factor }
+                })
+                .collect(),
+        };
+        Ok(FittedNormalizer {
+            method: self.method,
+            params,
+        })
+    }
+
+    /// Serializes the accumulator (method, pass, fold state) so it can be
+    /// carried between partition holders. Every float travels as its exact
+    /// bit pattern.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        match self.method {
+            Normalization::MinMax { new_min, new_max } => {
+                w.put_u8(0);
+                w.put_f64(new_min);
+                w.put_f64(new_max);
+            }
+            Normalization::ZScore {
+                mode: VarianceMode::Sample,
+            } => w.put_u8(1),
+            Normalization::ZScore {
+                mode: VarianceMode::Population,
+            } => w.put_u8(2),
+            Normalization::DecimalScaling => w.put_u8(3),
+            Normalization::RobustZScore => w.put_u8(4),
+        }
+        w.put_usize(self.rows);
+        w.put_usize(self.rows_pass2);
+        let put_vec = |w: &mut ByteWriter, v: &[f64]| {
+            w.put_usize(v.len());
+            for &x in v {
+                w.put_f64(x);
+            }
+        };
+        match &self.state {
+            PartialState::MinMax { lo, hi } => {
+                w.put_u8(0);
+                put_vec(w, lo);
+                put_vec(w, hi);
+            }
+            PartialState::ZScoreSums { sums } => {
+                w.put_u8(1);
+                put_vec(w, sums);
+            }
+            PartialState::ZScoreCentered { means, ss } => {
+                w.put_u8(2);
+                put_vec(w, means);
+                put_vec(w, ss);
+            }
+            PartialState::Decimal { max_abs } => {
+                w.put_u8(3);
+                put_vec(w, max_abs);
+            }
+        }
+    }
+
+    /// Decodes the record written by [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`DecodeError`] for truncated input, unknown tags,
+    /// zero columns, or state/method disagreement.
+    pub fn decode_from(r: &mut ByteReader<'_>) -> DecodeResult<Self> {
+        let tag_offset = r.position();
+        let method = match r.take_u8()? {
+            0 => Normalization::MinMax {
+                new_min: r.take_f64()?,
+                new_max: r.take_f64()?,
+            },
+            1 => Normalization::ZScore {
+                mode: VarianceMode::Sample,
+            },
+            2 => Normalization::ZScore {
+                mode: VarianceMode::Population,
+            },
+            3 => Normalization::DecimalScaling,
+            other => {
+                return Err(DecodeError::Malformed {
+                    offset: tag_offset,
+                    message: format!("unknown partial-fit method tag {other}"),
+                })
+            }
+        };
+        let rows = r.take_usize()?;
+        let rows_pass2 = r.take_usize()?;
+        fn take_vec(r: &mut ByteReader<'_>) -> DecodeResult<Vec<f64>> {
+            let offset = r.position();
+            let len = r.take_usize()?;
+            if len == 0 {
+                return Err(DecodeError::Malformed {
+                    offset,
+                    message: "partial fit with zero columns".into(),
+                });
+            }
+            let mut v = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                v.push(r.take_f64()?);
+            }
+            Ok(v)
+        }
+        let state_offset = r.position();
+        let state = match r.take_u8()? {
+            0 => {
+                let lo = take_vec(r)?;
+                let hi = take_vec(r)?;
+                if lo.len() != hi.len() {
+                    return Err(DecodeError::Malformed {
+                        offset: state_offset,
+                        message: "min-max bounds of different widths".into(),
+                    });
+                }
+                PartialState::MinMax { lo, hi }
+            }
+            1 => PartialState::ZScoreSums { sums: take_vec(r)? },
+            2 => {
+                let means = take_vec(r)?;
+                let ss = take_vec(r)?;
+                if means.len() != ss.len() {
+                    return Err(DecodeError::Malformed {
+                        offset: state_offset,
+                        message: "centred state of different widths".into(),
+                    });
+                }
+                PartialState::ZScoreCentered { means, ss }
+            }
+            3 => PartialState::Decimal {
+                max_abs: take_vec(r)?,
+            },
+            other => {
+                return Err(DecodeError::Malformed {
+                    offset: state_offset,
+                    message: format!("unknown partial-fit state tag {other}"),
+                })
+            }
+        };
+        let consistent = matches!(
+            (&method, &state),
+            (Normalization::MinMax { .. }, PartialState::MinMax { .. })
+                | (
+                    Normalization::ZScore { .. },
+                    PartialState::ZScoreSums { .. } | PartialState::ZScoreCentered { .. }
+                )
+                | (Normalization::DecimalScaling, PartialState::Decimal { .. })
+        );
+        if !consistent {
+            return Err(DecodeError::Malformed {
+                offset: state_offset,
+                message: "partial-fit state disagrees with its method".into(),
+            });
+        }
+        Ok(PartialFit {
+            method,
+            state,
+            rows,
+            rows_pass2,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1189,5 +1628,167 @@ mod tests {
         // 5 → 0.5 within the fitted [0,10] range; 20 extrapolates to 2.0.
         assert!((t[(0, 0)] - 0.5).abs() < 1e-12);
         assert!((t[(1, 0)] - 2.0).abs() < 1e-12);
+    }
+
+    /// A deterministic 101 × 5 matrix with irrational-ish values, large
+    /// enough that float addition order matters.
+    fn chained_fit_fixture() -> Matrix {
+        let mut vals = Vec::with_capacity(101 * 5);
+        for i in 0..101 {
+            for j in 0..5 {
+                let base = (i * 7 + j * 3) % 13;
+                vals.push((base as f64 - 6.0) * 0.37 + ((i * 5 + j) as f64).sin());
+            }
+        }
+        Matrix::from_vec(101, 5, vals).unwrap()
+    }
+
+    fn row_block(m: &Matrix, lo: usize, hi: usize) -> Matrix {
+        let rows: Vec<&[f64]> = (lo..hi).map(|i| m.row(i)).collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    /// Runs a chained partial fit over the given row splits and returns the
+    /// finished normalizer.
+    fn run_chain(method: Normalization, m: &Matrix, cuts: &[usize]) -> FittedNormalizer {
+        let blocks: Vec<Matrix> = {
+            let mut edges = vec![0];
+            edges.extend_from_slice(cuts);
+            edges.push(m.rows());
+            edges.windows(2).map(|w| row_block(m, w[0], w[1])).collect()
+        };
+        let mut acc = method.begin_partial_fit(m.cols()).unwrap();
+        for b in &blocks {
+            acc.fold(b).unwrap();
+        }
+        if acc.needs_second_pass() {
+            acc.begin_second_pass().unwrap();
+            for b in &blocks {
+                acc.fold(b).unwrap();
+            }
+        }
+        acc.finish().unwrap()
+    }
+
+    #[test]
+    fn chained_partial_fit_bitwise_matches_pooled_fit() {
+        let m = chained_fit_fixture();
+        let methods = [
+            Normalization::min_max_unit(),
+            Normalization::MinMax {
+                new_min: -3.0,
+                new_max: 2.0,
+            },
+            Normalization::zscore_paper(),
+            Normalization::ZScore {
+                mode: VarianceMode::Population,
+            },
+            Normalization::DecimalScaling,
+        ];
+        // Partition boundaries everywhere: singleton first block, uneven
+        // splits, a split inside every fold position that could matter.
+        let splits: &[&[usize]] = &[&[], &[1], &[50], &[1, 2], &[13, 14, 99], &[33, 66]];
+        for method in methods {
+            let pooled = method.fit(&m).unwrap();
+            let mut pooled_bytes = ByteWriter::new();
+            pooled.encode_into(&mut pooled_bytes);
+            for cuts in splits {
+                let chained = run_chain(method, &m, cuts);
+                let mut chained_bytes = ByteWriter::new();
+                chained.encode_into(&mut chained_bytes);
+                // Byte-level equality pins every float bit pattern, not just
+                // `==` (which would let -0.0 slip past 0.0).
+                assert_eq!(
+                    pooled_bytes.as_bytes(),
+                    chained_bytes.as_bytes(),
+                    "{method:?} with cuts {cuts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_fit_serialization_round_trips_mid_chain() {
+        let m = chained_fit_fixture();
+        let a = row_block(&m, 0, 40);
+        let b = row_block(&m, 40, 101);
+        let method = Normalization::zscore_paper();
+
+        let mut acc = method.begin_partial_fit(5).unwrap();
+        acc.fold(&a).unwrap();
+        // Ship the accumulator to the "next owner" and back, byte-exact.
+        let mut w = ByteWriter::new();
+        acc.encode_into(&mut w);
+        let mut r = ByteReader::new(w.as_bytes());
+        let mut acc2 = PartialFit::decode_from(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(acc, acc2);
+        acc2.fold(&b).unwrap();
+        acc2.begin_second_pass().unwrap();
+        acc2.fold(&a).unwrap();
+        acc2.fold(&b).unwrap();
+        assert_eq!(acc2.finish().unwrap(), method.fit(&m).unwrap());
+    }
+
+    #[test]
+    fn partial_fit_decode_rejects_malformed() {
+        // Unknown method tag.
+        let mut r = ByteReader::new(&[9]);
+        assert!(PartialFit::decode_from(&mut r).is_err());
+        // Method/state disagreement: z-score method with decimal state.
+        let mut w = ByteWriter::new();
+        w.put_u8(1); // zscore-sample
+        w.put_usize(3);
+        w.put_usize(0);
+        w.put_u8(3); // decimal state
+        w.put_usize(1);
+        w.put_f64(1.0);
+        let mut r = ByteReader::new(w.as_bytes());
+        assert!(PartialFit::decode_from(&mut r).is_err());
+        // Truncation.
+        let mut w = ByteWriter::new();
+        Normalization::min_max_unit()
+            .begin_partial_fit(2)
+            .unwrap()
+            .encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..bytes.len() - 3]);
+        assert!(PartialFit::decode_from(&mut r).is_err());
+    }
+
+    #[test]
+    fn partial_fit_misuse_is_typed() {
+        let m = chained_fit_fixture();
+        // Robust fits have no chainable sufficient statistic.
+        assert!(matches!(
+            Normalization::RobustZScore.begin_partial_fit(5),
+            Err(Error::InvalidArgument(_))
+        ));
+        assert!(Normalization::min_max_unit().begin_partial_fit(0).is_err());
+        assert!(Normalization::MinMax {
+            new_min: 1.0,
+            new_max: 1.0
+        }
+        .begin_partial_fit(2)
+        .is_err());
+        // Width mismatch and non-finite values are rejected at fold time.
+        let mut acc = Normalization::zscore_paper().begin_partial_fit(4).unwrap();
+        assert!(matches!(acc.fold(&m), Err(Error::Shape(_))));
+        let mut acc = Normalization::zscore_paper().begin_partial_fit(1).unwrap();
+        let bad = Matrix::from_columns(&[&[1.0, f64::NAN]]).unwrap();
+        assert!(matches!(acc.fold(&bad), Err(Error::InvalidArgument(_))));
+        // Z-score cannot finish before the centred pass…
+        let mut acc = Normalization::zscore_paper().begin_partial_fit(5).unwrap();
+        acc.fold(&m).unwrap();
+        assert!(acc.clone().finish().is_err());
+        // …and the centred pass must re-fold exactly the pass-1 rows.
+        acc.begin_second_pass().unwrap();
+        acc.fold(&row_block(&m, 0, 50)).unwrap();
+        assert!(matches!(acc.finish(), Err(Error::InvalidArgument(_))));
+        // Single-pass fits reject a second pass; empty fits reject finish.
+        let mut acc = Normalization::min_max_unit().begin_partial_fit(2).unwrap();
+        assert!(!acc.needs_second_pass());
+        assert!(acc.begin_second_pass().is_err());
+        assert!(acc.finish().is_err());
     }
 }

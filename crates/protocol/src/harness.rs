@@ -1,0 +1,245 @@
+//! Deterministic in-process federation driver with fault injection.
+//!
+//! [`InProcessFederation`] wires N owners, the coordinator, and the
+//! receiver to a single FIFO delivery queue and runs the protocol to
+//! completion. Every delivery round-trips through the checksummed message
+//! codec — exactly what a transport would do — so the harness exercises
+//! the same decode path as the wire.
+//!
+//! [`FaultPlan`] injects transport faults *deterministically* (seeded
+//! per-delivery draws): drops, duplicates, adjacent reorders, and byte
+//! corruption. The protocol's contract under faults is binary: either the
+//! run completes with the **exact** joint dataset a clean run produces, or
+//! it fails with a typed [`ProtocolError`] — never a silently divergent
+//! release. The chaos battery in `tests/` asserts precisely that.
+
+use crate::config::FederationConfig;
+use crate::coordinator::Coordinator;
+use crate::messages::{Message, Outbound, Party};
+use crate::owner::Owner;
+use crate::receiver::{JointResult, Receiver};
+use crate::{ProtocolError, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbt_linalg::Matrix;
+use std::collections::VecDeque;
+
+/// Safety cap on total deliveries: generous for any legal session
+/// (the densest round, a shared key fit, is O(pairs × owners)).
+const MAX_DELIVERIES: usize = 1_000_000;
+
+/// A deterministic transport-fault schedule.
+///
+/// Rates are per-mille probabilities applied independently to every
+/// delivery, drawn from a seeded RNG — the same plan over the same
+/// federation always injects the same faults.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Seed of the fault-decision RNG.
+    pub seed: u64,
+    /// ‰ chance a delivery is dropped.
+    pub drop_per_mille: u16,
+    /// ‰ chance a delivery is delivered twice.
+    pub duplicate_per_mille: u16,
+    /// ‰ chance a delivery swaps places with the next queued one.
+    pub reorder_per_mille: u16,
+    /// ‰ chance one byte of the encoded delivery is flipped.
+    pub corrupt_per_mille: u16,
+}
+
+impl FaultPlan {
+    /// A fault-free plan (deliveries still round-trip the codec).
+    pub fn clean() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_per_mille: 0,
+            duplicate_per_mille: 0,
+            reorder_per_mille: 0,
+            corrupt_per_mille: 0,
+        }
+    }
+
+    /// A plan injecting every fault kind at `per_mille` each.
+    pub fn uniform(seed: u64, per_mille: u16) -> Self {
+        FaultPlan {
+            seed,
+            drop_per_mille: per_mille,
+            duplicate_per_mille: per_mille,
+            reorder_per_mille: per_mille,
+            corrupt_per_mille: per_mille,
+        }
+    }
+
+    fn is_clean(&self) -> bool {
+        self.drop_per_mille == 0
+            && self.duplicate_per_mille == 0
+            && self.reorder_per_mille == 0
+            && self.corrupt_per_mille == 0
+    }
+}
+
+/// Outcome of a completed (fault-surviving) federation run.
+#[derive(Debug)]
+pub struct FederationRun {
+    /// The receiver's joint clustering result.
+    pub result: JointResult,
+    /// Total messages delivered.
+    pub delivered: usize,
+    /// Faults actually injected (a fault may hit a delivery that no longer
+    /// matters, e.g. a duplicate of the final message).
+    pub faults_injected: usize,
+    /// The owners, post-release (keys available via [`Owner::key`]).
+    pub owners: Vec<Owner>,
+    /// The coordinator, post-completion.
+    pub coordinator: Coordinator,
+}
+
+/// Drives a full federated release in memory.
+#[derive(Debug)]
+pub struct InProcessFederation {
+    coordinator: Coordinator,
+    owners: Vec<Owner>,
+    receiver: Receiver,
+    plan: FaultPlan,
+}
+
+impl InProcessFederation {
+    /// Builds a federation of `partitions.len()` owners over `config`.
+    ///
+    /// Partition order is announced (pooled concatenation) order.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::InvalidConfig`] if the partition count disagrees
+    /// with `config.owners`, plus any party-construction error.
+    pub fn new(config: FederationConfig, partitions: Vec<Matrix>) -> Result<Self> {
+        config.validate()?;
+        if partitions.len() != config.owners as usize {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "{} partitions for {} announced owners",
+                partitions.len(),
+                config.owners
+            )));
+        }
+        let owners = partitions
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| Owner::new(i as u16, config.session, m))
+            .collect::<Result<Vec<_>>>()?;
+        let receiver = Receiver::new(config.session);
+        let coordinator = Coordinator::new(config)?;
+        Ok(InProcessFederation {
+            coordinator,
+            owners,
+            receiver,
+            plan: FaultPlan::clean(),
+        })
+    }
+
+    /// Replaces the fault plan (default: clean).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Runs the protocol to completion.
+    ///
+    /// # Errors
+    ///
+    /// Any typed [`ProtocolError`] a party raises (fault injection makes
+    /// these expected, not exceptional), or [`ProtocolError::Stalled`] if
+    /// the queue drains without the receiver completing (e.g. after a
+    /// dropped delivery).
+    pub fn run(mut self) -> Result<FederationRun> {
+        let mut rng = StdRng::seed_from_u64(self.plan.seed);
+        let clean = self.plan.is_clean();
+        let mut queue: VecDeque<Outbound> = self.coordinator.start()?.into();
+        let mut delivered = 0usize;
+        let mut faults = 0usize;
+        while let Some(out) = queue.pop_front() {
+            if delivered >= MAX_DELIVERIES {
+                return Err(ProtocolError::Stalled {
+                    delivered,
+                    state: self.coordinator.state_name().into(),
+                });
+            }
+            let mut copies = 1usize;
+            let mut corrupt = false;
+            if !clean {
+                if roll(&mut rng, self.plan.drop_per_mille) {
+                    faults += 1;
+                    continue;
+                }
+                if roll(&mut rng, self.plan.duplicate_per_mille) {
+                    faults += 1;
+                    copies = 2;
+                }
+                if roll(&mut rng, self.plan.reorder_per_mille) {
+                    if let Some(next) = queue.pop_front() {
+                        faults += 1;
+                        queue.push_front(out.clone());
+                        queue.push_front(next);
+                        continue;
+                    }
+                }
+                corrupt = roll(&mut rng, self.plan.corrupt_per_mille);
+            }
+            for _ in 0..copies {
+                // Every delivery takes the transport path: encode, maybe
+                // corrupt, decode (checksummed), dispatch.
+                let mut bytes = out.msg.encode();
+                if corrupt {
+                    faults += 1;
+                    let pos = rng.random_range(0..bytes.len());
+                    let mask = rng.random_range(1..=255u64) as u8;
+                    bytes[pos] ^= mask;
+                }
+                let msg = Message::decode(&bytes)?;
+                delivered += 1;
+                let outs = match out.to {
+                    Party::Coordinator => self.coordinator.handle(&msg)?,
+                    Party::Receiver => self.receiver.handle(&msg)?,
+                    Party::Owner(o) => {
+                        let idx = o as usize;
+                        if idx >= self.owners.len() {
+                            return Err(ProtocolError::OwnerOutOfRange {
+                                owner: o,
+                                owners: self.owners.len() as u16,
+                            });
+                        }
+                        self.owners[idx].handle(&msg)?
+                    }
+                };
+                queue.extend(outs);
+            }
+        }
+        if !self.coordinator.is_finished() {
+            return Err(ProtocolError::Stalled {
+                delivered,
+                state: self.coordinator.state_name().into(),
+            });
+        }
+        let result = self
+            .receiver
+            .result()
+            .cloned()
+            .ok_or_else(|| ProtocolError::Stalled {
+                delivered,
+                state: "receiver incomplete".into(),
+            })?;
+        Ok(FederationRun {
+            result,
+            delivered,
+            faults_injected: faults,
+            owners: self.owners,
+            coordinator: self.coordinator,
+        })
+    }
+}
+
+fn roll(rng: &mut StdRng, per_mille: u16) -> bool {
+    if per_mille == 0 {
+        return false;
+    }
+    rng.random_range(0..1000u64) < u64::from(per_mille)
+}

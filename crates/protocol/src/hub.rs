@@ -1,0 +1,211 @@
+//! The federation hub: hosts coordinator + receiver behind a mailbox API.
+//!
+//! `rbt-server` embeds one [`FederationHub`] in its shared state and maps
+//! the `Fed*` wire opcodes straight onto [`FederationHub::open`] /
+//! [`FederationHub::exchange`] / [`FederationHub::result`]. Owners connect
+//! as ordinary clients: each `exchange` call delivers the owner's outbound
+//! messages and drains the owner's mailbox in return, so the whole round
+//! protocol runs over simple request/response polling — no server-side
+//! push needed.
+//!
+//! The hub is transport-blind: it never encodes or decodes wire frames,
+//! only routes typed [`Message`]s between the parties it hosts.
+
+use crate::coordinator::Coordinator;
+use crate::messages::{JointSummary, Message, Outbound, Party};
+use crate::receiver::{JointResult, Receiver};
+use crate::{FederationConfig, ProtocolError, Result};
+use std::collections::{HashMap, VecDeque};
+
+/// One hosted session: the two hub-side parties plus per-owner mailboxes.
+#[derive(Debug)]
+struct HubSession {
+    coordinator: Coordinator,
+    receiver: Receiver,
+    mailboxes: Vec<VecDeque<Message>>,
+    /// Set when any party returned an error; the session is dead and every
+    /// further exchange reports the same typed failure.
+    failed: Option<ProtocolError>,
+}
+
+/// Hosts federated release sessions for a server.
+#[derive(Debug)]
+pub struct FederationHub {
+    sessions: HashMap<u64, HubSession>,
+    max_sessions: usize,
+}
+
+impl FederationHub {
+    /// Creates a hub admitting at most `max_sessions` concurrent sessions.
+    pub fn new(max_sessions: usize) -> Self {
+        FederationHub {
+            sessions: HashMap::new(),
+            max_sessions: max_sessions.max(1),
+        }
+    }
+
+    /// Number of currently hosted sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the hub hosts no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Opens a session: constructs coordinator + receiver and queues the
+    /// `Announce` round into the owner mailboxes.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::SessionExists`] for a duplicate id,
+    /// [`ProtocolError::InvalidConfig`] for a rejected configuration or a
+    /// full hub.
+    pub fn open(&mut self, config: FederationConfig) -> Result<()> {
+        if self.sessions.contains_key(&config.session) {
+            return Err(ProtocolError::SessionExists(config.session));
+        }
+        if self.sessions.len() >= self.max_sessions {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "hub at capacity ({} sessions)",
+                self.max_sessions
+            )));
+        }
+        let coordinator = Coordinator::new(config.clone())?;
+        let receiver = Receiver::new(config.session);
+        let mut session = HubSession {
+            coordinator,
+            receiver,
+            mailboxes: (0..config.owners).map(|_| VecDeque::new()).collect(),
+            failed: None,
+        };
+        // `start` can only fail on a double start, which a fresh
+        // coordinator cannot hit.
+        let outs = session.coordinator.start()?;
+        route(&mut session, outs)?;
+        self.sessions.insert(config.session, session);
+        Ok(())
+    }
+
+    /// Delivers `inbound` owner messages and drains owner `owner`'s
+    /// mailbox.
+    ///
+    /// Owner messages are routed by kind: joins and chain acks to the
+    /// coordinator, releases to the receiver. Anything else — or any party
+    /// rejecting a message — poisons the session with a typed error that
+    /// every subsequent exchange repeats.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownSession`], [`ProtocolError::OwnerOutOfRange`],
+    /// or the session's (first) protocol failure.
+    pub fn exchange(
+        &mut self,
+        session: u64,
+        owner: u16,
+        inbound: Vec<Message>,
+    ) -> Result<Vec<Message>> {
+        let s = self
+            .sessions
+            .get_mut(&session)
+            .ok_or(ProtocolError::UnknownSession(session))?;
+        if owner as usize >= s.mailboxes.len() {
+            return Err(ProtocolError::OwnerOutOfRange {
+                owner,
+                owners: s.mailboxes.len() as u16,
+            });
+        }
+        if let Some(e) = &s.failed {
+            return Err(e.clone());
+        }
+        for msg in inbound {
+            if let Err(e) = deliver_owner_message(s, msg) {
+                s.failed = Some(e.clone());
+                return Err(e);
+            }
+        }
+        Ok(s.mailboxes[owner as usize].drain(..).collect())
+    }
+
+    /// The joint clustering summary of `session`, if its receiver has
+    /// completed (`None` while the protocol is still in flight).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownSession`], or the session's failure.
+    pub fn result(&self, session: u64) -> Result<Option<&JointSummary>> {
+        let s = self
+            .sessions
+            .get(&session)
+            .ok_or(ProtocolError::UnknownSession(session))?;
+        if let Some(e) = &s.failed {
+            return Err(e.clone());
+        }
+        Ok(s.coordinator.summary())
+    }
+
+    /// The receiver's full joint result (matrix + labels), if complete.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownSession`], or the session's failure.
+    pub fn joint_result(&self, session: u64) -> Result<Option<&JointResult>> {
+        let s = self
+            .sessions
+            .get(&session)
+            .ok_or(ProtocolError::UnknownSession(session))?;
+        if let Some(e) = &s.failed {
+            return Err(e.clone());
+        }
+        Ok(s.receiver.result())
+    }
+
+    /// Closes `session`, dropping all its state. Returns whether it
+    /// existed.
+    pub fn close(&mut self, session: u64) -> bool {
+        self.sessions.remove(&session).is_some()
+    }
+}
+
+/// Routes one message arriving from an owner-side client.
+fn deliver_owner_message(s: &mut HubSession, msg: Message) -> Result<()> {
+    let outs = match &msg {
+        Message::Join { .. } | Message::NormChainAck { .. } | Message::PairChainAck { .. } => {
+            s.coordinator.handle(&msg)?
+        }
+        Message::OwnerRelease { .. } => s.receiver.handle(&msg)?,
+        other => {
+            return Err(ProtocolError::UnexpectedMessage {
+                party: "hub".into(),
+                state: "routing".into(),
+                message: format!("{} is not an owner-originated message", other.kind()),
+            })
+        }
+    };
+    route(s, outs)
+}
+
+/// Drains a batch of outbound messages: owner-bound ones land in
+/// mailboxes, hub-side ones are handled immediately (worklist, so a
+/// receiver completion can cascade into the coordinator).
+fn route(s: &mut HubSession, outs: Vec<Outbound>) -> Result<()> {
+    let mut work: VecDeque<Outbound> = outs.into();
+    while let Some(out) = work.pop_front() {
+        match out.to {
+            Party::Owner(o) => {
+                let idx = o as usize;
+                if idx >= s.mailboxes.len() {
+                    return Err(ProtocolError::OwnerOutOfRange {
+                        owner: o,
+                        owners: s.mailboxes.len() as u16,
+                    });
+                }
+                s.mailboxes[idx].push_back(out.msg);
+            }
+            Party::Coordinator => work.extend(s.coordinator.handle(&out.msg)?),
+            Party::Receiver => work.extend(s.receiver.handle(&out.msg)?),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,211 @@
+//! The receiver party: assembles the joint release and clusters it.
+//!
+//! The receiver learns the session configuration from `Announce`, collects
+//! one transformed block per owner (any arrival order; assembly is always
+//! in announced owner order, i.e. pooled row order), and runs joint
+//! k-means with the deterministic first-k initializer — so the joint
+//! labels depend only on the joint matrix bits, which under a shared key
+//! equal the pooled single-owner release.
+
+use crate::config::FederationConfig;
+use crate::messages::{JointSummary, Message, Outbound, Party};
+use crate::{ProtocolError, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbt_cluster::{KMeans, KMeansInit};
+use rbt_linalg::Matrix;
+
+/// The receiver's joint clustering output.
+#[derive(Debug, Clone)]
+pub struct JointResult {
+    /// The assembled joint release (pooled row order).
+    pub matrix: Matrix,
+    /// Joint k-means labels, one per row.
+    pub labels: Vec<usize>,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+    /// Iterations until convergence (or the cap).
+    pub iterations: usize,
+    /// Whether k-means converged before the iteration cap.
+    pub converged: bool,
+    /// Row ranges of each owner's block within [`Self::matrix`].
+    pub owner_ranges: Vec<std::ops::Range<usize>>,
+}
+
+/// Phase of the receiver's state machine.
+#[derive(Debug)]
+enum State {
+    /// Waiting for the coordinator's `Announce`.
+    AwaitAnnounce,
+    /// Collecting one block per owner.
+    Collecting {
+        cfg: FederationConfig,
+        blocks: Vec<Option<Matrix>>,
+    },
+    /// Joint clustering done; terminal.
+    Complete,
+}
+
+impl State {
+    fn name(&self) -> &'static str {
+        match self {
+            State::AwaitAnnounce => "AwaitAnnounce",
+            State::Collecting { .. } => "Collecting",
+            State::Complete => "Complete",
+        }
+    }
+}
+
+/// The receiver party.
+#[derive(Debug)]
+pub struct Receiver {
+    session: u64,
+    state: State,
+    result: Option<JointResult>,
+}
+
+impl Receiver {
+    /// Creates a receiver for session `session`.
+    pub fn new(session: u64) -> Self {
+        Receiver {
+            session,
+            state: State::AwaitAnnounce,
+            result: None,
+        }
+    }
+
+    /// The receiver's current phase, for diagnostics.
+    pub fn state_name(&self) -> &'static str {
+        self.state.name()
+    }
+
+    /// The joint clustering result, once every owner has released.
+    pub fn result(&self) -> Option<&JointResult> {
+        self.result.as_ref()
+    }
+
+    fn unexpected(&self, message: &str) -> ProtocolError {
+        ProtocolError::UnexpectedMessage {
+            party: "receiver".into(),
+            state: self.state.name().into(),
+            message: message.into(),
+        }
+    }
+
+    /// Consumes one message, advancing the state machine.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ProtocolError`]s for session/shape/order violations or a
+    /// failed joint clustering.
+    pub fn handle(&mut self, msg: &Message) -> Result<Vec<Outbound>> {
+        if msg.session() != self.session {
+            return Err(ProtocolError::SessionMismatch {
+                expected: self.session,
+                found: msg.session(),
+            });
+        }
+        match msg {
+            Message::Announce { config } => {
+                if !matches!(self.state, State::AwaitAnnounce) {
+                    return Err(ProtocolError::DuplicateMessage {
+                        party: "receiver".into(),
+                        message: msg.kind().into(),
+                    });
+                }
+                config.validate()?;
+                self.state = State::Collecting {
+                    blocks: vec![None; config.owners as usize],
+                    cfg: config.clone(),
+                };
+                Ok(Vec::new())
+            }
+            Message::OwnerRelease { owner, matrix, .. } => {
+                let State::Collecting { cfg, blocks } = &mut self.state else {
+                    return Err(self.unexpected(msg.kind()));
+                };
+                let idx = *owner as usize;
+                if idx >= blocks.len() {
+                    return Err(ProtocolError::OwnerOutOfRange {
+                        owner: *owner,
+                        owners: cfg.owners,
+                    });
+                }
+                if blocks[idx].is_some() {
+                    return Err(ProtocolError::DuplicateMessage {
+                        party: "receiver".into(),
+                        message: format!("OwnerRelease from owner {owner}"),
+                    });
+                }
+                if matrix.cols() != cfg.n_cols {
+                    return Err(ProtocolError::ShapeMismatch(format!(
+                        "owner {owner} released {} attributes, session announced {}",
+                        matrix.cols(),
+                        cfg.n_cols
+                    )));
+                }
+                if matrix.rows() == 0 {
+                    return Err(ProtocolError::ShapeMismatch(format!(
+                        "owner {owner} released an empty block"
+                    )));
+                }
+                blocks[idx] = Some(matrix.clone());
+                if blocks.iter().any(|b| b.is_none()) {
+                    return Ok(Vec::new());
+                }
+                // Last block in: assemble the union in owner order (pooled
+                // row order) and cluster it.
+                let cfg = cfg.clone();
+                let blocks: Vec<Matrix> = match &mut self.state {
+                    State::Collecting { blocks, .. } => {
+                        blocks.iter_mut().map(|b| b.take().unwrap()).collect()
+                    }
+                    _ => unreachable!(),
+                };
+                let mut owner_ranges = Vec::with_capacity(blocks.len());
+                let mut data = Vec::new();
+                let mut rows = 0usize;
+                for block in &blocks {
+                    owner_ranges.push(rows..rows + block.rows());
+                    rows += block.rows();
+                    data.extend_from_slice(block.as_slice());
+                }
+                let joint = Matrix::from_vec(rows, cfg.n_cols, data)
+                    .map_err(|e| ProtocolError::ShapeMismatch(e.to_string()))?;
+                let kmeans = KMeans::new(cfg.kmeans_k)
+                    .map_err(|e| ProtocolError::Cluster(e.to_string()))?
+                    .with_init(KMeansInit::FirstK)
+                    .with_max_iters(cfg.kmeans_max_iters);
+                let mut rng = StdRng::seed_from_u64(cfg.seed);
+                let fit = kmeans
+                    .fit(&joint, &mut rng)
+                    .map_err(|e| ProtocolError::Cluster(e.to_string()))?;
+                let summary = JointSummary {
+                    rows: rows as u64,
+                    cols: cfg.n_cols as u16,
+                    labels: fit.labels.iter().map(|&l| l as u32).collect(),
+                    inertia: fit.inertia,
+                    iterations: fit.iterations as u32,
+                    converged: fit.converged,
+                };
+                self.result = Some(JointResult {
+                    matrix: joint,
+                    labels: fit.labels,
+                    inertia: fit.inertia,
+                    iterations: fit.iterations,
+                    converged: fit.converged,
+                    owner_ranges,
+                });
+                self.state = State::Complete;
+                Ok(vec![Outbound::new(
+                    Party::Coordinator,
+                    Message::JointDataset {
+                        session: self.session,
+                        summary,
+                    },
+                )])
+            }
+            other => Err(self.unexpected(other.kind())),
+        }
+    }
+}

@@ -623,6 +623,85 @@ impl Client {
         }
     }
 
+    /// Opens a federated release session on the server's hub. `config` is
+    /// an encoded `rbt_protocol::FederationConfig`; returns the hosted
+    /// session id. Never retried — a replay collides with the session the
+    /// first attempt opened.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with code 2 for a duplicate session id or
+    /// a full hub, 4 for an undecodable config.
+    pub fn fed_open(&mut self, config: Vec<u8>) -> ClientResult<u64> {
+        match self.call(&Request::FedOpen { config })? {
+            Response::FedOpened { session } => Ok(session),
+            _ => Err(ClientError::Unexpected {
+                expected: "FedOpened",
+            }),
+        }
+    }
+
+    /// Delivers this owner's outbound federation messages (each an
+    /// encoded `rbt_protocol::Message`) and drains the owner's mailbox in
+    /// return. Never retried — a replayed delivery is a duplicate the
+    /// protocol state machines reject.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with code 2 for unknown sessions or
+    /// out-of-range owners, 3 for protocol-state rejections.
+    pub fn fed_exchange(
+        &mut self,
+        session: u64,
+        owner: u16,
+        messages: Vec<Vec<u8>>,
+    ) -> ClientResult<Vec<Vec<u8>>> {
+        let request = Request::FedMsg {
+            session,
+            owner,
+            messages,
+        };
+        match self.call(&request)? {
+            Response::FedMsgs { messages } => Ok(messages),
+            _ => Err(ClientError::Unexpected {
+                expected: "FedMsgs",
+            }),
+        }
+    }
+
+    /// Polls a federated session for its joint clustering result: `None`
+    /// while rounds are in flight, or the encoded `JointDataset` protocol
+    /// message once the receiver has completed. A pure read, so it is
+    /// retried like the other idempotent calls.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with code 2 for unknown sessions, or the
+    /// session's recorded protocol failure.
+    pub fn fed_result(&mut self, session: u64) -> ClientResult<Option<Vec<u8>>> {
+        match self.call(&Request::FedResult { session })? {
+            Response::FedSummary { summary } => Ok(summary),
+            _ => Err(ClientError::Unexpected {
+                expected: "FedSummary",
+            }),
+        }
+    }
+
+    /// Closes a federated session server-side; returns whether it
+    /// existed. Never retried (the `existed` answer changes on replay).
+    ///
+    /// # Errors
+    ///
+    /// Any transport failure.
+    pub fn fed_close(&mut self, session: u64) -> ClientResult<bool> {
+        match self.call(&Request::FedClose { session })? {
+            Response::FedClosed { existed } => Ok(existed),
+            _ => Err(ClientError::Unexpected {
+                expected: "FedClosed",
+            }),
+        }
+    }
+
     /// The raw stream — the escape hatch the fault-injection tests use to
     /// write malformed or partial frames.
     ///

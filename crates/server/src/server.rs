@@ -49,6 +49,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use rbt_protocol::{FederationConfig, FederationHub, Message as FedMessage, ProtocolError};
+
 use crate::keystore::KeyStore;
 use crate::registry::{ServerError, SessionRegistry};
 use crate::wire::{
@@ -86,6 +88,10 @@ pub struct ServerConfig {
     /// Key store backing the `ReloadKeys` opcode; without one the opcode
     /// answers with a capability error.
     pub keystore: Option<Arc<KeyStore>>,
+    /// Concurrent federated release sessions the embedded
+    /// [`FederationHub`] admits; `FedOpen` past the cap is refused with a
+    /// typed error.
+    pub max_fed_sessions: usize,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +107,7 @@ impl Default for ServerConfig {
             data_deadline: Duration::from_secs(30),
             control_deadline: Duration::from_secs(10),
             keystore: None,
+            max_fed_sessions: 16,
         }
     }
 }
@@ -109,9 +116,12 @@ impl ServerConfig {
     /// The queue-wait budget for a request opcode.
     pub fn deadline_for(&self, opcode: Opcode) -> Duration {
         match opcode {
-            Opcode::LoadKey | Opcode::Transform | Opcode::Invert | Opcode::ReloadKeys => {
-                self.data_deadline
-            }
+            Opcode::LoadKey
+            | Opcode::Transform
+            | Opcode::Invert
+            | Opcode::ReloadKeys
+            | Opcode::FedOpen
+            | Opcode::FedMsg => self.data_deadline,
             _ => self.control_deadline,
         }
     }
@@ -139,6 +149,8 @@ struct Shared {
     live_conns: Mutex<HashMap<u64, TcpStream>>,
     spawned: AtomicU64,
     finished: AtomicU64,
+    /// Hosts federated release sessions behind the `Fed*` opcodes.
+    hub: Mutex<FederationHub>,
 }
 
 /// How the server answers a failed request.
@@ -146,6 +158,27 @@ fn error_response(e: &ServerError) -> Response {
     Response::Error {
         code: e.code(),
         message: e.to_string(),
+    }
+}
+
+/// Maps a federation protocol failure onto the wire error-code taxonomy:
+/// codec failures are code 4, shape violations code 5, session/config
+/// usage errors code 2, everything else (state-machine rejections, data
+/// and method failures) code 3.
+fn fed_error(e: &ProtocolError) -> Response {
+    let code = match e {
+        ProtocolError::Decode(_) => 4,
+        ProtocolError::ShapeMismatch(_) => 5,
+        ProtocolError::InvalidConfig(_)
+        | ProtocolError::UnknownSession(_)
+        | ProtocolError::SessionExists(_)
+        | ProtocolError::OwnerOutOfRange { .. }
+        | ProtocolError::SessionMismatch { .. } => 2,
+        _ => 3,
+    };
+    Response::Error {
+        code,
+        message: format!("federation: {e}"),
     }
 }
 
@@ -194,6 +227,60 @@ fn process_request(shared: &Shared, request: Request) -> Response {
                 code: 7,
                 message: "this server was not started with a key store".to_string(),
             },
+        },
+        Request::FedOpen { config } => {
+            let mut r = rbt_linalg::codec::ByteReader::new(&config);
+            match FederationConfig::decode_from(&mut r).and_then(|cfg| {
+                r.expect_end()?;
+                Ok(cfg)
+            }) {
+                Ok(cfg) => {
+                    let session = cfg.session;
+                    match shared.hub.lock().open(cfg) {
+                        Ok(()) => Response::FedOpened { session },
+                        Err(e) => fed_error(&e),
+                    }
+                }
+                Err(e) => Response::Error {
+                    code: 4,
+                    message: format!("federation: undecodable session config: {e}"),
+                },
+            }
+        }
+        Request::FedMsg {
+            session,
+            owner,
+            messages,
+        } => {
+            let mut decoded = Vec::with_capacity(messages.len());
+            for bytes in &messages {
+                match FedMessage::decode(bytes) {
+                    Ok(msg) => decoded.push(msg),
+                    Err(e) => return fed_error(&ProtocolError::Decode(e)),
+                }
+            }
+            match shared.hub.lock().exchange(session, owner, decoded) {
+                Ok(outbound) => Response::FedMsgs {
+                    messages: outbound.iter().map(FedMessage::encode).collect(),
+                },
+                Err(e) => fed_error(&e),
+            }
+        }
+        Request::FedResult { session } => match shared.hub.lock().result(session) {
+            Ok(Some(summary)) => Response::FedSummary {
+                summary: Some(
+                    FedMessage::JointDataset {
+                        session,
+                        summary: summary.clone(),
+                    }
+                    .encode(),
+                ),
+            },
+            Ok(None) => Response::FedSummary { summary: None },
+            Err(e) => fed_error(&e),
+        },
+        Request::FedClose { session } => Response::FedClosed {
+            existed: shared.hub.lock().close(session),
         },
         // Goodbye is intercepted by the worker loop before this point.
         Request::Goodbye => Response::GoingAway {
@@ -250,6 +337,18 @@ fn run_reader(mut read_half: TcpStream, tx: mpsc::SyncSender<ReaderItem>, shared
                 return;
             }
             Err(e) => {
+                // Version skew is the one parse failure that does NOT
+                // desynchronize the stream: the checksum is verified
+                // before the version, so the whole frame was consumed.
+                // Report it and keep reading — a mixed-version client
+                // loses one request, not the connection.
+                if matches!(&e, WireError::UnsupportedVersion { .. }) {
+                    idle = Duration::ZERO;
+                    if tx.send((Instant::now(), Err(e))).is_err() {
+                        return; // worker gone
+                    }
+                    continue;
+                }
                 if matches!(&e, WireError::Io { kind, .. } if *kind == std::io::ErrorKind::UnexpectedEof)
                 {
                     runtime.disconnects.fetch_add(1, Ordering::Relaxed);
@@ -326,9 +425,23 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
                 }
             }
             Err(e) => {
+                runtime.malformed.fetch_add(1, Ordering::Relaxed);
+                // A frame from an unsupported protocol version was fully
+                // consumed (checksum before version), so framing is
+                // intact: answer with the typed rejection and keep
+                // serving the connection.
+                if matches!(&e, WireError::UnsupportedVersion { .. }) {
+                    let response = Response::Error {
+                        code: 4,
+                        message: e.to_string(),
+                    };
+                    if wire::write_frame(&mut write_half, &response.to_frame()).is_err() {
+                        break;
+                    }
+                    continue;
+                }
                 // Malformed frame or mid-frame stall: answer with the
                 // typed rejection (best-effort) and drop the connection.
-                runtime.malformed.fetch_add(1, Ordering::Relaxed);
                 let response = Response::Error {
                     code: 4,
                     message: format!("malformed frame: {e}"),
@@ -414,6 +527,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let hub = Mutex::new(FederationHub::new(config.max_fed_sessions));
         let shared = Arc::new(Shared {
             registry,
             config,
@@ -421,6 +535,7 @@ impl Server {
             live_conns: Mutex::new(HashMap::new()),
             spawned: AtomicU64::new(0),
             finished: AtomicU64::new(0),
+            hub,
         });
         let handles = Arc::new(Mutex::new(Vec::new()));
 

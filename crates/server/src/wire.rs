@@ -80,6 +80,15 @@ pub enum Opcode {
     /// The request was shed because its deadline expired before the
     /// server could start it (never a request).
     Deadline = 9,
+    /// Open a federated release session on the server's hub.
+    FedOpen = 10,
+    /// Deliver an owner's outbound federation messages and drain its
+    /// mailbox.
+    FedMsg = 11,
+    /// Poll a federated session for its joint clustering result.
+    FedResult = 12,
+    /// Close a federated session, dropping its state.
+    FedClose = 13,
     /// Error response (never a request).
     Error = 15,
 }
@@ -96,6 +105,10 @@ impl Opcode {
             7 => Some(Opcode::GoingAway),
             8 => Some(Opcode::ReloadKeys),
             9 => Some(Opcode::Deadline),
+            10 => Some(Opcode::FedOpen),
+            11 => Some(Opcode::FedMsg),
+            12 => Some(Opcode::FedResult),
+            13 => Some(Opcode::FedClose),
             15 => Some(Opcode::Error),
             _ => None,
         }
@@ -670,6 +683,56 @@ pub enum Request {
     /// A clean goodbye: the client is closing this connection and expects
     /// no response. Replaces the bare RST a dropped socket would send.
     Goodbye,
+    /// Open a federated release session on the server's hub. The body is
+    /// an encoded `rbt_protocol::FederationConfig` — self-checksummed by
+    /// the protocol codec and opaque to the framing layer.
+    FedOpen {
+        /// Encoded `FederationConfig` (protocol-layer codec).
+        config: Vec<u8>,
+    },
+    /// Deliver one owner's outbound federation messages and drain that
+    /// owner's mailbox in return. Each element is one encoded,
+    /// CRC-trailed `rbt_protocol::Message`, opaque to the framing layer.
+    FedMsg {
+        /// Federation session id.
+        session: u64,
+        /// The calling owner's index within the session.
+        owner: u16,
+        /// Encoded protocol messages, owner → hub.
+        messages: Vec<Vec<u8>>,
+    },
+    /// Poll a federated session for its joint clustering summary.
+    FedResult {
+        /// Federation session id.
+        session: u64,
+    },
+    /// Close a federated session, dropping all its hub-side state.
+    FedClose {
+        /// Federation session id.
+        session: u64,
+    },
+}
+
+/// Encodes a list of opaque protocol-message blobs.
+fn encode_blobs(w: &mut ByteWriter, blobs: &[Vec<u8>]) {
+    w.put_u32(blobs.len() as u32);
+    for blob in blobs {
+        w.put_usize(blob.len());
+        w.put_bytes(blob);
+    }
+}
+
+/// Decodes a list of opaque protocol-message blobs.
+fn decode_blobs(r: &mut ByteReader<'_>) -> WireResult<Vec<Vec<u8>>> {
+    let count = r.take_u32()? as usize;
+    // Each blob costs at least its 8-byte length prefix.
+    guard_count(r, count, 8, "federation messages")?;
+    let mut blobs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = r.take_usize()?;
+        blobs.push(r.take_bytes(len)?.to_vec());
+    }
+    Ok(blobs)
 }
 
 impl Request {
@@ -684,6 +747,10 @@ impl Request {
             Request::Ping => Opcode::Ping,
             Request::ReloadKeys => Opcode::ReloadKeys,
             Request::Goodbye => Opcode::GoingAway,
+            Request::FedOpen { .. } => Opcode::FedOpen,
+            Request::FedMsg { .. } => Opcode::FedMsg,
+            Request::FedResult { .. } => Opcode::FedResult,
+            Request::FedClose { .. } => Opcode::FedClose,
         }
     }
 
@@ -702,6 +769,20 @@ impl Request {
                 encode_dataset(&mut w, batch);
             }
             Request::EvictTenant { tenant } => w.put_str(tenant),
+            Request::FedOpen { config } => {
+                w.put_usize(config.len());
+                w.put_bytes(config);
+            }
+            Request::FedMsg {
+                session,
+                owner,
+                messages,
+            } => {
+                w.put_u64(*session);
+                w.put_u16(*owner);
+                encode_blobs(&mut w, messages);
+            }
+            Request::FedResult { session } | Request::FedClose { session } => w.put_u64(*session),
             Request::Stats | Request::Ping | Request::ReloadKeys | Request::Goodbye => {}
         }
         Frame::new(self.opcode(), w.into_bytes())
@@ -738,6 +819,23 @@ impl Request {
             Opcode::Ping => Request::Ping,
             Opcode::ReloadKeys => Request::ReloadKeys,
             Opcode::GoingAway => Request::Goodbye,
+            Opcode::FedOpen => {
+                let len = r.take_usize()?;
+                Request::FedOpen {
+                    config: r.take_bytes(len)?.to_vec(),
+                }
+            }
+            Opcode::FedMsg => Request::FedMsg {
+                session: r.take_u64()?,
+                owner: r.take_u16()?,
+                messages: decode_blobs(&mut r)?,
+            },
+            Opcode::FedResult => Request::FedResult {
+                session: r.take_u64()?,
+            },
+            Opcode::FedClose => Request::FedClose {
+                session: r.take_u64()?,
+            },
             Opcode::Deadline => {
                 return Err(malformed(0, "Deadline frames are responses, not requests"))
             }
@@ -750,10 +848,21 @@ impl Request {
     /// Whether a retry of this request is safe after a transport failure
     /// whose outcome is unknown. Transforms are pure given a loaded key,
     /// `LoadKey` overwrites with identical bytes, and the control requests
-    /// are reads — only `EvictTenant` (whose `existed` answer changes on
-    /// replay) and `Goodbye` are excluded.
+    /// are reads — excluded are `EvictTenant` and `FedClose` (whose
+    /// `existed` answers change on replay), `Goodbye`, and the federation
+    /// writes: a replayed `FedOpen` collides with the session it opened,
+    /// and a replayed `FedMsg` double-delivers protocol messages, which
+    /// the state machines reject as duplicates (poisoning the session).
+    /// Only `FedResult`, a pure poll, is retry-safe in the family.
     pub fn is_idempotent(&self) -> bool {
-        !matches!(self, Request::EvictTenant { .. } | Request::Goodbye)
+        !matches!(
+            self,
+            Request::EvictTenant { .. }
+                | Request::Goodbye
+                | Request::FedOpen { .. }
+                | Request::FedMsg { .. }
+                | Request::FedClose { .. }
+        )
     }
 }
 
@@ -813,6 +922,28 @@ pub enum Response {
         /// The per-opcode budget it exceeded, in milliseconds.
         budget_ms: u64,
     },
+    /// A federated session was opened on the hub.
+    FedOpened {
+        /// The session id now hosted.
+        session: u64,
+    },
+    /// The calling owner's drained mailbox: encoded `rbt_protocol`
+    /// messages, hub → owner.
+    FedMsgs {
+        /// Encoded protocol messages, opaque to the framing layer.
+        messages: Vec<Vec<u8>>,
+    },
+    /// Outcome of a federated result poll.
+    FedSummary {
+        /// The encoded `JointDataset` protocol message once the session's
+        /// receiver has completed; `None` while rounds are in flight.
+        summary: Option<Vec<u8>>,
+    },
+    /// Outcome of a federated session close.
+    FedClosed {
+        /// Whether the session existed.
+        existed: bool,
+    },
     /// The request failed.
     Error {
         /// Error family, matching the CLI exit-code taxonomy (2 usage,
@@ -841,6 +972,10 @@ impl Response {
             Response::Reloaded { .. } => Opcode::ReloadKeys,
             Response::GoingAway { .. } => Opcode::GoingAway,
             Response::Deadline { .. } => Opcode::Deadline,
+            Response::FedOpened { .. } => Opcode::FedOpen,
+            Response::FedMsgs { .. } => Opcode::FedMsg,
+            Response::FedSummary { .. } => Opcode::FedResult,
+            Response::FedClosed { .. } => Opcode::FedClose,
             Response::Error { .. } => Opcode::Error,
         }
     }
@@ -883,6 +1018,16 @@ impl Response {
                 w.put_u64(*waited_ms);
                 w.put_u64(*budget_ms);
             }
+            Response::FedOpened { session } => w.put_u64(*session),
+            Response::FedMsgs { messages } => encode_blobs(&mut w, messages),
+            Response::FedSummary { summary } => {
+                w.put_bool(summary.is_some());
+                if let Some(bytes) = summary {
+                    w.put_usize(bytes.len());
+                    w.put_bytes(bytes);
+                }
+            }
+            Response::FedClosed { existed } => w.put_bool(*existed),
             Response::Error { code, message } => {
                 w.put_u8(*code);
                 w.put_str(message);
@@ -926,6 +1071,23 @@ impl Response {
             Opcode::Deadline => Response::Deadline {
                 waited_ms: r.take_u64()?,
                 budget_ms: r.take_u64()?,
+            },
+            Opcode::FedOpen => Response::FedOpened {
+                session: r.take_u64()?,
+            },
+            Opcode::FedMsg => Response::FedMsgs {
+                messages: decode_blobs(&mut r)?,
+            },
+            Opcode::FedResult => Response::FedSummary {
+                summary: if r.take_bool()? {
+                    let len = r.take_usize()?;
+                    Some(r.take_bytes(len)?.to_vec())
+                } else {
+                    None
+                },
+            },
+            Opcode::FedClose => Response::FedClosed {
+                existed: r.take_bool()?,
             },
             Opcode::Error => Response::Error {
                 code: r.take_u8()?,
@@ -997,6 +1159,21 @@ mod tests {
             Request::Ping,
             Request::ReloadKeys,
             Request::Goodbye,
+            Request::FedOpen {
+                config: vec![9, 8, 7, 6, 0, 255],
+            },
+            Request::FedMsg {
+                session: 0xFEED_F00D,
+                owner: 3,
+                messages: vec![vec![1, 2, 3], Vec::new(), vec![255; 17]],
+            },
+            Request::FedMsg {
+                session: 1,
+                owner: 0,
+                messages: Vec::new(),
+            },
+            Request::FedResult { session: u64::MAX },
+            Request::FedClose { session: 0 },
         ];
         for req in requests {
             let frame = req.to_frame();
@@ -1040,6 +1217,15 @@ mod tests {
                 code: 4,
                 message: "checksum mismatch".to_string(),
             },
+            Response::FedOpened { session: 77 },
+            Response::FedMsgs {
+                messages: vec![Vec::new(), vec![42; 9]],
+            },
+            Response::FedSummary { summary: None },
+            Response::FedSummary {
+                summary: Some(vec![0, 1, 2, 3]),
+            },
+            Response::FedClosed { existed: false },
         ];
         for resp in responses {
             let frame = resp.to_frame();

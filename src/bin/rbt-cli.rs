@@ -14,8 +14,11 @@
 //! rbt-cli audit --original data.csv --released released.csv
 //! rbt-cli serve --keys <dir> [--addr host:port] [--capacity N] [--window W]
 //!         [--max-conns N] [--read-timeout ms] [--drain-timeout ms]
-//! rbt-cli bench-serve [--tenants N] [--rows N] [--batches N] [--quick-smoke]
-//!         [--restart-mid-run]
+//! rbt-cli bench-serve [--tenants N | N,N,...] [--rows N] [--batches N]
+//!         [--quick-smoke] [--restart-mid-run]
+//! rbt-cli federate coordinate --addr host:port --session N --owners N --cols C
+//! rbt-cli federate join --addr host:port --session N --owner I --input b.csv
+//! rbt-cli federate receive --addr host:port --session N [--output labels.csv]
 //! ```
 //!
 //! `release` normalizes, rotates, and writes three artifacts: the shareable
@@ -35,8 +38,9 @@ use rbt::api::{decode_fitted, FittedRbt, FittedTransform, Method, PrivacyTransfo
 use rbt::core::{Pipeline, RbtConfig, ReleaseSession, TransformationKey};
 use rbt::data::{csv, FittedNormalizer, Normalization};
 use rbt::prelude::Release;
+use rbt::protocol::{FederationConfig, KeyPolicy, Message, Owner, Party, ProtocolError};
 use rbt::server::{
-    Client, KeyStore, RetryPolicy, Server, ServerConfig, ServerError, SessionRegistry,
+    Client, ClientError, KeyStore, RetryPolicy, Server, ServerConfig, ServerError, SessionRegistry,
 };
 use rbt::{Dataset, Matrix, PairwiseSecurityThreshold, VarianceMode};
 use std::collections::HashMap;
@@ -120,6 +124,7 @@ fn main() -> ExitCode {
         "audit" => cmd_audit(rest),
         "serve" => cmd_serve(rest),
         "bench-serve" => cmd_bench_serve(rest),
+        "federate" => cmd_federate(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -169,9 +174,24 @@ Serving (the multi-tenant release daemon; see ARCHITECTURE.md \"Serving layer\")
           [--max-conns <connection cap, default 256>]
           [--read-timeout <ms before an idle/stalled peer is reaped, default 60000>]
           [--drain-timeout <ms shutdown waits for in-flight work, default 5000>]
-  rbt-cli bench-serve [--tenants <N, default 8>] [--rows <per batch>]
+  rbt-cli bench-serve [--tenants <N or comma list, default 8>] [--rows <per batch>]
           [--batches <per tenant>] [--out <json path>] [--quick-smoke]
           [--restart-mid-run]
+    A comma list (e.g. --tenants 2,4,8) sweeps tenant counts and records
+    the scaling curve in the JSON report; --restart-mid-run applies to the
+    last point of the sweep.
+
+Federated release (N owners, one joint clustering; ARCHITECTURE.md
+\"Federated release layer\"):
+  rbt-cli federate coordinate --addr <host:port> --session <u64>
+          --owners <N> --cols <C> [--rho <f64, default 0.3>] [--seed <u64>]
+          [--normalization zscore|minmax|decimal|robust] [--k <clusters, default 3>]
+          [--max-iters <default 128>] [--key-policy shared|per-owner]
+  rbt-cli federate join --addr <host:port> --session <u64> --owner <idx>
+          --input <csv> [--key <file to save the reconstructed key>]
+          [--wait-ms <poll budget, default 60000>]
+  rbt-cli federate receive --addr <host:port> --session <u64>
+          [--output <labels csv>] [--wait-ms <poll budget, default 60000>]
 
 Exit codes: 0 ok · 2 usage/config · 3 input data · 4 corrupt key file ·
 5 shape mismatch · 6 infeasible threshold · 7 method capability · 1 other";
@@ -734,26 +754,61 @@ fn bench_tenant_data(tenant: usize, rows: usize, cols: usize, spread: f64) -> Da
     .unwrap()
 }
 
+/// One measured point of the tenant-scaling sweep.
+struct BenchPoint {
+    tenants: usize,
+    total_rows: usize,
+    wall: f64,
+    rows_per_sec: f64,
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    max: u64,
+    drift_rows: u64,
+    capacity: u64,
+    live_sessions: u64,
+    total_evictions: u64,
+}
+
 fn cmd_bench_serve(args: &[String]) -> CliResult<()> {
     let flags = parse_flags(args, &["quick-smoke", "restart-mid-run"])?;
     let quick = flags.contains_key("quick-smoke");
     let restart = flags.contains_key("restart-mid-run");
-    let tenants = parse_flag_usize(&flags, "tenants", 8)?.max(1);
+    // `--tenants` takes a single count or a comma list; a list sweeps the
+    // counts in order and the JSON report records the scaling curve.
+    let tenant_counts: Vec<usize> = match flags.get("tenants") {
+        Some(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map(|n| n.max(1))
+                    .map_err(|e| CliError::usage(format!("bad --tenants entry {s:?}: {e}")))
+            })
+            .collect::<CliResult<Vec<_>>>()?,
+        None => vec![8],
+    };
+    if tenant_counts.is_empty() {
+        return Err(CliError::usage("--tenants needs at least one count"));
+    }
     let rows = parse_flag_usize(&flags, "rows", if quick { 64 } else { 2000 })?.max(1);
     let batches = parse_flag_usize(&flags, "batches", if quick { 4 } else { 50 })?.max(1);
     let out_path = flags.get("out").map(PathBuf::from).unwrap_or_else(|| {
         PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_server.json"))
     });
     let cols = 4;
+    let max_tenants = *tenant_counts.iter().max().expect("non-empty counts");
 
-    // Fit one RBT session per tenant on its own data. Random draws can
-    // make a pairwise threshold infeasible; retry with fresh seeds (still
+    // Fit one RBT session per tenant on its own data, once for the
+    // largest count — smaller sweep points reuse a prefix, so tenant `t`
+    // serves the identical key at every point. Random draws can make a
+    // pairwise threshold infeasible; retry with fresh seeds (still
     // deterministic) until every tenant fits.
     let method = rbt::api::RbtMethod::new(RbtConfig::uniform(
         PairwiseSecurityThreshold::uniform(0.05).map_err(|e| CliError::usage(e.to_string()))?,
     ));
-    let mut keys: Vec<Vec<u8>> = Vec::with_capacity(tenants);
-    for t in 0..tenants {
+    let mut keys: Vec<Vec<u8>> = Vec::with_capacity(max_tenants);
+    for t in 0..max_tenants {
         let fit_data = bench_tenant_data(t, 256, cols, 100.0);
         let fitted = (0..20)
             .find_map(|attempt| {
@@ -764,6 +819,116 @@ fn cmd_bench_serve(args: &[String]) -> CliResult<()> {
         keys.push(fitted.fitted.to_bytes()?);
     }
 
+    let mut points = Vec::with_capacity(tenant_counts.len());
+    for (i, &tenants) in tenant_counts.iter().enumerate() {
+        // The restart drill only makes sense once per invocation; run it
+        // on the final (usually largest) point.
+        let point_restart = restart && i + 1 == tenant_counts.len();
+        let point = bench_point(
+            tenants,
+            &keys[..tenants],
+            rows,
+            batches,
+            cols,
+            point_restart,
+        )?;
+        println!(
+            "bench-serve [{}/{}]: {tenants} tenants x {batches} batches x {rows} rows \
+             = {} rows in {:.2}s (sustained {:.0} rows/sec, p50 {} us, p99 {} us)",
+            i + 1,
+            tenant_counts.len(),
+            point.total_rows,
+            point.wall,
+            point.rows_per_sec,
+            point.p50,
+            point.p99
+        );
+        points.push(point);
+    }
+    let head = points.last().expect("at least one sweep point");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"generated_by\": \"cargo run --release --bin rbt-cli -- bench-serve{}\",",
+        if quick { " --quick-smoke" } else { "" }
+    );
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if quick { "quick-smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"restarted_mid_run\": {restart},");
+    let _ = writeln!(
+        json,
+        "  \"host_threads\": {},",
+        rbt::linalg::pool::default_threads()
+    );
+    let _ = writeln!(json, "  \"tenants\": {},", head.tenants);
+    let _ = writeln!(json, "  \"rows_per_batch\": {rows},");
+    let _ = writeln!(json, "  \"batches_per_tenant\": {batches},");
+    let _ = writeln!(json, "  \"total_rows\": {},", head.total_rows);
+    let _ = writeln!(json, "  \"wall_seconds\": {:.6},", head.wall);
+    let _ = writeln!(
+        json,
+        "  \"sustained_rows_per_sec\": {:.1},",
+        head.rows_per_sec
+    );
+    let _ = writeln!(
+        json,
+        "  \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},",
+        head.p50, head.p90, head.p99, head.max
+    );
+    let _ = writeln!(
+        json,
+        "  \"server\": {{\"capacity\": {}, \"live_sessions\": {}, \"total_evictions\": {}, \
+         \"drift_rows_total\": {}}},",
+        head.capacity, head.live_sessions, head.total_evictions, head.drift_rows
+    );
+    // The tenant-scaling curve: one entry per sweep point, in the order
+    // requested.
+    json.push_str("  \"sweep\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"tenants\": {}, \"total_rows\": {}, \"wall_seconds\": {:.6}, \
+             \"sustained_rows_per_sec\": {:.1}, \"latency_us\": {{\"p50\": {}, \"p90\": {}, \
+             \"p99\": {}, \"max\": {}}}, \"drift_rows_total\": {}}}{}",
+            p.tenants,
+            p.total_rows,
+            p.wall,
+            p.rows_per_sec,
+            p.p50,
+            p.p90,
+            p.p99,
+            p.max,
+            p.drift_rows,
+            if i + 1 == points.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json)
+        .map_err(|e| CliError::io(format!("writing {}: {e}", out_path.display())))?;
+
+    println!(
+        "  sweep of {} point(s) done; perf record -> {}",
+        points.len(),
+        out_path.display()
+    );
+    Ok(())
+}
+
+/// Runs one sweep point: a fresh server + registry sized for `tenants`,
+/// the keyed tenants loaded, then the measured concurrent-transform phase
+/// (optionally with the mid-run restart drill).
+fn bench_point(
+    tenants: usize,
+    keys: &[Vec<u8>],
+    rows: usize,
+    batches: usize,
+    cols: usize,
+    restart: bool,
+) -> CliResult<BenchPoint> {
     let registry = Arc::new(SessionRegistry::new(tenants));
     let server = Server::spawn("127.0.0.1:0", Arc::clone(&registry), 8)
         .map_err(|e| CliError::io(format!("binding bench server: {e}")))?;
@@ -875,60 +1040,253 @@ fn cmd_bench_serve(args: &[String]) -> CliResult<()> {
         latencies_us[idx]
     };
     let total_rows = tenants * batches * rows;
-    let rows_per_sec = total_rows as f64 / wall;
-    let drift_total: u64 = stats.tenants.iter().map(|t| t.drift_rows).sum();
+    Ok(BenchPoint {
+        tenants,
+        total_rows,
+        wall,
+        rows_per_sec: total_rows as f64 / wall,
+        p50: pct(0.50),
+        p90: pct(0.90),
+        p99: pct(0.99),
+        max: latencies_us[latencies_us.len() - 1],
+        drift_rows: stats.tenants.iter().map(|t| t.drift_rows).sum(),
+        capacity: stats.capacity,
+        live_sessions: stats.live_sessions,
+        total_evictions: stats.total_evictions,
+    })
+}
 
-    let mut json = String::from("{\n");
-    let _ = writeln!(
-        json,
-        "  \"generated_by\": \"cargo run --release --bin rbt-cli -- bench-serve{}\",",
-        if quick { " --quick-smoke" } else { "" }
-    );
-    let _ = writeln!(
-        json,
-        "  \"mode\": \"{}\",",
-        if quick { "quick-smoke" } else { "full" }
-    );
-    let _ = writeln!(json, "  \"restarted_mid_run\": {restart},");
-    let _ = writeln!(
-        json,
-        "  \"host_threads\": {},",
-        rbt::linalg::pool::default_threads()
-    );
-    let _ = writeln!(json, "  \"tenants\": {tenants},");
-    let _ = writeln!(json, "  \"rows_per_batch\": {rows},");
-    let _ = writeln!(json, "  \"batches_per_tenant\": {batches},");
-    let _ = writeln!(json, "  \"total_rows\": {total_rows},");
-    let _ = writeln!(json, "  \"wall_seconds\": {wall:.6},");
-    let _ = writeln!(json, "  \"sustained_rows_per_sec\": {rows_per_sec:.1},");
-    let _ = writeln!(
-        json,
-        "  \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},",
-        pct(0.50),
-        pct(0.90),
-        pct(0.99),
-        latencies_us[latencies_us.len() - 1]
-    );
-    let _ = writeln!(
-        json,
-        "  \"server\": {{\"capacity\": {}, \"live_sessions\": {}, \"total_evictions\": {}, \
-         \"drift_rows_total\": {drift_total}}}",
-        stats.capacity, stats.live_sessions, stats.total_evictions
-    );
-    json.push_str("}\n");
-    std::fs::write(&out_path, &json)
-        .map_err(|e| CliError::io(format!("writing {}: {e}", out_path.display())))?;
+// ---------------------------------------------------------------------------
+// Federated release: N owners, one joint clustering, over a running server.
 
+impl From<ProtocolError> for CliError {
+    fn from(e: ProtocolError) -> Self {
+        let code = match &e {
+            ProtocolError::Decode(_) => 4,
+            ProtocolError::ShapeMismatch(_) => 5,
+            ProtocolError::InvalidConfig(_)
+            | ProtocolError::UnknownSession(_)
+            | ProtocolError::SessionExists(_)
+            | ProtocolError::OwnerOutOfRange { .. }
+            | ProtocolError::SessionMismatch { .. } => 2,
+            _ => 3,
+        };
+        CliError {
+            code,
+            message: format!("federation: {e}"),
+        }
+    }
+}
+
+/// A server call failure keeps its server-assigned code family; transport
+/// failures land in the codec/wire family (4).
+fn from_client_err(e: ClientError) -> CliError {
+    let code = match &e {
+        ClientError::Server { code, .. } => *code,
+        _ => 4,
+    };
+    CliError {
+        code,
+        message: format!("server call: {e}"),
+    }
+}
+
+fn required_u64(flags: &HashMap<String, String>, name: &str) -> CliResult<u64> {
+    required(flags, name)?
+        .parse()
+        .map_err(|e| CliError::usage(format!("bad --{name}: {e}")))
+}
+
+/// Encodes a federation config for the `FedOpen` wire body.
+fn encode_fed_config(cfg: &FederationConfig) -> Vec<u8> {
+    let mut w = rbt::linalg::codec::ByteWriter::new();
+    cfg.encode_into(&mut w);
+    w.into_bytes()
+}
+
+fn cmd_federate(args: &[String]) -> CliResult<()> {
+    let Some((verb, rest)) = args.split_first() else {
+        return Err(CliError::usage(
+            "federate requires a sub-command: coordinate | join | receive",
+        ));
+    };
+    match verb.as_str() {
+        "coordinate" => cmd_federate_coordinate(rest),
+        "join" => cmd_federate_join(rest),
+        "receive" => cmd_federate_receive(rest),
+        other => Err(CliError::usage(format!(
+            "unknown federate sub-command {other:?} (coordinate | join | receive)"
+        ))),
+    }
+}
+
+fn cmd_federate_coordinate(args: &[String]) -> CliResult<()> {
+    let flags = parse_flags(args, &[])?;
+    let addr = required(&flags, "addr")?.to_string();
+    let session = required_u64(&flags, "session")?;
+    let owners = required_u64(&flags, "owners")? as u16;
+    let n_cols = required_u64(&flags, "cols")? as usize;
+    let rho = parse_rho(&flags)?;
+    let seed = parse_seed(&flags)?;
+    let normalization = parse_normalization(&flags)?;
+    let kmeans_k = parse_flag_usize(&flags, "k", 3)?;
+    let kmeans_max_iters = parse_flag_usize(&flags, "max-iters", 128)?;
+    let key_policy = match flags.get("key-policy").map(String::as_str) {
+        None | Some("shared") => KeyPolicy::Shared,
+        Some("per-owner") => KeyPolicy::PerOwner,
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown key policy {other:?} (shared | per-owner)"
+            )))
+        }
+    };
+    let cfg = FederationConfig {
+        session,
+        n_cols,
+        owners,
+        normalization,
+        rbt: RbtConfig::uniform(PairwiseSecurityThreshold::uniform(rho)?),
+        key_policy,
+        seed,
+        kmeans_k,
+        kmeans_max_iters,
+    };
+    cfg.validate()?;
+    let mut client = Client::connect(&addr).map_err(from_client_err)?;
+    client
+        .fed_open(encode_fed_config(&cfg))
+        .map_err(from_client_err)?;
     println!(
-        "bench-serve: {tenants} tenants x {batches} batches x {rows} rows \
-         = {total_rows} rows in {wall:.2}s"
+        "federated session {session} open on {addr}: {owners} owners x {n_cols} attributes, \
+         rho {rho}, seed {seed}"
     );
     println!(
-        "  sustained {rows_per_sec:.0} rows/sec; latency p50 {} us, p99 {} us; \
-         drift rows {drift_total}",
-        pct(0.50),
-        pct(0.99)
+        "each owner now runs: rbt-cli federate join --addr {addr} --session {session} \
+         --owner <0..{owners}> --input <csv>"
     );
-    println!("  perf record -> {}", out_path.display());
+    println!("then: rbt-cli federate receive --addr {addr} --session {session}");
+    Ok(())
+}
+
+fn cmd_federate_join(args: &[String]) -> CliResult<()> {
+    let flags = parse_flags(args, &[])?;
+    let addr = required(&flags, "addr")?.to_string();
+    let session = required_u64(&flags, "session")?;
+    let owner_id = required_u64(&flags, "owner")? as u16;
+    let input = PathBuf::from(required(&flags, "input")?);
+    let wait = parse_flag_ms(&flags, "wait-ms", 60_000)?;
+    let key_path = flags.get("key").map(PathBuf::from);
+
+    let block = read_csv(&input)?;
+    let rows = block.n_rows();
+    let mut owner = Owner::new(owner_id, session, block.matrix().clone())?;
+    let mut client = Client::connect(&addr).map_err(from_client_err)?;
+
+    // Round-trip polling: deliver whatever the owner produced last turn,
+    // feed the drained mailbox back into the state machine, and idle
+    // briefly when neither side had anything to say. The budget bounds a
+    // session whose other owners never show up.
+    let deadline = Instant::now() + wait;
+    let mut outbox: Vec<Vec<u8>> = Vec::new();
+    while !(owner.is_released() && outbox.is_empty()) {
+        if Instant::now() > deadline {
+            return Err(CliError::io(format!(
+                "federation timed out after {:?} in owner state {} — are all owners joined?",
+                wait,
+                owner.state_name()
+            )));
+        }
+        let inbound = client
+            .fed_exchange(session, owner_id, std::mem::take(&mut outbox))
+            .map_err(from_client_err)?;
+        if inbound.is_empty() {
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        }
+        for bytes in inbound {
+            let msg = Message::decode(&bytes).map_err(ProtocolError::Decode)?;
+            for out in owner.handle(&msg)? {
+                debug_assert!(!matches!(out.to, Party::Owner(_)));
+                outbox.push(out.msg.encode());
+            }
+        }
+    }
+
+    println!("owner {owner_id} released {rows} rows into session {session}");
+    if let Some(key) = owner.key() {
+        if let Some(path) = key_path {
+            write_file(&path, &key.to_string())?;
+            println!("reconstructed transformation key -> {}", path.display());
+        } else {
+            println!("reconstructed the session transformation key (pass --key to save it)");
+        }
+    } else if let Some(path) = key_path {
+        return Err(CliError::usage(format!(
+            "--key {} requested but this key policy keeps no shareable key",
+            path.display()
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_federate_receive(args: &[String]) -> CliResult<()> {
+    let flags = parse_flags(args, &[])?;
+    let addr = required(&flags, "addr")?.to_string();
+    let session = required_u64(&flags, "session")?;
+    let wait = parse_flag_ms(&flags, "wait-ms", 60_000)?;
+    let output = flags.get("output").map(PathBuf::from);
+
+    let mut client = Client::connect(&addr).map_err(from_client_err)?;
+    let deadline = Instant::now() + wait;
+    let summary = loop {
+        match client.fed_result(session).map_err(from_client_err)? {
+            Some(bytes) => {
+                let Message::JointDataset { summary, .. } =
+                    Message::decode(&bytes).map_err(ProtocolError::Decode)?
+                else {
+                    return Err(CliError::io(
+                        "server returned a non-JointDataset federation result",
+                    ));
+                };
+                break summary;
+            }
+            None if Instant::now() > deadline => {
+                return Err(CliError::io(format!(
+                    "no joint result after {wait:?} — are all owners joined and released?"
+                )));
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    };
+
+    let k = summary
+        .labels
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1);
+    let mut sizes = vec![0usize; k];
+    for &l in &summary.labels {
+        sizes[l as usize] += 1;
+    }
+    println!(
+        "joint clustering of session {session}: {} rows x {} attributes, {} clusters",
+        summary.rows, summary.cols, k
+    );
+    println!(
+        "  inertia {:.6}, {} iterations, converged: {}",
+        summary.inertia, summary.iterations, summary.converged
+    );
+    for (c, size) in sizes.iter().enumerate() {
+        println!("  cluster {c}: {size} rows");
+    }
+    if let Some(path) = output {
+        let mut csv_text = String::from("row,cluster\n");
+        for (i, l) in summary.labels.iter().enumerate() {
+            let _ = writeln!(csv_text, "{i},{l}");
+        }
+        write_file(&path, &csv_text)?;
+        println!("labels -> {}", path.display());
+    }
     Ok(())
 }

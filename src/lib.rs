@@ -13,6 +13,7 @@
 //! | [`transform`] | `rbt-transform` | baseline perturbation methods |
 //! | [`attack`] | `rbt-attack` | attacks on rotation perturbation |
 //! | [`api`] | `rbt-api` | the release API: `PrivacyTransform`, `Release` builder, method registry, `RbtError` |
+//! | [`protocol`] | `rbt-protocol` | multi-owner federated release: typed party state machines, federation hub, chaos harness |
 //! | [`server`] | `rbt-server` | the multi-tenant release daemon: `RBTW` wire protocol, LRU session registry, blocking client |
 //!
 //! ## Quickstart
@@ -51,6 +52,7 @@ pub use rbt_cluster as cluster;
 pub use rbt_core as core;
 pub use rbt_data as data;
 pub use rbt_linalg as linalg;
+pub use rbt_protocol as protocol;
 pub use rbt_server as server;
 pub use rbt_transform as transform;
 
