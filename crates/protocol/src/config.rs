@@ -18,6 +18,25 @@ use rbt_linalg::stats::VarianceMode;
 /// hub's per-session memory.
 pub const MAX_OWNERS: u16 = 64;
 
+/// Hard upper bound on the announced attribute count.
+///
+/// Column indices travel as `u16` in `PairChain`/`ApplyRotation` messages,
+/// so a wider matrix could not be addressed on the wire — and the bound
+/// keeps an unauthenticated `Announce`/`FedOpen` from driving huge
+/// per-column allocations before any data arrives.
+pub const MAX_COLS: usize = u16::MAX as usize;
+
+/// Plausibility cap on the announced solver grid resolution (the default
+/// is 1440; the cap bounds the per-pair solve loop).
+pub const MAX_SOLVER_GRID: usize = 1 << 20;
+
+/// Plausibility cap on the announced joint cluster count (bounds the
+/// receiver's centroid allocation).
+pub const MAX_KMEANS_K: usize = 1 << 12;
+
+/// Plausibility cap on the announced joint k-means iteration budget.
+pub const MAX_KMEANS_MAX_ITERS: usize = 1 << 20;
+
 /// Who holds the transformation key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
@@ -68,8 +87,11 @@ impl FederationConfig {
     /// # Errors
     ///
     /// [`ProtocolError::InvalidConfig`] for an owner count outside
-    /// `2..=MAX_OWNERS`, fewer than 2 attributes, `k == 0`, or a
-    /// normalization with no chainable partial fit.
+    /// `2..=MAX_OWNERS`, an attribute count outside `2..=MAX_COLS`,
+    /// `kmeans_k` outside `1..=MAX_KMEANS_K`, an out-of-bounds solver grid
+    /// or iteration budget, or a normalization with no chainable partial
+    /// fit. All bounds are checked before anything is allocated, so an
+    /// unauthenticated config cannot trigger an OOM here.
     pub fn validate(&self) -> Result<()> {
         if self.owners < 2 || self.owners > MAX_OWNERS {
             return Err(ProtocolError::InvalidConfig(format!(
@@ -77,14 +99,29 @@ impl FederationConfig {
                 self.owners
             )));
         }
-        if self.n_cols < 2 {
+        if self.n_cols < 2 || self.n_cols > MAX_COLS {
             return Err(ProtocolError::InvalidConfig(format!(
-                "RBT needs at least 2 attributes, got {}",
+                "attribute count {} outside 2..={MAX_COLS}",
                 self.n_cols
             )));
         }
-        if self.kmeans_k == 0 {
-            return Err(ProtocolError::InvalidConfig("kmeans_k must be ≥ 1".into()));
+        if self.rbt.solver_grid > MAX_SOLVER_GRID {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "solver grid {} exceeds {MAX_SOLVER_GRID}",
+                self.rbt.solver_grid
+            )));
+        }
+        if self.kmeans_k == 0 || self.kmeans_k > MAX_KMEANS_K {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "kmeans_k {} outside 1..={MAX_KMEANS_K}",
+                self.kmeans_k
+            )));
+        }
+        if self.kmeans_max_iters > MAX_KMEANS_MAX_ITERS {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "kmeans_max_iters {} exceeds {MAX_KMEANS_MAX_ITERS}",
+                self.kmeans_max_iters
+            )));
         }
         // Surface an unchainable normalization at announce time, not
         // mid-chain: the partial fit is what the protocol is built on.
@@ -122,18 +159,24 @@ impl FederationConfig {
 
     /// Decodes a configuration written by [`encode_into`](Self::encode_into).
     ///
+    /// The size-like fields (`n_cols`, `solver_grid`, `kmeans_k`,
+    /// `kmeans_max_iters`) are bounded here, at decode time, so an
+    /// unauthenticated frame can never carry an allocation-driving count
+    /// into [`validate`](Self::validate) or any party state machine.
+    ///
     /// # Errors
     ///
-    /// [`DecodeError`] on truncation or an unknown tag.
+    /// [`DecodeError`] on truncation, an unknown tag, or an implausible
+    /// size field.
     pub fn decode_from(r: &mut ByteReader<'_>) -> DecodeResult<Self> {
         let session = r.take_u64()?;
-        let n_cols = r.take_usize()?;
+        let n_cols = take_bounded_usize(r, MAX_COLS, "attribute count")?;
         let owners = r.take_u16()?;
         let normalization = decode_normalization(r)?;
         let pairing = decode_pairing(r)?;
         let thresholds = decode_thresholds(r)?;
         let variance_mode = decode_variance_mode(r)?;
-        let solver_grid = r.take_usize()?;
+        let solver_grid = take_bounded_usize(r, MAX_SOLVER_GRID, "solver grid")?;
         let key_policy = match r.take_u8()? {
             0 => KeyPolicy::Shared,
             1 => KeyPolicy::PerOwner,
@@ -145,8 +188,8 @@ impl FederationConfig {
             }
         };
         let seed = r.take_u64()?;
-        let kmeans_k = r.take_usize()?;
-        let kmeans_max_iters = r.take_usize()?;
+        let kmeans_k = take_bounded_usize(r, MAX_KMEANS_K, "kmeans_k")?;
+        let kmeans_max_iters = take_bounded_usize(r, MAX_KMEANS_MAX_ITERS, "kmeans_max_iters")?;
         Ok(FederationConfig {
             session,
             n_cols,
@@ -164,6 +207,20 @@ impl FederationConfig {
             kmeans_max_iters,
         })
     }
+}
+
+/// Reads a usize field and rejects values above `max` with a typed decode
+/// error naming the field.
+fn take_bounded_usize(r: &mut ByteReader<'_>, max: usize, what: &str) -> DecodeResult<usize> {
+    let offset = r.position();
+    let v = r.take_usize()?;
+    if v > max {
+        return Err(DecodeError::Malformed {
+            offset,
+            message: format!("implausible {what} {v} (max {max})"),
+        });
+    }
+    Ok(v)
 }
 
 fn variance_mode_tag(mode: VarianceMode) -> u8 {
@@ -382,6 +439,63 @@ mod tests {
             cfg.validate(),
             Err(ProtocolError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn validate_bounds_size_fields_before_allocating() {
+        // An absurd n_cols must be rejected up front — not passed to
+        // begin_partial_fit, where it would drive a multi-TB allocation.
+        let mut cfg = sample_config();
+        cfg.n_cols = 1 << 40;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ProtocolError::InvalidConfig(_))
+        ));
+
+        let mut cfg = sample_config();
+        cfg.n_cols = MAX_COLS + 1;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = sample_config();
+        cfg.rbt.solver_grid = MAX_SOLVER_GRID + 1;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = sample_config();
+        cfg.kmeans_k = MAX_KMEANS_K + 1;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = sample_config();
+        cfg.kmeans_max_iters = MAX_KMEANS_MAX_ITERS + 1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn decode_rejects_implausible_size_fields() {
+        // Every size-like field must be bounded at decode time, so a
+        // ~100-byte unauthenticated frame cannot smuggle in an
+        // allocation-driving count.
+        type Poison = fn(&mut FederationConfig);
+        let cases: [(Poison, &str); 4] = [
+            (|c| c.n_cols = 1 << 40, "n_cols"),
+            (|c| c.rbt.solver_grid = MAX_SOLVER_GRID + 1, "solver_grid"),
+            (|c| c.kmeans_k = MAX_KMEANS_K + 1, "kmeans_k"),
+            (
+                |c| c.kmeans_max_iters = MAX_KMEANS_MAX_ITERS + 1,
+                "kmeans_max_iters",
+            ),
+        ];
+        for (poison, what) in cases {
+            let mut cfg = sample_config();
+            poison(&mut cfg);
+            let mut w = ByteWriter::new();
+            cfg.encode_into(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert!(
+                FederationConfig::decode_from(&mut r).is_err(),
+                "oversized {what} decoded"
+            );
+        }
     }
 
     #[test]

@@ -198,7 +198,7 @@ impl InProcessFederation {
                 delivered += 1;
                 let outs = match out.to {
                     Party::Coordinator => self.coordinator.handle(&msg)?,
-                    Party::Receiver => self.receiver.handle(&msg)?,
+                    Party::Receiver => self.receiver.handle(msg)?,
                     Party::Owner(o) => {
                         let idx = o as usize;
                         if idx >= self.owners.len() {

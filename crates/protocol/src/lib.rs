@@ -112,6 +112,16 @@ pub enum ProtocolError {
         /// The announced owner count.
         owners: u16,
     },
+    /// A hub exchange delivered a message claiming to originate from a
+    /// different owner than the one the exchange was made for
+    /// (impersonation attempt; the message is rejected without poisoning
+    /// the session).
+    OwnerMismatch {
+        /// Owner index the message claims to originate from.
+        claimed: u16,
+        /// Owner index the exchange was made for.
+        exchanging: u16,
+    },
     /// Two parts of the federation disagreed on data shape.
     ShapeMismatch(String),
     /// A message or accumulator payload could not be decoded (truncation,
@@ -160,6 +170,15 @@ impl fmt::Display for ProtocolError {
                 write!(
                     f,
                     "owner {owner} out of range (session has {owners} owners)"
+                )
+            }
+            ProtocolError::OwnerMismatch {
+                claimed,
+                exchanging,
+            } => {
+                write!(
+                    f,
+                    "message claims owner {claimed} but was exchanged by owner {exchanging}"
                 )
             }
             ProtocolError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),

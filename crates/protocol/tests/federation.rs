@@ -384,23 +384,73 @@ fn hub_rejects_duplicates_capacity_and_poisons_failed_sessions() {
         Err(ProtocolError::OwnerOutOfRange { .. })
     ));
 
-    // An out-of-protocol message poisons the session...
+    // A message claiming another owner's identity is rejected without
+    // poisoning the session: impersonation can't stall honest owners.
     let err = hub
         .exchange(
             1,
             0,
             vec![Message::Join {
                 session: 1,
-                owner: 7,
+                owner: 1,
                 rows: 10,
             }],
         )
         .unwrap_err();
-    assert!(matches!(err, ProtocolError::OwnerOutOfRange { .. }));
+    assert!(matches!(
+        err,
+        ProtocolError::OwnerMismatch {
+            claimed: 1,
+            exchanging: 0
+        }
+    ));
+    assert!(hub.exchange(1, 0, Vec::new()).is_ok());
+
+    // An actual protocol violation (duplicate Join) poisons the session...
+    let join = Message::Join {
+        session: 1,
+        owner: 0,
+        rows: 10,
+    };
+    let err = hub.exchange(1, 0, vec![join.clone(), join]).unwrap_err();
+    assert!(matches!(err, ProtocolError::DuplicateMessage { .. }));
     // ...and the poison is sticky.
     assert!(hub.exchange(1, 0, Vec::new()).is_err());
     assert!(hub.result(1).is_err());
     assert!(hub.close(1));
+}
+
+/// A full hub reclaims slots held by poisoned or idle-expired sessions
+/// instead of refusing federation service forever.
+#[test]
+fn hub_evicts_failed_and_idle_sessions_under_capacity_pressure() {
+    // Poisoned session: evicted when a new open needs the slot.
+    let mut hub = FederationHub::new(1);
+    hub.open(shared_config(1, 4, 2, 9)).unwrap();
+    let join = Message::Join {
+        session: 1,
+        owner: 0,
+        rows: 10,
+    };
+    hub.exchange(1, 0, vec![join.clone(), join]).unwrap_err();
+    hub.open(shared_config(2, 4, 2, 9))
+        .expect("failed session must not hold the slot");
+    assert!(matches!(
+        hub.exchange(1, 0, Vec::new()),
+        Err(ProtocolError::UnknownSession(1))
+    ));
+    assert!(hub.exchange(2, 0, Vec::new()).is_ok());
+
+    // Idle session: with a zero TTL every untouched session is expired,
+    // so a healthy-but-abandoned open cannot block the next one either.
+    let mut hub = FederationHub::new(1).with_idle_ttl(std::time::Duration::ZERO);
+    hub.open(shared_config(3, 4, 2, 9)).unwrap();
+    hub.open(shared_config(4, 4, 2, 9))
+        .expect("idle-expired session must not hold the slot");
+    assert!(matches!(
+        hub.exchange(3, 0, Vec::new()),
+        Err(ProtocolError::UnknownSession(3))
+    ));
 }
 
 /// Session ids are checked by every party.
