@@ -13,11 +13,15 @@
 //!   [`decode_fitted`](rbt_api::decode_fitted)), and per-tenant counters
 //!   (requests, rows, drift rows, evictions, p50/p99 service time) that
 //!   survive eviction;
-//! * [`Server`] — a blocking TCP daemon, one reader + one worker thread
-//!   per connection with a bounded in-flight window for backpressure,
-//!   deadline enforcement (idle reaper, stall budgets, per-opcode queue
-//!   deadlines), a connection cap, and graceful drain that answers every
-//!   in-flight request before saying `GoingAway`;
+//! * [`Server`] — the TCP daemon, on either of two connection cores
+//!   behind one API ([`ServerConfig::core`]): the default [`reactor`] —
+//!   a readiness-polled event loop owning every socket plus a fixed
+//!   compute pool, so thousands of connections ride a handful of OS
+//!   threads — or the legacy thread-per-connection core; both with a
+//!   bounded in-flight window for backpressure, deadline enforcement
+//!   (idle reaper, stall budgets, per-opcode queue deadlines), a
+//!   connection cap, and graceful drain that answers every in-flight
+//!   request before saying `GoingAway`;
 //! * [`Client`] — the blocking client the CLI, the bench load generator,
 //!   and the integration battery drive the daemon with — now with
 //!   reconnect + exponential backoff, idempotent retry keyed by echoed
@@ -47,6 +51,8 @@ pub mod client;
 pub mod faults;
 pub mod keystore;
 pub mod metrics;
+#[cfg(unix)]
+pub mod reactor;
 pub mod registry;
 pub mod server;
 pub mod wire;
@@ -58,5 +64,8 @@ pub use metrics::{
     LatencyHistogram, RuntimeCounters, RuntimeSnapshot, ServerStats, TenantMetrics, TenantStats,
 };
 pub use registry::{ServerError, ServerResult, SessionRegistry};
-pub use server::{DrainReport, Server, ServerConfig};
-pub use wire::{Frame, FrameEvent, Opcode, Request, Response, WireError, WireResult};
+pub use server::{ConnAccounting, ConnectionCore, DrainReport, Server, ServerConfig};
+pub use wire::{
+    Frame, FrameAssembler, FrameEvent, Opcode, Request, Response, WireError, WireResult,
+    CODE_UNAVAILABLE,
+};

@@ -1,7 +1,16 @@
-//! The blocking TCP server: one accept loop, one reader + one worker
-//! thread per connection, a bounded in-flight window between them — plus
-//! the fault-tolerance layer: deadlines, an idle reaper, a connection cap,
-//! and graceful drain.
+//! The TCP server: the [`Server`] front door, its configuration, and the
+//! legacy *threaded* connection core — one accept loop, one reader + one
+//! worker thread per connection, a bounded in-flight window between them —
+//! plus the fault-tolerance layer: deadlines, an idle reaper, a connection
+//! cap, and graceful drain.
+//!
+//! On Unix the default core is the readiness-polled event loop in
+//! [`crate::reactor`] (selected by [`ServerConfig::core`], overridable
+//! with `RBT_SERVER_CORE=reactor|threaded`): one thread owns every
+//! socket, a fixed pool does the compute, and all the semantics below —
+//! response bytes, counters, drain behaviour — are preserved exactly.
+//! The threaded core described here remains the portable fallback and
+//! the reference the reactor is held to.
 //!
 //! Fault containment is the design center, mirroring the codec's
 //! reject-don't-crash contract at the connection level:
@@ -43,7 +52,7 @@
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -56,6 +65,65 @@ use crate::registry::{ServerError, SessionRegistry};
 use crate::wire::{
     self, Frame, FrameEvent, Opcode, Request, Response, WireError, CODE_UNAVAILABLE,
 };
+
+/// Which connection core [`Server::spawn_with`] runs.
+///
+/// Both cores speak the same wire protocol through the same request
+/// engine, enforce the same lifecycle semantics (idle reaper, stall
+/// budget, queue-wait deadlines, connection cap, graceful drain), and
+/// produce bitwise-identical responses; they differ only in how sockets
+/// are multiplexed onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionCore {
+    /// One reader thread plus one worker thread per connection — two OS
+    /// threads per client. Simple, but caps concurrent connections at the
+    /// thread budget.
+    Threaded,
+    /// One event-loop thread readiness-polling every socket plus a fixed
+    /// worker pool for transform compute (see [`crate::reactor`]). Serves
+    /// thousands of connections on a handful of threads. Falls back to
+    /// [`ConnectionCore::Threaded`] on non-Unix targets, where the
+    /// `poll(2)` shim is unavailable.
+    Reactor,
+}
+
+impl ConnectionCore {
+    /// The default core: [`ConnectionCore::Reactor`] on Unix, overridable
+    /// with the `RBT_SERVER_CORE` environment variable (`threaded` or
+    /// `reactor`, case-insensitive); [`ConnectionCore::Threaded`]
+    /// elsewhere.
+    pub fn from_env() -> ConnectionCore {
+        match std::env::var("RBT_SERVER_CORE") {
+            Ok(v) if v.eq_ignore_ascii_case("threaded") => ConnectionCore::Threaded,
+            Ok(v) if v.eq_ignore_ascii_case("reactor") => ConnectionCore::Reactor,
+            _ => {
+                if cfg!(unix) {
+                    ConnectionCore::Reactor
+                } else {
+                    ConnectionCore::Threaded
+                }
+            }
+        }
+    }
+}
+
+/// Mid-run connection accounting, exposed by [`Server::accounting`] so
+/// tests can assert lifecycle invariants (handles reaped, live count
+/// bounded) *while the server runs*, not only at shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnAccounting {
+    /// Connections admitted over the server's lifetime.
+    pub spawned: u64,
+    /// Connections fully retired (socket closed, resources reclaimed).
+    pub finished: u64,
+    /// Connections currently being served (`spawned - finished`).
+    pub live: u64,
+    /// Finished-but-unreaped handler threads still parked in the join
+    /// backlog. The threaded core reaps in its accept loop, so under churn
+    /// this stays bounded by the arrival rate since the last accept; the
+    /// reactor core has no per-connection threads and always reports 0.
+    pub handle_backlog: u64,
+}
 
 /// Tuning for the serving core's fault-tolerance layer. The defaults are
 /// production-shaped; tests shrink them to make timeouts observable.
@@ -92,6 +160,15 @@ pub struct ServerConfig {
     /// [`FederationHub`] admits; `FedOpen` past the cap is refused with a
     /// typed error.
     pub max_fed_sessions: usize,
+    /// Which connection core to run; defaults to
+    /// [`ConnectionCore::from_env`].
+    pub core: ConnectionCore,
+    /// Worker threads the reactor core uses for transform compute; `0`
+    /// (the default) sizes the pool with
+    /// [`rbt_linalg::pool::default_threads`], which honours the
+    /// `RBT_THREADS` environment variable. Ignored by the threaded core,
+    /// which spawns its workers per connection.
+    pub worker_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -108,6 +185,8 @@ impl Default for ServerConfig {
             control_deadline: Duration::from_secs(10),
             keystore: None,
             max_fed_sessions: 16,
+            core: ConnectionCore::from_env(),
+            worker_threads: 0,
         }
     }
 }
@@ -139,18 +218,40 @@ pub struct DrainReport {
     pub forced: u64,
 }
 
-/// State shared by the accept loop and every connection thread.
-struct Shared {
-    registry: Arc<SessionRegistry>,
-    config: ServerConfig,
-    draining: AtomicBool,
+/// State shared by the accept loop and every connection handler — both
+/// cores route through it, so counters and the request engine behave
+/// identically regardless of [`ConnectionCore`].
+pub(crate) struct Shared {
+    pub(crate) registry: Arc<SessionRegistry>,
+    pub(crate) config: ServerConfig,
+    pub(crate) draining: AtomicBool,
     /// Clones of every live connection's stream, for force-severing at
-    /// the drain deadline. Keyed by connection id.
-    live_conns: Mutex<HashMap<u64, TcpStream>>,
-    spawned: AtomicU64,
-    finished: AtomicU64,
+    /// the drain deadline. Keyed by connection id. The threaded core only:
+    /// the reactor owns its sockets and severs them directly (a clone per
+    /// connection would double the file-descriptor bill).
+    pub(crate) live_conns: Mutex<HashMap<u64, TcpStream>>,
+    pub(crate) spawned: AtomicU64,
+    pub(crate) finished: AtomicU64,
+    /// Handler threads reaped mid-run by the accept loop (threaded core).
+    pub(crate) joined: AtomicU64,
+    /// Parked-wait signal for [`Server::shutdown`]: every connection
+    /// retirement bumps `finished` and notifies, so the drain wakes
+    /// event-driven instead of busy-polling.
+    pub(crate) done_lock: StdMutex<()>,
+    pub(crate) done_cv: Condvar,
     /// Hosts federated release sessions behind the `Fed*` opcodes.
-    hub: Mutex<FederationHub>,
+    pub(crate) hub: Mutex<FederationHub>,
+}
+
+impl Shared {
+    /// Marks one connection fully retired and wakes any parked drain.
+    pub(crate) fn retire_conn(&self) {
+        self.finished.fetch_add(1, Ordering::SeqCst);
+        // Taking the lock orders this notify against a drain that has
+        // checked the counters but not yet parked, so no wakeup is lost.
+        let _guard = self.done_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.done_cv.notify_all();
+    }
 }
 
 /// How the server answers a failed request.
@@ -165,7 +266,7 @@ fn error_response(e: &ServerError) -> Response {
 /// codec failures are code 4, shape violations code 5, session/config
 /// usage errors code 2, everything else (state-machine rejections, data
 /// and method failures) code 3.
-fn fed_error(e: &ProtocolError) -> Response {
+pub(crate) fn fed_error(e: &ProtocolError) -> Response {
     let code = match e {
         ProtocolError::Decode(_) => 4,
         ProtocolError::ShapeMismatch(_) => 5,
@@ -183,7 +284,7 @@ fn fed_error(e: &ProtocolError) -> Response {
 }
 
 /// Serves one decoded request.
-fn process_request(shared: &Shared, request: Request) -> Response {
+pub(crate) fn process_request(shared: &Shared, request: Request) -> Response {
     let registry = &shared.registry;
     match request {
         Request::LoadKey { tenant, key_bytes } => match registry.load_key(&tenant, key_bytes) {
@@ -293,7 +394,12 @@ fn process_request(shared: &Shared, request: Request) -> Response {
 /// queue-wait deadline) and the parse outcome.
 type ReaderItem = (Instant, Result<Frame, WireError>);
 
-fn run_reader(mut read_half: TcpStream, tx: mpsc::SyncSender<ReaderItem>, shared: &Shared) {
+fn run_reader(
+    mut read_half: TcpStream,
+    tx: mpsc::SyncSender<ReaderItem>,
+    shared: &Shared,
+    departed: &AtomicBool,
+) {
     let runtime = shared.registry.runtime();
     let tick = shared.config.read_tick;
     let mut idle = Duration::ZERO;
@@ -319,7 +425,13 @@ fn run_reader(mut read_half: TcpStream, tx: mpsc::SyncSender<ReaderItem>, shared
                 }
             }
             Ok(FrameEvent::CleanEof) => {
-                runtime.disconnects.fetch_add(1, Ordering::Relaxed);
+                // Count the departure once per connection: a client that
+                // says `Goodbye` and then closes is one disconnect, not
+                // two, no matter whether the worker's interception or
+                // this EOF lands first.
+                if !departed.swap(true, Ordering::SeqCst) {
+                    runtime.disconnects.fetch_add(1, Ordering::Relaxed);
+                }
                 return;
             }
             Ok(FrameEvent::Stalled) => {
@@ -350,6 +462,7 @@ fn run_reader(mut read_half: TcpStream, tx: mpsc::SyncSender<ReaderItem>, shared
                     continue;
                 }
                 if matches!(&e, WireError::Io { kind, .. } if *kind == std::io::ErrorKind::UnexpectedEof)
+                    && !departed.swap(true, Ordering::SeqCst)
                 {
                     runtime.disconnects.fetch_add(1, Ordering::Relaxed);
                 }
@@ -369,13 +482,17 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
     let read_half = stream.try_clone();
     let (Ok(read_half), true) = (read_half, runtime_ok) else {
         shared.live_conns.lock().remove(&conn_id);
-        shared.finished.fetch_add(1, Ordering::SeqCst);
+        shared.retire_conn();
         return;
     };
 
     let (tx, rx) = mpsc::sync_channel::<ReaderItem>(shared.config.window.max(1));
+    // One departure per connection, whichever side (reader EOF or worker
+    // Goodbye interception) observes it first.
+    let departed = Arc::new(AtomicBool::new(false));
     let reader_shared = Arc::clone(&shared);
-    let reader = thread::spawn(move || run_reader(read_half, tx, &reader_shared));
+    let reader_departed = Arc::clone(&departed);
+    let reader = thread::spawn(move || run_reader(read_half, tx, &reader_shared, &reader_departed));
 
     let runtime = shared.registry.runtime();
     let mut write_half = stream;
@@ -402,7 +519,9 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
                 };
                 if matches!(request, Request::Goodbye) {
                     // A clean departure: no response owed, no error frame.
-                    runtime.disconnects.fetch_add(1, Ordering::Relaxed);
+                    if !departed.swap(true, Ordering::SeqCst) {
+                        runtime.disconnects.fetch_add(1, Ordering::Relaxed);
+                    }
                     said_goodbye = true;
                     break;
                 }
@@ -467,27 +586,37 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
     let _ = write_half.shutdown(Shutdown::Both);
     let _ = reader.join();
     shared.live_conns.lock().remove(&conn_id);
-    shared.finished.fetch_add(1, Ordering::SeqCst);
+    shared.retire_conn();
 }
 
 /// Writes a best-effort refusal frame on a connection that will not be
 /// served, then closes it.
-fn refuse(mut stream: TcpStream, response: Response, write_timeout: Duration) {
+pub(crate) fn refuse(mut stream: TcpStream, response: Response, write_timeout: Duration) {
     let _ = stream.set_write_timeout(Some(write_timeout));
     let _ = stream.set_nodelay(true);
     let _ = wire::write_frame(&mut stream, &response.to_frame());
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-/// A running release server. [`shutdown`](Server::shutdown) drains
-/// gracefully; dropping the handle just stops the accept loop and lets
-/// open connections run on detached threads.
+/// A running release server on either connection core.
+/// [`shutdown`](Server::shutdown) drains gracefully; dropping the handle
+/// just stops accepting (the threaded core lets open connections run on
+/// detached threads; the reactor severs them).
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<thread::JoinHandle<()>>,
-    handles: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    core: CoreHandle,
+}
+
+/// Core-specific runtime state behind a [`Server`].
+enum CoreHandle {
+    Threaded {
+        stop: Arc<AtomicBool>,
+        accept_thread: Option<thread::JoinHandle<()>>,
+        handles: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    },
+    #[cfg(unix)]
+    Reactor(crate::reactor::ReactorHandle),
 }
 
 impl Server {
@@ -514,7 +643,10 @@ impl Server {
     }
 
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts accepting connections under `config`.
+    /// starts serving under `config`, on the connection core selected by
+    /// [`ServerConfig::core`]. [`ConnectionCore::Reactor`] silently falls
+    /// back to the threaded core on non-Unix targets, where the `poll(2)`
+    /// shim is unavailable.
     ///
     /// # Errors
     ///
@@ -524,9 +656,6 @@ impl Server {
         registry: Arc<SessionRegistry>,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
         let hub = Mutex::new(FederationHub::new(config.max_fed_sessions));
         let shared = Arc::new(Shared {
             registry,
@@ -535,9 +664,30 @@ impl Server {
             live_conns: Mutex::new(HashMap::new()),
             spawned: AtomicU64::new(0),
             finished: AtomicU64::new(0),
+            joined: AtomicU64::new(0),
+            done_lock: StdMutex::new(()),
+            done_cv: Condvar::new(),
             hub,
         });
-        let handles = Arc::new(Mutex::new(Vec::new()));
+        #[cfg(unix)]
+        if shared.config.core == ConnectionCore::Reactor {
+            let (local, handle) = crate::reactor::spawn(addr, Arc::clone(&shared))?;
+            return Ok(Server {
+                addr: local,
+                shared,
+                core: CoreHandle::Reactor(handle),
+            });
+        }
+        Server::spawn_threaded(addr, shared)
+    }
+
+    /// The thread-per-connection core: one accept loop, one reader + one
+    /// worker thread per connection.
+    fn spawn_threaded(addr: &str, shared: Arc<Shared>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let stop_flag = Arc::clone(&stop);
         let accept_shared = Arc::clone(&shared);
@@ -587,15 +737,33 @@ impl Server {
                 accept_shared.spawned.fetch_add(1, Ordering::SeqCst);
                 let conn_shared = Arc::clone(&accept_shared);
                 let handle = thread::spawn(move || handle_connection(stream, conn_shared, conn_id));
-                accept_handles.lock().push(handle);
+                let mut handles = accept_handles.lock();
+                // Reap handler threads that already finished, so a
+                // long-running daemon under connection churn keeps a
+                // bounded join backlog instead of growing it until
+                // shutdown.
+                let mut i = 0;
+                while i < handles.len() {
+                    if handles[i].is_finished() {
+                        let done = handles.swap_remove(i);
+                        if done.join().is_ok() {
+                            accept_shared.joined.fetch_add(1, Ordering::SeqCst);
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                handles.push(handle);
             }
         });
         Ok(Server {
             addr: local,
             shared,
-            stop,
-            accept_thread: Some(accept_thread),
-            handles,
+            core: CoreHandle::Threaded {
+                stop,
+                accept_thread: Some(accept_thread),
+                handles,
+            },
         })
     }
 
@@ -610,20 +778,54 @@ impl Server {
         &self.shared.registry
     }
 
+    /// Mid-run connection accounting: admissions, retirements, live
+    /// count, and the handler-thread join backlog. Valid at any point in
+    /// the server's life, so tests can assert lifecycle invariants under
+    /// churn rather than only after [`Server::shutdown`].
+    pub fn accounting(&self) -> ConnAccounting {
+        let spawned = self.shared.spawned.load(Ordering::SeqCst);
+        let finished = self.shared.finished.load(Ordering::SeqCst);
+        let handle_backlog = match &self.core {
+            CoreHandle::Threaded { handles, .. } => handles.lock().len() as u64,
+            #[cfg(unix)]
+            CoreHandle::Reactor(_) => 0,
+        };
+        ConnAccounting {
+            spawned,
+            finished,
+            live: spawned.saturating_sub(finished),
+            handle_backlog,
+        }
+    }
+
     /// Blocks until the accept loop exits. Used by `rbt-cli serve`.
     pub fn wait(mut self) {
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+        match &mut self.core {
+            CoreHandle::Threaded { accept_thread, .. } => {
+                if let Some(handle) = accept_thread.take() {
+                    let _ = handle.join();
+                }
+            }
+            #[cfg(unix)]
+            CoreHandle::Reactor(handle) => handle.wait(),
         }
     }
 
     fn stop_accepting(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // The accept loop only re-checks the flag after a connection
-        // lands, so wake it with one.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+        let addr = self.addr;
+        if let CoreHandle::Threaded {
+            stop,
+            accept_thread,
+            ..
+        } = &mut self.core
+        {
+            stop.store(true, Ordering::SeqCst);
+            // The accept loop only re-checks the flag after a connection
+            // lands, so wake it with one.
+            let _ = TcpStream::connect(addr);
+            if let Some(handle) = accept_thread.take() {
+                let _ = handle.join();
+            }
         }
     }
 
@@ -631,38 +833,63 @@ impl Server {
     /// in-flight request in the bounded window complete (up to
     /// [`ServerConfig::drain_deadline`]), sends each surviving client a
     /// `GoingAway` frame, force-severs stragglers at the deadline, and
-    /// joins every connection thread. The report accounts for every
-    /// thread spawned, so callers can assert nothing leaked.
+    /// retires every connection. The report accounts for every connection
+    /// ever admitted, so callers can assert nothing leaked.
     pub fn shutdown(mut self) -> DrainReport {
         self.shared.draining.store(true, Ordering::SeqCst);
+        #[cfg(unix)]
+        if let CoreHandle::Reactor(handle) = &mut self.core {
+            return handle.shutdown(&self.shared);
+        }
         self.stop_accepting();
 
         let deadline = Instant::now() + self.shared.config.drain_deadline;
         let mut forced = 0u64;
-        loop {
-            let active = self.shared.spawned.load(Ordering::SeqCst)
-                - self.shared.finished.load(Ordering::SeqCst);
-            if active == 0 {
-                break;
-            }
-            if Instant::now() >= deadline {
-                // Out of patience: cut the remaining sockets. Their
-                // threads observe the reset and exit; responses past this
-                // point are lost by design, bounded by the deadline.
-                let conns = self.shared.live_conns.lock();
-                forced = conns.len() as u64;
-                for stream in conns.values() {
-                    let _ = stream.shutdown(Shutdown::Both);
+        {
+            // Parked wait: each connection retirement bumps `finished`
+            // and notifies `done_cv`, so the drain wakes exactly when the
+            // count changes instead of busy-polling it.
+            let mut guard = self
+                .shared
+                .done_lock
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            loop {
+                let active = self.shared.spawned.load(Ordering::SeqCst)
+                    - self.shared.finished.load(Ordering::SeqCst);
+                if active == 0 {
+                    break;
                 }
-                drop(conns);
-                break;
+                let now = Instant::now();
+                if now >= deadline {
+                    // Out of patience: cut the remaining sockets. Their
+                    // threads observe the reset and exit; responses past
+                    // this point are lost by design, bounded by the
+                    // deadline.
+                    let conns = self.shared.live_conns.lock();
+                    forced = conns.len() as u64;
+                    for stream in conns.values() {
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                    break;
+                }
+                let (g, _) = self
+                    .shared
+                    .done_cv
+                    .wait_timeout(guard, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                guard = g;
             }
-            thread::sleep(Duration::from_millis(2));
         }
 
-        let handles: Vec<_> = std::mem::take(&mut *self.handles.lock());
-        let mut joined = 0u64;
-        for handle in handles {
+        let handles = match &self.core {
+            CoreHandle::Threaded { handles, .. } => Arc::clone(handles),
+            #[cfg(unix)]
+            CoreHandle::Reactor(_) => unreachable!("reactor shutdown returned above"),
+        };
+        let backlog: Vec<_> = std::mem::take(&mut *handles.lock());
+        let mut joined = self.shared.joined.load(Ordering::SeqCst);
+        for handle in backlog {
             if handle.join().is_ok() {
                 joined += 1;
             }
@@ -677,8 +904,17 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
+        let accepting = match &self.core {
+            CoreHandle::Threaded { accept_thread, .. } => accept_thread.is_some(),
+            #[cfg(unix)]
+            CoreHandle::Reactor(_) => false,
+        };
+        if accepting {
             self.stop_accepting();
+        }
+        #[cfg(unix)]
+        if let CoreHandle::Reactor(handle) = &mut self.core {
+            handle.abort();
         }
     }
 }

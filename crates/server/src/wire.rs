@@ -541,6 +541,98 @@ pub fn read_frame_patient<R: Read>(
     finish_frame(&header, raw, rest, stored).map(FrameEvent::Frame)
 }
 
+/// Incremental frame decoder for non-blocking sockets.
+///
+/// The blocking readers above own their stream and can loop until a frame
+/// completes; a readiness-polled connection instead receives bytes in
+/// arbitrary chunks whenever the socket is readable. [`FrameAssembler`]
+/// buffers those chunks ([`FrameAssembler::push`]) and yields complete,
+/// validated frames ([`FrameAssembler::next_frame`]) with exactly the same
+/// validation order as [`read_frame`]: magic and length bound from the
+/// header, then CRC over the whole frame, then version, then opcode.
+///
+/// Error recoverability mirrors the blocking path. A header-level error
+/// (bad magic, oversized length) or a checksum mismatch leaves the byte
+/// stream desynchronized — the caller must close the connection. A version
+/// or opcode error is only reachable *after* the CRC proved the declared
+/// length honest, so the offending frame has been fully consumed and the
+/// assembler keeps working on whatever follows it.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameAssembler {
+    /// Creates an empty assembler.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Appends bytes read from the socket to the reassembly buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `start` is consumed.
+        if self.start > 0 && (self.start == self.buf.len() || self.start >= 4096) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True while the buffer holds the beginning of an unfinished frame —
+    /// the state in which a silent peer counts as *stalled* rather than
+    /// *idle*, and an EOF is a mid-frame disconnect rather than clean.
+    pub fn mid_frame(&self) -> bool {
+        self.start < self.buf.len()
+    }
+
+    /// Yields the next complete frame, `None` if more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`] exactly as [`read_frame`] would produce for the
+    /// same bytes. After [`WireError::UnsupportedVersion`] or
+    /// [`WireError::UnknownOpcode`] the frame was fully consumed and the
+    /// assembler remains usable; after any other error the stream is
+    /// desynchronized and the connection should be closed.
+    pub fn next_frame(&mut self) -> Option<WireResult<Frame>> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < HEADER_LEN {
+            return None;
+        }
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&pending[..HEADER_LEN]);
+        let raw = match parse_header(&header) {
+            Ok(raw) => raw,
+            Err(e) => return Some(Err(e)),
+        };
+        let total = HEADER_LEN + raw.body_len + TRAILER_LEN;
+        if pending.len() < total {
+            return None;
+        }
+        let body = pending[HEADER_LEN..HEADER_LEN + raw.body_len].to_vec();
+        let stored = u32::from_le_bytes([
+            pending[total - 4],
+            pending[total - 3],
+            pending[total - 2],
+            pending[total - 1],
+        ]);
+        let result = finish_frame(&header, raw, body, stored);
+        match &result {
+            // The CRC covered `total` bytes, so consuming them is safe even
+            // when the version or opcode is unknown — resynchronization is
+            // exact, matching the blocking reader.
+            Ok(_)
+            | Err(WireError::UnsupportedVersion { .. })
+            | Err(WireError::UnknownOpcode { .. }) => self.start += total,
+            // Checksum mismatch / short v2 body: the declared length is not
+            // trustworthy; leave the buffer as-is for the caller to abandon.
+            Err(_) => {}
+        }
+        Some(result)
+    }
+}
+
 /// Writes one encoded frame to a stream and flushes it.
 ///
 /// # Errors
@@ -1134,6 +1226,125 @@ mod tests {
         assert_eq!(xs.len(), ys.len());
         for (x, y) in xs.iter().zip(ys) {
             assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn assembler_yields_frames_from_single_byte_chunks() {
+        let frames = [
+            Request::Ping.to_frame().with_request_id(1),
+            Request::Stats.to_frame().with_request_id(2),
+            Request::Transform {
+                tenant: "t".to_string(),
+                batch: sample_dataset(3, true),
+            }
+            .to_frame()
+            .with_request_id(3),
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&encode_frame(f));
+        }
+        let mut asm = FrameAssembler::new();
+        let mut out = Vec::new();
+        for b in bytes {
+            asm.push(&[b]);
+            while let Some(res) = asm.next_frame() {
+                out.push(res.unwrap());
+            }
+        }
+        assert_eq!(out, frames);
+        assert!(!asm.mid_frame(), "all bytes must be consumed");
+    }
+
+    #[test]
+    fn assembler_splits_multi_frame_chunks_and_tracks_mid_frame() {
+        let a = encode_frame(&Request::Ping.to_frame().with_request_id(7));
+        let b = encode_frame(&Request::Stats.to_frame().with_request_id(8));
+        let mut chunk = a.clone();
+        chunk.extend_from_slice(&b[..5]); // one whole frame + a partial header
+        let mut asm = FrameAssembler::new();
+        asm.push(&chunk);
+        assert!(matches!(asm.next_frame(), Some(Ok(f)) if f.request_id == 7));
+        assert!(asm.next_frame().is_none());
+        assert!(asm.mid_frame(), "partial second frame is pending");
+        asm.push(&b[5..]);
+        assert!(matches!(asm.next_frame(), Some(Ok(f)) if f.request_id == 8));
+        assert!(!asm.mid_frame());
+    }
+
+    #[test]
+    fn assembler_reports_header_and_checksum_errors() {
+        // Bad magic.
+        let mut bytes = encode_frame(&Request::Ping.to_frame());
+        bytes[0] = b'X';
+        let mut asm = FrameAssembler::new();
+        asm.push(&bytes);
+        assert!(matches!(
+            asm.next_frame(),
+            Some(Err(WireError::BadMagic { .. }))
+        ));
+
+        // Oversized declared length, detected from the header alone.
+        let mut bytes = encode_frame(&Request::Ping.to_frame());
+        bytes[7..11].copy_from_slice(&(MAX_BODY_LEN + 1).to_le_bytes());
+        let mut asm = FrameAssembler::new();
+        asm.push(&bytes[..HEADER_LEN]);
+        assert!(matches!(
+            asm.next_frame(),
+            Some(Err(WireError::Oversized { .. }))
+        ));
+
+        // Flipped body byte: checksum mismatch, bytes not consumed.
+        let mut bytes = encode_frame(&Request::Ping.to_frame());
+        let flip_at = HEADER_LEN + 2;
+        bytes[flip_at] ^= 0x40;
+        let mut asm = FrameAssembler::new();
+        asm.push(&bytes);
+        assert!(matches!(
+            asm.next_frame(),
+            Some(Err(WireError::ChecksumMismatch { .. }))
+        ));
+        assert!(asm.mid_frame(), "desynchronized bytes stay pending");
+    }
+
+    #[test]
+    fn assembler_survives_version_skew_between_frames() {
+        // A CRC-valid frame tagged with a future version must be consumed
+        // whole so the following frame still parses — the reactor-side
+        // mirror of the `read_frame` version-skew contract.
+        let mut skewed = encode_frame(&Request::Stats.to_frame().with_request_id(22));
+        skewed[4..6].copy_from_slice(&9u16.to_le_bytes());
+        let crc_at = skewed.len() - TRAILER_LEN;
+        let crc = crc32(&skewed[..crc_at]);
+        skewed[crc_at..].copy_from_slice(&crc.to_le_bytes());
+
+        let mut bytes = encode_frame(&Request::Ping.to_frame().with_request_id(21));
+        bytes.extend_from_slice(&skewed);
+        bytes.extend_from_slice(&encode_frame(&Request::Ping.to_frame().with_request_id(23)));
+
+        let mut asm = FrameAssembler::new();
+        asm.push(&bytes);
+        assert!(matches!(asm.next_frame(), Some(Ok(f)) if f.request_id == 21));
+        assert!(matches!(
+            asm.next_frame(),
+            Some(Err(WireError::UnsupportedVersion { found: 9 }))
+        ));
+        assert!(matches!(asm.next_frame(), Some(Ok(f)) if f.request_id == 23));
+        assert!(asm.next_frame().is_none());
+        assert!(!asm.mid_frame());
+    }
+
+    #[test]
+    fn assembler_matches_decode_frame_on_every_request() {
+        let requests = [Request::Ping, Request::Stats, Request::ReloadKeys];
+        for req in requests {
+            let bytes = encode_frame(&req.to_frame().with_request_id(42));
+            let mut asm = FrameAssembler::new();
+            asm.push(&bytes);
+            let from_asm = asm.next_frame().unwrap().unwrap();
+            let from_decode = decode_frame(&bytes).unwrap();
+            assert_eq!(from_asm, from_decode);
         }
     }
 

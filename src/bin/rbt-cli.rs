@@ -791,6 +791,22 @@ fn cmd_bench_serve(args: &[String]) -> CliResult<()> {
     if tenant_counts.is_empty() {
         return Err(CliError::usage("--tenants needs at least one count"));
     }
+    // `--conns` takes a comma list of concurrent-connection counts and
+    // runs the connection-scaling sweep after the tenant sweep. Counts
+    // beyond what the open-file budget can hold are clamped (client and
+    // server share this process, so each connection costs two fds).
+    let conn_counts: Vec<usize> = match flags.get("conns") {
+        Some(v) => v
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map(|n| n.max(1))
+                    .map_err(|e| CliError::usage(format!("bad --conns entry {s:?}: {e}")))
+            })
+            .collect::<CliResult<Vec<_>>>()?,
+        None => Vec::new(),
+    };
     let rows = parse_flag_usize(&flags, "rows", if quick { 64 } else { 2000 })?.max(1);
     let batches = parse_flag_usize(&flags, "batches", if quick { 4 } else { 50 })?.max(1);
     let out_path = flags.get("out").map(PathBuf::from).unwrap_or_else(|| {
@@ -847,11 +863,54 @@ fn cmd_bench_serve(args: &[String]) -> CliResult<()> {
     }
     let head = points.last().expect("at least one sweep point");
 
+    // The connection-scaling sweep: each point parks a herd of idle
+    // connections on the server while a small active set keeps the
+    // transform path hot, proving the event-driven core holds the herd on
+    // a handful of OS threads without giving up throughput.
+    let mut conn_points: Vec<ConnPoint> = Vec::with_capacity(conn_counts.len());
+    for (i, &want) in conn_counts.iter().enumerate() {
+        let conns = clamp_to_fd_budget(want);
+        if conns < want {
+            println!(
+                "bench-serve: clamping --conns {want} to {conns} (open-file budget {})",
+                fd_soft_limit().unwrap_or(0)
+            );
+        }
+        let point = bench_conn_point(conns, &keys, rows, batches, cols)?;
+        println!(
+            "bench-serve conns [{}/{}]: {} connections ({} idle + {} active) -> \
+             {:.0} rows/sec sustained, p50 {} us, p99 {} us, {} process threads",
+            i + 1,
+            conn_counts.len(),
+            point.conns,
+            point.idle,
+            point.active,
+            point.rows_per_sec,
+            point.p50,
+            point.p99,
+            point.process_threads
+        );
+        conn_points.push(point);
+    }
+
     let mut json = String::from("{\n");
+    let conns_flag = if conn_counts.is_empty() {
+        String::new()
+    } else {
+        format!(
+            " --conns {}",
+            conn_counts
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    };
     let _ = writeln!(
         json,
-        "  \"generated_by\": \"cargo run --release --bin rbt-cli -- bench-serve{}\",",
-        if quick { " --quick-smoke" } else { "" }
+        "  \"generated_by\": \"cargo run --release --bin rbt-cli -- bench-serve{}{}\",",
+        if quick { " --quick-smoke" } else { "" },
+        conns_flag
     );
     let _ = writeln!(
         json,
@@ -863,6 +922,14 @@ fn cmd_bench_serve(args: &[String]) -> CliResult<()> {
         json,
         "  \"host_threads\": {},",
         rbt::linalg::pool::default_threads()
+    );
+    let _ = writeln!(
+        json,
+        "  \"connection_core\": \"{}\",",
+        match ServerConfig::default().core {
+            rbt::server::ConnectionCore::Reactor => "reactor",
+            rbt::server::ConnectionCore::Threaded => "threaded",
+        }
     );
     let _ = writeln!(json, "  \"tenants\": {},", head.tenants);
     let _ = writeln!(json, "  \"rows_per_batch\": {rows},");
@@ -906,7 +973,35 @@ fn cmd_bench_serve(args: &[String]) -> CliResult<()> {
             if i + 1 == points.len() { "" } else { "," }
         );
     }
-    json.push_str("  ]\n}\n");
+    if conn_points.is_empty() {
+        json.push_str("  ]\n}\n");
+    } else {
+        json.push_str("  ],\n");
+        // The connection-scaling curve: idle herd + active drivers per
+        // point, with the thread bill that served them.
+        json.push_str("  \"conn_sweep\": [\n");
+        for (i, p) in conn_points.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "    {{\"conns\": {}, \"idle\": {}, \"active\": {}, \"total_rows\": {}, \
+                 \"wall_seconds\": {:.6}, \"sustained_rows_per_sec\": {:.1}, \
+                 \"latency_us\": {{\"p50\": {}, \"p99\": {}}}, \"server_threads\": {}, \
+                 \"process_threads\": {}}}{}",
+                p.conns,
+                p.idle,
+                p.active,
+                p.total_rows,
+                p.wall,
+                p.rows_per_sec,
+                p.p50,
+                p.p99,
+                p.server_threads,
+                p.process_threads,
+                if i + 1 == conn_points.len() { "" } else { "," }
+            );
+        }
+        json.push_str("  ]\n}\n");
+    }
     std::fs::write(&out_path, &json)
         .map_err(|e| CliError::io(format!("writing {}: {e}", out_path.display())))?;
 
@@ -1035,9 +1130,13 @@ fn bench_point(
     }
 
     latencies_us.sort_unstable();
-    let pct = |q: f64| -> u64 {
-        let idx = ((latencies_us.len() - 1) as f64 * q).round() as usize;
-        latencies_us[idx]
+    let pct = |q: f64| -> CliResult<u64> {
+        percentile(&latencies_us, q).ok_or_else(|| {
+            CliError::usage(format!(
+                "bench-serve produced no latency samples for {tenants} tenant(s) x {batches} \
+                 batch(es); nothing to summarize"
+            ))
+        })
     };
     let total_rows = tenants * batches * rows;
     Ok(BenchPoint {
@@ -1045,14 +1144,191 @@ fn bench_point(
         total_rows,
         wall,
         rows_per_sec: total_rows as f64 / wall,
-        p50: pct(0.50),
-        p90: pct(0.90),
-        p99: pct(0.99),
-        max: latencies_us[latencies_us.len() - 1],
+        p50: pct(0.50)?,
+        p90: pct(0.90)?,
+        p99: pct(0.99)?,
+        max: pct(1.0)?,
         drift_rows: stats.tenants.iter().map(|t| t.drift_rows).sum(),
         capacity: stats.capacity,
         live_sessions: stats.live_sessions,
         total_evictions: stats.total_evictions,
+    })
+}
+
+/// The `q`-quantile of an already-sorted sample set by nearest-rank;
+/// `None` when the set is empty (a zero-sample run must surface a typed
+/// error, not an index underflow).
+fn percentile(sorted: &[u64], q: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    Some(sorted[idx.min(sorted.len() - 1)])
+}
+
+/// The soft open-file limit, from `/proc/self/limits` (Linux); `None`
+/// where that interface is missing.
+fn fd_soft_limit() -> Option<u64> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// Live thread count of this process, from `/proc/self/status` (Linux).
+fn process_threads() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("Threads:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// The largest concurrent-connection count the open-file budget allows:
+/// client and server live in this one process, so each connection costs
+/// two descriptors, plus headroom for everything else the process holds.
+fn clamp_to_fd_budget(want: usize) -> usize {
+    match fd_soft_limit() {
+        Some(limit) => want.min((limit.saturating_sub(128) / 2) as usize).max(1),
+        None => want,
+    }
+}
+
+/// One measured point of the connection-scaling sweep.
+struct ConnPoint {
+    conns: usize,
+    active: usize,
+    idle: usize,
+    total_rows: usize,
+    wall: f64,
+    rows_per_sec: f64,
+    p50: u64,
+    p99: u64,
+    server_threads: u64,
+    process_threads: u64,
+}
+
+/// Runs one connection-scaling point: a fresh server holding a herd of
+/// `conns` idle connections (each proven live with one `Ping`) while a
+/// small active set drives transform batches at full throughput over
+/// additional connections — measuring sustained rows/sec and the thread
+/// bill with the whole herd still parked on the event loop.
+fn bench_conn_point(
+    conns: usize,
+    keys: &[Vec<u8>],
+    rows: usize,
+    batches: usize,
+    cols: usize,
+) -> CliResult<ConnPoint> {
+    let idle = conns;
+    let active = keys.len().clamp(1, 8);
+    let registry = Arc::new(SessionRegistry::new(keys.len().max(1)));
+    let config = ServerConfig {
+        window: 8,
+        max_conns: idle + active + 16,
+        ..ServerConfig::default()
+    };
+    // The thread bill this point claims: the event loop plus the worker
+    // pool for the reactor core, two threads per connection (plus the
+    // accept loop) for the threaded core.
+    let server_threads = match config.core {
+        rbt::server::ConnectionCore::Reactor if cfg!(unix) => {
+            1 + rbt::linalg::pool::default_threads() as u64
+        }
+        _ => 1 + 2 * (idle + active) as u64,
+    };
+    let server = Server::spawn_with("127.0.0.1:0", Arc::clone(&registry), config)
+        .map_err(|e| CliError::io(format!("binding bench server: {e}")))?;
+    let addr = server.local_addr();
+    let as_client_err = |e: rbt::server::ClientError| CliError {
+        code: 4,
+        message: format!("bench conn client: {e}"),
+    };
+
+    {
+        let mut loader = Client::connect(addr).map_err(as_client_err)?;
+        for (t, key) in keys.iter().take(active).enumerate() {
+            loader
+                .load_key(&format!("tenant-{t:02}"), key.clone())
+                .map_err(as_client_err)?;
+        }
+    }
+
+    // The idle herd: every connection held open for the whole measured
+    // phase, each answered one Ping so "concurrent" means "served", not
+    // merely "accepted".
+    let mut herd = Vec::with_capacity(idle);
+    for _ in 0..idle {
+        let mut member = Client::connect(addr).map_err(as_client_err)?;
+        member.ping().map_err(as_client_err)?;
+        herd.push(member);
+    }
+
+    // The measured phase, identical in shape to the tenant sweep: the
+    // active set pushes transform batches while the herd stays parked on
+    // the same event loop.
+    let started = Instant::now();
+    let workers: Vec<_> = (0..active)
+        .map(|t| {
+            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let tenant = format!("tenant-{t:02}");
+                let batch = bench_tenant_data(t + 10_000, rows, cols, 130.0);
+                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                let mut latencies_us = Vec::with_capacity(batches);
+                for _ in 0..batches {
+                    let t0 = Instant::now();
+                    let (released, _) = client
+                        .transform(&tenant, &batch)
+                        .map_err(|e| e.to_string())?;
+                    latencies_us.push(t0.elapsed().as_micros() as u64);
+                    if released.n_rows() != batch.n_rows() {
+                        return Err(format!("tenant {t}: row count mismatch"));
+                    }
+                }
+                Ok(latencies_us)
+            })
+        })
+        .collect();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(active * batches);
+    for worker in workers {
+        let worker_latencies = worker
+            .join()
+            .map_err(|_| CliError::io("bench conn worker panicked"))?
+            .map_err(CliError::io)?;
+        latencies_us.extend(worker_latencies);
+    }
+    let wall = started.elapsed().as_secs_f64();
+    // Count threads while the whole herd is still connected — this is the
+    // number that proves the scaling claim.
+    let measured_threads = process_threads().unwrap_or(0);
+
+    let accounting = server.accounting();
+    if accounting.live < idle as u64 {
+        return Err(CliError::io(format!(
+            "connection sweep integrity: expected at least {} live connections, server accounts {}",
+            idle, accounting.live
+        )));
+    }
+    drop(herd);
+    server.shutdown();
+
+    latencies_us.sort_unstable();
+    let pct = |q: f64| -> CliResult<u64> {
+        percentile(&latencies_us, q).ok_or_else(|| {
+            CliError::usage(format!(
+                "connection sweep produced no latency samples for {conns} connection(s)"
+            ))
+        })
+    };
+    let total_rows = active * batches * rows;
+    Ok(ConnPoint {
+        conns: idle + active,
+        active,
+        idle,
+        total_rows,
+        wall,
+        rows_per_sec: total_rows as f64 / wall,
+        p50: pct(0.50)?,
+        p99: pct(0.99)?,
+        server_threads,
+        process_threads: measured_threads,
     })
 }
 

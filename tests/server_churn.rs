@@ -1,0 +1,223 @@
+//! The connection-churn battery: a long-lived daemon must survive an
+//! unbounded stream of short-lived connections without accumulating
+//! state — handler threads reaped as they finish (not hoarded until
+//! shutdown), the live-connection count bounded by what is actually
+//! open, and the admission counters exact: every arrival lands in
+//! exactly one of `accepted` or `refused`, and a refusal bumps nothing
+//! else.
+//!
+//! Every scenario runs against both connection cores (the readiness-
+//! polled reactor and the legacy thread-per-connection core), selected
+//! explicitly through `ServerConfig::core` so the tests are immune to
+//! the `RBT_SERVER_CORE` environment override. CI additionally executes
+//! the battery under `RBT_THREADS=1` and the default pool width; the
+//! pool reads the variable at call time, so no per-test plumbing is
+//! needed.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rbt::server::{wire, Client, ConnectionCore, Server, ServerConfig, SessionRegistry};
+
+/// The cores available on this platform. The reactor needs the Unix
+/// `poll(2)` shim; elsewhere only the threaded core exists.
+fn cores() -> Vec<ConnectionCore> {
+    if cfg!(unix) {
+        vec![ConnectionCore::Reactor, ConnectionCore::Threaded]
+    } else {
+        vec![ConnectionCore::Threaded]
+    }
+}
+
+fn spawn_core(core: ConnectionCore, max_conns: usize) -> Server {
+    let config = ServerConfig {
+        max_conns,
+        core,
+        ..ServerConfig::default()
+    };
+    Server::spawn_with("127.0.0.1:0", Arc::new(SessionRegistry::new(4)), config).unwrap()
+}
+
+/// Polls `cond` until it holds or `timeout` elapses; panics with `what`
+/// on expiry so the failure names the invariant, not the sleep.
+fn wait_until(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for: {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Sequential connect/request/disconnect cycles leak nothing: mid-run,
+/// the live count and the handler-thread join backlog stay bounded by a
+/// small constant (independent of how many connections have churned
+/// through), and at the end every admitted connection is accounted
+/// finished with exact counters.
+#[test]
+fn sequential_churn_keeps_live_and_backlog_bounded() {
+    const CYCLES: u64 = 200;
+    // The churn bound: how many connections may be in flight (or
+    // awaiting reap) at once under strictly sequential churn. Generous
+    // for slow CI, but orders of magnitude below CYCLES — the point is
+    // that the backlog does not grow with churn.
+    const BOUND: u64 = 32;
+
+    for core in cores() {
+        let server = spawn_core(core, 64);
+        let addr = server.local_addr();
+
+        for cycle in 0..CYCLES {
+            let mut client = Client::connect(addr).unwrap();
+            client.ping().unwrap();
+            drop(client);
+            if cycle % 50 == 49 {
+                let acct = server.accounting();
+                assert!(
+                    acct.live <= BOUND,
+                    "{core:?} cycle {cycle}: {} live connections (bound {BOUND})",
+                    acct.live
+                );
+                assert!(
+                    acct.handle_backlog <= BOUND,
+                    "{core:?} cycle {cycle}: {} unreaped handles (bound {BOUND})",
+                    acct.handle_backlog
+                );
+            }
+        }
+
+        // Quiesce: the last disconnect is observed asynchronously.
+        wait_until(
+            &format!("{core:?}: all churned connections retired"),
+            Duration::from_secs(10),
+            || server.accounting().live == 0,
+        );
+        let acct = server.accounting();
+        assert_eq!(acct.spawned, CYCLES, "{core:?}: admissions");
+        assert_eq!(acct.finished, CYCLES, "{core:?}: retirements");
+        assert!(
+            acct.handle_backlog <= BOUND,
+            "{core:?}: final handle backlog {}",
+            acct.handle_backlog
+        );
+
+        // Counter exactness, read over the wire like an operator would:
+        // every churned connection was accepted and ended as a clean
+        // peer disconnect; nothing was refused, reaped, or severed.
+        let mut probe = Client::connect(addr).unwrap();
+        let stats = probe.stats().unwrap();
+        assert_eq!(stats.runtime.accepted, CYCLES + 1, "{core:?}: accepted");
+        assert_eq!(stats.runtime.refused, 0, "{core:?}: refused");
+        assert_eq!(stats.runtime.disconnects, CYCLES, "{core:?}: disconnects");
+        assert_eq!(stats.runtime.malformed, 0, "{core:?}: malformed");
+        assert_eq!(stats.runtime.idle_reaped, 0, "{core:?}: idle_reaped");
+        assert_eq!(stats.runtime.stalled, 0, "{core:?}: stalled");
+        drop(probe);
+
+        let report = server.shutdown();
+        assert_eq!(report.spawned, CYCLES + 1, "{core:?}: report admissions");
+        assert_eq!(report.joined, report.spawned, "{core:?}: spawned == joined");
+        assert_eq!(report.forced, 0, "{core:?}: nothing force-severed");
+    }
+}
+
+/// The thousand-connection soak: the reactor core absorbs ~10^3
+/// short-lived connections on its single event loop plus the fixed
+/// worker pool, with zero handle backlog ever (the reactor owns no
+/// per-connection threads) and every connection retired by the end.
+#[cfg(unix)]
+#[test]
+fn thousand_connection_soak_on_the_reactor() {
+    const CYCLES: u64 = 1000;
+    let server = spawn_core(ConnectionCore::Reactor, 64);
+    let addr = server.local_addr();
+
+    for cycle in 0..CYCLES {
+        let mut client = Client::connect(addr).unwrap();
+        client.ping().unwrap();
+        drop(client);
+        if cycle % 100 == 99 {
+            let acct = server.accounting();
+            assert!(
+                acct.live <= 32,
+                "cycle {cycle}: {} live connections under sequential churn",
+                acct.live
+            );
+            assert_eq!(
+                acct.handle_backlog, 0,
+                "cycle {cycle}: the reactor owns no per-connection handles"
+            );
+        }
+    }
+
+    wait_until("soak connections retired", Duration::from_secs(20), || {
+        server.accounting().live == 0
+    });
+    let acct = server.accounting();
+    assert_eq!(acct.spawned, CYCLES);
+    assert_eq!(acct.finished, CYCLES);
+
+    let report = server.shutdown();
+    assert_eq!(report.spawned, CYCLES);
+    assert_eq!(report.joined, CYCLES);
+    assert_eq!(report.forced, 0);
+}
+
+/// (satellite) A capacity refusal bumps `refused` and nothing else: the
+/// turned-away arrival gets the typed unavailable frame, is never
+/// admitted (`spawned` unchanged), and leaves the drain/disconnect/
+/// malformed counters untouched on both cores.
+#[test]
+fn refusal_bumps_only_the_refused_counter() {
+    for core in cores() {
+        let server = spawn_core(core, 1);
+        let addr = server.local_addr();
+
+        let mut admitted = Client::connect(addr).unwrap();
+        admitted.ping().unwrap();
+
+        let mut turned_away = TcpStream::connect(addr).unwrap();
+        turned_away
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let frame = wire::read_frame(&mut turned_away).unwrap().unwrap();
+        match wire::Response::from_frame(&frame).unwrap() {
+            wire::Response::Error { code, message } => {
+                assert_eq!(code, wire::CODE_UNAVAILABLE, "{core:?}: {message}");
+            }
+            other => panic!("{core:?}: expected the capacity refusal, got {other:?}"),
+        }
+        drop(turned_away);
+
+        // The refusal may land before or after our stats read; wait for
+        // the counter rather than racing it.
+        wait_until(
+            &format!("{core:?}: refusal counted"),
+            Duration::from_secs(5),
+            || {
+                admitted
+                    .stats()
+                    .map(|s| s.runtime.refused == 1)
+                    .unwrap_or(false)
+            },
+        );
+        let stats = admitted.stats().unwrap();
+        assert_eq!(stats.runtime.accepted, 1, "{core:?}: accepted");
+        assert_eq!(stats.runtime.refused, 1, "{core:?}: refused");
+        assert_eq!(stats.runtime.disconnects, 0, "{core:?}: disconnects");
+        assert_eq!(stats.runtime.drained, 0, "{core:?}: drained");
+        assert_eq!(stats.runtime.malformed, 0, "{core:?}: malformed");
+        let acct = server.accounting();
+        assert_eq!(acct.spawned, 1, "{core:?}: the refusal was never admitted");
+
+        drop(admitted);
+        wait_until(
+            &format!("{core:?}: admitted connection retired"),
+            Duration::from_secs(10),
+            || server.accounting().live == 0,
+        );
+        let report = server.shutdown();
+        assert_eq!(report.spawned, 1, "{core:?}");
+        assert_eq!(report.joined, 1, "{core:?}");
+    }
+}
