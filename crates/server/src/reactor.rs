@@ -142,6 +142,13 @@ struct Conn {
     /// No more bytes will be read (EOF, fatal parse error, idle reap,
     /// stall cut, or drain quiescence).
     read_closed: bool,
+    /// No more frames may be extracted from the assembler (fatal parse
+    /// error, `GoingAway` received, stall cut, or the trailing mid-frame
+    /// EOF error already queued). Distinct from `read_closed`: an EOF or
+    /// a drain quiescence stops *reading*, but complete frames already
+    /// buffered must still be extracted and served — the threaded core
+    /// serves every frame received before the peer went away.
+    parse_dead: bool,
     /// Retire once the inbox is served and the outbuf flushed.
     closing: bool,
     /// When `closing` began, bounding how long an unflushable outbuf may
@@ -171,6 +178,7 @@ impl Conn {
             out_at: 0,
             last_byte_at: Instant::now(),
             read_closed: false,
+            parse_dead: false,
             closing: false,
             closing_since: None,
             said_goodbye: false,
@@ -316,10 +324,12 @@ impl Reactor {
     fn admit(&mut self, stream: TcpStream) {
         let runtime = self.shared.registry.runtime();
         let config = &self.shared.config;
-        // Accepted sockets do not inherit the listener's non-blocking
-        // mode, so `refuse` can write its farewell synchronously.
         if self.shared.draining.load(Ordering::SeqCst) {
             runtime.refused.fetch_add(1, Ordering::Relaxed);
+            // On the BSD family accepted sockets inherit the listener's
+            // O_NONBLOCK (Linux never does); make the farewell write
+            // blocking so `refuse` cannot drop it on WouldBlock.
+            let _ = stream.set_nonblocking(false);
             refuse(
                 stream,
                 Response::GoingAway {
@@ -331,6 +341,7 @@ impl Reactor {
         }
         if self.conns.len() >= config.max_conns {
             runtime.refused.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_nonblocking(false);
             refuse(
                 stream,
                 Response::Error {
@@ -401,19 +412,11 @@ impl Reactor {
             }
             match conn.stream.read(&mut buf) {
                 Ok(0) => {
+                    // EOF. Complete frames already buffered are still
+                    // served (the peer may only have half-closed); if the
+                    // trailing bytes are an incomplete frame, pump_conn
+                    // queues the mid-frame error once extraction runs dry.
                     conn.count_disconnect(runtime);
-                    if conn.asm.mid_frame() {
-                        // EOF inside a frame is a malformed-stream event,
-                        // answered with a typed error (best-effort, the
-                        // peer may only have half-closed).
-                        conn.inbox.push_back((
-                            Instant::now(),
-                            Err(WireError::Io {
-                                kind: ErrorKind::UnexpectedEof,
-                                message: "peer closed mid-frame".to_string(),
-                            }),
-                        ));
-                    }
                     conn.begin_close();
                     break;
                 }
@@ -440,7 +443,7 @@ impl Reactor {
     /// Moves complete frames from the assembler into the inbox, honouring
     /// the window bound and the error-recoverability contract.
     fn extract_frames(conn: &mut Conn, window: usize) {
-        while conn.inbox.len() < window && !conn.read_closed {
+        while conn.inbox.len() < window && !conn.parse_dead {
             match conn.asm.next_frame() {
                 None => break,
                 Some(Ok(frame)) => conn.inbox.push_back((Instant::now(), Ok(frame))),
@@ -451,10 +454,28 @@ impl Reactor {
                         // The stream is desynchronized: stop reading; the
                         // queued error answers once, then the connection
                         // closes.
+                        conn.parse_dead = true;
                         conn.begin_close();
                     }
                 }
             }
+        }
+        if conn.read_closed
+            && !conn.parse_dead
+            && conn.inbox.len() < window
+            && conn.asm.partial_frame()
+        {
+            // EOF (or a hard read error) left an incomplete trailing
+            // frame: a malformed-stream event, answered with a typed
+            // error (best-effort) after everything complete before it.
+            conn.parse_dead = true;
+            conn.inbox.push_back((
+                Instant::now(),
+                Err(WireError::Io {
+                    kind: ErrorKind::UnexpectedEof,
+                    message: "peer closed mid-frame".to_string(),
+                }),
+            ));
         }
     }
 
@@ -508,6 +529,7 @@ impl Reactor {
                         conn.count_disconnect(runtime);
                         conn.said_goodbye = true;
                         conn.inbox.clear();
+                        conn.parse_dead = true;
                         conn.begin_close();
                         break;
                     }
@@ -547,6 +569,7 @@ impl Reactor {
                     };
                     conn.queue_response_frame(&resp.to_frame());
                     conn.inbox.clear();
+                    conn.parse_dead = true;
                     conn.begin_close();
                     break;
                 }
@@ -579,6 +602,7 @@ impl Reactor {
     /// quiescence, and the closing-flush bound. Returns ids to pump.
     fn scan_timers(&mut self, draining: bool, tick: Duration) -> Vec<u64> {
         let config = &self.shared.config;
+        let window = config.window.max(1);
         let runtime = self.shared.registry.runtime();
         let now = Instant::now();
         let mut touched = Vec::new();
@@ -592,7 +616,7 @@ impl Reactor {
                         touched.push(conn_id);
                     }
                 }
-                if conn.in_worker || conn.inbox.is_empty() {
+                if conn.in_worker || (conn.inbox.is_empty() && !conn.asm.frame_ready()) {
                     continue;
                 }
                 touched.push(conn_id);
@@ -601,8 +625,17 @@ impl Reactor {
             if conn.read_closed {
                 continue;
             }
+            if conn.inbox.len() >= window || conn.asm.frame_ready() {
+                // Reading is paused by the in-flight window, not by the
+                // peer: complete frames are waiting their turn, so the
+                // peer is neither idle nor stalled. Keep the silence
+                // clock parked so the timers restart from the moment
+                // backpressure lifts, not from a byte we refused to read.
+                conn.last_byte_at = now;
+                continue;
+            }
             let silent = now.duration_since(conn.last_byte_at);
-            if conn.asm.mid_frame() {
+            if conn.asm.partial_frame() {
                 if silent >= config.stall_budget {
                     // A wedged or malicious sender mid-frame: cut it with
                     // the same typed error the threaded reader produces.
@@ -617,6 +650,7 @@ impl Reactor {
                             ),
                         }),
                     ));
+                    conn.parse_dead = true;
                     conn.begin_close();
                     touched.push(conn_id);
                 }

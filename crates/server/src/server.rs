@@ -786,7 +786,11 @@ impl Server {
         let spawned = self.shared.spawned.load(Ordering::SeqCst);
         let finished = self.shared.finished.load(Ordering::SeqCst);
         let handle_backlog = match &self.core {
-            CoreHandle::Threaded { handles, .. } => handles.lock().len() as u64,
+            // Only threads that have already finished count: handles of
+            // still-running connections are live, not backlog.
+            CoreHandle::Threaded { handles, .. } => {
+                handles.lock().iter().filter(|h| h.is_finished()).count() as u64
+            }
             #[cfg(unix)]
             CoreHandle::Reactor(_) => 0,
         };

@@ -579,11 +579,39 @@ impl FrameAssembler {
         self.buf.extend_from_slice(bytes);
     }
 
-    /// True while the buffer holds the beginning of an unfinished frame —
-    /// the state in which a silent peer counts as *stalled* rather than
-    /// *idle*, and an EOF is a mid-frame disconnect rather than clean.
+    /// True while the buffer holds any unconsumed bytes — complete frames
+    /// not yet extracted by [`FrameAssembler::next_frame`] count too. To
+    /// decide whether a silent peer is *stalled* (owes bytes) or merely
+    /// unread (back-pressured by the caller), use
+    /// [`FrameAssembler::partial_frame`] instead.
     pub fn mid_frame(&self) -> bool {
         self.start < self.buf.len()
+    }
+
+    /// True when [`FrameAssembler::next_frame`] would yield something —
+    /// a complete frame, or a typed error for bytes that can never become
+    /// one — without any further `push`.
+    pub fn frame_ready(&self) -> bool {
+        let pending = &self.buf[self.start..];
+        if pending.len() < HEADER_LEN {
+            return false;
+        }
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&pending[..HEADER_LEN]);
+        match parse_header(&header) {
+            // An undecodable header is extractable as a (fatal) error.
+            Err(_) => true,
+            Ok(raw) => pending.len() >= HEADER_LEN + raw.body_len + TRAILER_LEN,
+        }
+    }
+
+    /// True while the pending bytes begin an *incomplete* frame the peer
+    /// still owes bytes for — the state in which a silent peer counts as
+    /// stalled rather than idle, and an EOF is a mid-frame disconnect
+    /// rather than clean. Complete-but-unextracted frames (e.g. held back
+    /// by a full in-flight window) do not count: the peer owes nothing.
+    pub fn partial_frame(&self) -> bool {
+        self.mid_frame() && !self.frame_ready()
     }
 
     /// Yields the next complete frame, `None` if more bytes are needed.
@@ -1271,6 +1299,55 @@ mod tests {
         asm.push(&b[5..]);
         assert!(matches!(asm.next_frame(), Some(Ok(f)) if f.request_id == 8));
         assert!(!asm.mid_frame());
+    }
+
+    #[test]
+    fn assembler_distinguishes_partial_tails_from_unextracted_frames() {
+        let a = encode_frame(&Request::Ping.to_frame().with_request_id(1));
+        let b = encode_frame(&Request::Stats.to_frame().with_request_id(2));
+
+        // Empty: neither pending nor partial.
+        let mut asm = FrameAssembler::new();
+        assert!(!asm.frame_ready());
+        assert!(!asm.partial_frame());
+
+        // A complete-but-unextracted frame is *ready*, not partial: a
+        // peer held back only by the caller's window owes nothing.
+        asm.push(&a);
+        assert!(asm.mid_frame());
+        assert!(asm.frame_ready());
+        assert!(!asm.partial_frame());
+
+        // Two complete frames plus a torn tail: still ready (the front
+        // frame is extractable), still not partial.
+        asm.push(&b);
+        asm.push(&a[..5]);
+        assert!(asm.frame_ready());
+        assert!(!asm.partial_frame());
+
+        // Drain the complete frames: only the torn tail remains, which
+        // the peer does owe bytes for.
+        assert!(matches!(asm.next_frame(), Some(Ok(f)) if f.request_id == 1));
+        assert!(matches!(asm.next_frame(), Some(Ok(f)) if f.request_id == 2));
+        assert!(asm.next_frame().is_none());
+        assert!(asm.mid_frame());
+        assert!(!asm.frame_ready());
+        assert!(asm.partial_frame(), "a torn tail is a genuine partial");
+
+        // A full header declaring an unfinished body is also partial.
+        let mut asm = FrameAssembler::new();
+        asm.push(&a[..HEADER_LEN + 1]);
+        assert!(!asm.frame_ready());
+        assert!(asm.partial_frame());
+
+        // Undecodable header bytes are *ready* — next_frame() yields the
+        // typed error without more input, so the peer is not stalled.
+        let mut bad = a.clone();
+        bad[0] = b'X';
+        let mut asm = FrameAssembler::new();
+        asm.push(&bad);
+        assert!(asm.frame_ready());
+        assert!(!asm.partial_frame());
     }
 
     #[test]

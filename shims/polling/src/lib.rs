@@ -84,12 +84,12 @@ mod sys {
     const POLLHUP: i16 = 0x010;
     const POLLNVAL: i16 = 0x020;
 
-    // nfds_t is `unsigned long` on Linux/Android and `unsigned int` on the
-    // BSD family (including macOS).
+    // nfds_t is `unsigned long` on Linux/Android (so 32-bit on 32-bit
+    // targets) and `unsigned int` on the BSD family (including macOS).
     #[cfg(any(target_os = "linux", target_os = "android"))]
-    type NFds = u64;
+    type NFds = core::ffi::c_ulong;
     #[cfg(not(any(target_os = "linux", target_os = "android")))]
-    type NFds = u32;
+    type NFds = core::ffi::c_uint;
 
     extern "C" {
         fn poll(fds: *mut PollFd, nfds: NFds, timeout: i32) -> i32;

@@ -21,7 +21,7 @@
 //! with default threads and once with `RBT_THREADS=1`.
 
 use std::io::Write;
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Duration;
 
@@ -470,6 +470,138 @@ fn idle_connections_reap_and_mid_frame_stalls_sever() {
     let stats = Client::connect(addr).unwrap().stats().unwrap();
     assert!(stats.runtime.idle_reaped >= 1, "{:?}", stats.runtime);
     assert!(stats.runtime.stalled >= 1, "{:?}", stats.runtime);
+
+    let report = server.shutdown();
+    assert_eq!(report.spawned, report.joined);
+}
+
+/// Pipelining far past the in-flight window is not a stall: complete
+/// frames waiting behind a full window mean the *server* paused reading,
+/// so the stall detector must stay quiet even with a stall budget far
+/// below the time the backlog takes to serve — every request answers, in
+/// order, on one surviving connection.
+///
+/// The burst is thousands of tiny frames so the whole backlog lands in
+/// the server's reassembly buffer within a few reads; from then on the
+/// peer sends nothing (it owes nothing) while the serialized backlog
+/// takes many ticks to serve — exactly the state a naive "bytes pending
+/// means mid-frame" check misreads as a stalled peer.
+#[test]
+fn pipelining_past_the_window_is_backpressure_not_a_stall() {
+    let registry = Arc::new(SessionRegistry::new(4));
+    let config = ServerConfig {
+        read_tick: Duration::from_millis(5),
+        // Far below the time the backlog takes to serve: any tick that
+        // mistakes unserved complete frames for peer silence severs.
+        stall_budget: Duration::from_millis(1),
+        ..ServerConfig::default()
+    };
+    let server = Server::spawn_with("127.0.0.1:0", registry, config).unwrap();
+    let addr = server.local_addr();
+
+    const PIPELINED: usize = 2000;
+    let mut reader = TcpStream::connect(addr).unwrap();
+    reader
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = reader.try_clone().unwrap();
+    let bytes = wire::encode_frame(&wire::Request::Ping.to_frame());
+    let burst: Vec<u8> = bytes.repeat(PIPELINED);
+    writer.write_all(&burst).unwrap();
+    writer.flush().unwrap();
+    for i in 0..PIPELINED {
+        let frame = wire::read_frame(&mut reader).unwrap().unwrap();
+        match wire::Response::from_frame(&frame).unwrap() {
+            wire::Response::Pong => {}
+            other => panic!("response {i}: expected Pong, got {other:?}"),
+        }
+    }
+    let stats = Client::connect(addr).unwrap().stats().unwrap();
+    assert_eq!(
+        stats.runtime.stalled, 0,
+        "backpressure misread as a stall: {:?}",
+        stats.runtime
+    );
+    let report = server.shutdown();
+    assert_eq!(report.spawned, report.joined);
+}
+
+/// A client that pipelines past the window and then half-closes still
+/// gets every buffered request answered before the connection ends — and
+/// when the half-close cuts a frame in the middle, the buffered complete
+/// requests are served *before* the one typed mid-frame error.
+#[test]
+fn half_close_after_deep_pipelining_serves_the_whole_backlog() {
+    let (out, fit_data, key_bytes) = fit_tenant(152);
+    let registry = Arc::new(SessionRegistry::new(4));
+    registry.load_key("t", key_bytes).unwrap();
+    let server = Server::spawn_with("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    const PIPELINED: usize = 24; // 3x the default window of 8
+    let request = wire::Request::Transform {
+        tenant: "t".to_string(),
+        batch: fit_data.clone(),
+    };
+    let bytes = wire::encode_frame(&request.to_frame());
+
+    // Clean half-close between frames: every buffered request answers,
+    // then EOF — no bogus malformed-frame error.
+    let mut reader = TcpStream::connect(addr).unwrap();
+    reader
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = reader.try_clone().unwrap();
+    for _ in 0..PIPELINED {
+        writer.write_all(&bytes).unwrap();
+    }
+    writer.flush().unwrap();
+    writer.shutdown(Shutdown::Write).unwrap();
+    for i in 0..PIPELINED {
+        let frame = wire::read_frame(&mut reader).unwrap().unwrap();
+        match wire::Response::from_frame(&frame).unwrap() {
+            wire::Response::Transformed { released, .. } => {
+                assert_bitwise(&released, &out.released, "half-closed pipeline")
+            }
+            other => panic!("response {i}: expected Transformed, got {other:?}"),
+        }
+    }
+    match wire::read_frame(&mut reader) {
+        Ok(None) => {}
+        other => panic!("expected a clean close after the backlog, got {other:?}"),
+    }
+
+    // Half-close mid-frame: the complete requests answer first, then the
+    // one typed mid-frame error, then the close.
+    let mut reader = TcpStream::connect(addr).unwrap();
+    reader
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = reader.try_clone().unwrap();
+    for _ in 0..PIPELINED {
+        writer.write_all(&bytes).unwrap();
+    }
+    writer.write_all(&bytes[..bytes.len() / 2]).unwrap();
+    writer.flush().unwrap();
+    writer.shutdown(Shutdown::Write).unwrap();
+    for i in 0..PIPELINED {
+        let frame = wire::read_frame(&mut reader).unwrap().unwrap();
+        match wire::Response::from_frame(&frame).unwrap() {
+            wire::Response::Transformed { released, .. } => {
+                assert_bitwise(&released, &out.released, "torn-tail pipeline")
+            }
+            other => panic!("response {i}: expected Transformed, got {other:?}"),
+        }
+    }
+    // The torn trailing frame is answered with the typed error; the
+    // severance can win the race against the final write, so a close
+    // with no frame is also legal.
+    if let Ok(Some(frame)) = wire::read_frame(&mut reader) {
+        match wire::Response::from_frame(&frame).unwrap() {
+            wire::Response::Error { code, .. } => assert_eq!(code, 4),
+            other => panic!("expected the mid-frame rejection, got {other:?}"),
+        }
+    }
 
     let report = server.shutdown();
     assert_eq!(report.spawned, report.joined);
